@@ -1,0 +1,31 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one artefact of the paper (a figure, a table
+or a numeric claim) and prints a ``paper vs measured`` record; these
+records are collected in EXPERIMENTS.md.  SVG frames go under
+``benchmarks/out/`` so the regenerated figures can be eyeballed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.plotter.device import Frame
+from repro.plotter.svg import save_svg
+
+#: Where regenerated figures are written.
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def report(experiment: str, rows: Dict[str, object]) -> None:
+    """Print one experiment record in a grep-friendly format."""
+    print(f"\n[{experiment}]")
+    for key, value in rows.items():
+        print(f"  {key:40s} {value}")
+
+
+def save_frame(experiment: str, frame: Frame, suffix: str = "") -> Path:
+    """Persist a regenerated figure frame as SVG."""
+    name = experiment + (f"_{suffix}" if suffix else "") + ".svg"
+    return save_svg(frame, OUT_DIR / name)

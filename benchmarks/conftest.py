@@ -1,0 +1,18 @@
+"""Benchmark fixtures: structures built once per session."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+@pytest.fixture(scope="session")
+def built_structures():
+    from repro.structures import STRUCTURES
+
+    return {name: builder().build()
+            for name, builder in STRUCTURES.items()}

@@ -1,0 +1,60 @@
+"""Ablation: element reformation on/off.
+
+DESIGN.md calls out the reformation pass as a design choice to ablate:
+what does diagonal swapping buy in mesh quality, and what does it cost
+in run time, across the whole structure library?
+"""
+
+import math
+
+from common import report
+
+from repro.core.idlz.reform import quality_report
+from repro.structures import STRUCTURES
+
+
+def build_both(name):
+    case = STRUCTURES[name]()
+    return (case.build(renumber=False),  # reform on by default
+            _build_no_reform(case))
+
+
+def _build_no_reform(case):
+    from repro.core.idlz import Idealizer
+
+    return Idealizer(case.title, case.subdivisions, renumber=False,
+                     reform=False,
+                     prefer_pairs=case.prefer_pairs).run(case.segments)
+
+
+def test_ablation_reform(benchmark):
+    gains = {}
+    for name in STRUCTURES:
+        with_reform, without = build_both(name)
+        q_on = quality_report(with_reform.mesh)
+        q_off = quality_report(without.mesh)
+        gains[name] = (
+            f"mean min angle {q_off['mean_min_angle_deg']:.1f} -> "
+            f"{q_on['mean_min_angle_deg']:.1f} deg "
+            f"({with_reform.idealization.swaps} swaps)"
+        )
+        assert (q_on["mean_min_angle_deg"]
+                >= q_off["mean_min_angle_deg"] - 1e-9), name
+        assert q_on["min_angle_deg"] >= q_off["min_angle_deg"] - 1e-9, name
+
+    # Time the reform pass on the swap-heaviest structure.
+    from repro.core.idlz.reform import reform_elements
+
+    case = STRUCTURES["dssv_transition_ring"]()
+    built = _build_no_reform(case)
+
+    def run():
+        mesh = built.mesh.copy()
+        return reform_elements(mesh)
+
+    swaps = benchmark(run)
+    report("ablation: reform on/off", {
+        "per-structure quality gain": gains,
+        "dssv_transition_ring swaps": swaps,
+    })
+    assert swaps > 0

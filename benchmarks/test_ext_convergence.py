@@ -1,0 +1,78 @@
+"""Extension experiment -- substrate verification: Lame convergence.
+
+The analysis program behind Figures 13-18 must itself be trustworthy.
+This study refines an axisymmetric thick-cylinder mesh through four
+levels and measures the error of the radial displacement against the
+closed-form Lame solution: the CST/ring element converges monotonically
+at roughly second order in displacement, which is the acceptance bar a
+reproduction of Reference 1 has to clear.
+"""
+
+import numpy as np
+
+from common import report
+
+from repro.fem.materials import IsotropicElastic
+from repro.fem.mesh import Mesh
+from repro.fem.solve import AnalysisType, StaticAnalysis
+
+MAT = IsotropicElastic(youngs=1.0e4, poisson=0.3)
+A, B, P = 1.0, 2.0, 1000.0
+
+
+def grid(nr, nz=2):
+    nodes = []
+    for j in range(nz + 1):
+        for i in range(nr + 1):
+            nodes.append([A + (B - A) * i / nr, 0.5 * j / nz])
+    elements = []
+    for j in range(nz):
+        for i in range(nr):
+            a = j * (nr + 1) + i
+            b, c, d = a + 1, a + nr + 2, a + nr + 1
+            elements.append([a, b, c])
+            elements.append([a, c, d])
+    return Mesh(nodes=np.array(nodes), elements=np.array(elements))
+
+
+def u_exact(r):
+    e, nu = MAT.youngs, MAT.poisson
+    c = P * A * A / (B * B - A * A)
+    return (1 + nu) / e * (c * (1 - 2 * nu) * r + c * B * B / r)
+
+
+def solve(nr):
+    mesh = grid(nr)
+    an = StaticAnalysis(mesh, {0: MAT}, AnalysisType.AXISYMMETRIC)
+    an.constraints.fix_nodes(mesh.nodes_near(y=0.0), 1)
+    an.constraints.fix_nodes(mesh.nodes_near(y=0.5), 1)
+    inner = [
+        (a, b) for a, b in mesh.boundary_edges()
+        if abs(mesh.nodes[a, 0] - A) < 1e-9
+        and abs(mesh.nodes[b, 0] - A) < 1e-9
+    ]
+    an.loads.add_edge_pressure_axisym(mesh, inner, P)
+    result = an.solve()
+    # Relative error of the inner-surface displacement.
+    n = mesh.nearest_node(A, 0.25)
+    return abs(result.displacements[2 * n] - u_exact(A)) / u_exact(A)
+
+
+def test_ext_lame_convergence(benchmark):
+    levels = [4, 8, 16, 32]
+    errors = [solve(nr) for nr in levels[:-1]]
+    errors.append(benchmark(solve, levels[-1]))
+
+    rates = [
+        np.log2(errors[i] / errors[i + 1]) for i in range(len(errors) - 1)
+    ]
+    report("EXT Lame convergence (substrate verification)", {
+        "refinement levels (radial elements)": levels,
+        "relative errors": [f"{e:.2e}" for e in errors],
+        "observed orders": [f"{r:.2f}" for r in rates],
+    })
+    # Monotone convergence ...
+    assert all(e1 > e2 for e1, e2 in zip(errors, errors[1:]))
+    # ... and better than first order asymptotically.
+    assert rates[-1] > 1.2
+    assert errors[-1] < 1e-3

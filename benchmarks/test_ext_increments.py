@@ -1,0 +1,70 @@
+"""Extension experiment -- the increment film behind the captions.
+
+Figures 13 and 18 carry "INCREMENT NUMBER 1" and "INCREMENT NUMBER 100":
+the Reference-1 analysis marched load increments and called CONPLT after
+each.  We reproduce the loop on the glass-sphere hatch -- a pressure
+ramp in three increments, one OSPL frame each, sharing one Appendix-D
+interval so the film reads as a sequence.
+"""
+
+import numpy as np
+
+from common import report, save_frame
+
+from repro.core.ospl.series import plot_increments
+from repro.fem.solve import AnalysisType, StaticAnalysis
+from repro.fem.stress import StressComponent
+
+PRESSURES = (100.0, 200.0, 300.0)
+
+
+def solve_ramp(built):
+    mesh = built.mesh
+    fields = []
+    for pressure in PRESSURES:
+        an = StaticAnalysis(mesh, built.group_materials,
+                            AnalysisType.AXISYMMETRIC)
+        an.loads.add_edge_pressure_axisym(
+            mesh, built.path_edges("outer"), pressure
+        )
+        for n in built.path_nodes("seat_bottom"):
+            an.constraints.fix(n, 1)
+        for n in mesh.nodes_near(x=0.0, tol=1e-6):
+            an.constraints.fix(n, 0)
+        result = an.solve()
+        fields.append(
+            result.stresses.nodal(StressComponent.EFFECTIVE)
+        )
+    return fields
+
+
+def test_ext_increment_film(benchmark, built_structures):
+    built = built_structures["sphere_hatch"]
+    fields = benchmark(solve_ramp, built)
+    plots = plot_increments(built.mesh, fields,
+                            title="NEW HATCH PRESSURE RAMP",
+                            quantity="effective stress")
+    for i, plot in enumerate(plots, start=1):
+        save_frame("ext_increments", plot.frame, f"inc{i}")
+
+    peaks = [f.max() for f in fields]
+    report("EXT increment film (Fig 13/18 captions)", {
+        "pressure increments (psi)": list(PRESSURES),
+        "peak effective stress per increment (psi)":
+            [f"{p:.0f}" for p in peaks],
+        "shared interval (psi)": plots[0].interval,
+        "segments per frame": [p.n_segments() for p in plots],
+    })
+    # Linear elasticity: the peak scales with the load.
+    assert peaks[1] / peaks[0] == np_approx(2.0)
+    assert peaks[2] / peaks[0] == np_approx(3.0)
+    # One shared interval across the film.
+    assert len({p.interval for p in plots}) == 1
+    # More load, more isograms crossed.
+    assert plots[2].n_segments() > plots[0].n_segments()
+
+
+def np_approx(value):
+    import pytest
+
+    return pytest.approx(value, rel=1e-9)

@@ -1,0 +1,69 @@
+"""Extension experiment -- the "SECOND IDEALIZATION" of Figure 13.
+
+Figure 13's caption notes the plotted hatch is a *second idealization*:
+the analyst re-ran IDLZ with a denser lattice after seeing the first
+result.  We reproduce the workflow -- same subdivisions and shaping
+cards, lattice intervals halved -- and verify the refinement behaves
+like a refinement should: peak effective stress moves by only a few
+percent while the mesh grows fourfold.
+"""
+
+from common import report, save_frame
+
+from repro.core.ospl import conplt
+from repro.fem.solve import AnalysisType, StaticAnalysis
+from repro.fem.stress import StressComponent
+from repro.structures import dsrv_hatch
+from repro.structures.base import scale_case_lattice
+
+PRESSURE = 6500.0
+
+
+def solve(built):
+    mesh = built.mesh
+    an = StaticAnalysis(mesh, built.group_materials,
+                        AnalysisType.AXISYMMETRIC)
+    for path in ("dome_outer", "skirt_outer"):
+        an.loads.add_edge_pressure_axisym(mesh, built.path_edges(path),
+                                          PRESSURE)
+    for n in built.path_nodes("flange_bottom"):
+        an.constraints.fix(n, 1)
+    for n in mesh.nodes_near(x=0.0, tol=1e-6):
+        an.constraints.fix(n, 0)
+    return an.solve()
+
+
+def test_ext_second_idealization(benchmark):
+    first_case = dsrv_hatch()
+    second_case = scale_case_lattice(first_case, 2)
+    first = first_case.build()
+    second = benchmark(second_case.build)
+
+    r1 = solve(first)
+    r2 = solve(second)
+    vm1 = r1.stresses.nodal(StressComponent.EFFECTIVE)
+    vm2 = r2.stresses.nodal(StressComponent.EFFECTIVE)
+    plot = conplt(second.mesh, vm2,
+                  title="DSSV BOTTOM HATCH - SECOND IDEALIZATION",
+                  subtitle="CONTOUR PLOT * EFFECTIVE STRESS")
+    save_frame("ext_refinement", plot.frame)
+
+    drift = abs(vm2.max() - vm1.max()) / vm1.max()
+    report("EXT second idealization (Fig 13 workflow)", {
+        "first idealization":
+            f"{first.mesh.n_nodes} nodes / {first.mesh.n_elements} elements",
+        "second idealization":
+            f"{second.mesh.n_nodes} nodes / {second.mesh.n_elements} "
+            "elements",
+        "peak effective stress first / second (psi)":
+            f"{vm1.max():.0f} / {vm2.max():.0f}",
+        "peak drift under refinement": f"{100 * drift:.1f}%",
+        "second-idealization interval (psi)": plot.interval,
+    })
+    assert second.mesh.n_elements == 4 * first.mesh.n_elements
+    # A converging discretisation: the peak moves but not wildly.
+    assert drift < 0.30
+    # Same geometry: identical areas.
+    a1 = first.mesh.element_areas().sum()
+    a2 = second.mesh.element_areas().sum()
+    assert abs(a1 - a2) / a1 < 0.02

@@ -1,0 +1,68 @@
+"""Extension experiment -- the Figure-14 field fed back as a stress load.
+
+Not a figure in the paper, but its natural next step and the reason the
+Reference-1 analysis accepted temperatures: contour the *thermal stress*
+the radiant pulse induces in the restrained T-beam.  Shape expectations:
+the restrained hot flange carries the peak stress, and the field decays
+to zero at the (reference-temperature) web foot.
+"""
+
+from common import report, save_frame
+
+from repro.core.ospl import conplt
+from repro.fem.materials import STEEL
+from repro.fem.solve import AnalysisType
+from repro.fem.stress import StressComponent
+from repro.fem.thermal import ThermalAnalysis, ThermalPulse
+from repro.fem.thermal_stress import ThermalStressAnalysis
+from repro.structures.tbeam import thermal_materials
+
+T_INITIAL = 80.0
+
+
+def run(built):
+    mesh = built.mesh
+    conduction = ThermalAnalysis(mesh, thermal_materials(built.case))
+    conduction.add_pulse(built.path_edges("flange_top"),
+                         ThermalPulse(magnitude=0.5, duration=1.0))
+    conduction.fix_temperature(built.path_nodes("web_foot"), T_INITIAL)
+    history = conduction.solve_transient(dt=0.05, n_steps=60,
+                                         initial=T_INITIAL)
+    temps = history.at_time(2.0)
+    tsa = ThermalStressAnalysis(mesh, {0: STEEL, 1: STEEL},
+                                AnalysisType.PLANE_STRESS, temps,
+                                reference_temperature=T_INITIAL)
+    for n in built.path_nodes("web_foot"):
+        tsa.constraints.fix_node(n)
+    for n in built.path_nodes("symmetry"):
+        if not tsa.constraints.is_constrained(n, 0):
+            tsa.constraints.fix(n, 0)
+    return temps, tsa.solve()
+
+
+def test_ext_thermal_stress(benchmark, built_structures):
+    built = built_structures["tbeam"]
+    temps, result = benchmark(run, built)
+    mesh = built.mesh
+    vm = result.stresses.nodal(StressComponent.EFFECTIVE)
+    plot = conplt(mesh, vm, title="T-BEAM THERMAL STRESS",
+                  subtitle="CONTOUR PLOT * EFFECTIVE STRESS")
+    save_frame("ext_thermal_stress", plot.frame)
+
+    flange = mesh.nearest_node(1.5, 3.5)
+    foot = built.path_nodes("web_foot")[0]
+    # Order-of-magnitude check: sigma ~ E alpha dT for full restraint.
+    dt_peak = temps.max() - T_INITIAL
+    bound = STEEL.youngs * STEEL.expansion * dt_peak
+    report("EXT thermal stress (Fig 14 -> stress)", {
+        "peak temperature rise (degF)": f"{dt_peak:.1f}",
+        "effective stress range (psi)":
+            f"{vm.min():.0f} .. {vm.max():.0f}",
+        "full-restraint bound E a dT (psi)": f"{bound:.0f}",
+        "flange / foot stress (psi)":
+            f"{vm[flange]:.0f} / {vm[foot]:.0f}",
+        "contour interval (psi)": plot.interval,
+    })
+    assert 0.0 < vm.max() <= 1.05 * bound
+    assert vm[flange] > vm[foot] * 0.5 or vm[flange] > 100.0
+    assert plot.n_segments() > 0

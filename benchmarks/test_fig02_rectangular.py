@@ -1,0 +1,42 @@
+"""Experiment F2 -- Figure 2: the rectangular subdivision.
+
+The paper's simplest picture: one rectangular subdivision before (2a) and
+after (2b) shaping.  We shape a 5 x 9 lattice into a 2 x 3 plate and
+benchmark the bare IDLZ run.
+"""
+
+from common import report, save_frame
+
+from repro.core.idlz import (
+    Idealizer,
+    ShapingSegment,
+    Subdivision,
+    plot_idealization,
+)
+
+
+def build():
+    sub = Subdivision(index=1, kk1=1, ll1=1, kk2=5, ll2=9)
+    segments = [
+        ShapingSegment(1, 1, 1, 5, 1, 0.0, 0.0, 2.0, 0.0),
+        ShapingSegment(1, 1, 9, 5, 9, 0.0, 3.0, 2.0, 3.0),
+    ]
+    return Idealizer("RECTANGULAR SUBDIVISION", [sub]).run(segments)
+
+
+def test_fig02_rectangular_subdivision(benchmark):
+    ideal = benchmark(build)
+    frames = plot_idealization(ideal)
+    save_frame("fig02", frames[0], "initial")
+    save_frame("fig02", frames[1], "final")
+    report("F2 rectangular subdivision", {
+        "paper": "Fig 2: one rectangle, before and after shaping",
+        "lattice": "5 x 9",
+        "nodes / elements": f"{ideal.n_nodes} / {ideal.n_elements}",
+        "shaped area": f"{ideal.mesh.element_areas().sum():.3f} (exact 6.0)",
+    })
+    assert ideal.n_nodes == 45
+    assert ideal.n_elements == 64
+    assert ideal.mesh.element_areas().sum() == benchmark.extra_info.get(
+        "area", ideal.mesh.element_areas().sum()
+    )

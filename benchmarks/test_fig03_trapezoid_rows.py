@@ -1,0 +1,48 @@
+"""Experiment F3 -- Figure 3: trapezoidal subdivisions, NTAPRW = +-1.
+
+Regenerates both orientations of the one-node-per-row-end trapezoid and
+verifies the defining property: the node count changes by exactly two
+per row.
+"""
+
+from common import report, save_frame
+
+from repro.core.idlz import (
+    Idealizer,
+    ShapingSegment,
+    Subdivision,
+    plot_mesh,
+)
+
+
+def build(sign: int):
+    sub = Subdivision(index=1, kk1=1, ll1=1, kk2=9, ll2=4, ntaprw=sign)
+    long_row = 4 if sign > 0 else 1
+    short_row = 1 if sign > 0 else 4
+    segments = [
+        ShapingSegment(1, 1, long_row, 9, long_row, 0.0,
+                       float(long_row - 1), 8.0, float(long_row - 1)),
+        ShapingSegment(1, 4, short_row, 6, short_row, 3.0,
+                       float(short_row - 1), 5.0, float(short_row - 1)),
+    ]
+    return Idealizer(f"TRAPEZOIDAL SUBDIVISION NTAPRW={sign:+d}",
+                     [sub]).run(segments)
+
+
+def test_fig03_row_trapezoids(benchmark):
+    ideal_pos = benchmark(build, 1)
+    ideal_neg = build(-1)
+    save_frame("fig03", plot_mesh(ideal_pos.mesh, "NTAPRW=+1"), "plus1")
+    save_frame("fig03", plot_mesh(ideal_neg.mesh, "NTAPRW=-1"), "minus1")
+
+    strips_pos = [len(s) for s in ideal_pos.subdivisions[0].strips()]
+    strips_neg = [len(s) for s in ideal_neg.subdivisions[0].strips()]
+    report("F3 row trapezoids", {
+        "paper": "Fig 3: NTAPRW=+-1, +-1 node per row end",
+        "NTAPRW=+1 strip widths": strips_pos,
+        "NTAPRW=-1 strip widths": strips_neg,
+        "elements each": f"{ideal_pos.n_elements} / {ideal_neg.n_elements}",
+    })
+    assert strips_pos == [3, 5, 7, 9]
+    assert strips_neg == [9, 7, 5, 3]
+    assert ideal_pos.n_elements == ideal_neg.n_elements == 30

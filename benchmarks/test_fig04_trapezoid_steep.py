@@ -1,0 +1,66 @@
+"""Experiment F4 -- Figure 4: steeper and column trapezoids
+(NTAPRW = +-2, NTAPCM = +-1).
+
+The paper highlights the slope-2 trapezoids as the quick way "to change
+quickly from many nodes on one side of a subdivision to few nodes on the
+other side" (Hint 3).
+"""
+
+from common import report, save_frame
+
+from repro.core.idlz import (
+    Idealizer,
+    ShapingSegment,
+    Subdivision,
+    plot_mesh,
+)
+
+
+def build_row(sign: int):
+    # 13 columns, 4 rows, losing two nodes per row end: 13 -> 7 -> ... 1?
+    # Keep the short side at 5 nodes with a 3-row box.
+    sub = Subdivision(index=1, kk1=1, ll1=1, kk2=13, ll2=3, ntaprw=sign)
+    long_row = 3 if sign > 0 else 1
+    short_row = 1 if sign > 0 else 3
+    segments = [
+        ShapingSegment(1, 1, long_row, 13, long_row,
+                       0.0, float(long_row - 1), 12.0, float(long_row - 1)),
+        ShapingSegment(1, 5, short_row, 9, short_row,
+                       4.0, float(short_row - 1), 8.0, float(short_row - 1)),
+    ]
+    return Idealizer(f"TRAPEZOID NTAPRW={sign:+d}", [sub]).run(segments)
+
+
+def build_column(sign: int):
+    sub = Subdivision(index=1, kk1=1, ll1=1, kk2=3, ll2=9, ntapcm=sign)
+    long_col = 3 if sign > 0 else 1
+    short_col = 1 if sign > 0 else 3
+    segments = [
+        ShapingSegment(1, long_col, 1, long_col, 9,
+                       float(long_col - 1), 0.0, float(long_col - 1), 8.0),
+        ShapingSegment(1, short_col, 3, short_col, 7,
+                       float(short_col - 1), 2.0, float(short_col - 1), 6.0),
+    ]
+    return Idealizer(f"TRAPEZOID NTAPCM={sign:+d}", [sub]).run(segments)
+
+
+def test_fig04_steep_and_column_trapezoids(benchmark):
+    row2 = benchmark(build_row, 2)
+    col_pos = build_column(1)
+    col_neg = build_column(-1)
+    save_frame("fig04", plot_mesh(row2.mesh, "NTAPRW=+2"), "ntaprw2")
+    save_frame("fig04", plot_mesh(col_pos.mesh, "NTAPCM=+1"), "ntapcm_pos")
+    save_frame("fig04", plot_mesh(col_neg.mesh, "NTAPCM=-1"), "ntapcm_neg")
+
+    report("F4 steep/column trapezoids", {
+        "paper": "Fig 4: NTAPRW=+-2 and NTAPCM variants",
+        "NTAPRW=+2 strip widths":
+            [len(s) for s in row2.subdivisions[0].strips()],
+        "NTAPCM=+1 strip heights":
+            [len(s) for s in col_pos.subdivisions[0].strips()],
+        "NTAPCM=-1 strip heights":
+            [len(s) for s in col_neg.subdivisions[0].strips()],
+    })
+    assert [len(s) for s in row2.subdivisions[0].strips()] == [5, 9, 13]
+    assert [len(s) for s in col_pos.subdivisions[0].strips()] == [5, 7, 9]
+    assert [len(s) for s in col_neg.subdivisions[0].strips()] == [9, 7, 5]

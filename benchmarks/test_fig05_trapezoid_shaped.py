@@ -1,0 +1,56 @@
+"""Experiment F5 -- Figure 5: a column trapezoid shaped to a curved flank.
+
+Figure 5 shows a NTAPCM=+3-style subdivision before (5a) and after (5b)
+shaping; the shaped picture bows one parallel side along an arc.  We
+reproduce the pairing: a steep column trapezoid whose long side is shaped
+into a circular arc.
+"""
+
+import numpy as np
+
+from common import report, save_frame
+
+from repro.core.idlz import (
+    Idealizer,
+    ShapingSegment,
+    Subdivision,
+    plot_idealization,
+)
+
+
+def build():
+    # NTAPCM = +3: the left column keeps one node, the right has seven.
+    sub = Subdivision(index=1, kk1=1, ll1=1, kk2=2, ll2=7, ntapcm=3)
+    segments = [
+        # Point-like left side (the triangle tip rule).
+        ShapingSegment(1, 1, 4, 1, 4, 0.0, 1.5, 0.0, 1.5),
+        # Long right side bowed along an arc.
+        ShapingSegment(1, 2, 1, 2, 7, 2.0, 0.0, 2.0, 3.0, radius=2.6),
+    ]
+    return Idealizer("TRAPEZOIDAL SUBDIVISION NTAPCM=+3", [sub]).run(
+        segments
+    )
+
+
+def test_fig05_shaped_trapezoid(benchmark):
+    ideal = benchmark(build)
+    frames = plot_idealization(ideal)
+    save_frame("fig05", frames[0], "initial")
+    save_frame("fig05", frames[1], "final")
+
+    # The bowed side's nodes sit on the stated circle.
+    right = [ideal.node_at(2, l) for l in range(1, 8)]
+    pts = ideal.mesh.nodes[right]
+    # Circle through (2,0) and (2,3) with radius 2.6, centre left of the
+    # upward chord.
+    cx = 2.0 - np.sqrt(2.6 ** 2 - 1.5 ** 2)
+    cy = 1.5
+    radii = np.hypot(pts[:, 0] - cx, pts[:, 1] - cy)
+    report("F5 shaped trapezoid", {
+        "paper": "Fig 5: NTAPCM trapezoid, one side shaped to an arc",
+        "strip heights": [len(s) for s in ideal.subdivisions[0].strips()],
+        "arc radius error": f"{np.abs(radii - 2.6).max():.2e}",
+        "nodes / elements": f"{ideal.n_nodes} / {ideal.n_elements}",
+    })
+    assert np.abs(radii - 2.6).max() < 1e-9
+    assert ideal.mesh.element_areas().min() > 0

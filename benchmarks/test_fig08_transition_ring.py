@@ -1,0 +1,35 @@
+"""Experiment F8 -- Figure 8: DSSV viewport and transition ring.
+
+Figure 7's assemblage extended by a second (titanium) triangular
+subdivision tiled against the seat triangle's far slant.
+"""
+
+from common import report, save_frame
+
+from repro.core.idlz.output import plot_idealization
+from repro.structures import dssv_viewport, dssv_with_transition_ring
+
+
+def test_fig08_dssv_with_transition_ring(benchmark):
+    case = dssv_with_transition_ring()
+    built = benchmark(case.build)
+    ideal = built.idealization
+    frames = plot_idealization(ideal)
+    save_frame("fig08", frames[0], "initial")
+    save_frame("fig08", frames[1], "final")
+
+    smaller = dssv_viewport().build().idealization
+    report("F8 DSSV viewport + transition ring", {
+        "paper": "Fig 8: Fig 7 plus a transition-ring triangle",
+        "subdivisions": len(ideal.subdivisions),
+        "nodes / elements": f"{ideal.n_nodes} / {ideal.n_elements}",
+        "growth over Fig 7 (elements)":
+            f"+{ideal.n_elements - smaller.n_elements}",
+        "materials": sorted(
+            m.name for m in built.group_materials.values()
+        ),
+    })
+    assert len(ideal.subdivisions) == 3
+    assert ideal.n_elements > smaller.n_elements
+    # Crack-free tiling: no edge shared by more than two elements.
+    assert max(ideal.mesh.edge_counts().values()) == 2

@@ -1,0 +1,65 @@
+"""Experiment F14 -- Figure 14: T-beam temperatures under a radiant
+pulse, contoured at t = 2 s and t = 3 s.
+
+The paper's two frames show isotherm bands stacked through the flange at
+two and three seconds after the pulse; between the frames the peak decays
+and heat penetrates the web.  We regenerate both frames and check those
+two qualitative facts, plus the automatic interval landing on the
+Appendix-D ladder.
+"""
+
+from common import report, save_frame
+
+from repro.core.ospl import conplt
+from repro.core.ospl.intervals import BASES
+from repro.fem.thermal import ThermalAnalysis, ThermalPulse
+from repro.structures import tbeam_thermal
+from repro.structures.tbeam import thermal_materials
+
+PULSE_FLUX = 0.5      # BTU / (s in^2)
+PULSE_DURATION = 1.0  # s
+T_INITIAL = 80.0      # degF
+
+
+def march(built):
+    an = ThermalAnalysis(built.mesh, thermal_materials(built.case))
+    an.add_pulse(built.path_edges("flange_top"),
+                 ThermalPulse(magnitude=PULSE_FLUX,
+                              duration=PULSE_DURATION))
+    an.fix_temperature(built.path_nodes("web_foot"), T_INITIAL)
+    return an.solve_transient(dt=0.05, n_steps=60, initial=T_INITIAL)
+
+
+def test_fig14_tbeam_thermal(benchmark, built_structures):
+    built = built_structures["tbeam"]
+    history = benchmark(march, built)
+
+    intervals = {}
+    peaks = {}
+    for seconds in (2.0, 3.0):
+        temps = history.at_time(seconds)
+        plot = conplt(
+            built.mesh, temps,
+            title="TEMPERATURE DISTRIBUTION IN T-BEAM",
+            subtitle=f"TIME EQUALS {seconds:.0f} SECONDS",
+        )
+        save_frame("fig14", plot.frame, f"t{seconds:.0f}s")
+        intervals[seconds] = plot.interval
+        peaks[seconds] = temps.max()
+
+    report("F14 T-beam thermal", {
+        "paper": "Fig 14: isotherms at t = 2 s and t = 3 s",
+        "peak temperature t=2s / t=3s (degF)":
+            f"{peaks[2.0]:.1f} / {peaks[3.0]:.1f}",
+        "auto contour intervals": intervals,
+    })
+    # The pulse ended at 1 s: the peak decays between the two frames.
+    assert peaks[3.0] < peaks[2.0]
+    assert peaks[2.0] > T_INITIAL + 20.0
+    for interval in intervals.values():
+        mantissa = interval
+        while mantissa >= 10.0:
+            mantissa /= 10.0
+        while mantissa < 1.0:
+            mantissa *= 10.0
+        assert any(abs(mantissa - b) < 1e-9 for b in BASES)

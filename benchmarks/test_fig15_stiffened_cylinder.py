@@ -1,0 +1,65 @@
+"""Experiment F15 -- Figure 15: stiffened orthotropic cylinder with
+titanium end closure; circumferential and shear stress plots.
+
+The figure pair 15c/15d contours circumferential and shear stress over
+the GRP ring-stiffened cylinder.  Shape expectations: hoop stress is
+compressive in the pressurised wall, relieved at the ring stiffeners, and
+shear concentrates near the stiffener and closure junctures.
+"""
+
+import numpy as np
+
+from common import report, save_frame
+
+from repro.core.ospl import conplt
+from repro.fem.solve import AnalysisType, StaticAnalysis
+from repro.fem.stress import StressComponent
+from repro.structures import stiffened_cylinder
+
+PRESSURE = 100.0
+
+
+def solve(built):
+    mesh = built.mesh
+    an = StaticAnalysis(mesh, built.group_materials,
+                        AnalysisType.AXISYMMETRIC)
+    an.loads.add_edge_pressure_axisym(mesh, built.path_edges("outer"),
+                                      PRESSURE)
+    for n in built.path_nodes("base"):
+        an.constraints.fix(n, 1)
+    for n in mesh.nodes_near(x=0.0, tol=1e-6):
+        an.constraints.fix(n, 0)
+    return an.solve()
+
+
+def test_fig15_stiffened_cylinder(benchmark, built_structures):
+    built = built_structures["stiffened_cylinder"]
+    result = benchmark(solve, built)
+    mesh = built.mesh
+
+    hoop = result.stresses.nodal(StressComponent.CIRCUMFERENTIAL)
+    shear = result.stresses.nodal(StressComponent.SHEAR)
+    plot_hoop = conplt(mesh, hoop, title="GRP RING-STIFFENED CYLINDER",
+                       subtitle="CONTOUR PLOT * CIRCUMFERENTIAL STRESS")
+    plot_shear = conplt(mesh, shear, title="GRP RING-STIFFENED CYLINDER",
+                        subtitle="CONTOUR PLOT * SHEAR STRESS")
+    save_frame("fig15", plot_hoop.frame, "c_circumferential")
+    save_frame("fig15", plot_shear.frame, "d_shear")
+
+    wall_mid = mesh.nearest_node(10.25, 6.0)
+    stiff_node = mesh.nearest_node(9.2, 3.5)
+    report("F15 stiffened cylinder", {
+        "paper": "Fig 15: circumferential + shear isograms",
+        "wall hoop stress (psi)": f"{hoop[wall_mid]:.0f}",
+        "thin-shell estimate -p r/t (psi)":
+            f"{-PRESSURE * 10.25 / 0.5:.0f}",
+        "stiffener hoop stress (psi)": f"{stiff_node and hoop[stiff_node]:.0f}",
+        "peak |shear| (psi)": f"{np.abs(shear.values).max():.0f}",
+        "hoop interval / shear interval":
+            f"{plot_hoop.interval:g} / {plot_shear.interval:g}",
+    })
+    assert hoop[wall_mid] < 0.0
+    # The ring stiffener carries less hoop compression magnitude than the
+    # shell mid-bay (it is inboard, r smaller, and shields the wall).
+    assert abs(hoop[stiff_node]) < abs(hoop[wall_mid]) * 2.0
+    assert plot_hoop.n_segments() > 0 and plot_shear.n_segments() > 0

@@ -1,0 +1,70 @@
+"""Experiment F16 -- Figure 16: unstiffened orthotropic cylinder with
+titanium end closure; effective and circumferential stress plots.
+
+Shape expectations: without the rings the mid-bay hoop compression
+tracks the thin-shell -p r / t estimate, and the unstiffened wall
+deflects more than the Figure-15 stiffened design.
+"""
+
+import numpy as np
+
+from common import report, save_frame
+
+from repro.core.ospl import conplt
+from repro.fem.solve import AnalysisType, StaticAnalysis
+from repro.fem.stress import StressComponent
+from repro.structures import stiffened_cylinder, unstiffened_cylinder
+
+PRESSURE = 100.0
+
+
+def solve(built):
+    mesh = built.mesh
+    an = StaticAnalysis(mesh, built.group_materials,
+                        AnalysisType.AXISYMMETRIC)
+    an.loads.add_edge_pressure_axisym(mesh, built.path_edges("outer"),
+                                      PRESSURE)
+    for n in built.path_nodes("base"):
+        an.constraints.fix(n, 1)
+    for n in mesh.nodes_near(x=0.0, tol=1e-6):
+        an.constraints.fix(n, 0)
+    return an.solve()
+
+
+def test_fig16_unstiffened_cylinder(benchmark, built_structures):
+    built = built_structures["unstiffened_cylinder"]
+    result = benchmark(solve, built)
+    mesh = built.mesh
+
+    effective = result.stresses.nodal(StressComponent.EFFECTIVE)
+    hoop = result.stresses.nodal(StressComponent.CIRCUMFERENTIAL)
+    plot_eff = conplt(mesh, effective, title="UNSTIFFENED CYLINDER",
+                      subtitle="CONTOUR PLOT * EFFECTIVE STRESS")
+    plot_hoop = conplt(mesh, hoop, title="UNSTIFFENED CYLINDER",
+                       subtitle="CONTOUR PLOT * CIRCUMFERENTIAL STRESS")
+    save_frame("fig16", plot_eff.frame, "c_effective")
+    save_frame("fig16", plot_hoop.frame, "d_circumferential")
+
+    wall_mid = mesh.nearest_node(10.25, 6.0)
+    thin_shell = -PRESSURE * 10.25 / 0.5
+    stiff_result = solve(built_structures["stiffened_cylinder"])
+    u_plain = np.abs(result.displacements[0::2]).max()
+    u_stiff = np.abs(stiff_result.displacements[0::2]).max()
+    report("F16 unstiffened cylinder", {
+        "paper": "Fig 16: effective + circumferential isograms",
+        "wall hoop stress vs -p r/t (psi)":
+            f"{hoop[wall_mid]:.0f} vs {thin_shell:.0f}",
+        "max radial deflection plain / stiffened (in)":
+            f"{u_plain:.5f} / {u_stiff:.5f}",
+        "effective interval / hoop interval":
+            f"{plot_eff.interval:g} / {plot_hoop.interval:g}",
+    })
+    assert hoop[wall_mid] == pytest_approx(thin_shell, rel=0.35)
+    assert u_plain > u_stiff  # the crossover the two figures illustrate
+    assert effective.min() >= 0.0
+
+
+def pytest_approx(value, rel):
+    import pytest
+
+    return pytest.approx(value, rel=rel)

@@ -1,0 +1,68 @@
+"""Experiment F18 -- Figure 18: the hemispherical hatch of a glass
+sphere; circumferential and effective stress plots.
+
+Shape expectations for an externally pressurised spherical cap: the
+membrane stress is compressive and near-uniform (-p R / 2t) away from
+the seat, with the seat ring disturbing the field locally.
+"""
+
+import numpy as np
+
+from common import report, save_frame
+
+from repro.core.ospl import conplt
+from repro.fem.solve import AnalysisType, StaticAnalysis
+from repro.fem.stress import StressComponent
+from repro.structures import sphere_hatch
+
+PRESSURE = 300.0
+
+
+def solve(built):
+    mesh = built.mesh
+    an = StaticAnalysis(mesh, built.group_materials,
+                        AnalysisType.AXISYMMETRIC)
+    an.loads.add_edge_pressure_axisym(mesh, built.path_edges("outer"),
+                                      PRESSURE)
+    for n in built.path_nodes("seat_bottom"):
+        an.constraints.fix(n, 1)
+    for n in mesh.nodes_near(x=0.0, tol=1e-6):
+        an.constraints.fix(n, 0)
+    return an.solve()
+
+
+def test_fig18_sphere_hatch(benchmark, built_structures):
+    built = built_structures["sphere_hatch"]
+    result = benchmark(solve, built)
+    mesh = built.mesh
+
+    hoop = result.stresses.nodal(StressComponent.CIRCUMFERENTIAL)
+    effective = result.stresses.nodal(StressComponent.EFFECTIVE)
+    plot_hoop = conplt(mesh, hoop, title="NEW HATCH",
+                       subtitle="CONTOUR PLOT * CIRCUMFERENTIAL STRESS")
+    plot_eff = conplt(mesh, effective, title="NEW HATCH",
+                      subtitle="CONTOUR PLOT * EFFECTIVE STRESS")
+    save_frame("fig18", plot_hoop.frame, "c_circumferential")
+    save_frame("fig18", plot_eff.frame, "d_effective")
+
+    # Membrane estimate at the pole region: -p R / (2 t).
+    membrane = -PRESSURE * 8.0 / (2 * 0.5)
+    pole = mesh.nearest_node(0.5, 7.9)
+    report("F18 sphere hatch", {
+        "paper": "Fig 18: circumferential + effective isograms",
+        "pole hoop stress vs -pR/2t (psi)":
+            f"{hoop[pole]:.0f} vs {membrane:.0f}",
+        "effective range (psi)":
+            f"{effective.min():.0f} .. {effective.max():.0f}",
+        "intervals (hoop / effective)":
+            f"{plot_hoop.interval:g} / {plot_eff.interval:g}",
+    })
+    assert hoop[pole] < 0.0
+    assert abs(hoop[pole]) == np_approx(abs(membrane), rel=0.5)
+    assert plot_hoop.n_segments() > 0 and plot_eff.n_segments() > 0
+
+
+def np_approx(value, rel):
+    import pytest
+
+    return pytest.approx(value, rel=rel)

@@ -1,0 +1,62 @@
+"""Mode shapes through the 1970 pipeline: IDLZ mesh, modal analysis,
+OSPL contour plots.
+
+Run:  python examples/modal_tbeam.py [output_dir]
+
+The paper closes by noting IDLZ and OSPL "work equally as well with any
+plane stress or plane strain analysis program".  Here the *analysis* is
+free vibration: the half Tee-frame clamped at its foot, its first mode
+shapes contoured by OSPL exactly as a stress would be, plus a deformed-
+shape overlay of the fundamental.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro import conplt, render_ascii, save_svg
+from repro.fem.bc import Constraints
+from repro.fem.dynamics import mass_density, modal_analysis
+from repro.fem.materials import STEEL
+from repro.fem.postplot import plot_deformed
+from repro.structures import tbeam_thermal
+
+RHO = mass_density(0.283)  # steel weight density over g
+
+
+def main(out_dir: Path) -> None:
+    built = tbeam_thermal().build()
+    mesh = built.mesh
+
+    constraints = Constraints()
+    for n in built.path_nodes("web_foot"):
+        constraints.fix_node(n)
+    for n in built.path_nodes("symmetry"):
+        if not constraints.is_constrained(n, 0):
+            constraints.fix(n, 0)
+
+    result = modal_analysis(mesh, {0: STEEL, 1: STEEL},
+                            {0: RHO, 1: RHO}, constraints, n_modes=4)
+    print("symmetric natural frequencies:")
+    for i, f in enumerate(result.frequencies_hz, start=1):
+        print(f"  mode {i}: {f:9.1f} Hz")
+
+    for i in range(2):
+        field = result.mode_magnitude(i)
+        plot = conplt(mesh, field, title="T-BEAM SYMMETRIC MODES",
+                      subtitle=f"CONTOUR PLOT * MODE {i + 1} MAGNITUDE",
+                      stroke_labels=True)
+        save_svg(plot.frame, out_dir / f"mode_{i + 1}_contours.svg")
+
+    frame = plot_deformed(mesh, result.mode_shape(0),
+                          title="T-BEAM FUNDAMENTAL MODE")
+    save_svg(frame, out_dir / "mode_1_deformed.svg")
+    print(render_ascii(frame, 70, 30))
+
+
+if __name__ == "__main__":
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("out/modal")
+    target.mkdir(parents=True, exist_ok=True)
+    main(target)
+    print(f"\nwrote outputs under {target}/")

@@ -1,0 +1,84 @@
+"""Extension: close the loop from Figure 14 to a stress picture.
+
+Run:  python examples/thermal_stress_tbeam.py [output_dir]
+
+The paper's Reference-1 analysis accepted temperature distributions, so
+an NSRDC analyst could feed the Figure-14 conduction result straight
+back in and contour the *thermal stresses*.  This example does exactly
+that: transient conduction on the T-beam, take the t = 2 s field, run a
+thermal-stress analysis with the beam restrained at the web foot, and
+plot the effective thermal stress with OSPL.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro import (
+    AnalysisType,
+    StressComponent,
+    ThermalAnalysis,
+    ThermalPulse,
+    conplt,
+    render_ascii,
+    save_svg,
+)
+from repro.fem.materials import STEEL
+from repro.fem.thermal_stress import ThermalStressAnalysis
+from repro.structures import tbeam_thermal
+from repro.structures.tbeam import thermal_materials
+
+T_INITIAL = 80.0
+
+
+def main(out_dir: Path) -> None:
+    case = tbeam_thermal()
+    built = case.build()
+    mesh = built.mesh
+
+    # 1. Figure 14: the conduction march.
+    conduction = ThermalAnalysis(mesh, thermal_materials(case))
+    conduction.add_pulse(built.path_edges("flange_top"),
+                         ThermalPulse(magnitude=0.5, duration=1.0))
+    conduction.fix_temperature(built.path_nodes("web_foot"), T_INITIAL)
+    history = conduction.solve_transient(dt=0.05, n_steps=60,
+                                         initial=T_INITIAL)
+    temps = history.at_time(2.0)
+    print(f"t = 2 s temperatures: {temps.min():.1f} .. "
+          f"{temps.max():.1f} degF")
+
+    # 2. The extension: those temperatures as a stress load case.
+    materials = {0: STEEL, 1: STEEL}
+    tsa = ThermalStressAnalysis(mesh, materials,
+                                AnalysisType.PLANE_STRESS, temps,
+                                reference_temperature=T_INITIAL)
+    # The web foot is built into the (cool, rigid) hull frame; the
+    # symmetry plane carries no x displacement.
+    for n in built.path_nodes("web_foot"):
+        tsa.constraints.fix_node(n)
+    for n in built.path_nodes("symmetry"):
+        if not tsa.constraints.is_constrained(n, 0):
+            tsa.constraints.fix(n, 0)
+    result = tsa.solve()
+
+    vm = result.stresses.nodal(StressComponent.EFFECTIVE)
+    print(f"thermal effective stress: {vm.min():.0f} .. "
+          f"{vm.max():.0f} psi")
+    plot = conplt(mesh, vm,
+                  title="T-BEAM THERMAL STRESS AT T = 2 SECONDS",
+                  subtitle="CONTOUR PLOT * EFFECTIVE STRESS",
+                  stroke_labels=True)
+    save_svg(plot.frame, out_dir / "tbeam_thermal_stress.svg")
+    print(f"contour interval {plot.interval:g} psi, "
+          f"{plot.n_segments()} segments")
+    print(render_ascii(plot.frame, 70, 30))
+
+
+if __name__ == "__main__":
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        "out/thermal_stress"
+    )
+    target.mkdir(parents=True, exist_ok=True)
+    main(target)
+    print(f"\nwrote outputs under {target}/")

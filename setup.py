@@ -1,0 +1,5 @@
+"""Setup shim: the offline environment lacks the `wheel` package, so pip
+must take the legacy setup.py develop path for editable installs."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,416 @@
+"""A FORTRAN-66 FORMAT edit-descriptor engine.
+
+IDLZ punches its output decks "in the form specified by the user": the two
+type-7 cards carry FORMAT strings such as ``(2F9.5, 51X, I3, 5X, I3)`` for
+nodal cards and ``(3I5, 62X, I3)`` for element cards.  To honour that
+interface we implement enough of the FORTRAN-66 FORMAT language to read and
+write every deck in the paper:
+
+* ``Iw``            -- integer, width ``w``, right-justified;
+* ``Fw.d``          -- fixed-point real; on *input* a field without an
+  explicit decimal point is scaled by ``10**-d`` (the classic punched-card
+  implied-decimal rule), a field with a point is taken verbatim;
+* ``Ew.d``          -- exponential real (written as ``0.dddE+ee``);
+* ``Aw``            -- character field;
+* ``wX``            -- skip/blank columns;
+* ``wHtext`` and ``'text'`` -- literal Hollerith text (output only; on
+  input the columns are skipped);
+* ``/``             -- advance to the next card;
+* repeat counts on single descriptors (``3I5``) and parenthesised groups
+  (``2(F6.2, I3)``).
+
+Unlimited group reversion (re-using the trailing group when values remain)
+is supported for writing, matching how a FORTRAN WRITE would spill a long
+list over multiple cards.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import FormatError
+
+_INT_RE = re.compile(r"\d+")
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One resolved edit descriptor.
+
+    ``kind`` is one of ``'I'``, ``'F'``, ``'E'``, ``'A'``, ``'X'``, ``'H'``,
+    ``'/'``.  ``width`` is the column count; ``decimals`` applies to F/E;
+    ``text`` carries Hollerith literals.
+    """
+
+    kind: str
+    width: int = 0
+    decimals: int = 0
+    text: str = ""
+
+    @property
+    def consumes_value(self) -> bool:
+        """Whether this descriptor reads/writes a value from the list."""
+        return self.kind in ("I", "F", "E", "A")
+
+
+class FortranFormat:
+    """A parsed FORMAT specification.
+
+    >>> fmt = FortranFormat("(2F9.5, 51X, I3, 5X, I3)")
+    >>> fmt.write([1.25, -3.5, 7, 42])[0][:18]
+    '  1.25000 -3.50000'
+    """
+
+    def __init__(self, spec: str):
+        self.spec = spec.strip()
+        body = self.spec
+        if body.startswith("(") and body.endswith(")"):
+            body = body[1:-1]
+        elif body.startswith("("):
+            raise FormatError(f"unbalanced parentheses in FORMAT {spec!r}")
+        self.fields: List[FieldSpec] = _parse_group(body, spec)
+        if not self.fields:
+            raise FormatError(f"empty FORMAT specification {spec!r}")
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def write(self, values: Sequence[Any]) -> List[str]:
+        """Format ``values`` into one or more card images.
+
+        When values remain after the last descriptor the format reverts to
+        its beginning on a fresh card, as FORTRAN list-directed reversion
+        does for a single-level format.
+        """
+        remaining = list(values)
+        cards: List[str] = []
+        guard = 0
+        while True:
+            line, consumed = self._write_once(remaining)
+            cards.append(line)
+            remaining = remaining[consumed:]
+            if not remaining:
+                return cards
+            if consumed == 0:
+                raise FormatError(
+                    f"FORMAT {self.spec!r} consumes no values; cannot "
+                    f"write remaining {len(remaining)} value(s)"
+                )
+            guard += 1
+            if guard > 10000:
+                raise FormatError("format reversion did not terminate")
+
+    def _write_once(self, values: Sequence[Any]) -> Tuple[str, int]:
+        out: List[str] = []
+        idx = 0
+        for field in self.fields:
+            if field.kind == "X":
+                out.append(" " * field.width)
+            elif field.kind == "H":
+                out.append(field.text)
+            elif field.kind == "/":
+                # Multi-record formats are expanded by the caller via
+                # write_records; inside a single card a slash ends it.
+                break
+            else:
+                if idx >= len(values):
+                    # FORTRAN stops a WRITE when the list is exhausted;
+                    # literals already emitted stay on the card.
+                    break
+                out.append(_encode(field, values[idx]))
+                idx += 1
+        return ("".join(out).rstrip("\n"), idx)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def write_records(self, values: Sequence[Any]) -> List[str]:
+        """Format ``values`` honouring ``/`` record separators.
+
+        A format like ``(2I5 / 3F8.2)`` emits two cards per pass: the
+        integers on the first and the reals on the second, reverting to
+        the top on a fresh record while values remain -- the multi-record
+        semantics of a FORTRAN WRITE.
+        """
+        groups = _split_on_slash(self.fields)
+        cards: List[str] = []
+        remaining = list(values)
+        guard = 0
+        while True:
+            consumed_total = 0
+            for group in groups:
+                line, consumed = _write_fields(group, remaining,
+                                               self.spec)
+                cards.append(line)
+                remaining = remaining[consumed:]
+                consumed_total += consumed
+                if not remaining:
+                    break
+            if not remaining:
+                return cards
+            if consumed_total == 0:
+                raise FormatError(
+                    f"FORMAT {self.spec!r} consumes no values; cannot "
+                    f"write remaining {len(remaining)} value(s)"
+                )
+            guard += 1
+            if guard > 10000:
+                raise FormatError("format reversion did not terminate")
+
+    def read_records(self, cards: Sequence[str]) -> List[Any]:
+        """Decode consecutive cards under a ``/``-separated format."""
+        groups = _split_on_slash(self.fields)
+        if len(cards) < len(groups):
+            raise FormatError(
+                f"FORMAT {self.spec!r} needs {len(groups)} card(s), "
+                f"got {len(cards)}"
+            )
+        values: List[Any] = []
+        for group, card in zip(groups, cards):
+            values.extend(_read_fields(group, card))
+        return values
+
+    def read(self, card: str) -> List[Any]:
+        """Decode one card image into a list of Python values."""
+        values: List[Any] = []
+        col = 0
+        for field in self.fields:
+            if field.kind == "X" or field.kind == "H":
+                col += field.width if field.kind == "X" else len(field.text)
+                continue
+            if field.kind == "/":
+                break
+            raw = _extract(card, col, field.width)
+            col += field.width
+            values.append(_decode(field, raw))
+        return values
+
+    def value_count(self) -> int:
+        """Number of values one pass of this format consumes."""
+        return sum(1 for f in self.fields if f.consumes_value)
+
+    def __repr__(self) -> str:
+        return f"FortranFormat({self.spec!r})"
+
+
+# ----------------------------------------------------------------------
+# Record-group helpers (for formats containing ``/``)
+# ----------------------------------------------------------------------
+
+def _split_on_slash(fields: List[FieldSpec]) -> List[List[FieldSpec]]:
+    """Split a descriptor list into per-record groups at each ``/``."""
+    groups: List[List[FieldSpec]] = [[]]
+    for field in fields:
+        if field.kind == "/":
+            groups.append([])
+        else:
+            groups[-1].append(field)
+    return groups
+
+
+def _write_fields(fields: List[FieldSpec], values: Sequence[Any],
+                  spec: str) -> Tuple[str, int]:
+    """One card from a slash-free descriptor group."""
+    out: List[str] = []
+    idx = 0
+    for field in fields:
+        if field.kind == "X":
+            out.append(" " * field.width)
+        elif field.kind == "H":
+            out.append(field.text)
+        else:
+            if idx >= len(values):
+                break
+            out.append(_encode(field, values[idx]))
+            idx += 1
+    return ("".join(out), idx)
+
+
+def _read_fields(fields: List[FieldSpec], card: str) -> List[Any]:
+    """Values from one card under a slash-free descriptor group."""
+    values: List[Any] = []
+    col = 0
+    for field in fields:
+        if field.kind in ("X", "H"):
+            col += field.width if field.kind == "X" else len(field.text)
+            continue
+        raw = _extract(card, col, field.width)
+        col += field.width
+        values.append(_decode(field, raw))
+    return values
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+
+def _parse_group(body: str, full_spec: str) -> List[FieldSpec]:
+    fields: List[FieldSpec] = []
+    i = 0
+    n = len(body)
+    while i < n:
+        ch = body[i]
+        if ch in " ,\t":
+            i += 1
+            continue
+        if ch == "/":
+            fields.append(FieldSpec("/"))
+            i += 1
+            continue
+        if ch == "'":
+            j = body.find("'", i + 1)
+            if j < 0:
+                raise FormatError(f"unterminated literal in {full_spec!r}")
+            fields.append(FieldSpec("H", text=body[i + 1:j]))
+            i = j + 1
+            continue
+        # Leading repeat count (also the width of wX / wH).
+        m = _INT_RE.match(body, i)
+        count = 1
+        if m:
+            count = int(m.group())
+            i = m.end()
+            if i >= n:
+                raise FormatError(f"dangling repeat count in {full_spec!r}")
+            ch = body[i]
+        if ch == "(":
+            j = _matching_paren(body, i, full_spec)
+            inner = _parse_group(body[i + 1:j], full_spec)
+            fields.extend(inner * count)
+            i = j + 1
+            continue
+        letter = ch.upper()
+        i += 1
+        if letter == "X":
+            fields.append(FieldSpec("X", width=count))
+            continue
+        if letter == "H":
+            text = body[i:i + count]
+            if len(text) < count:
+                raise FormatError(f"Hollerith runs off the end in {full_spec!r}")
+            fields.append(FieldSpec("H", text=text))
+            i += count
+            continue
+        if letter in ("I", "A"):
+            width, i = _read_int(body, i, full_spec, letter)
+            fields.extend([FieldSpec(letter, width=width)] * count)
+            continue
+        if letter in ("F", "E", "G", "D"):
+            width, i = _read_int(body, i, full_spec, letter)
+            decimals = 0
+            if i < n and body[i] == ".":
+                decimals, i = _read_int(body, i + 1, full_spec, letter)
+            kind = "E" if letter in ("E", "D") else "F"
+            fields.extend([FieldSpec(kind, width=width, decimals=decimals)] * count)
+            continue
+        raise FormatError(
+            f"unsupported edit descriptor {letter!r} in FORMAT {full_spec!r}"
+        )
+    return fields
+
+
+def _read_int(body: str, i: int, full_spec: str, letter: str) -> Tuple[int, int]:
+    m = _INT_RE.match(body, i)
+    if not m:
+        raise FormatError(
+            f"descriptor {letter!r} missing field width in {full_spec!r}"
+        )
+    return int(m.group()), m.end()
+
+
+def _matching_paren(body: str, start: int, full_spec: str) -> int:
+    depth = 0
+    for j in range(start, len(body)):
+        if body[j] == "(":
+            depth += 1
+        elif body[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return j
+    raise FormatError(f"unbalanced parentheses in FORMAT {full_spec!r}")
+
+
+# ----------------------------------------------------------------------
+# Field encode/decode
+# ----------------------------------------------------------------------
+
+def _encode(field: FieldSpec, value: Any) -> str:
+    if field.kind == "I":
+        try:
+            ivalue = int(value)
+        except (TypeError, ValueError):
+            raise FormatError(f"cannot write {value!r} with I{field.width}")
+        text = str(ivalue)
+        if len(text) > field.width:
+            # FORTRAN punches asterisks on overflow.
+            return "*" * field.width
+        return text.rjust(field.width)
+    if field.kind == "F":
+        try:
+            fvalue = float(value)
+        except (TypeError, ValueError):
+            raise FormatError(
+                f"cannot write {value!r} with F{field.width}.{field.decimals}"
+            )
+        text = f"{fvalue:.{field.decimals}f}"
+        if len(text) > field.width:
+            # Try dropping a leading zero ("0.5" -> ".5"), then give up.
+            if text.startswith("0."):
+                text = text[1:]
+            elif text.startswith("-0."):
+                text = "-" + text[2:]
+            if len(text) > field.width:
+                return "*" * field.width
+        return text.rjust(field.width)
+    if field.kind == "E":
+        try:
+            fvalue = float(value)
+        except (TypeError, ValueError):
+            raise FormatError(
+                f"cannot write {value!r} with E{field.width}.{field.decimals}"
+            )
+        text = f"{fvalue:.{field.decimals}E}"
+        if len(text) > field.width:
+            return "*" * field.width
+        return text.rjust(field.width)
+    if field.kind == "A":
+        text = "" if value is None else str(value)
+        if len(text) > field.width:
+            # A-conversion keeps the leftmost characters.
+            return text[:field.width]
+        return text.ljust(field.width)
+    raise FormatError(f"descriptor {field.kind} does not take a value")
+
+
+def _extract(card: str, col: int, width: int) -> str:
+    """Columns ``col .. col+width`` of a card, blank-padded past the end."""
+    chunk = card[col:col + width]
+    if len(chunk) < width:
+        chunk = chunk + " " * (width - len(chunk))
+    return chunk
+
+
+def _decode(field: FieldSpec, raw: str) -> Any:
+    if field.kind == "A":
+        return raw
+    stripped = raw.strip()
+    if field.kind == "I":
+        if not stripped:
+            return 0  # blank numeric fields read as zero on cards
+        try:
+            return int(stripped)
+        except ValueError:
+            raise FormatError(f"bad integer field {raw!r}")
+    # F and E input share the implied-decimal rule.
+    if not stripped:
+        return 0.0
+    normalised = stripped.upper().replace("D", "E")
+    try:
+        if "." in normalised or "E" in normalised:
+            return float(normalised)
+        # No decimal point: FORTRAN scales the integer by 10**-d.
+        return int(normalised) * (10.0 ** -field.decimals)
+    except ValueError:
+        raise FormatError(f"bad real field {raw!r}")

@@ -1,0 +1,104 @@
+"""Command-line interface: run the 1970 programs on deck files.
+
+    python -m repro idlz INPUT.deck -o OUT_DIR [--strict]
+    python -m repro ospl INPUT.deck -o PLOT.svg [--strict] [--ascii]
+
+``--strict`` enforces the Table 1/2 restrictions exactly as the 7090
+builds did; ``--ascii`` additionally prints a terminal preview of the
+OSPL plot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.idlz import limits as idlz_limits
+from repro.core.idlz.program import run_idlz_files
+from repro.core.ospl import limits as ospl_limits
+from repro.core.ospl.program import run_ospl_files
+from repro.errors import ReproError
+from repro.plotter.ascii_art import render_ascii
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IDLZ and OSPL (Rockwell & Pincus, 1970) on card decks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    idlz = sub.add_parser("idlz", help="idealize structures from a deck")
+    idlz.add_argument("deck", type=Path, help="Appendix-B input deck")
+    idlz.add_argument("-o", "--out", type=Path, default=Path("idlz_out"),
+                      help="output directory (default: idlz_out)")
+    idlz.add_argument("--strict", action="store_true",
+                      help="enforce the Table-2 1970 restrictions")
+    idlz.add_argument("--check", action="store_true",
+                      help="validate the deck without running it")
+
+    ospl = sub.add_parser("ospl", help="contour-plot a field from a deck")
+    ospl.add_argument("deck", type=Path, help="Appendix-C input deck")
+    ospl.add_argument("-o", "--out", type=Path, default=Path("ospl.svg"),
+                      help="output SVG path (default: ospl.svg)")
+    ospl.add_argument("--strict", action="store_true",
+                      help="enforce the Table-1 1970 restrictions")
+    ospl.add_argument("--ascii", action="store_true",
+                      help="also print an ASCII preview")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "idlz":
+            limits = (idlz_limits.STRICT_1970 if args.strict
+                      else idlz_limits.UNLIMITED)
+            if args.check:
+                from repro.cards.reader import CardReader
+                from repro.core.idlz.deck import read_idlz_deck
+                from repro.core.idlz.validate import check_problem
+
+                reader = CardReader.from_text(args.deck.read_text())
+                clean = True
+                for i, problem in enumerate(read_idlz_deck(reader),
+                                            start=1):
+                    report = check_problem(problem, limits=limits)
+                    print(f"problem {i}: {report}")
+                    clean = clean and report.ok
+                return 0 if clean else 1
+            runs = run_idlz_files(args.deck, args.out, limits=limits)
+            for i, run in enumerate(runs, start=1):
+                ideal = run.idealization
+                print(f"problem {i}: {run.title!r} -> "
+                      f"{ideal.n_nodes} nodes, {ideal.n_elements} elements, "
+                      f"bandwidth {ideal.bandwidth_before}"
+                      f"->{ideal.bandwidth_after}, "
+                      f"{len(run.frames)} plot frame(s), "
+                      f"{len(run.punched) if run.punched else 0} "
+                      "punched card(s)")
+            print(f"wrote outputs under {args.out}/")
+            return 0
+        # ospl
+        limits = (ospl_limits.STRICT_1970 if args.strict
+                  else ospl_limits.UNLIMITED)
+        run = run_ospl_files(args.deck, args.out, limits=limits)
+        plot = run.plot
+        print(f"{run.title!r}: interval {plot.interval:g}, "
+              f"{len(plot.levels)} levels, {plot.n_segments()} segments, "
+              f"{len(plot.labels)} labels -> {args.out}")
+        if args.ascii:
+            print(render_ascii(plot.frame, 78, 38))
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

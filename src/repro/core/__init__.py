@@ -1,0 +1,18 @@
+"""The paper's primary contribution: programs IDLZ and OSPL.
+
+* :mod:`repro.core.idlz` -- automated idealization (mesh generation)
+* :mod:`repro.core.ospl` -- automated output plotting (isograms)
+"""
+
+from repro.core.idlz import Idealizer, Idealization, Subdivision, ShapingSegment
+from repro.core.ospl import ContourPlot, contour_mesh, choose_interval
+
+__all__ = [
+    "Idealizer",
+    "Idealization",
+    "Subdivision",
+    "ShapingSegment",
+    "ContourPlot",
+    "contour_mesh",
+    "choose_interval",
+]

@@ -1,0 +1,73 @@
+"""Program IDLZ: automated idealization of a plane surface.
+
+Public surface:
+
+* :class:`Subdivision`, :class:`ShapingSegment` -- the analyst's inputs
+* :class:`Idealizer` / :class:`Idealization` -- the program and its result
+* :mod:`repro.core.idlz.output` -- plots, listing, punched cards
+* :mod:`repro.core.idlz.deck`   -- the Appendix-B card deck reader/writer
+* :mod:`repro.core.idlz.limits` -- the Table-2 restrictions
+"""
+
+from repro.core.idlz.subdivision import Subdivision, SIDES
+from repro.core.idlz.shaping import ShapingSegment, Shaper
+from repro.core.idlz.grid import LatticeGrid
+from repro.core.idlz.elements import create_elements, triangulate_strip
+from repro.core.idlz.reform import reform_elements, quality_report
+from repro.core.idlz.pipeline import Idealizer, Idealization
+from repro.core.idlz.limits import IdlzLimits, STRICT_1970, UNLIMITED
+from repro.core.idlz.output import (
+    plot_mesh,
+    plot_idealization,
+    plot_subdivision,
+    plot_all,
+    print_listing,
+    punch_cards,
+    DEFAULT_NODAL_FORMAT,
+    DEFAULT_ELEMENT_FORMAT,
+)
+from repro.core.idlz.deck import (
+    IdlzProblem,
+    read_idlz_deck,
+    write_idlz_deck,
+)
+from repro.core.idlz.program import IdlzRun, run_idlz, run_idlz_files
+from repro.core.idlz.validate import (
+    Diagnostic,
+    ValidationReport,
+    check_problem,
+)
+
+__all__ = [
+    "Subdivision",
+    "SIDES",
+    "ShapingSegment",
+    "Shaper",
+    "LatticeGrid",
+    "create_elements",
+    "triangulate_strip",
+    "reform_elements",
+    "quality_report",
+    "Idealizer",
+    "Idealization",
+    "IdlzLimits",
+    "STRICT_1970",
+    "UNLIMITED",
+    "plot_mesh",
+    "plot_idealization",
+    "plot_subdivision",
+    "plot_all",
+    "print_listing",
+    "punch_cards",
+    "DEFAULT_NODAL_FORMAT",
+    "DEFAULT_ELEMENT_FORMAT",
+    "IdlzProblem",
+    "read_idlz_deck",
+    "write_idlz_deck",
+    "IdlzRun",
+    "run_idlz",
+    "run_idlz_files",
+    "Diagnostic",
+    "ValidationReport",
+    "check_problem",
+]

@@ -1,0 +1,188 @@
+"""The IDLZ input deck: card types 1-7 of Appendix B.
+
+Deck layout (one run = NSET problems):
+
+    type 1  (I5)            NSET
+    -- per problem --------------------------------------------------
+    type 2  (12A6)          title
+    type 3  (4I5)           NOPLOT, NONUMB, NOPNCH, NSBDVN
+    type 4  (5I5, 5X, 2I5)  I, KK1, LL1, KK2, LL2, NTAPRW, NTAPCM
+                            ... one per subdivision ...
+    -- per subdivision ----------------------------------------------
+    type 5  (2I5)           I, NLINES
+    type 6  (4I5, 5F8.4)    K1, L1, K2, L2, X1, Y1, X2, Y2, RADIUS
+                            ... NLINES of them ...
+    -- finally ------------------------------------------------------
+    type 7  (12A6)          nodal-card FORMAT
+    type 7  (12A6)          element-card FORMAT
+
+Reading and writing round-trip byte-exactly for decks this module
+produces.  F8.4 fields honour FORTRAN implied-decimal input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cards.fortran_format import FortranFormat
+from repro.cards.reader import CardReader
+from repro.cards.writer import CardWriter
+from repro.core.idlz.limits import IdlzLimits, STRICT_1970, UNLIMITED
+from repro.core.idlz.output import (
+    DEFAULT_ELEMENT_FORMAT,
+    DEFAULT_NODAL_FORMAT,
+)
+from repro.core.idlz.pipeline import Idealization, Idealizer
+from repro.core.idlz.shaping import ShapingSegment
+from repro.core.idlz.subdivision import Subdivision
+from repro.errors import CardError
+
+FMT_TYPE1 = FortranFormat("(I5)")
+FMT_TYPE2 = FortranFormat("(12A6)")
+FMT_TYPE3 = FortranFormat("(4I5)")
+FMT_TYPE4 = FortranFormat("(5I5, 5X, 2I5)")
+FMT_TYPE5 = FortranFormat("(2I5)")
+FMT_TYPE6 = FortranFormat("(4I5, 5F8.4)")
+
+
+@dataclass
+class IdlzProblem:
+    """One data set of the IDLZ deck."""
+
+    title: str
+    subdivisions: List[Subdivision]
+    segments: List[ShapingSegment]
+    noplot: int = 0
+    nonumb: int = 1
+    nopnch: int = 0
+    nodal_format: str = DEFAULT_NODAL_FORMAT
+    element_format: str = DEFAULT_ELEMENT_FORMAT
+
+    def idealizer(self, limits: IdlzLimits = UNLIMITED,
+                  prefer_pairs: Optional[Dict[int, str]] = None) -> Idealizer:
+        return Idealizer(
+            title=self.title,
+            subdivisions=self.subdivisions,
+            renumber=bool(self.nonumb),
+            limits=limits,
+            prefer_pairs=prefer_pairs,
+        )
+
+    def run(self, limits: IdlzLimits = UNLIMITED) -> Idealization:
+        return self.idealizer(limits=limits).run(self.segments)
+
+    def input_value_count(self) -> int:
+        """Data values the analyst keypunched for this problem.
+
+        Counts the numeric payload of the type 3-6 cards (titles and
+        FORMAT cards are bookkeeping, as is NSET); used for the paper's
+        "less than five percent" claim.
+        """
+        count = 4  # type 3
+        count += 7 * len(self.subdivisions)  # type 4
+        by_sub: Dict[int, int] = {}
+        for seg in self.segments:
+            by_sub[seg.subdivision] = by_sub.get(seg.subdivision, 0) + 1
+        for sub in self.subdivisions:
+            count += 2  # type 5
+            count += 9 * by_sub.get(sub.index, 0)  # type 6
+        return count
+
+
+# ----------------------------------------------------------------------
+# Reading
+# ----------------------------------------------------------------------
+
+def read_idlz_deck(reader: CardReader) -> List[IdlzProblem]:
+    """Parse a full IDLZ card deck into problems."""
+    (nset,) = FMT_TYPE1.read(reader.next_card().padded())
+    if nset < 1:
+        raise CardError(f"type-1 card: NSET must be >= 1, got {nset}")
+    return [_read_problem(reader) for _ in range(nset)]
+
+
+def _read_problem(reader: CardReader) -> IdlzProblem:
+    title = "".join(FMT_TYPE2.read(reader.next_card().padded())).rstrip()
+    noplot, nonumb, nopnch, nsbdvn = FMT_TYPE3.read(
+        reader.next_card().padded()
+    )
+    if nsbdvn < 1:
+        raise CardError(f"type-3 card: NSBDVN must be >= 1, got {nsbdvn}")
+    subdivisions: List[Subdivision] = []
+    for _ in range(nsbdvn):
+        i, kk1, ll1, kk2, ll2, ntaprw, ntapcm = FMT_TYPE4.read(
+            reader.next_card().padded()
+        )
+        subdivisions.append(Subdivision(
+            index=i, kk1=kk1, ll1=ll1, kk2=kk2, ll2=ll2,
+            ntaprw=ntaprw, ntapcm=ntapcm,
+        ))
+    segments: List[ShapingSegment] = []
+    for _ in range(nsbdvn):
+        sub_no, nlines = FMT_TYPE5.read(reader.next_card().padded())
+        if nlines < 0:
+            raise CardError(f"type-5 card: NLINES must be >= 0, got {nlines}")
+        for _ in range(nlines):
+            k1, l1, k2, l2, x1, y1, x2, y2, radius = FMT_TYPE6.read(
+                reader.next_card().padded()
+            )
+            segments.append(ShapingSegment(
+                subdivision=sub_no, k1=k1, l1=l1, k2=k2, l2=l2,
+                x1=x1, y1=y1, x2=x2, y2=y2, radius=radius,
+            ))
+    nodal_format = "".join(
+        FMT_TYPE2.read(reader.next_card().padded())
+    ).rstrip()
+    element_format = "".join(
+        FMT_TYPE2.read(reader.next_card().padded())
+    ).rstrip()
+    return IdlzProblem(
+        title=title,
+        subdivisions=subdivisions,
+        segments=segments,
+        noplot=noplot,
+        nonumb=nonumb,
+        nopnch=nopnch,
+        nodal_format=nodal_format or DEFAULT_NODAL_FORMAT,
+        element_format=element_format or DEFAULT_ELEMENT_FORMAT,
+    )
+
+
+# ----------------------------------------------------------------------
+# Writing
+# ----------------------------------------------------------------------
+
+def write_idlz_deck(problems: Sequence[IdlzProblem]) -> CardWriter:
+    """Punch a complete IDLZ input deck."""
+    writer = CardWriter()
+    writer.punch(FMT_TYPE1, [len(problems)])
+    for problem in problems:
+        _write_problem(writer, problem)
+    return writer
+
+
+def _write_problem(writer: CardWriter, problem: IdlzProblem) -> None:
+    writer.punch_card(problem.title[:72])
+    writer.punch(FMT_TYPE3, [
+        problem.noplot, problem.nonumb, problem.nopnch,
+        len(problem.subdivisions),
+    ])
+    for sub in problem.subdivisions:
+        writer.punch(FMT_TYPE4, [
+            sub.index, sub.kk1, sub.ll1, sub.kk2, sub.ll2,
+            sub.ntaprw, sub.ntapcm,
+        ])
+    by_sub: Dict[int, List[ShapingSegment]] = {}
+    for seg in problem.segments:
+        by_sub.setdefault(seg.subdivision, []).append(seg)
+    for sub in problem.subdivisions:
+        segs = by_sub.get(sub.index, [])
+        writer.punch(FMT_TYPE5, [sub.index, len(segs)])
+        for seg in segs:
+            writer.punch(FMT_TYPE6, [
+                seg.k1, seg.l1, seg.k2, seg.l2,
+                seg.x1, seg.y1, seg.x2, seg.y2, seg.radius,
+            ])
+    writer.punch_card(problem.nodal_format[:72])
+    writer.punch_card(problem.element_format[:72])

@@ -1,0 +1,70 @@
+"""The global integer lattice and initial node numbering.
+
+"Points in the grid of integer coordinates across the surface of the
+assemblage represent nodal points.  These are first numbered arbitrarily
+from left to right and bottom to top" -- nodes shared between adjacent
+subdivisions are identified by their lattice coordinates and numbered
+exactly once.  The original stored this in the NUMBER(41, 61) array; we
+keep a dictionary keyed by (k, l) plus the inverse list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.idlz.subdivision import LatticePoint, Subdivision
+from repro.errors import IdealizationError
+
+
+class LatticeGrid:
+    """Union of all subdivision lattice points with global node numbers."""
+
+    def __init__(self, subdivisions: Sequence[Subdivision]):
+        if not subdivisions:
+            raise IdealizationError("an assemblage needs at least one "
+                                    "subdivision")
+        seen_ids = set()
+        for sub in subdivisions:
+            if sub.index in seen_ids:
+                raise IdealizationError(
+                    f"duplicate subdivision number {sub.index}"
+                )
+            seen_ids.add(sub.index)
+        self.subdivisions = list(subdivisions)
+        points = set()
+        for sub in self.subdivisions:
+            points.update(sub.lattice_points())
+        # Bottom-to-top, left-to-right within a row: sort by (l, k).
+        ordered = sorted(points, key=lambda p: (p[1], p[0]))
+        self.node_of: Dict[LatticePoint, int] = {
+            pt: i for i, pt in enumerate(ordered)
+        }
+        self.point_of: List[LatticePoint] = ordered
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.point_of)
+
+    def node(self, k: int, l: int) -> int:
+        """Global node number at lattice point (k, l)."""
+        try:
+            return self.node_of[(k, l)]
+        except KeyError:
+            raise IdealizationError(
+                f"no node at lattice point ({k}, {l})"
+            ) from None
+
+    def has_node(self, k: int, l: int) -> bool:
+        return (k, l) in self.node_of
+
+    def lattice_coordinates(self) -> List[Tuple[float, float]]:
+        """Node positions *before shaping*: the raw integer lattice.
+
+        These are the coordinates the "initial representation" plots use
+        (Figures 1a, 6a, ... of the paper).
+        """
+        return [(float(k), float(l)) for (k, l) in self.point_of]
+
+    def subdivision_nodes(self, sub: Subdivision) -> List[int]:
+        """Global node numbers inside one subdivision."""
+        return [self.node_of[pt] for pt in sub.lattice_points()]

@@ -1,0 +1,72 @@
+"""Table 2: the numerical restrictions of program IDLZ.
+
+    Total number of subdivisions allowed ............ 50
+    Total number of elements allowed ............... 850
+    Total number of nodes allowed .................. 500
+    Maximum horizontal integer coordinate ........... 40
+    Maximum vertical integer coordinate ............. 60
+
+In *strict* mode the library enforces them exactly (the 7090's core was
+finite); by default they are reported but not enforced, so modern callers
+can mesh beyond 1970 capacity.  The Table-2 benchmark runs in strict mode
+at the limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.idlz.subdivision import Subdivision
+from repro.errors import LimitError
+
+MAX_SUBDIVISIONS = 50
+MAX_ELEMENTS = 850
+MAX_NODES = 500
+MAX_K = 40
+MAX_L = 60
+MIN_K = 1
+MIN_L = 1
+
+
+@dataclass(frozen=True)
+class IdlzLimits:
+    """A (possibly relaxed) set of Table-2 limits."""
+
+    max_subdivisions: int = MAX_SUBDIVISIONS
+    max_elements: int = MAX_ELEMENTS
+    max_nodes: int = MAX_NODES
+    max_k: int = MAX_K
+    max_l: int = MAX_L
+
+    def check_subdivisions(self, subdivisions: Sequence[Subdivision]) -> None:
+        if len(subdivisions) > self.max_subdivisions:
+            raise LimitError("subdivisions", len(subdivisions),
+                             self.max_subdivisions)
+        for sub in subdivisions:
+            if sub.kk1 < MIN_K or sub.kk2 > self.max_k:
+                raise LimitError(
+                    f"horizontal coordinate of subdivision {sub.index}",
+                    max(sub.kk2, abs(sub.kk1)), self.max_k,
+                )
+            if sub.ll1 < MIN_L or sub.ll2 > self.max_l:
+                raise LimitError(
+                    f"vertical coordinate of subdivision {sub.index}",
+                    max(sub.ll2, abs(sub.ll1)), self.max_l,
+                )
+
+    def check_counts(self, n_nodes: int, n_elements: int) -> None:
+        if n_nodes > self.max_nodes:
+            raise LimitError("nodes", n_nodes, self.max_nodes)
+        if n_elements > self.max_elements:
+            raise LimitError("elements", n_elements, self.max_elements)
+
+
+#: The exact 1970 restrictions.
+STRICT_1970 = IdlzLimits()
+
+#: Effectively unbounded limits for modern use.
+UNLIMITED = IdlzLimits(
+    max_subdivisions=10**9, max_elements=10**9, max_nodes=10**9,
+    max_k=10**9, max_l=10**9,
+)

@@ -1,0 +1,90 @@
+"""The IDLZ main program: deck in, listing + plots + punched cards out.
+
+This is the Appendix-E MAIN routine as a library function: read NSET
+problems off the card tray, and for each one honour its option card --
+NOPLOT (produce the SC-4020 frames), NONUMB (renumber for bandwidth; the
+deck reader already folds this into the Idealizer) and NOPNCH (punch the
+output decks in the type-7 FORMATs).
+
+:func:`run_idlz` works on in-memory decks; :func:`run_idlz_files` adds
+the filesystem layer (deck file in, output directory out) used by the
+command-line interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.cards.reader import CardReader
+from repro.cards.writer import CardWriter
+from repro.core.idlz.deck import IdlzProblem, read_idlz_deck
+from repro.core.idlz.limits import IdlzLimits, UNLIMITED
+from repro.core.idlz.output import plot_all, print_listing, punch_cards
+from repro.core.idlz.pipeline import Idealization
+from repro.plotter.device import Frame
+from repro.plotter.svg import save_svg
+
+
+@dataclass
+class IdlzRun:
+    """Everything one problem produced."""
+
+    problem: IdlzProblem
+    idealization: Idealization
+    listing: str
+    frames: List[Frame] = field(default_factory=list)
+    punched: Optional[CardWriter] = None
+
+    @property
+    def title(self) -> str:
+        return self.problem.title
+
+
+def run_idlz(reader: CardReader,
+             limits: IdlzLimits = UNLIMITED) -> List[IdlzRun]:
+    """Execute the full IDLZ program on a card tray."""
+    runs: List[IdlzRun] = []
+    for problem in read_idlz_deck(reader):
+        ideal = problem.run(limits=limits)
+        run = IdlzRun(
+            problem=problem,
+            idealization=ideal,
+            listing=print_listing(ideal),
+        )
+        if problem.noplot:
+            run.frames = plot_all(ideal)
+        if problem.nopnch:
+            run.punched = punch_cards(
+                ideal,
+                nodal_format=problem.nodal_format,
+                element_format=problem.element_format,
+            )
+        runs.append(run)
+    return runs
+
+
+def run_idlz_files(deck_path: Union[str, Path],
+                   out_dir: Union[str, Path],
+                   limits: IdlzLimits = UNLIMITED) -> List[IdlzRun]:
+    """Run IDLZ on a deck file and write all products under ``out_dir``.
+
+    Per problem ``i`` (1-based): ``problem_i.listing.txt`` always;
+    ``problem_i_frame_NN.svg`` when NOPLOT = 1; ``problem_i.punch.deck``
+    when NOPNCH = 1.
+    """
+    deck_path = Path(deck_path)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    reader = CardReader.from_text(deck_path.read_text())
+    runs = run_idlz(reader, limits=limits)
+    for i, run in enumerate(runs, start=1):
+        (out_dir / f"problem_{i}.listing.txt").write_text(run.listing)
+        for j, frame in enumerate(run.frames, start=1):
+            save_svg(frame, out_dir / f"problem_{i}_frame_{j:02d}.svg")
+        if run.punched is not None:
+            (out_dir / f"problem_{i}.punch.deck").write_text(
+                run.punched.to_text()
+            )
+    return runs

@@ -1,0 +1,311 @@
+"""Shaping: deforming the lattice assemblage into the real structure.
+
+The user locates the boundary nodes on two opposite sides of each
+subdivision with type-6 cards -- each giving the integer lattice endpoints
+of a run of nodes, the real coordinates of those two ends, and a RADIUS
+(zero for a straight line, positive for a counter-clockwise circular arc
+subtending at most 90 degrees).  Nodes along the run are spread
+proportionally to their lattice spacing.  IDLZ then locates every other
+node of the subdivision "through linear interpolation" between the two
+located sides; the interpolation lines are straight, which is why "two
+opposite sides in every subdivision will be straight lines".
+
+Subdivisions are shaped strictly in input order, and a node once located
+is never moved -- that is how a subdivision can be shaped "with only one
+line segment", the other side having been located as part of an earlier
+subdivision.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.idlz.grid import LatticeGrid
+from repro.core.idlz.subdivision import LatticePoint, Subdivision
+from repro.errors import ShapingError
+from repro.geometry.arc import arc_through
+from repro.geometry.interpolate import place_along_path
+from repro.geometry.primitives import Point, Segment
+
+#: Tolerance for detecting contradictory locations of the same node.
+_POSITION_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class ShapingSegment:
+    """One type-6 card: a line or arc locating a run of boundary nodes."""
+
+    subdivision: int
+    k1: int
+    l1: int
+    k2: int
+    l2: int
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+    radius: float = 0.0
+
+    @property
+    def lattice_ends(self) -> Tuple[LatticePoint, LatticePoint]:
+        return ((self.k1, self.l1), (self.k2, self.l2))
+
+    def path(self):
+        """The real-space Segment or Arc this card describes."""
+        start = Point(self.x1, self.y1)
+        end = Point(self.x2, self.y2)
+        if self.radius == 0.0:
+            return Segment(start, end)
+        return arc_through(start, end, self.radius)
+
+
+class Shaper:
+    """Tracks node positions and located-ness while shaping proceeds."""
+
+    def __init__(self, grid: LatticeGrid):
+        self.grid = grid
+        # Start from the raw lattice: the "initial representation".
+        self.positions = np.array(grid.lattice_coordinates(), dtype=float)
+        self.located = np.zeros(grid.n_nodes, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Segment application
+    # ------------------------------------------------------------------
+    def apply_segment(self, seg: ShapingSegment) -> List[int]:
+        """Locate the run of nodes a type-6 card describes.
+
+        Returns the affected node ids.  Raises :class:`ShapingError` when
+        the lattice endpoints do not lie on a common side of the
+        subdivision or when the card contradicts an earlier location.
+        """
+        sub = self._subdivision(seg.subdivision)
+        a, b = seg.lattice_ends
+        if a == b:
+            # A point-side (triangle tip) located "as if it were a line".
+            node = self.grid.node(*a)
+            self._set_position(node, Point(seg.x1, seg.y1), seg)
+            return [node]
+        side = sub.side_of_points(a, b)
+        path = _slice_side(sub.side_path(side), a, b, sub, seg)
+        nodes = [self.grid.node(*pt) for pt in path]
+        stations = _lattice_stations(path)
+        points = place_along_path(seg.path(), stations)
+        for node, point in zip(nodes, points):
+            self._set_position(node, point, seg)
+        return nodes
+
+    def _set_position(self, node: int, point: Point,
+                      seg: ShapingSegment) -> None:
+        if self.located[node]:
+            old = self.positions[node]
+            if (abs(old[0] - point.x) > _POSITION_TOL
+                    or abs(old[1] - point.y) > _POSITION_TOL):
+                k, l = self.grid.point_of[node]
+                raise ShapingError(
+                    f"card for subdivision {seg.subdivision} relocates "
+                    f"node {node} at lattice ({k}, {l}) from "
+                    f"({old[0]:g}, {old[1]:g}) to ({point.x:g}, {point.y:g})"
+                )
+            return
+        self.positions[node] = (point.x, point.y)
+        self.located[node] = True
+
+    # ------------------------------------------------------------------
+    # Subdivision interpolation
+    # ------------------------------------------------------------------
+    def side_fully_located(self, sub: Subdivision, side: str) -> bool:
+        return all(
+            self.located[self.grid.node(*pt)] for pt in sub.side_path(side)
+        )
+
+    def shape_subdivision(self, sub: Subdivision,
+                          prefer_pair: Optional[str] = None) -> None:
+        """Fill in every unlocated node of ``sub`` by linear interpolation.
+
+        ``prefer_pair`` may force ``'horizontal'`` (bottom/top) or
+        ``'vertical'`` (left/right) when both pairs happen to be located.
+        """
+        pair = self._select_pair(sub, prefer_pair)
+        interp_a = _SideInterpolant(self, sub, pair[0])
+        interp_b = _SideInterpolant(self, sub, pair[1])
+        # The subdivision's *parallel* sides (its strips' first and last)
+        # are indexed by the along-strip fraction s and interpolated
+        # across by t; the lateral pair is indexed by t and interpolated
+        # across by s.
+        parallel = (
+            ("left", "right") if sub.is_column_oriented
+            else ("bottom", "top")
+        )
+        pair_is_parallel = pair == parallel
+        for pt in sub.lattice_points():
+            node = self.grid.node(*pt)
+            if self.located[node]:
+                continue
+            s, t = _logical_coordinates(sub, pt)
+            if pair_is_parallel:
+                pa = interp_a.at(s)
+                pb = interp_b.at(s)
+                frac = t
+            else:
+                pa = interp_a.at(t)
+                pb = interp_b.at(t)
+                frac = s
+            self.positions[node] = (
+                pa[0] + frac * (pb[0] - pa[0]),
+                pa[1] + frac * (pb[1] - pa[1]),
+            )
+        # Everything in the subdivision is now located, so later
+        # subdivisions may lean on the shared sides.
+        for pt in sub.lattice_points():
+            self.located[self.grid.node(*pt)] = True
+
+    def _select_pair(self, sub: Subdivision,
+                     prefer_pair: Optional[str]) -> Tuple[str, str]:
+        pairs = {
+            "horizontal": ("bottom", "top"),
+            "vertical": ("left", "right"),
+        }
+        available = {
+            name: all(self.side_fully_located(sub, s) for s in pair)
+            for name, pair in pairs.items()
+        }
+        if prefer_pair is not None:
+            if prefer_pair not in pairs:
+                raise ShapingError(
+                    f"prefer_pair must be 'horizontal' or 'vertical', "
+                    f"got {prefer_pair!r}"
+                )
+            if available[prefer_pair]:
+                return pairs[prefer_pair]
+        for name in ("vertical", "horizontal"):
+            if available[name]:
+                return pairs[name]
+        missing = [
+            side for side in ("bottom", "top", "left", "right")
+            if not self.side_fully_located(sub, side)
+        ]
+        raise ShapingError(
+            f"subdivision {sub.index}: no opposite pair of sides is fully "
+            f"located (incomplete sides: {', '.join(missing)}); add type-6 "
+            "cards or shape a neighbouring subdivision first"
+        )
+
+    def _subdivision(self, number: int) -> Subdivision:
+        for sub in self.grid.subdivisions:
+            if sub.index == number:
+                return sub
+        raise ShapingError(f"no subdivision numbered {number}")
+
+    def all_located(self) -> bool:
+        return bool(self.located.all())
+
+
+class _SideInterpolant:
+    """Piecewise-linear position along a located side, by parameter."""
+
+    def __init__(self, shaper: Shaper, sub: Subdivision, side: str):
+        path = sub.side_path(side)
+        nodes = [shaper.grid.node(*pt) for pt in path]
+        unlocated = [n for n in nodes if not shaper.located[n]]
+        if unlocated:
+            raise ShapingError(
+                f"subdivision {sub.index}: side {side!r} is not fully "
+                "located"
+            )
+        params = [_side_parameter(sub, side, pt) for pt in path]
+        pts = shaper.positions[nodes]
+        if len(path) == 1:
+            self._constant: Optional[Tuple[float, float]] = (
+                float(pts[0, 0]), float(pts[0, 1])
+            )
+            self._params = None
+            self._x = self._y = None
+        else:
+            self._constant = None
+            order = np.argsort(params)
+            self._params = np.asarray(params, dtype=float)[order]
+            self._x = pts[order, 0]
+            self._y = pts[order, 1]
+
+    def at(self, param: float) -> Tuple[float, float]:
+        if self._constant is not None:
+            return self._constant
+        return (
+            float(np.interp(param, self._params, self._x)),
+            float(np.interp(param, self._params, self._y)),
+        )
+
+
+# ----------------------------------------------------------------------
+# Logical (s, t) coordinates
+# ----------------------------------------------------------------------
+
+def _logical_coordinates(sub: Subdivision, pt: LatticePoint
+                         ) -> Tuple[float, float]:
+    """(s, t): along-strip and transverse fractions of a lattice point.
+
+    ``s`` runs left-to-right (bottom-to-top for column subdivisions)
+    within the point's own strip; ``t`` runs across the strips.  Single
+    node strips (triangle tips) sit at s = 0.5.
+    """
+    k, l = pt
+    if sub.is_column_oriented:
+        l0, l1 = sub.column_span(k)
+        s = 0.5 if l1 == l0 else (l - l0) / float(l1 - l0)
+        t = (k - sub.kk1) / float(sub.kk2 - sub.kk1)
+        return s, t
+    if sub.ntaprw:
+        k0, k1 = sub.row_span(l)
+    else:
+        k0, k1 = sub.kk1, sub.kk2
+    s = 0.5 if k1 == k0 else (k - k0) / float(k1 - k0)
+    t = (l - sub.ll1) / float(sub.ll2 - sub.ll1)
+    return s, t
+
+
+def _side_parameter(sub: Subdivision, side: str, pt: LatticePoint) -> float:
+    """The parameter a side's node is indexed by in the interpolants.
+
+    The parallel pair is indexed by ``s`` and the lateral pair by ``t``,
+    matching how :meth:`Shaper.shape_subdivision` queries them.
+    """
+    s, t = _logical_coordinates(sub, pt)
+    if sub.is_column_oriented:
+        return s if side in ("left", "right") else t
+    return s if side in ("bottom", "top") else t
+
+
+# ----------------------------------------------------------------------
+# Path handling
+# ----------------------------------------------------------------------
+
+def _slice_side(path: List[LatticePoint], a: LatticePoint, b: LatticePoint,
+                sub: Subdivision, seg: ShapingSegment) -> List[LatticePoint]:
+    """The contiguous run of side nodes from ``a`` to ``b`` inclusive."""
+    try:
+        ia = path.index(a)
+        ib = path.index(b)
+    except ValueError:
+        raise ShapingError(
+            f"subdivision {sub.index}: segment endpoints {a}, {b} not on "
+            "the matched side"
+        ) from None
+    if ia == ib:
+        raise ShapingError(
+            f"subdivision {sub.index}: segment endpoints coincide at {a}"
+        )
+    if ia < ib:
+        return path[ia:ib + 1]
+    return list(reversed(path[ib:ia + 1]))
+
+
+def _lattice_stations(path: Sequence[LatticePoint]) -> List[float]:
+    """Cumulative Euclidean lattice distance along a side run."""
+    stations = [0.0]
+    for (k0, l0), (k1, l1) in zip(path[:-1], path[1:]):
+        stations.append(stations[-1] + math.hypot(k1 - k0, l1 - l0))
+    return stations

@@ -1,0 +1,259 @@
+"""Subdivisions: the rectangles, trapezoids and triangles of IDLZ.
+
+The analyst represents the surface by an assemblage of subdivisions on an
+integer lattice.  Each type-4 card carries the subdivision's lower-left
+(KK1, LL1) and upper-right (KK2, LL2) integer corners -- the bounding box
+-- plus two trapezoid indicators:
+
+* ``NTAPRW`` != 0: an isosceles trapezoid whose *horizontal* sides are
+  parallel.  Positive means the top side is the long one.  |NTAPRW| is
+  half the change in node count from one row to the next, i.e. each row
+  towards the short side loses |NTAPRW| nodes *on each end*.
+* ``NTAPCM`` != 0: the 90-degree-rotated case -- *vertical* parallel
+  sides; positive means the left side is the short one; each column
+  towards the short side loses |NTAPCM| nodes on each end.
+
+At most one indicator may be non-zero.  When the short parallel side
+shrinks to a single node the subdivision is the paper's *triangular
+subdivision* ("an isosceles trapezoid with its short parallel side reduced
+to a point").
+
+A subdivision knows its lattice points, its rows (or columns) and its four
+logical sides; everything downstream (node numbering, element creation,
+shaping) is phrased in terms of those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import IdealizationError
+
+#: Logical side names.  For row trapezoids LEFT/RIGHT are the slanted
+#: sides; for column trapezoids TOP/BOTTOM slant.
+SIDES = ("bottom", "right", "top", "left")
+
+LatticePoint = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Subdivision:
+    """One card-type-4 subdivision."""
+
+    index: int
+    kk1: int
+    ll1: int
+    kk2: int
+    ll2: int
+    ntaprw: int = 0
+    ntapcm: int = 0
+
+    def __post_init__(self):
+        if self.kk2 <= self.kk1 or self.ll2 <= self.ll1:
+            raise IdealizationError(
+                f"subdivision {self.index}: corners ({self.kk1},{self.ll1})"
+                f"-({self.kk2},{self.ll2}) do not span a box"
+            )
+        if self.ntaprw and self.ntapcm:
+            raise IdealizationError(
+                f"subdivision {self.index}: NTAPRW and NTAPCM cannot both "
+                "be non-zero"
+            )
+        if self.ntaprw:
+            short = self.n_cols - 2 * abs(self.ntaprw) * (self.n_rows - 1)
+            if short < 1:
+                raise IdealizationError(
+                    f"subdivision {self.index}: NTAPRW={self.ntaprw} "
+                    f"shrinks the short side below one node "
+                    f"(would be {short})"
+                )
+        if self.ntapcm:
+            short = self.n_rows - 2 * abs(self.ntapcm) * (self.n_cols - 1)
+            if short < 1:
+                raise IdealizationError(
+                    f"subdivision {self.index}: NTAPCM={self.ntapcm} "
+                    f"shrinks the short side below one node "
+                    f"(would be {short})"
+                )
+
+    # ------------------------------------------------------------------
+    # Basic shape queries
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Lattice rows spanned by the bounding box."""
+        return self.ll2 - self.ll1 + 1
+
+    @property
+    def n_cols(self) -> int:
+        """Lattice columns spanned by the bounding box."""
+        return self.kk2 - self.kk1 + 1
+
+    @property
+    def kind(self) -> str:
+        """``'rectangle'``, ``'row_trapezoid'``, ``'column_trapezoid'``,
+        or the degenerate ``'triangle'`` variants."""
+        if self.ntaprw:
+            short = self.n_cols - 2 * abs(self.ntaprw) * (self.n_rows - 1)
+            return "triangle" if short == 1 else "row_trapezoid"
+        if self.ntapcm:
+            short = self.n_rows - 2 * abs(self.ntapcm) * (self.n_cols - 1)
+            return "triangle" if short == 1 else "column_trapezoid"
+        return "rectangle"
+
+    @property
+    def is_column_oriented(self) -> bool:
+        """Whether the natural strips run column-to-column (NTAPCM)."""
+        return self.ntapcm != 0
+
+    # ------------------------------------------------------------------
+    # Row/column spans
+    # ------------------------------------------------------------------
+    def row_span(self, l: int) -> Tuple[int, int]:
+        """Inclusive (k_start, k_end) of the lattice row at height ``l``."""
+        if not (self.ll1 <= l <= self.ll2):
+            raise IdealizationError(
+                f"subdivision {self.index}: row {l} outside "
+                f"[{self.ll1}, {self.ll2}]"
+            )
+        p = self.ntaprw
+        if p == 0:
+            # Rectangles and column trapezoids: row extent comes from the
+            # column spans (handled by lattice_points for the latter).
+            if self.ntapcm == 0:
+                return (self.kk1, self.kk2)
+            raise IdealizationError(
+                f"subdivision {self.index}: row_span undefined for a "
+                "column trapezoid; use column_span"
+            )
+        if p > 0:
+            inset = p * (self.ll2 - l)      # long side on top
+        else:
+            inset = -p * (l - self.ll1)     # long side on the bottom
+        return (self.kk1 + inset, self.kk2 - inset)
+
+    def column_span(self, k: int) -> Tuple[int, int]:
+        """Inclusive (l_start, l_end) of the lattice column at ``k``."""
+        if not (self.kk1 <= k <= self.kk2):
+            raise IdealizationError(
+                f"subdivision {self.index}: column {k} outside "
+                f"[{self.kk1}, {self.kk2}]"
+            )
+        q = self.ntapcm
+        if q == 0:
+            if self.ntaprw == 0:
+                return (self.ll1, self.ll2)
+            raise IdealizationError(
+                f"subdivision {self.index}: column_span undefined for a "
+                "row trapezoid; use row_span"
+            )
+        if q > 0:
+            inset = q * (self.kk2 - k)      # long side on the right
+        else:
+            inset = -q * (k - self.kk1)     # long side on the left
+        return (self.ll1 + inset, self.ll2 - inset)
+
+    def strips(self) -> List[List[LatticePoint]]:
+        """The node strips between which elements are built.
+
+        Row-oriented subdivisions return one list per lattice row (bottom
+        to top, each left to right); column-oriented ones return one list
+        per column (left to right, each bottom to top).
+        """
+        if self.is_column_oriented:
+            out = []
+            for k in range(self.kk1, self.kk2 + 1):
+                l0, l1 = self.column_span(k)
+                out.append([(k, l) for l in range(l0, l1 + 1)])
+            return out
+        out = []
+        for l in range(self.ll1, self.ll2 + 1):
+            if self.ntaprw:
+                k0, k1 = self.row_span(l)
+            else:
+                k0, k1 = self.kk1, self.kk2
+            out.append([(k, l) for k in range(k0, k1 + 1)])
+        return out
+
+    def lattice_points(self) -> List[LatticePoint]:
+        """Every lattice point of the subdivision (no duplicates)."""
+        return [pt for strip in self.strips() for pt in strip]
+
+    def contains(self, k: int, l: int) -> bool:
+        if not (self.kk1 <= k <= self.kk2 and self.ll1 <= l <= self.ll2):
+            return False
+        if self.ntaprw:
+            k0, k1 = self.row_span(l)
+            return k0 <= k <= k1
+        if self.ntapcm:
+            l0, l1 = self.column_span(k)
+            return l0 <= l <= l1
+        return True
+
+    # ------------------------------------------------------------------
+    # Sides
+    # ------------------------------------------------------------------
+    def side_path(self, side: str) -> List[LatticePoint]:
+        """Ordered lattice points along a logical side.
+
+        Orientation convention: ``bottom``/``top`` run left to right,
+        ``left``/``right`` run bottom to top.  For a triangular
+        subdivision the degenerate side is a single point (the paper:
+        "the point is located as if it were a line").
+        """
+        if side not in SIDES:
+            raise IdealizationError(
+                f"unknown side {side!r}; expected one of {SIDES}"
+            )
+        strips = self.strips()
+        if self.is_column_oriented:
+            # strips[c] is column kk1+c, bottom to top.
+            if side == "left":
+                return list(strips[0])
+            if side == "right":
+                return list(strips[-1])
+            if side == "bottom":
+                return [strip[0] for strip in strips]
+            return [strip[-1] for strip in strips]
+        # Row-oriented: strips[r] is row ll1+r, left to right.
+        if side == "bottom":
+            return list(strips[0])
+        if side == "top":
+            return list(strips[-1])
+        if side == "left":
+            return [strip[0] for strip in strips]
+        return [strip[-1] for strip in strips]
+
+    def opposite(self, side: str) -> str:
+        return {"bottom": "top", "top": "bottom",
+                "left": "right", "right": "left"}[side]
+
+    def side_of_points(self, a: LatticePoint, b: LatticePoint) -> str:
+        """Which side contains both lattice points (for shaping cards).
+
+        Corner points belong to two sides; the side containing *both*
+        points wins, preferring the one where they are distinct entries.
+        Raises :class:`IdealizationError` when no side holds both.
+        """
+        candidates = []
+        for side in SIDES:
+            path = self.side_path(side)
+            if a in path and b in path:
+                candidates.append((side, len(path)))
+        if not candidates:
+            raise IdealizationError(
+                f"subdivision {self.index}: lattice points {a} and {b} do "
+                "not lie on a common side"
+            )
+        # Prefer the longest matching side (a point-side matches trivially
+        # only when a == b is that point).
+        candidates.sort(key=lambda c: -c[1])
+        return candidates[0][0]
+
+    def __str__(self) -> str:
+        return (
+            f"subdivision {self.index} [{self.kind}] "
+            f"({self.kk1},{self.ll1})-({self.kk2},{self.ll2}) "
+            f"NTAPRW={self.ntaprw} NTAPCM={self.ntapcm}"
+        )

@@ -1,0 +1,222 @@
+"""Pre-flight validation of IDLZ problems.
+
+"The user must spend much valuable time preparing and checking input
+data" -- the 1970 remedy was a failed overnight run per mistake.  This
+module checks a complete :class:`IdlzProblem` *without* running it and
+returns every problem found, so an analyst fixes the whole deck in one
+pass:
+
+* structural errors -- duplicate subdivision numbers, shaping cards
+  referencing unknown subdivisions, segment endpoints off every side;
+* arc errors -- impossible radii, the 90-degree rule;
+* shapeability -- a dependency walk proving each subdivision, in input
+  order, will have at least one located pair of opposite sides when its
+  turn comes (the error IDLZ itself only found mid-run);
+* limit violations against a chosen Table-2 profile.
+
+Errors make the deck unrunnable; warnings flag suspicious but legal
+input (e.g. an over-located subdivision).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.idlz.deck import IdlzProblem
+from repro.core.idlz.limits import IdlzLimits, UNLIMITED
+from repro.core.idlz.shaping import ShapingSegment
+from repro.core.idlz.subdivision import SIDES, Subdivision
+from repro.errors import ArcError, IdealizationError, LimitError
+from repro.geometry.arc import arc_through
+from repro.geometry.primitives import Point
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One validation finding."""
+
+    severity: str        # "error" | "warning"
+    where: str           # e.g. "subdivision 3", "segment 5"
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity.upper()} [{self.where}]: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """All findings for one problem."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def add_error(self, where: str, message: str) -> None:
+        self.diagnostics.append(Diagnostic("error", where, message))
+
+    def add_warning(self, where: str, message: str) -> None:
+        self.diagnostics.append(Diagnostic("warning", where, message))
+
+    def __str__(self) -> str:
+        if not self.diagnostics:
+            return "deck is clean"
+        return "\n".join(str(d) for d in self.diagnostics)
+
+
+def check_problem(problem: IdlzProblem,
+                  limits: IdlzLimits = UNLIMITED) -> ValidationReport:
+    """Validate an IDLZ problem without running it."""
+    report = ValidationReport()
+    subs = {sub.index: sub for sub in problem.subdivisions}
+    _check_duplicates(problem, report)
+    _check_limits(problem, limits, report)
+    segments_by_sub = _check_segments(problem, subs, report)
+    _check_shapeability(problem, segments_by_sub, report)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Individual passes
+# ----------------------------------------------------------------------
+
+def _check_duplicates(problem: IdlzProblem,
+                      report: ValidationReport) -> None:
+    seen: Set[int] = set()
+    for sub in problem.subdivisions:
+        if sub.index in seen:
+            report.add_error(f"subdivision {sub.index}",
+                             "duplicate subdivision number")
+        seen.add(sub.index)
+
+
+def _check_limits(problem: IdlzProblem, limits: IdlzLimits,
+                  report: ValidationReport) -> None:
+    try:
+        limits.check_subdivisions(problem.subdivisions)
+    except LimitError as exc:
+        report.add_error("limits", str(exc))
+    # Node/element counts need the lattice; approximate via the grid.
+    try:
+        from repro.core.idlz.elements import create_elements
+        from repro.core.idlz.grid import LatticeGrid
+
+        grid = LatticeGrid(problem.subdivisions)
+        triangles, _ = create_elements(grid)
+        try:
+            limits.check_counts(grid.n_nodes, len(triangles))
+        except LimitError as exc:
+            report.add_error("limits", str(exc))
+    except IdealizationError as exc:
+        report.add_error("assemblage", str(exc))
+
+
+def _check_segments(problem: IdlzProblem, subs: Dict[int, Subdivision],
+                    report: ValidationReport
+                    ) -> Dict[int, List[Tuple[ShapingSegment, str]]]:
+    """Validate each card; return per-subdivision (segment, side) lists."""
+    located: Dict[int, List[Tuple[ShapingSegment, str]]] = {}
+    for i, seg in enumerate(problem.segments, start=1):
+        where = f"segment {i}"
+        sub = subs.get(seg.subdivision)
+        if sub is None:
+            report.add_error(
+                where, f"references unknown subdivision {seg.subdivision}"
+            )
+            continue
+        a, b = seg.lattice_ends
+        if a == b:
+            # Point location: legal only for a point that exists.
+            if not sub.contains(*a):
+                report.add_error(
+                    where, f"point {a} is not a lattice point of "
+                    f"subdivision {sub.index}"
+                )
+            else:
+                located.setdefault(sub.index, []).append((seg, "point"))
+            continue
+        try:
+            side = sub.side_of_points(a, b)
+        except IdealizationError as exc:
+            report.add_error(where, str(exc))
+            continue
+        if seg.radius != 0.0:
+            try:
+                arc_through(Point(seg.x1, seg.y1), Point(seg.x2, seg.y2),
+                            abs(seg.radius))
+            except ArcError as exc:
+                report.add_error(where, f"bad arc: {exc}")
+        elif (seg.x1, seg.y1) == (seg.x2, seg.y2):
+            report.add_error(
+                where, "straight segment with coincident real endpoints"
+            )
+        located.setdefault(sub.index, []).append((seg, side))
+    return located
+
+
+def _check_shapeability(problem: IdlzProblem,
+                        segments_by_sub: Dict[
+                            int, List[Tuple[ShapingSegment, str]]],
+                        report: ValidationReport) -> None:
+    """Walk the shaping order proving each subdivision can shape.
+
+    Tracks which lattice points are located (by segments or by earlier,
+    fully-shaped subdivisions) and checks each subdivision finds a fully
+    located opposite pair when its turn comes.
+    """
+    located_points: Set[Tuple[int, int]] = set()
+    for sub in problem.subdivisions:
+        for seg, side in segments_by_sub.get(sub.index, []):
+            a, b = seg.lattice_ends
+            if side == "point":
+                located_points.add(a)
+                continue
+            try:
+                path = sub.side_path(side)
+                ia, ib = path.index(a), path.index(b)
+                lo, hi = min(ia, ib), max(ia, ib)
+                located_points.update(path[lo:hi + 1])
+            except (ValueError, IdealizationError):
+                continue  # already reported by _check_segments
+        pair_found = False
+        sides_located = {}
+        for side in SIDES:
+            try:
+                path = sub.side_path(side)
+            except IdealizationError:
+                continue
+            sides_located[side] = all(pt in located_points for pt in path)
+        for one, other in (("bottom", "top"), ("left", "right")):
+            if sides_located.get(one) and sides_located.get(other):
+                pair_found = True
+        if not pair_found:
+            missing = sorted(
+                side for side, done in sides_located.items() if not done
+            )
+            report.add_error(
+                f"subdivision {sub.index}",
+                "no opposite pair of sides will be located when this "
+                f"subdivision shapes (incomplete: {', '.join(missing)})",
+            )
+        else:
+            # This subdivision will shape: all its points become located.
+            located_points.update(sub.lattice_points())
+        if (sides_located.get("bottom") and sides_located.get("top")
+                and sides_located.get("left")
+                and sides_located.get("right")
+                and len(segments_by_sub.get(sub.index, [])) > 2):
+            report.add_warning(
+                f"subdivision {sub.index}",
+                "all four sides located; the interpolation pair choice "
+                "may silently ignore some cards",
+            )

@@ -1,0 +1,102 @@
+"""Boundary tracing: "adjacent boundary nodes are connected by straight
+lines by OSPL".
+
+Given the mesh connectivity the boundary edges are the element edges used
+exactly once; the card-deck flags (0/1/2) exist so the original program
+could draw the outline without that search, and we honour them: an edge is
+drawn only when both of its nodes are flagged as boundary nodes.  Chains
+are assembled so the outline can be stroked as polylines (and so tests can
+assert the boundary is closed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ContourError
+from repro.fem.mesh import Mesh
+from repro.geometry.primitives import Point, Segment
+
+
+def boundary_edge_list(mesh: Mesh) -> List[Tuple[int, int]]:
+    """Boundary edges whose endpoints the flags also call boundary."""
+    flags = mesh.flags()
+    edges = []
+    for a, b in mesh.boundary_edges():
+        if flags[a] > 0 and flags[b] > 0:
+            edges.append((a, b))
+    return edges
+
+
+def boundary_segments(mesh: Mesh) -> List[Segment]:
+    """The straight boundary strokes OSPL draws."""
+    return [
+        Segment(mesh.node_point(a), mesh.node_point(b))
+        for a, b in boundary_edge_list(mesh)
+    ]
+
+
+def boundary_chains(mesh: Mesh) -> List[List[int]]:
+    """Boundary edges assembled into node chains (closed loops where the
+    boundary is closed).
+
+    Multiple loops appear for meshes with holes; a chain whose first and
+    last nodes coincide is closed.
+    """
+    edges = boundary_edge_list(mesh)
+    if not edges:
+        return []
+    neighbours: Dict[int, List[int]] = {}
+    for a, b in edges:
+        neighbours.setdefault(a, []).append(b)
+        neighbours.setdefault(b, []).append(a)
+    unused = {(min(a, b), max(a, b)) for a, b in edges}
+    chains: List[List[int]] = []
+    while unused:
+        a, b = min(unused)
+        unused.discard((a, b))
+        chain = [a, b]
+        # Extend forward until the loop closes or dead-ends.
+        while True:
+            tail = chain[-1]
+            next_node: Optional[int] = None
+            for cand in neighbours.get(tail, []):
+                key = (min(tail, cand), max(tail, cand))
+                if key in unused:
+                    next_node = cand
+                    unused.discard(key)
+                    break
+            if next_node is None:
+                break
+            chain.append(next_node)
+            if next_node == chain[0]:
+                break
+        chains.append(chain)
+    return chains
+
+
+def is_boundary_edge(mesh: Mesh, edge: Tuple[int, int]) -> bool:
+    """Whether a (sorted) node pair is one of the drawn boundary edges."""
+    a, b = min(edge), max(edge)
+    for p, q in boundary_edge_list(mesh):
+        if (min(p, q), max(p, q)) == (a, b):
+            return True
+    return False
+
+
+class BoundaryIndex:
+    """Set-based lookup of boundary edges, for the label pass."""
+
+    def __init__(self, mesh: Mesh):
+        self._edges = {
+            (min(a, b), max(a, b)) for a, b in boundary_edge_list(mesh)
+        }
+
+    def __contains__(self, edge: Tuple[int, int]) -> bool:
+        a, b = edge
+        return (min(a, b), max(a, b)) in self._edges
+
+    def __len__(self) -> int:
+        return len(self._edges)

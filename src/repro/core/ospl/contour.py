@@ -1,0 +1,189 @@
+"""Isogram extraction: the per-element contouring of program OSPL.
+
+"Taking one element at a time, the steps below are repeated until the plot
+is complete: (1) the number and size of the contours passing through the
+element are determined; (2) two pairs of adjacent corners are found, each
+of whose values bound the subject contour; (3) end points ... are found by
+interpolating linearly between the values at the adjacent corners of each
+pair; (4) a straight line is drawn between these end points."
+
+Each contour endpoint remembers the element edge (node pair) it lies on;
+that is what lets the label pass find intersections with the mesh
+boundary without any geometric searching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ContourError
+from repro.fem.mesh import Mesh
+from repro.fem.results import NodalField
+from repro.core.ospl.intervals import choose_interval, contour_levels
+from repro.geometry.clip import clip_segment
+from repro.geometry.primitives import BoundingBox, Point, Segment
+
+
+@dataclass(frozen=True)
+class ContourPoint:
+    """A contour endpoint on an element edge."""
+
+    point: Point
+    edge: Tuple[int, int]  # sorted node pair the point interpolates
+
+    @property
+    def x(self) -> float:
+        return self.point.x
+
+    @property
+    def y(self) -> float:
+        return self.point.y
+
+
+@dataclass(frozen=True)
+class ContourSegment:
+    """One straight isogram piece inside one element."""
+
+    level: float
+    start: ContourPoint
+    end: ContourPoint
+    element: int
+
+    def as_segment(self) -> Segment:
+        return Segment(self.start.point, self.end.point)
+
+
+def triangle_crossings(points: Sequence[Point], values: Sequence[float],
+                       level: float) -> List[ContourPoint]:
+    """The 0 or 2 points where ``level`` crosses the triangle's edges.
+
+    Vertices exactly on the level are resolved by the half-open
+    classification ``value >= level`` so that adjacent elements produce
+    consistent, crack-free polylines.  Node indices in the returned edges
+    are *local* (0, 1, 2); the mesh-level driver rewrites them.
+    """
+    if len(points) != 3 or len(values) != 3:
+        raise ContourError("triangle_crossings needs exactly 3 corners")
+    above = [v >= level for v in values]
+    crossings: List[ContourPoint] = []
+    for a, b in ((0, 1), (1, 2), (2, 0)):
+        if above[a] == above[b]:
+            continue
+        va, vb = values[a], values[b]
+        t = (level - va) / (vb - va)
+        p = Point(
+            points[a].x + t * (points[b].x - points[a].x),
+            points[a].y + t * (points[b].y - points[a].y),
+        )
+        crossings.append(ContourPoint(p, (min(a, b), max(a, b))))
+    return crossings
+
+
+class ContourSet:
+    """All isogram segments of one field over one mesh."""
+
+    def __init__(self, mesh: Mesh, field: NodalField, interval: float,
+                 levels: Sequence[float],
+                 window: Optional[BoundingBox] = None):
+        self.mesh = mesh
+        self.field = field
+        self.interval = interval
+        self.levels = list(levels)
+        self.window = window
+        self.segments_by_level: Dict[float, List[ContourSegment]] = {
+            level: [] for level in self.levels
+        }
+        self._extract()
+
+    def _extract(self) -> None:
+        values = self.field.values
+        for e in range(self.mesh.n_elements):
+            tri = self.mesh.elements[e]
+            pts = [self.mesh.node_point(int(n)) for n in tri]
+            vals = [float(values[int(n)]) for n in tri]
+            lo, hi = min(vals), max(vals)
+            for level in self.levels:
+                if level < lo or level > hi:
+                    continue
+                crossings = triangle_crossings(pts, vals, level)
+                if len(crossings) != 2:
+                    continue  # level touches only a vertex, or misses
+                if (abs(crossings[0].x - crossings[1].x) < 1e-14
+                        and abs(crossings[0].y - crossings[1].y) < 1e-14):
+                    continue  # level pinches to a point at a vertex
+                start, end = (
+                    _globalise(c, tri) for c in crossings
+                )
+                seg = ContourSegment(level=level, start=start, end=end,
+                                     element=e)
+                clipped = self._clip(seg)
+                if clipped is not None:
+                    self.segments_by_level[level].append(clipped)
+
+    def _clip(self, seg: ContourSegment) -> Optional[ContourSegment]:
+        if self.window is None:
+            return seg
+        clipped = clip_segment(seg.as_segment(), self.window)
+        if clipped is None:
+            return None
+        # Endpoints moved by clipping lose their edge identity (they now
+        # sit on the window, not a mesh edge); keep the original edge
+        # only for unmoved endpoints.
+        start = seg.start if clipped.start == seg.start.point else (
+            ContourPoint(clipped.start, (-1, -1))
+        )
+        end = seg.end if clipped.end == seg.end.point else (
+            ContourPoint(clipped.end, (-1, -1))
+        )
+        return ContourSegment(seg.level, start, end, seg.element)
+
+    # ------------------------------------------------------------------
+    def all_segments(self) -> List[ContourSegment]:
+        return [
+            seg for level in self.levels
+            for seg in self.segments_by_level[level]
+        ]
+
+    def segments_at(self, level: float) -> List[ContourSegment]:
+        try:
+            return self.segments_by_level[level]
+        except KeyError:
+            raise ContourError(f"{level} is not one of the plotted levels")
+
+    def n_segments(self) -> int:
+        return sum(len(v) for v in self.segments_by_level.values())
+
+    def nonempty_levels(self) -> List[float]:
+        return [
+            level for level in self.levels if self.segments_by_level[level]
+        ]
+
+
+def _globalise(c: ContourPoint, tri: np.ndarray) -> ContourPoint:
+    a, b = c.edge
+    ga, gb = int(tri[a]), int(tri[b])
+    return ContourPoint(c.point, (min(ga, gb), max(ga, gb)))
+
+
+def contour_mesh(mesh: Mesh, field: NodalField,
+                 interval: Optional[float] = None,
+                 lowest: Optional[float] = None,
+                 window: Optional[BoundingBox] = None) -> ContourSet:
+    """Contour ``field`` over ``mesh``.
+
+    ``interval`` of ``None`` (the DELTA = 0 card option) engages the
+    Appendix-D automatic choice.  ``window`` restricts the plot ("zoom").
+    """
+    if field.n_nodes != mesh.n_nodes:
+        raise ContourError(
+            f"field has {field.n_nodes} values for a mesh of "
+            f"{mesh.n_nodes} nodes"
+        )
+    if interval is None or interval == 0.0:
+        interval = choose_interval(field.min(), field.max())
+    levels = contour_levels(field.min(), field.max(), interval,
+                            lowest=lowest)
+    return ContourSet(mesh, field, interval, levels, window=window)

@@ -1,0 +1,135 @@
+"""The OSPL input deck: card types 1-4 of Appendix C.
+
+    type 1  (2I5, 5F10.4)          NN, NE, XMX, XMN, YMX, YMN, DELTA
+    type 2  (12A6)                 title (two cards)
+    type 3  (2F9.5, 22X, F10.3, I1)  X, Y, S, N   -- one per node
+    type 4  (3I5)                  N1, N2, N3     -- one per element
+
+Node numbers on type-4 cards are 1-based ("the order in which these
+'nodal' cards are received by the computer is the order in which the
+nodes are given nodal numbers").  ``DELTA = 0`` requests the automatic
+interval; the XMX/XMN/YMX/YMN window supports the zoom feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cards.fortran_format import FortranFormat
+from repro.cards.reader import CardReader
+from repro.cards.writer import CardWriter
+from repro.core.ospl.limits import OsplLimits, UNLIMITED
+from repro.core.ospl.plot import ContourPlot, conplt
+from repro.errors import CardError
+from repro.fem.mesh import Mesh
+from repro.fem.results import NodalField
+from repro.geometry.primitives import BoundingBox
+from repro.plotter.device import Plotter4020
+
+FMT_TYPE1 = FortranFormat("(2I5, 5F10.4)")
+FMT_TYPE2 = FortranFormat("(12A6)")
+FMT_TYPE3 = FortranFormat("(2F9.5, 22X, F10.3, I1)")
+FMT_TYPE4 = FortranFormat("(3I5)")
+
+
+@dataclass
+class OsplProblem:
+    """One OSPL data set: a mesh, a field, a window and plot titles."""
+
+    mesh: Mesh
+    field: NodalField
+    window: BoundingBox
+    delta: float = 0.0
+    title1: str = ""
+    title2: str = ""
+
+    def plot(self, limits: OsplLimits = UNLIMITED,
+             plotter: Optional[Plotter4020] = None) -> ContourPlot:
+        interval = None if self.delta == 0.0 else self.delta
+        return conplt(
+            self.mesh, self.field,
+            title=self.title1, subtitle=self.title2,
+            interval=interval, window=self.window,
+            limits=limits, plotter=plotter,
+        )
+
+    def input_value_count(self) -> int:
+        """Numeric payload of the deck (for the data-volume claims)."""
+        return 7 + 4 * self.mesh.n_nodes + 3 * self.mesh.n_elements
+
+
+def read_ospl_deck(reader: CardReader) -> OsplProblem:
+    """Parse one OSPL data set from the card tray."""
+    nn, ne, xmx, xmn, ymx, ymn, delta = FMT_TYPE1.read(
+        reader.next_card().padded()
+    )
+    if nn < 3 or ne < 1:
+        raise CardError(f"type-1 card: NN = {nn}, NE = {ne} is not a mesh")
+    title1 = "".join(FMT_TYPE2.read(reader.next_card().padded())).rstrip()
+    title2 = "".join(FMT_TYPE2.read(reader.next_card().padded())).rstrip()
+    xs, ys, values, flags = [], [], [], []
+    for _ in range(nn):
+        x, y, s, n = FMT_TYPE3.read(reader.next_card().padded())
+        xs.append(x)
+        ys.append(y)
+        values.append(s)
+        flags.append(n)
+    elements = []
+    for _ in range(ne):
+        n1, n2, n3 = FMT_TYPE4.read(reader.next_card().padded())
+        for n in (n1, n2, n3):
+            if n < 1 or n > nn:
+                raise CardError(
+                    f"type-4 card references node {n} of {nn}"
+                )
+        elements.append((n1 - 1, n2 - 1, n3 - 1))
+    mesh = Mesh(
+        nodes=np.column_stack([xs, ys]),
+        elements=np.array(elements, dtype=int),
+        boundary_flags=np.array(flags, dtype=int),
+    )
+    mesh.orient_ccw()
+    field = NodalField("S", np.array(values))
+    window = BoundingBox(xmin=xmn, ymin=ymn, xmax=xmx, ymax=ymx)
+    return OsplProblem(
+        mesh=mesh, field=field, window=window, delta=delta,
+        title1=title1, title2=title2,
+    )
+
+
+def write_ospl_deck(problem: OsplProblem) -> CardWriter:
+    """Punch an OSPL data set (round-trips with :func:`read_ospl_deck`)."""
+    writer = CardWriter()
+    w = problem.window
+    writer.punch(FMT_TYPE1, [
+        problem.mesh.n_nodes, problem.mesh.n_elements,
+        w.xmax, w.xmin, w.ymax, w.ymin, problem.delta,
+    ])
+    writer.punch_card(problem.title1[:72])
+    writer.punch_card(problem.title2[:72])
+    flags = problem.mesh.flags()
+    for i in range(problem.mesh.n_nodes):
+        x, y = problem.mesh.nodes[i]
+        writer.punch(FMT_TYPE3, [
+            float(x), float(y), float(problem.field.values[i]),
+            int(flags[i]),
+        ])
+    for tri in problem.mesh.elements:
+        writer.punch(FMT_TYPE4, [int(tri[0]) + 1, int(tri[1]) + 1,
+                                 int(tri[2]) + 1])
+    return writer
+
+
+def problem_from_analysis(mesh: Mesh, field: NodalField,
+                          title1: str = "", title2: str = "",
+                          delta: float = 0.0,
+                          window: Optional[BoundingBox] = None
+                          ) -> OsplProblem:
+    """Attach OSPL to an analysis in memory (the CALL CONPLT route)."""
+    if window is None:
+        window = mesh.bounding_box()
+    return OsplProblem(mesh=mesh, field=field, window=window, delta=delta,
+                       title1=title1, title2=title2)

@@ -1,0 +1,121 @@
+"""Automated contour-interval selection (Appendix D).
+
+"After examination of many hand-drawn plots, it was decided that in order
+to achieve good spacing, an interval should be used which is about 5
+percent of the difference between the largest and smallest value.  Using
+base intervals of 1.0, 2.5 and 5.0, OSPL chooses the interval which is the
+product of a base interval and a power of ten ... The procedure results in
+intervals of 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, etc."
+
+The appendix's prose says "closest to, but not greater than, 5 percent"
+-- yet its own worked example (largest 50 000 psi, smallest 10 000 psi,
+range 40 000 psi, 5 % = 2 000 psi) reports an interval of **2 500 psi**,
+which is *greater* than 2 000.  The worked example is authoritative for
+the reproduction, so we implement *closest to 5 % of the range on the
+1-2.5-5 ladder* (ties going to the smaller value), which yields exactly
+2 500 for the example.  The discrepancy is recorded here and in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.errors import ContourError
+
+#: The Appendix-D base intervals.
+BASES = (1.0, 2.5, 5.0)
+
+#: The target spacing: "about 5 percent" of the data range.
+TARGET_FRACTION = 0.05
+
+
+def ladder_values(lo: float, hi: float,
+                  bases: Sequence[float] = BASES) -> List[float]:
+    """All base*10^k values in [lo, hi], sorted ascending."""
+    if lo <= 0.0 or hi < lo:
+        raise ContourError(f"ladder range [{lo}, {hi}] must be positive")
+    out: List[float] = []
+    k = int(math.floor(math.log10(lo / max(bases)))) - 1
+    while True:
+        scale = 10.0 ** k
+        smallest_this_decade = min(bases) * scale
+        if smallest_this_decade > hi:
+            break
+        for base in sorted(bases):
+            value = base * scale
+            if lo <= value <= hi:
+                out.append(value)
+        k += 1
+    return out
+
+
+def choose_interval(vmin: float, vmax: float,
+                    target_fraction: float = TARGET_FRACTION,
+                    bases: Sequence[float] = BASES) -> float:
+    """The Appendix-D automatic interval for data in [vmin, vmax].
+
+    Raises :class:`ContourError` on a zero or negative range -- a
+    constant field has no isograms.
+    """
+    span = vmax - vmin
+    if span <= 0.0:
+        raise ContourError(
+            f"cannot choose a contour interval for range [{vmin}, {vmax}]"
+        )
+    target = target_fraction * span
+    best: Optional[float] = None
+    best_err = math.inf
+    # Scan a generous window of decades around the target.
+    k0 = int(math.floor(math.log10(target))) - 2
+    for k in range(k0, k0 + 5):
+        for base in bases:
+            value = base * (10.0 ** k)
+            err = abs(value - target)
+            # Ties go to the smaller interval (more lines, safer plot).
+            if err < best_err - 1e-15 * target or (
+                abs(err - best_err) <= 1e-15 * target
+                and (best is None or value < best)
+            ):
+                best = value
+                best_err = err
+    assert best is not None
+    return best
+
+
+def contour_levels(vmin: float, vmax: float, interval: float,
+                   lowest: Optional[float] = None) -> List[float]:
+    """The isogram levels: multiples of ``interval`` covering the data.
+
+    "The size of the contour interval and the value of the lowest contour
+    are initially set by the user or by considerations for proper
+    spacing"; when ``lowest`` is not given the levels are the integer
+    multiples of the interval inside [vmin, vmax] (the Figure-12 triangle
+    with values 5..35 and interval 10 yields 10, 20, 30).
+    """
+    if interval <= 0.0:
+        raise ContourError(f"contour interval must be positive, got {interval}")
+    if vmax < vmin:
+        raise ContourError(f"bad value range [{vmin}, {vmax}]")
+    if lowest is None:
+        first = math.ceil(vmin / interval - 1e-9) * interval
+    else:
+        first = lowest
+        # Skip forward to the data if the user started below it.
+        if first < vmin:
+            n_skip = math.ceil((vmin - first) / interval - 1e-9)
+            first += n_skip * interval
+    levels: List[float] = []
+    level = first
+    # Guard the loop count so absurd intervals cannot spin forever.
+    max_levels = 100000
+    while level <= vmax + 1e-9 * max(abs(vmax), 1.0):
+        levels.append(level)
+        level += interval
+        if len(levels) > max_levels:
+            raise ContourError(
+                f"interval {interval} produces more than {max_levels} "
+                "levels; refusing"
+            )
+    return levels

@@ -1,0 +1,37 @@
+"""Table 1: the numerical restrictions of program OSPL.
+
+    Total number of elements allowed .............. 1000
+    Total number of points data may be given ....... 800
+
+Strict mode enforces them exactly; the default is unlimited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LimitError
+
+MAX_ELEMENTS = 1000
+MAX_NODES = 800
+
+
+@dataclass(frozen=True)
+class OsplLimits:
+    """A (possibly relaxed) set of Table-1 limits."""
+
+    max_elements: int = MAX_ELEMENTS
+    max_nodes: int = MAX_NODES
+
+    def check(self, n_nodes: int, n_elements: int) -> None:
+        if n_nodes > self.max_nodes:
+            raise LimitError("nodes", n_nodes, self.max_nodes)
+        if n_elements > self.max_elements:
+            raise LimitError("elements", n_elements, self.max_elements)
+
+
+#: The exact 1970 restrictions.
+STRICT_1970 = OsplLimits()
+
+#: Effectively unbounded limits for modern use.
+UNLIMITED = OsplLimits(max_elements=10**9, max_nodes=10**9)

@@ -1,0 +1,66 @@
+"""The printed output OSPL replaced.
+
+"Since a problem with 500 or more nodes is not unusual, delays
+interpreting such data are to be expected when they are in the form of
+printed output."  To make that contrast measurable, this module produces
+exactly that printed output -- the line-printer table of nodal values an
+analyst previously had to read -- and counts its pages.  The
+data-problem benchmarks quote pages-of-print vs one-frame-of-film.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.fem.mesh import Mesh
+from repro.fem.results import NodalField
+
+#: A 1970 line printer: 132 columns, 60 printable lines per page.
+PAGE_LINES = 60
+LINE_WIDTH = 132
+#: Node entries per printed line (node number + x + y + value = 35 cols
+#: each; three entries fit the 132-column carriage).
+ENTRIES_PER_LINE = 3
+
+
+def print_field(mesh: Mesh, field: NodalField, title: str = "") -> str:
+    """The nodal-value table as the analysis programs printed it."""
+    lines: List[str] = []
+    header = title or field.name
+    lines.append(f"1{header.upper():^130s}")
+    lines.append("")
+    lines.append(
+        ("  NODE        X        Y      VALUE" * ENTRIES_PER_LINE)
+        [:LINE_WIDTH]
+    )
+    entry_texts = [
+        f"{n + 1:6d} {mesh.nodes[n, 0]:8.3f} {mesh.nodes[n, 1]:8.3f} "
+        f"{field.values[n]:10.3f}"
+        for n in range(mesh.n_nodes)
+    ]
+    for start in range(0, len(entry_texts), ENTRIES_PER_LINE):
+        lines.append("".join(entry_texts[start:start + ENTRIES_PER_LINE]))
+    lines.append("")
+    lines.append(f" MINIMUM {field.min():14.4f}   MAXIMUM {field.max():14.4f}")
+    return "\n".join(lines) + "\n"
+
+
+def page_count(listing: str) -> int:
+    """Printer pages a listing occupies (carriage-control aware).
+
+    A leading ``1`` in column one ejects to a new page, as FORTRAN
+    carriage control did.
+    """
+    pages = 0
+    lines_on_page = PAGE_LINES  # force a page at the first line
+    for line in listing.splitlines():
+        if line.startswith("1") or lines_on_page >= PAGE_LINES:
+            pages += 1
+            lines_on_page = 0
+        lines_on_page += 1
+    return max(pages, 1 if listing.strip() else 0)
+
+
+def print_fields(mesh: Mesh, fields: Sequence[NodalField]) -> str:
+    """Several components back to back -- a full output listing."""
+    return "".join(print_field(mesh, f) for f in fields)

@@ -1,0 +1,49 @@
+"""The OSPL main program: deck in, contour frame out.
+
+The original shipped both as a standalone main (read the Appendix-C deck,
+plot) and as CALL CONPLT linked into the analysis.  The standalone path
+lives here; the linked path is :func:`repro.core.ospl.plot.conplt`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.cards.reader import CardReader
+from repro.core.ospl.deck import OsplProblem, read_ospl_deck
+from repro.core.ospl.limits import OsplLimits, UNLIMITED
+from repro.core.ospl.plot import ContourPlot
+
+
+@dataclass
+class OsplRun:
+    """The problem and its plot."""
+
+    problem: OsplProblem
+    plot: ContourPlot
+
+    @property
+    def title(self) -> str:
+        return self.problem.title1
+
+
+def run_ospl(reader: CardReader,
+             limits: OsplLimits = UNLIMITED) -> OsplRun:
+    """Execute the standalone OSPL program on a card tray."""
+    problem = read_ospl_deck(reader)
+    return OsplRun(problem=problem, plot=problem.plot(limits=limits))
+
+
+def run_ospl_files(deck_path: Union[str, Path],
+                   out_path: Union[str, Path],
+                   limits: OsplLimits = UNLIMITED) -> OsplRun:
+    """Run OSPL on a deck file and write the frame as SVG."""
+    from repro.plotter.svg import save_svg
+
+    deck_path = Path(deck_path)
+    reader = CardReader.from_text(deck_path.read_text())
+    run = run_ospl(reader, limits=limits)
+    save_svg(run.plot.frame, Path(out_path))
+    return run

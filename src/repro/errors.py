@@ -1,0 +1,79 @@
+"""Exception hierarchy for the IDLZ/OSPL reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type.  Subclasses mirror the major subsystems; the
+1970 programs simply halted with a printed message, while we raise a typed
+exception carrying the same diagnostic.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (degenerate arc, zero-length segment, ...)."""
+
+
+class ArcError(GeometryError):
+    """A circular arc violates the paper's rules (e.g. subtends > 90 deg)."""
+
+
+class CardError(ReproError):
+    """A punched-card image or deck could not be parsed or produced."""
+
+
+class FormatError(CardError):
+    """A FORTRAN FORMAT specification is malformed or mismatched."""
+
+
+class LimitError(ReproError):
+    """A Table 1 / Table 2 numerical restriction was exceeded in strict mode.
+
+    Carries the name of the limit, the offending value, and the maximum so
+    that harnesses can report the exact restriction that tripped.
+    """
+
+    def __init__(self, name: str, value: int, maximum: int):
+        self.name = name
+        self.value = value
+        self.maximum = maximum
+        super().__init__(
+            f"{name} = {value} exceeds the 1970 restriction of {maximum}"
+        )
+
+
+class IdealizationError(ReproError):
+    """IDLZ could not idealize the assemblage (bad subdivision data)."""
+
+
+class ShapingError(IdealizationError):
+    """Boundary shaping failed (segment off the subdivision boundary,
+    no located pair of opposite sides, ...)."""
+
+
+class ContourError(ReproError):
+    """OSPL could not contour the supplied field."""
+
+
+class MeshError(ReproError):
+    """A finite-element mesh is inconsistent (bad connectivity, negative
+    element area, ...)."""
+
+
+class MaterialError(ReproError):
+    """A material definition is not physically admissible."""
+
+
+class SolverError(ReproError):
+    """The linear solver failed (singular stiffness, unconstrained model)."""
+
+
+class BoundaryConditionError(ReproError):
+    """Boundary-condition specification is inconsistent."""
+
+
+class PlotterError(ReproError):
+    """The SC-4020 plotter simulator was driven outside its raster."""

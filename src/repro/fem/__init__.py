@@ -1,0 +1,86 @@
+"""Finite-element substrate.
+
+The paper's programs bracket an *analysis program* (its References 1 and 3:
+NSRDC in-house axisymmetric stress and transient thermal codes).  To run
+the full pipeline -- idealize with IDLZ, analyse, plot with OSPL -- this
+package implements that substrate from scratch:
+
+* :mod:`repro.fem.mesh`       -- triangular meshes with OSPL boundary flags
+* :mod:`repro.fem.materials`  -- isotropic/orthotropic elastic + thermal
+* :mod:`repro.fem.elements`   -- CST (plane stress/strain), axisymmetric
+  ring triangle, and heat-conduction triangle
+* :mod:`repro.fem.assembly`   -- global system assembly
+* :mod:`repro.fem.banded`     -- symmetric banded Cholesky (the
+  1970-authentic solver whose cost depends on the matrix bandwidth)
+* :mod:`repro.fem.bc`, :mod:`repro.fem.loads` -- constraints and loading
+* :mod:`repro.fem.solve`      -- static analysis driver
+* :mod:`repro.fem.stress`     -- stress recovery and the named components
+  plotted in the paper (effective, circumferential, meridional, radial,
+  shear)
+* :mod:`repro.fem.thermal`    -- steady and transient heat conduction with
+  radiant-pulse loading (Figure 14)
+* :mod:`repro.fem.bandwidth`  -- bandwidth metrics and reverse
+  Cuthill-McKee renumbering (the paper's Reference 2 scheme)
+"""
+
+from repro.fem.mesh import Mesh
+from repro.fem.materials import (
+    IsotropicElastic,
+    OrthotropicElastic,
+    ThermalMaterial,
+)
+from repro.fem.solve import StaticAnalysis, AnalysisType
+from repro.fem.bc import Constraints
+from repro.fem.loads import LoadCase
+from repro.fem.stress import StressField, recover_stresses, StressComponent
+from repro.fem.thermal import ThermalAnalysis, ThermalPulse
+from repro.fem.bandwidth import (
+    mesh_bandwidth,
+    reverse_cuthill_mckee,
+    renumber_mesh,
+)
+from repro.fem.results import NodalField
+from repro.fem.thermal_stress import ThermalStressAnalysis, thermal_load_case
+from repro.fem.skyline import SkylineMatrix, assemble_skyline
+from repro.fem.quality import MeshQuality, mesh_quality
+from repro.fem.postplot import plot_deformed, auto_scale
+from repro.fem.reactions import ReactionReport, compute_reactions, reactions_for
+from repro.fem.strain import StrainComponent, StrainField, recover_strains
+from repro.fem.dynamics import ModalResult, modal_analysis, mass_density
+
+__all__ = [
+    "Mesh",
+    "IsotropicElastic",
+    "OrthotropicElastic",
+    "ThermalMaterial",
+    "StaticAnalysis",
+    "AnalysisType",
+    "Constraints",
+    "LoadCase",
+    "StressField",
+    "StressComponent",
+    "recover_stresses",
+    "ThermalAnalysis",
+    "ThermalPulse",
+    "mesh_bandwidth",
+    "reverse_cuthill_mckee",
+    "renumber_mesh",
+    "NodalField",
+    "ThermalStressAnalysis",
+    "thermal_load_case",
+    "SkylineMatrix",
+    "assemble_skyline",
+    "MeshQuality",
+    "mesh_quality",
+    "plot_deformed",
+    "auto_scale",
+    "ReactionReport",
+    "compute_reactions",
+    "reactions_for",
+    "StrainComponent",
+    "StrainField",
+    "recover_strains",
+    "ModalResult",
+    "modal_analysis",
+    "mass_density",
+]

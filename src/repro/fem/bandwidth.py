@@ -1,0 +1,173 @@
+"""Bandwidth metrics and the renumbering scheme of the paper's Reference 2.
+
+IDLZ first numbers nodes "arbitrarily from left to right and bottom to top
+with programming convenience being the prime consideration", then -- "if
+the user desires" -- applies a renumbering to ensure a narrow bandwidth.
+The contemporaneous algorithm (Cuthill & McKee, 1969) orders nodes by a
+breadth-first sweep from a peripheral node, visiting neighbours in order
+of increasing degree; the *reverse* ordering (George, 1971) never has a
+larger profile, so we implement RCM and expose plain CM as well.
+
+All functions speak in terms of node numbering; the matrix half-bandwidth
+for a 2-dof-per-node elasticity problem is ``2 * (node_hb + 1) - 1``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.fem.mesh import Mesh
+
+
+def mesh_bandwidth(mesh: Mesh) -> int:
+    """Node half-bandwidth: max |i - j| over element node pairs."""
+    if mesh.n_elements == 0:
+        return 0
+    tri = mesh.elements
+    diffs = [
+        np.abs(tri[:, 0] - tri[:, 1]),
+        np.abs(tri[:, 1] - tri[:, 2]),
+        np.abs(tri[:, 2] - tri[:, 0]),
+    ]
+    return int(np.max(np.stack(diffs)))
+
+
+def matrix_bandwidth_for_dofs(node_bandwidth: int, dofs_per_node: int) -> int:
+    """Matrix half-bandwidth for interleaved multi-dof numbering."""
+    return dofs_per_node * (node_bandwidth + 1) - 1
+
+
+def profile(mesh: Mesh) -> int:
+    """Envelope (profile) size: sum over rows of (i - min connected j)."""
+    lowest = np.arange(mesh.n_nodes)
+    for tri in mesh.elements:
+        m = int(min(tri))
+        for n in tri:
+            n = int(n)
+            if m < lowest[n]:
+                lowest[n] = m
+    return int(np.sum(np.arange(mesh.n_nodes) - lowest))
+
+
+def _adjacency(mesh: Mesh) -> List[List[int]]:
+    adj_sets = mesh.node_adjacency()
+    degrees = [len(s) for s in adj_sets]
+    # Neighbours sorted by (degree, index): the Cuthill-McKee tie-break.
+    return [
+        sorted(s, key=lambda v: (degrees[v], v)) for s in adj_sets
+    ]
+
+
+def _pseudo_peripheral(adj: List[List[int]], component: Sequence[int]) -> int:
+    """A good BFS start: the far end of a repeated level-structure sweep."""
+    start = min(component, key=lambda v: len(adj[v]))
+    for _ in range(4):
+        levels = _bfs_levels(adj, start)
+        depth = max(levels[v] for v in component if levels[v] >= 0)
+        frontier = [v for v in component if levels[v] == depth]
+        candidate = min(frontier, key=lambda v: len(adj[v]))
+        if candidate == start:
+            break
+        new_levels = _bfs_levels(adj, candidate)
+        new_depth = max(new_levels[v] for v in component if new_levels[v] >= 0)
+        if new_depth <= depth:
+            start = candidate
+            break
+        start = candidate
+    return start
+
+
+def _bfs_levels(adj: List[List[int]], start: int) -> List[int]:
+    levels = [-1] * len(adj)
+    levels[start] = 0
+    queue = [start]
+    head = 0
+    while head < len(queue):
+        v = queue[head]
+        head += 1
+        for w in adj[v]:
+            if levels[w] < 0:
+                levels[w] = levels[v] + 1
+                queue.append(w)
+    return levels
+
+
+def cuthill_mckee(mesh: Mesh, start: Optional[int] = None) -> List[int]:
+    """Cuthill-McKee visit order (old node indices, in visit sequence).
+
+    Handles disconnected meshes by restarting from the lowest-degree
+    unvisited node of each component.  Isolated nodes (in no element) are
+    appended last, preserving their relative order.
+    """
+    n = mesh.n_nodes
+    if n == 0:
+        return []
+    adj = _adjacency(mesh)
+    visited = [False] * n
+    order: List[int] = []
+    connected = [v for v in range(n) if adj[v]]
+    remaining: Set[int] = set(connected)
+    first_component = True
+    while remaining:
+        if first_component and start is not None:
+            if start < 0 or start >= n:
+                raise MeshError(f"start node {start} out of range")
+            root = start
+        else:
+            component = _component_of(adj, next(iter(remaining)), remaining)
+            root = _pseudo_peripheral(adj, component)
+        first_component = False
+        if visited[root]:
+            remaining.discard(root)
+            continue
+        queue = [root]
+        visited[root] = True
+        head = 0
+        while head < len(queue):
+            v = queue[head]
+            head += 1
+            order.append(v)
+            remaining.discard(v)
+            for w in adj[v]:
+                if not visited[w]:
+                    visited[w] = True
+                    queue.append(w)
+    # Isolated nodes go at the end.
+    for v in range(n):
+        if not adj[v]:
+            order.append(v)
+    return order
+
+
+def _component_of(adj: List[List[int]], seed: int,
+                  remaining: Set[int]) -> List[int]:
+    levels = _bfs_levels(adj, seed)
+    return [v for v in remaining if levels[v] >= 0]
+
+
+def reverse_cuthill_mckee(mesh: Mesh, start: Optional[int] = None) -> List[int]:
+    """RCM permutation: ``perm[old] = new`` node number."""
+    order = cuthill_mckee(mesh, start=start)
+    order.reverse()
+    perm = [0] * mesh.n_nodes
+    for new, old in enumerate(order):
+        perm[old] = new
+    return perm
+
+
+def renumber_mesh(mesh: Mesh, method: str = "rcm",
+                  start: Optional[int] = None) -> Mesh:
+    """Renumbered copy of ``mesh`` (methods: ``'rcm'``, ``'cm'``)."""
+    if method == "rcm":
+        perm = reverse_cuthill_mckee(mesh, start=start)
+    elif method == "cm":
+        order = cuthill_mckee(mesh, start=start)
+        perm = [0] * mesh.n_nodes
+        for new, old in enumerate(order):
+            perm[old] = new
+    else:
+        raise MeshError(f"unknown renumbering method {method!r}")
+    return mesh.renumbered(perm)

@@ -1,0 +1,75 @@
+"""Displacement boundary conditions.
+
+A :class:`Constraints` object collects prescribed dof values (mostly
+zero: symmetry planes, the axisymmetric axis, clamped edges).  Dofs are
+addressed as (node, direction) with direction 0 = x/r (u) and 1 = y/z
+(v/w); thermal analyses use direction 0 only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import BoundaryConditionError
+
+#: Direction codes.
+U, V = 0, 1
+
+
+@dataclass
+class Constraints:
+    """Prescribed degrees of freedom."""
+
+    dofs_per_node: int = 2
+    prescribed: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+    def fix(self, node: int, direction: int, value: float = 0.0) -> "Constraints":
+        """Prescribe one dof; re-prescribing with a different value errs."""
+        if direction < 0 or direction >= self.dofs_per_node:
+            raise BoundaryConditionError(
+                f"direction {direction} invalid for "
+                f"{self.dofs_per_node}-dof nodes"
+            )
+        key = (int(node), int(direction))
+        if key in self.prescribed and self.prescribed[key] != value:
+            raise BoundaryConditionError(
+                f"dof {key} prescribed twice with different values "
+                f"({self.prescribed[key]} vs {value})"
+            )
+        self.prescribed[key] = float(value)
+        return self
+
+    def fix_node(self, node: int, value: float = 0.0) -> "Constraints":
+        """Prescribe every dof of a node (a pin)."""
+        for d in range(self.dofs_per_node):
+            self.fix(node, d, value)
+        return self
+
+    def fix_nodes(self, nodes: Iterable[int], direction: int,
+                  value: float = 0.0) -> "Constraints":
+        for n in nodes:
+            self.fix(n, direction, value)
+        return self
+
+    def pin_nodes(self, nodes: Iterable[int]) -> "Constraints":
+        for n in nodes:
+            self.fix_node(n)
+        return self
+
+    def global_dofs(self, n_nodes: int) -> List[Tuple[int, float]]:
+        """(global dof index, value) pairs under interleaved numbering."""
+        out: List[Tuple[int, float]] = []
+        for (node, direction), value in sorted(self.prescribed.items()):
+            if node < 0 or node >= n_nodes:
+                raise BoundaryConditionError(
+                    f"constraint on node {node} outside mesh of {n_nodes}"
+                )
+            out.append((node * self.dofs_per_node + direction, value))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.prescribed)
+
+    def is_constrained(self, node: int, direction: int) -> bool:
+        return (node, direction) in self.prescribed

@@ -1,0 +1,29 @@
+"""Element formulations: CST, axisymmetric ring triangle, heat triangle."""
+
+from repro.fem.elements.cst import (
+    cst_b_matrix,
+    cst_stiffness,
+    cst_strain,
+)
+from repro.fem.elements.axisym import (
+    axisym_b_matrix,
+    axisym_stiffness,
+    axisym_strain,
+)
+from repro.fem.elements.heat import (
+    heat_conductivity_matrix,
+    heat_capacity_matrix,
+    edge_flux_vector,
+)
+
+__all__ = [
+    "cst_b_matrix",
+    "cst_stiffness",
+    "cst_strain",
+    "axisym_b_matrix",
+    "axisym_stiffness",
+    "axisym_strain",
+    "heat_conductivity_matrix",
+    "heat_capacity_matrix",
+    "edge_flux_vector",
+]

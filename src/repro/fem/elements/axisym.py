@@ -1,0 +1,68 @@
+"""Axisymmetric ring triangle -- the element of the paper's Reference 1.
+
+An axisymmetric solid is modelled by its (r, z) cross-section; each
+triangle is really a ring.  The strain vector gains the hoop component:
+
+    [eps_r, eps_z, gamma_rz, eps_theta],   eps_theta = u / r.
+
+Following the classical Wilson/Clough treatment (and virtually every 1970
+production code), B is evaluated at the element centroid and the stiffness
+integrated one-point:
+
+    k = 2 pi r_bar A  B(r_bar)^T D B(r_bar)
+
+where ``r_bar`` is the centroid radius.  That keeps the element exact for
+constant strain and well behaved near the axis.  Degrees of freedom are
+(u1, w1, u2, w2, u3, w3) with u radial and w axial.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.fem.elements.cst import _geometry
+
+
+def axisym_b_matrix(rz: np.ndarray) -> Tuple[np.ndarray, float, float]:
+    """B (4 x 6), element area, and centroid radius.
+
+    ``rz`` is the 3 x 2 vertex array of (r, z) coordinates, CCW.  Elements
+    touching the axis are allowed (nodes at r = 0) as long as the centroid
+    radius is positive, which holds for any positive-area element with
+    r >= 0; a centroid at r = 0 means the whole element is on the axis and
+    is rejected.
+    """
+    rz = np.asarray(rz, dtype=float)
+    if np.any(rz[:, 0] < -1e-12):
+        raise MeshError("axisymmetric element has negative radius")
+    b, c, area = _geometry(rz)
+    if area <= 0.0:
+        raise MeshError(f"axisymmetric element has non-positive area {area:g}")
+    r_bar = float(rz[:, 0].mean())
+    if r_bar <= 0.0:
+        raise MeshError("axisymmetric element lies entirely on the axis")
+    # Linear shape functions evaluated at the centroid are all 1/3.
+    bm = np.zeros((4, 6))
+    for i in range(3):
+        bm[0, 2 * i] = b[i] / (2.0 * area)          # d u / d r
+        bm[1, 2 * i + 1] = c[i] / (2.0 * area)      # d w / d z
+        bm[2, 2 * i] = c[i] / (2.0 * area)          # gamma_rz
+        bm[2, 2 * i + 1] = b[i] / (2.0 * area)
+        bm[3, 2 * i] = (1.0 / 3.0) / r_bar          # u / r at centroid
+    return bm, area, r_bar
+
+
+def axisym_stiffness(rz: np.ndarray, d_matrix: np.ndarray) -> np.ndarray:
+    """6 x 6 ring stiffness ``2 pi r_bar A B^T D B``."""
+    bm, area, r_bar = axisym_b_matrix(rz)
+    return 2.0 * math.pi * r_bar * area * (bm.T @ d_matrix @ bm)
+
+
+def axisym_strain(rz: np.ndarray, displacements: np.ndarray) -> np.ndarray:
+    """[eps_r, eps_z, gamma_rz, eps_theta] from the 6 nodal dofs."""
+    bm, _, _ = axisym_b_matrix(rz)
+    return bm @ np.asarray(displacements, dtype=float).reshape(6)

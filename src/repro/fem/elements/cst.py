@@ -1,0 +1,69 @@
+"""Constant-strain triangle (CST) for plane stress / plane strain.
+
+This is the element of the era: three nodes, linear displacement field,
+constant strain.  With vertex coordinates (x_i, y_i) and the standard
+shape-function derivatives
+
+    b_i = y_j - y_k,   c_i = x_k - x_j   (i, j, k cyclic)
+
+the 3 x 6 strain-displacement matrix is
+
+    B = 1/(2A) [ b1  0  b2  0  b3  0
+                  0 c1   0 c2   0 c3
+                 c1 b1  c2 b2  c3 b3 ]
+
+and the element stiffness is ``k = t A B^T D B`` (exact for constant D).
+Degrees of freedom are ordered (u1, v1, u2, v2, u3, v3).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import MeshError
+
+
+def _geometry(xy: np.ndarray) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Shape-derivative coefficients b, c and the signed area."""
+    x = xy[:, 0]
+    y = xy[:, 1]
+    b = np.array([y[1] - y[2], y[2] - y[0], y[0] - y[1]])
+    c = np.array([x[2] - x[1], x[0] - x[2], x[1] - x[0]])
+    area = 0.5 * (x[0] * b[0] + x[1] * b[1] + x[2] * b[2])
+    return b, c, area
+
+
+def cst_b_matrix(xy: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Strain-displacement matrix B (3 x 6) and element area.
+
+    ``xy`` is the 3 x 2 vertex coordinate array in CCW order.  Raises
+    :class:`MeshError` for a non-positive area (inverted or degenerate
+    element), since the caller is expected to have oriented the mesh.
+    """
+    xy = np.asarray(xy, dtype=float)
+    b, c, area = _geometry(xy)
+    if area <= 0.0:
+        raise MeshError(f"CST element has non-positive area {area:g}")
+    bm = np.zeros((3, 6))
+    for i in range(3):
+        bm[0, 2 * i] = b[i]
+        bm[1, 2 * i + 1] = c[i]
+        bm[2, 2 * i] = c[i]
+        bm[2, 2 * i + 1] = b[i]
+    bm /= 2.0 * area
+    return bm, area
+
+
+def cst_stiffness(xy: np.ndarray, d_matrix: np.ndarray,
+                  thickness: float = 1.0) -> np.ndarray:
+    """6 x 6 element stiffness ``t A B^T D B``."""
+    bm, area = cst_b_matrix(xy)
+    return thickness * area * (bm.T @ d_matrix @ bm)
+
+
+def cst_strain(xy: np.ndarray, displacements: np.ndarray) -> np.ndarray:
+    """Element strain [eps_x, eps_y, gamma_xy] from the 6 nodal dofs."""
+    bm, _ = cst_b_matrix(xy)
+    return bm @ np.asarray(displacements, dtype=float).reshape(6)

@@ -1,0 +1,115 @@
+"""Linear heat-conduction triangle for the Reference-3 style analysis.
+
+One temperature dof per node.  With the same shape-derivative coefficients
+as the CST, the conductivity matrix of a triangle of area A, thickness t
+and conductivity k is
+
+    K_e = k t / (4 A) * (b b^T + c c^T)
+
+and the capacitance matrix (rho c_p) uses either the consistent form
+``rho c t A / 12 * (1 + I)`` or the lumped form ``rho c t A / 3 * I``.
+A prescribed heat flux q (per unit area) on an element edge of length L
+contributes ``q t L / 2`` to each edge node -- that is how Figure 14's
+radiant pulse enters.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.fem.elements.cst import _geometry
+
+
+def heat_conductivity_matrix(xy: np.ndarray, conductivity: float,
+                             thickness: float = 1.0) -> np.ndarray:
+    """3 x 3 element conductivity matrix."""
+    xy = np.asarray(xy, dtype=float)
+    b, c, area = _geometry(xy)
+    if area <= 0.0:
+        raise MeshError(f"heat triangle has non-positive area {area:g}")
+    coeff = conductivity * thickness / (4.0 * area)
+    return coeff * (np.outer(b, b) + np.outer(c, c))
+
+
+def heat_capacity_matrix(xy: np.ndarray, volumetric_capacity: float,
+                         thickness: float = 1.0,
+                         lumped: bool = True) -> np.ndarray:
+    """3 x 3 capacitance matrix (lumped by default, as 1970 codes were)."""
+    xy = np.asarray(xy, dtype=float)
+    _, _, area = _geometry(xy)
+    if area <= 0.0:
+        raise MeshError(f"heat triangle has non-positive area {area:g}")
+    total = volumetric_capacity * thickness * area
+    if lumped:
+        return (total / 3.0) * np.eye(3)
+    consistent = np.full((3, 3), 1.0)
+    consistent += np.eye(3)
+    return (total / 12.0) * consistent
+
+
+def edge_flux_vector(p0: Tuple[float, float], p1: Tuple[float, float],
+                     flux: float, thickness: float = 1.0) -> np.ndarray:
+    """Equivalent nodal heat inputs for a uniform edge flux.
+
+    ``flux`` is heat per unit area per unit time entering through the edge
+    from ``p0`` to ``p1``; each node receives half the total.
+    """
+    length = float(np.hypot(p1[0] - p0[0], p1[1] - p0[1]))
+    if length <= 0.0:
+        raise MeshError("flux edge has zero length")
+    half = 0.5 * flux * thickness * length
+    return np.array([half, half])
+
+
+# ----------------------------------------------------------------------
+# Axisymmetric (ring) conduction
+# ----------------------------------------------------------------------
+
+def heat_conductivity_matrix_axisym(rz: np.ndarray,
+                                    conductivity: float) -> np.ndarray:
+    """3 x 3 ring conductivity: ``2 pi r_bar`` times the plane matrix.
+
+    One-point integration at the centroid, consistent with the
+    axisymmetric stress element; exact for a constant gradient on a ring
+    whose radius variation across the element is modest.
+    """
+    rz = np.asarray(rz, dtype=float)
+    if np.any(rz[:, 0] < -1e-12):
+        raise MeshError("axisymmetric heat element has negative radius")
+    r_bar = float(rz[:, 0].mean())
+    if r_bar <= 0.0:
+        raise MeshError("axisymmetric heat element lies on the axis")
+    return 2.0 * np.pi * r_bar * heat_conductivity_matrix(
+        rz, conductivity, thickness=1.0
+    )
+
+
+def heat_capacity_matrix_axisym(rz: np.ndarray, volumetric_capacity: float,
+                                lumped: bool = True) -> np.ndarray:
+    """3 x 3 ring capacitance: ``2 pi r_bar`` times the plane matrix."""
+    rz = np.asarray(rz, dtype=float)
+    r_bar = float(rz[:, 0].mean())
+    if r_bar <= 0.0:
+        raise MeshError("axisymmetric heat element lies on the axis")
+    return 2.0 * np.pi * r_bar * heat_capacity_matrix(
+        rz, volumetric_capacity, thickness=1.0, lumped=lumped
+    )
+
+
+def edge_flux_vector_axisym(p0: Tuple[float, float],
+                            p1: Tuple[float, float],
+                            flux: float) -> np.ndarray:
+    """Nodal heat inputs for a uniform flux on a ring surface.
+
+    The edge sweeps an area ``2 pi r_bar L``; the consistent split
+    weights the larger-radius node: ``F_0 = pi q L (2 r_0 + r_1) / 3``.
+    """
+    length = float(np.hypot(p1[0] - p0[0], p1[1] - p0[1]))
+    if length <= 0.0:
+        raise MeshError("flux edge has zero length")
+    f0 = np.pi * flux * length * (2.0 * p0[0] + p1[0]) / 3.0
+    f1 = np.pi * flux * length * (p0[0] + 2.0 * p1[0]) / 3.0
+    return np.array([f0, f1])

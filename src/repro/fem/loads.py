@@ -1,0 +1,125 @@
+"""Applied loading: nodal forces and edge pressures.
+
+The paper's structural examples are externally pressurised submersible
+components, so the workhorse is the surface-pressure load.  Sign
+convention: *positive pressure pushes against the outward normal* (i.e.
+external hydrostatic pressure is positive).
+
+Boundary edges obtained from :meth:`Mesh.boundary_edges` on a CCW-oriented
+mesh traverse the boundary counter-clockwise, so the outward normal of the
+directed edge (a -> b) points to its right; that is relied on here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import BoundaryConditionError
+from repro.fem.mesh import Mesh
+
+
+@dataclass
+class LoadCase:
+    """A named collection of loads resolved to a global force vector."""
+
+    name: str = "load"
+    nodal_forces: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+    def add_force(self, node: int, direction: int, value: float) -> "LoadCase":
+        """Accumulate a concentrated force on (node, direction 0|1)."""
+        key = (int(node), int(direction))
+        self.nodal_forces[key] = self.nodal_forces.get(key, 0.0) + float(value)
+        return self
+
+    def vector(self, n_nodes: int, dofs_per_node: int = 2) -> np.ndarray:
+        f = np.zeros(n_nodes * dofs_per_node)
+        for (node, direction), value in self.nodal_forces.items():
+            if node < 0 or node >= n_nodes:
+                raise BoundaryConditionError(
+                    f"load on node {node} outside mesh of {n_nodes}"
+                )
+            if direction < 0 or direction >= dofs_per_node:
+                raise BoundaryConditionError(
+                    f"load direction {direction} invalid"
+                )
+            f[node * dofs_per_node + direction] += value
+        return f
+
+    # ------------------------------------------------------------------
+    # Pressure loads
+    # ------------------------------------------------------------------
+    def add_edge_pressure_plane(self, mesh: Mesh,
+                                edges: Iterable[Tuple[int, int]],
+                                pressure: float,
+                                thickness: float = 1.0) -> "LoadCase":
+        """Uniform pressure on boundary edges of a plane model.
+
+        Each directed edge (a -> b) receives a total force
+        ``pressure * thickness * length`` along minus its right-hand
+        (outward) normal, split evenly between the two nodes.
+        """
+        for a, b in edges:
+            pa, pb = mesh.node_point(a), mesh.node_point(b)
+            dx, dy = pb.x - pa.x, pb.y - pa.y
+            length = math.hypot(dx, dy)
+            if length <= 0.0:
+                raise BoundaryConditionError(
+                    f"pressure edge ({a}, {b}) has zero length"
+                )
+            # Outward normal of a CCW boundary edge is its right normal.
+            nx, ny = dy / length, -dx / length
+            half = 0.5 * pressure * thickness * length
+            self.add_force(a, 0, -half * nx)
+            self.add_force(a, 1, -half * ny)
+            self.add_force(b, 0, -half * nx)
+            self.add_force(b, 1, -half * ny)
+        return self
+
+    def add_edge_pressure_axisym(self, mesh: Mesh,
+                                 edges: Iterable[Tuple[int, int]],
+                                 pressure: float) -> "LoadCase":
+        """Uniform pressure on boundary edges of an axisymmetric model.
+
+        The edge sweeps a conical ring of area ``2 pi r_bar L``; with the
+        radius varying linearly along the edge the consistent nodal split
+        is ``F_a = pi p L (2 r_a + r_b) / 3`` and symmetrically for b,
+        applied along minus the outward normal in the (r, z) plane.
+        """
+        for a, b in edges:
+            pa, pb = mesh.node_point(a), mesh.node_point(b)
+            dr, dz = pb.x - pa.x, pb.y - pa.y
+            length = math.hypot(dr, dz)
+            if length <= 0.0:
+                raise BoundaryConditionError(
+                    f"pressure edge ({a}, {b}) has zero length"
+                )
+            nr, nz = dz / length, -dr / length
+            fa = math.pi * pressure * length * (2.0 * pa.x + pb.x) / 3.0
+            fb = math.pi * pressure * length * (pa.x + 2.0 * pb.x) / 3.0
+            self.add_force(a, 0, -fa * nr)
+            self.add_force(a, 1, -fa * nz)
+            self.add_force(b, 0, -fb * nr)
+            self.add_force(b, 1, -fb * nz)
+        return self
+
+    def total_force(self, n_nodes: int) -> Tuple[float, float]:
+        """Resultant (sum Fx, sum Fy) -- handy for equilibrium checks."""
+        f = self.vector(n_nodes)
+        return (float(f[0::2].sum()), float(f[1::2].sum()))
+
+
+def edges_on_predicate(mesh: Mesh, predicate) -> List[Tuple[int, int]]:
+    """Boundary edges both of whose endpoints satisfy ``predicate``.
+
+    ``predicate`` receives a :class:`Point`; typical use selects the
+    outer surface of a pressure hull by radius or a face by coordinate.
+    """
+    selected: List[Tuple[int, int]] = []
+    for a, b in mesh.boundary_edges():
+        if predicate(mesh.node_point(a)) and predicate(mesh.node_point(b)):
+            selected.append((a, b))
+    return selected

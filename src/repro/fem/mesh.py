@@ -1,0 +1,270 @@
+"""Triangular finite-element meshes.
+
+The mesh is the contract between the three programs: IDLZ produces one,
+the analysis program consumes and decorates it, and OSPL plots fields over
+it.  Node boundary flags follow the OSPL card convention (Appendix C,
+type-3 cards):
+
+* ``0`` -- interior node,
+* ``1`` -- boundary node belonging to more than one element,
+* ``2`` -- boundary node belonging to exactly one element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.geometry.polygon import triangle_area, triangle_min_angle
+from repro.geometry.primitives import BoundingBox, Point
+
+#: OSPL boundary-flag values.
+INTERIOR, BOUNDARY_SHARED, BOUNDARY_LONE = 0, 1, 2
+
+
+@dataclass
+class Mesh:
+    """Nodes + three-node triangles.
+
+    Attributes
+    ----------
+    nodes:
+        ``(n, 2)`` float array of coordinates (x, y) or (r, z).
+    elements:
+        ``(e, 3)`` int array of 0-based node indices, CCW per element.
+    boundary_flags:
+        length-``n`` int array of OSPL flags; computed on demand when not
+        supplied.
+    element_groups:
+        optional length-``e`` int array tagging each element with a region
+        (material) id; defaults to all zeros.
+    """
+
+    nodes: np.ndarray
+    elements: np.ndarray
+    boundary_flags: Optional[np.ndarray] = None
+    element_groups: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        self.nodes = np.asarray(self.nodes, dtype=float)
+        self.elements = np.asarray(self.elements, dtype=int)
+        if self.nodes.ndim != 2 or self.nodes.shape[1] != 2:
+            raise MeshError(f"nodes must be (n, 2); got {self.nodes.shape}")
+        if self.elements.size and (
+            self.elements.ndim != 2 or self.elements.shape[1] != 3
+        ):
+            raise MeshError(
+                f"elements must be (e, 3); got {self.elements.shape}"
+            )
+        if self.elements.size == 0:
+            self.elements = self.elements.reshape(0, 3)
+        if self.elements.size:
+            if self.elements.min() < 0 or self.elements.max() >= len(self.nodes):
+                raise MeshError("element connectivity references missing nodes")
+        if self.element_groups is None:
+            self.element_groups = np.zeros(len(self.elements), dtype=int)
+        else:
+            self.element_groups = np.asarray(self.element_groups, dtype=int)
+            if len(self.element_groups) != len(self.elements):
+                raise MeshError("element_groups length mismatch")
+        if self.boundary_flags is not None:
+            self.boundary_flags = np.asarray(self.boundary_flags, dtype=int)
+            if len(self.boundary_flags) != len(self.nodes):
+                raise MeshError("boundary_flags length mismatch")
+
+    # ------------------------------------------------------------------
+    # Sizes and access
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def n_elements(self) -> int:
+        return len(self.elements)
+
+    def node_point(self, i: int) -> Point:
+        return Point(float(self.nodes[i, 0]), float(self.nodes[i, 1]))
+
+    def element_points(self, e: int) -> Tuple[Point, Point, Point]:
+        i, j, k = self.elements[e]
+        return (self.node_point(i), self.node_point(j), self.node_point(k))
+
+    def bounding_box(self) -> BoundingBox:
+        return BoundingBox(
+            float(self.nodes[:, 0].min()), float(self.nodes[:, 1].min()),
+            float(self.nodes[:, 0].max()), float(self.nodes[:, 1].max()),
+        )
+
+    # ------------------------------------------------------------------
+    # Quality and validation
+    # ------------------------------------------------------------------
+    def element_areas(self) -> np.ndarray:
+        """Signed areas of every element (positive when CCW)."""
+        p = self.nodes[self.elements]
+        return 0.5 * (
+            (p[:, 1, 0] - p[:, 0, 0]) * (p[:, 2, 1] - p[:, 0, 1])
+            - (p[:, 2, 0] - p[:, 0, 0]) * (p[:, 1, 1] - p[:, 0, 1])
+        )
+
+    def orient_ccw(self) -> int:
+        """Flip clockwise elements in place; returns how many were flipped."""
+        areas = self.element_areas()
+        flipped = 0
+        for e in np.nonzero(areas < 0)[0]:
+            self.elements[e, [1, 2]] = self.elements[e, [2, 1]]
+            flipped += 1
+        return flipped
+
+    def validate(self, min_area: float = 0.0) -> None:
+        """Raise :class:`MeshError` on degenerate or inverted elements."""
+        areas = self.element_areas()
+        bad = np.nonzero(areas <= min_area)[0]
+        if bad.size:
+            raise MeshError(
+                f"{bad.size} element(s) have non-positive area; first is "
+                f"element {bad[0]} with area {areas[bad[0]]:g}"
+            )
+
+    def min_angle(self) -> float:
+        """Smallest interior angle over the mesh (radians)."""
+        if self.n_elements == 0:
+            raise MeshError("mesh has no elements")
+        return min(
+            triangle_min_angle(*self.element_points(e))
+            for e in range(self.n_elements)
+        )
+
+    def min_angles_per_element(self) -> np.ndarray:
+        return np.array([
+            triangle_min_angle(*self.element_points(e))
+            for e in range(self.n_elements)
+        ])
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def edge_counts(self) -> Dict[Tuple[int, int], int]:
+        """How many elements share each (sorted) edge."""
+        counts: Dict[Tuple[int, int], int] = {}
+        for tri in self.elements:
+            for a, b in ((tri[0], tri[1]), (tri[1], tri[2]), (tri[2], tri[0])):
+                key = (int(a), int(b)) if a < b else (int(b), int(a))
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def boundary_edges(self) -> List[Tuple[int, int]]:
+        """Edges belonging to exactly one element, in element order."""
+        counts = self.edge_counts()
+        edges: List[Tuple[int, int]] = []
+        seen: Set[Tuple[int, int]] = set()
+        for tri in self.elements:
+            for a, b in ((tri[0], tri[1]), (tri[1], tri[2]), (tri[2], tri[0])):
+                key = (int(a), int(b)) if a < b else (int(b), int(a))
+                if counts[key] == 1 and key not in seen:
+                    seen.add(key)
+                    edges.append((int(a), int(b)))
+        return edges
+
+    def node_elements(self) -> List[List[int]]:
+        """For each node, the list of elements containing it."""
+        incident: List[List[int]] = [[] for _ in range(self.n_nodes)]
+        for e, tri in enumerate(self.elements):
+            for n in tri:
+                incident[int(n)].append(e)
+        return incident
+
+    def node_adjacency(self) -> List[Set[int]]:
+        """Node-to-node adjacency through element edges."""
+        adj: List[Set[int]] = [set() for _ in range(self.n_nodes)]
+        for tri in self.elements:
+            a, b, c = (int(v) for v in tri)
+            adj[a].update((b, c))
+            adj[b].update((a, c))
+            adj[c].update((a, b))
+        return adj
+
+    def compute_boundary_flags(self) -> np.ndarray:
+        """Derive the OSPL flags (0/1/2) from the connectivity."""
+        flags = np.zeros(self.n_nodes, dtype=int)
+        boundary_nodes: Set[int] = set()
+        for a, b in self.boundary_edges():
+            boundary_nodes.add(a)
+            boundary_nodes.add(b)
+        incident = self.node_elements()
+        for n in boundary_nodes:
+            flags[n] = BOUNDARY_LONE if len(incident[n]) == 1 else BOUNDARY_SHARED
+        self.boundary_flags = flags
+        return flags
+
+    def flags(self) -> np.ndarray:
+        """Boundary flags, computing them if absent."""
+        if self.boundary_flags is None:
+            self.compute_boundary_flags()
+        return self.boundary_flags
+
+    # ------------------------------------------------------------------
+    # Node finding (for boundary conditions on generated meshes)
+    # ------------------------------------------------------------------
+    def find_nodes(self, predicate) -> List[int]:
+        """Indices of nodes whose Point satisfies ``predicate``."""
+        return [
+            i for i in range(self.n_nodes) if predicate(self.node_point(i))
+        ]
+
+    def nodes_near(self, x: Optional[float] = None, y: Optional[float] = None,
+                   tol: float = 1e-9) -> List[int]:
+        """Nodes on the line x = const and/or y = const (within ``tol``)."""
+        sel = np.ones(self.n_nodes, dtype=bool)
+        if x is not None:
+            sel &= np.abs(self.nodes[:, 0] - x) <= tol
+        if y is not None:
+            sel &= np.abs(self.nodes[:, 1] - y) <= tol
+        return [int(i) for i in np.nonzero(sel)[0]]
+
+    def nearest_node(self, x: float, y: float) -> int:
+        """Index of the node closest to (x, y)."""
+        if self.n_nodes == 0:
+            raise MeshError("mesh has no nodes")
+        d2 = (self.nodes[:, 0] - x) ** 2 + (self.nodes[:, 1] - y) ** 2
+        return int(np.argmin(d2))
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def renumbered(self, permutation: Sequence[int]) -> "Mesh":
+        """A copy with nodes renumbered: new index = permutation[old index].
+
+        ``permutation`` maps old node indices to new ones and must be a
+        bijection on ``range(n_nodes)``.
+        """
+        perm = np.asarray(permutation, dtype=int)
+        if sorted(perm.tolist()) != list(range(self.n_nodes)):
+            raise MeshError("permutation is not a bijection on the nodes")
+        inverse = np.empty_like(perm)
+        inverse[perm] = np.arange(self.n_nodes)
+        new_nodes = self.nodes[inverse]
+        new_elements = perm[self.elements]
+        new_flags = None
+        if self.boundary_flags is not None:
+            new_flags = self.boundary_flags[inverse]
+        return Mesh(
+            nodes=new_nodes,
+            elements=new_elements,
+            boundary_flags=new_flags,
+            element_groups=None if self.element_groups is None
+            else self.element_groups.copy(),
+        )
+
+    def copy(self) -> "Mesh":
+        return Mesh(
+            nodes=self.nodes.copy(),
+            elements=self.elements.copy(),
+            boundary_flags=None if self.boundary_flags is None
+            else self.boundary_flags.copy(),
+            element_groups=None if self.element_groups is None
+            else self.element_groups.copy(),
+        )

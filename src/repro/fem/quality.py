@@ -1,0 +1,126 @@
+"""Mesh quality measures.
+
+IDLZ's reformation pass optimises the minimum angle; analysts also cared
+about element *aspect ratio* ("very small elements in a critical area"
+still need reasonable shape for the CST to behave).  This module
+provides the standard triangle measures and an aggregate report used by
+the meshing benchmarks:
+
+* ``aspect_ratio``   -- longest side / (2 * inradius * sqrt(3)); 1 for
+  equilateral, growing without bound for needles;
+* ``shape_quality``  -- 4 sqrt(3) A / (l1^2 + l2^2 + l3^2), normalised
+  to 1 for equilateral and 0 for degenerate (the classical FEM quality
+  index);
+* ``MeshQuality``    -- per-mesh aggregate with histogram support.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.fem.mesh import Mesh
+from repro.geometry.primitives import Point
+
+
+def _sides(a: Point, b: Point, c: Point) -> Tuple[float, float, float]:
+    return (
+        math.hypot(c[0] - b[0], c[1] - b[1]),
+        math.hypot(a[0] - c[0], a[1] - c[1]),
+        math.hypot(b[0] - a[0], b[1] - a[1]),
+    )
+
+
+def _area(a: Point, b: Point, c: Point) -> float:
+    return 0.5 * abs(
+        (b[0] - a[0]) * (c[1] - a[1]) - (c[0] - a[0]) * (b[1] - a[1])
+    )
+
+
+def aspect_ratio(a: Point, b: Point, c: Point) -> float:
+    """Longest side over the equilateral-normalised inradius diameter.
+
+    Equals 1 for an equilateral triangle; a value of r means the element
+    is r times more stretched than equilateral.  Degenerate triangles
+    raise :class:`MeshError`.
+    """
+    l1, l2, l3 = _sides(a, b, c)
+    area = _area(a, b, c)
+    if area == 0.0:
+        raise MeshError("aspect ratio of a degenerate triangle")
+    s = 0.5 * (l1 + l2 + l3)
+    inradius = area / s
+    return max(l1, l2, l3) / (2.0 * math.sqrt(3.0) * inradius)
+
+
+def shape_quality(a: Point, b: Point, c: Point) -> float:
+    """Normalised shape index in (0, 1]; 1 is equilateral."""
+    l1, l2, l3 = _sides(a, b, c)
+    denom = l1 * l1 + l2 * l2 + l3 * l3
+    if denom == 0.0:
+        raise MeshError("shape quality of a point triangle")
+    return 4.0 * math.sqrt(3.0) * _area(a, b, c) / denom
+
+
+@dataclass
+class MeshQuality:
+    """Aggregate quality of a mesh."""
+
+    min_angle_deg: float
+    mean_min_angle_deg: float
+    worst_aspect: float
+    mean_aspect: float
+    worst_shape: float
+    mean_shape: float
+    n_elements: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "min_angle_deg": self.min_angle_deg,
+            "mean_min_angle_deg": self.mean_min_angle_deg,
+            "worst_aspect": self.worst_aspect,
+            "mean_aspect": self.mean_aspect,
+            "worst_shape": self.worst_shape,
+            "mean_shape": self.mean_shape,
+            "n_elements": self.n_elements,
+        }
+
+
+def mesh_quality(mesh: Mesh) -> MeshQuality:
+    """Quality aggregate over every element."""
+    if mesh.n_elements == 0:
+        raise MeshError("quality of a mesh with no elements")
+    angles = np.degrees(mesh.min_angles_per_element())
+    aspects: List[float] = []
+    shapes: List[float] = []
+    for e in range(mesh.n_elements):
+        pts = mesh.element_points(e)
+        aspects.append(aspect_ratio(*pts))
+        shapes.append(shape_quality(*pts))
+    return MeshQuality(
+        min_angle_deg=float(angles.min()),
+        mean_min_angle_deg=float(angles.mean()),
+        worst_aspect=float(max(aspects)),
+        mean_aspect=float(np.mean(aspects)),
+        worst_shape=float(min(shapes)),
+        mean_shape=float(np.mean(shapes)),
+        n_elements=mesh.n_elements,
+    )
+
+
+def quality_histogram(mesh: Mesh, bins: Sequence[float] = (
+        0.0, 0.2, 0.4, 0.6, 0.8, 1.0)) -> Dict[str, int]:
+    """Count elements per shape-quality bin (for listings)."""
+    shapes = [
+        shape_quality(*mesh.element_points(e))
+        for e in range(mesh.n_elements)
+    ]
+    counts, _ = np.histogram(shapes, bins=list(bins))
+    return {
+        f"{lo:.1f}-{hi:.1f}": int(n)
+        for lo, hi, n in zip(bins[:-1], bins[1:], counts)
+    }

@@ -1,0 +1,74 @@
+"""Result containers shared between the FEM substrate and OSPL.
+
+A :class:`NodalField` is exactly what an OSPL type-3 card carries per node:
+one scalar value.  Element-valued quantities (CST stresses are constant per
+element) are converted with :func:`elements_to_nodes`, an area-weighted
+average over the elements incident to each node -- the standard smoothing
+1970 codes applied before contouring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.fem.mesh import Mesh
+
+
+@dataclass
+class NodalField:
+    """A named scalar field sampled at mesh nodes."""
+
+    name: str
+    values: np.ndarray
+
+    def __post_init__(self):
+        self.values = np.asarray(self.values, dtype=float)
+        if self.values.ndim != 1:
+            raise MeshError("nodal field values must be one-dimensional")
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.values)
+
+    def min(self) -> float:
+        return float(self.values.min())
+
+    def max(self) -> float:
+        return float(self.values.max())
+
+    def range(self) -> float:
+        return self.max() - self.min()
+
+    def scaled(self, factor: float) -> "NodalField":
+        return NodalField(self.name, self.values * factor)
+
+    def __getitem__(self, i: int) -> float:
+        return float(self.values[i])
+
+
+def elements_to_nodes(mesh: Mesh, element_values: np.ndarray,
+                      name: str = "field") -> NodalField:
+    """Area-weighted average of per-element values onto the nodes."""
+    element_values = np.asarray(element_values, dtype=float)
+    if len(element_values) != mesh.n_elements:
+        raise MeshError(
+            f"got {len(element_values)} element values for "
+            f"{mesh.n_elements} elements"
+        )
+    areas = np.abs(mesh.element_areas())
+    accum = np.zeros(mesh.n_nodes)
+    weight = np.zeros(mesh.n_nodes)
+    for e in range(mesh.n_elements):
+        w = areas[e]
+        for n in mesh.elements[e]:
+            accum[int(n)] += w * element_values[e]
+            weight[int(n)] += w
+    if np.any(weight == 0.0):
+        orphans = int(np.sum(weight == 0.0))
+        raise MeshError(
+            f"{orphans} node(s) belong to no element; cannot average"
+        )
+    return NodalField(name, accum / weight)

@@ -1,0 +1,227 @@
+"""Skyline (profile / envelope) storage and solver.
+
+The banded scheme stores a fixed-width band; the *skyline* scheme --
+the other storage 1970s production codes used -- stores each column only
+from its first non-zero down to the diagonal, so a mesh with a few long
+couplings does not pay for them everywhere.  Renumbering helps both, but
+they reward different orderings: RCM minimises bandwidth, while the
+profile is what the skyline pays for.  The ablation benchmark compares
+all three solvers (banded, skyline, scipy sparse) on the same systems.
+
+Storage: ``columns[j]`` holds A[top_j .. j, j] where ``top_j`` is the row
+of the first structural non-zero in column j; ``tops[j] = top_j``.
+Factorisation is the classic column-oriented Crout/Cholesky within the
+envelope (the envelope is closed under Cholesky, so no fill outside it).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import SolverError
+
+
+class SkylineMatrix:
+    """A symmetric matrix stored by its column envelope."""
+
+    def __init__(self, n: int, tops: Sequence[int]):
+        if n <= 0:
+            raise SolverError(f"matrix order must be positive, got {n}")
+        if len(tops) != n:
+            raise SolverError("need one envelope top per column")
+        self.n = n
+        self.tops: List[int] = []
+        for j, top in enumerate(tops):
+            if top < 0 or top > j:
+                raise SolverError(
+                    f"column {j}: envelope top {top} outside [0, {j}]"
+                )
+            self.tops.append(int(top))
+        self.columns: List[np.ndarray] = [
+            np.zeros(j - self.tops[j] + 1) for j in range(n)
+        ]
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dof_pairs(cls, n: int, pairs) -> "SkylineMatrix":
+        """Envelope implied by an iterable of coupled dof pairs."""
+        tops = list(range(n))
+        for i, j in pairs:
+            lo, hi = (int(i), int(j)) if i < j else (int(j), int(i))
+            if hi >= n or lo < 0:
+                raise SolverError(f"dof pair ({i}, {j}) outside order {n}")
+            tops[hi] = min(tops[hi], lo)
+        return cls(n, tops)
+
+    @classmethod
+    def from_dense(cls, a: np.ndarray) -> "SkylineMatrix":
+        a = np.asarray(a, dtype=float)
+        n = a.shape[0]
+        if a.shape != (n, n):
+            raise SolverError("from_dense needs a square matrix")
+        if not np.allclose(a, a.T, atol=1e-10 * (1 + np.abs(a).max())):
+            raise SolverError("from_dense needs a symmetric matrix")
+        tops = []
+        for j in range(n):
+            nz = np.nonzero(a[: j + 1, j])[0]
+            tops.append(int(nz[0]) if nz.size else j)
+        m = cls(n, tops)
+        for j in range(n):
+            m.columns[j][:] = a[m.tops[j]: j + 1, j]
+        return m
+
+    # ------------------------------------------------------------------
+    # Element access
+    # ------------------------------------------------------------------
+    def add(self, i: int, j: int, value: float) -> None:
+        if i > j:
+            i, j = j, i
+        if i < self.tops[j]:
+            raise SolverError(
+                f"entry ({i}, {j}) lies above column {j}'s envelope "
+                f"top {self.tops[j]}"
+            )
+        self.columns[j][i - self.tops[j]] += value
+
+    def add_block(self, dofs: np.ndarray, block: np.ndarray) -> None:
+        m = len(dofs)
+        for a in range(m):
+            for b in range(m):
+                if int(dofs[a]) <= int(dofs[b]):
+                    self.add(int(dofs[a]), int(dofs[b]), block[a, b])
+        # Lower entries are the transposes; only store upper triangle.
+
+    def get(self, i: int, j: int) -> float:
+        if i > j:
+            i, j = j, i
+        if i < self.tops[j]:
+            return 0.0
+        return float(self.columns[j][i - self.tops[j]])
+
+    def to_dense(self) -> np.ndarray:
+        a = np.zeros((self.n, self.n))
+        for j in range(self.n):
+            top = self.tops[j]
+            a[top: j + 1, j] = self.columns[j]
+            a[j, top: j + 1] = self.columns[j]
+        return a
+
+    def profile(self) -> int:
+        """Stored off-diagonal entries: the envelope size."""
+        return sum(j - self.tops[j] for j in range(self.n))
+
+    # ------------------------------------------------------------------
+    # Boundary conditions
+    # ------------------------------------------------------------------
+    def constrain_dof(self, k: int, rhs: np.ndarray,
+                      value: float = 0.0) -> None:
+        """Impose x[k] = value by envelope-preserving elimination."""
+        # Column k above the diagonal.
+        top = self.tops[k]
+        for i in range(top, k):
+            coupling = self.columns[k][i - top]
+            if coupling != 0.0:
+                rhs[i] -= coupling * value
+                self.columns[k][i - top] = 0.0
+        # Row k appears inside later columns' envelopes.
+        for j in range(k + 1, self.n):
+            if self.tops[j] <= k:
+                idx = k - self.tops[j]
+                coupling = self.columns[j][idx]
+                if coupling != 0.0:
+                    rhs[j] -= coupling * value
+                    self.columns[j][idx] = 0.0
+        self.columns[k][k - top] = 1.0
+        rhs[k] = value
+
+    # ------------------------------------------------------------------
+    # Factorisation and solution
+    # ------------------------------------------------------------------
+    def cholesky(self) -> "SkylineCholeskyFactor":
+        """Envelope Cholesky A = L L^T (stored column-wise as U = L^T)."""
+        n = self.n
+        tops = self.tops
+        cols = [c.copy() for c in self.columns]
+        diag = np.zeros(n)
+        for j in range(n):
+            top_j = tops[j]
+            col_j = cols[j]
+            for i in range(top_j, j):
+                # u_ij = (a_ij - sum_{k} u_ki u_kj) / d_i   (k >= both tops)
+                top_i = tops[i]
+                start = max(top_i, top_j)
+                s = col_j[i - top_j]
+                if start < i:
+                    vi = cols[i][start - top_i: i - top_i]
+                    vj = col_j[start - top_j: i - top_j]
+                    s -= float(np.dot(vi, vj))
+                col_j[i - top_j] = s / diag[i]
+            pivot = col_j[j - top_j]
+            if j > top_j:
+                v = col_j[: j - top_j]
+                pivot -= float(np.dot(v, v))
+            if pivot <= 0.0:
+                raise SolverError(
+                    f"non-positive pivot {pivot:g} at equation {j}; the "
+                    "system is singular or indefinite"
+                )
+            diag[j] = math.sqrt(pivot)
+            col_j[j - top_j] = diag[j]
+        return SkylineCholeskyFactor(n, tops, cols)
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        return self.cholesky().solve(rhs)
+
+
+class SkylineCholeskyFactor:
+    """Envelope factor: columns hold L^T's columns (U) with diagonals."""
+
+    def __init__(self, n: int, tops: List[int], cols: List[np.ndarray]):
+        self.n = n
+        self.tops = tops
+        self.cols = cols
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        n, tops, cols = self.n, self.tops, self.cols
+        y = np.asarray(rhs, dtype=float).copy()
+        if y.shape[0] != n:
+            raise SolverError(f"rhs length {y.shape[0]} != order {n}")
+        # Forward: L y = b, where L's row j is column j of U transposed.
+        for j in range(n):
+            top = tops[j]
+            if top < j:
+                y[j] -= float(np.dot(cols[j][: j - top], y[top:j]))
+            y[j] /= cols[j][j - top]
+        # Back: L^T x = y (columns of U drive the updates).
+        for j in range(n - 1, -1, -1):
+            top = tops[j]
+            y[j] /= cols[j][j - top]
+            if top < j:
+                y[top:j] -= cols[j][: j - top] * y[j]
+        return y
+
+
+def assemble_skyline(mesh, materials, analysis_type: str) -> SkylineMatrix:
+    """Assemble a global stiffness in skyline storage."""
+    from repro.fem.assembly import _element_dofs, element_stiffness
+
+    dofs_per_node = 2
+    ndof = mesh.n_nodes * dofs_per_node
+    pairs = []
+    for tri in mesh.elements:
+        dofs = _element_dofs(tri, dofs_per_node)
+        for a in dofs:
+            for b in dofs:
+                if a < b:
+                    pairs.append((int(a), int(b)))
+    matrix = SkylineMatrix.from_dof_pairs(ndof, pairs)
+    for e in range(mesh.n_elements):
+        ke = element_stiffness(mesh, e, materials, analysis_type)
+        dofs = _element_dofs(mesh.elements[e], dofs_per_node)
+        matrix.add_block(dofs, ke)
+    return matrix

@@ -1,0 +1,128 @@
+"""Strain recovery -- the third field family OSPL plotted.
+
+"Output from a finite element analysis generally includes, at every
+node, one or more ... values of stress, strain, etc."  Stress recovery
+lives in :mod:`repro.fem.stress`; this module recovers the *strains*
+with the same conventions:
+
+* plane rows normalised to [eps_x, eps_y, gamma_xy, eps_z] (eps_z from
+  the plane-stress free surface or identically zero in plane strain);
+* axisymmetric rows [eps_r, eps_z, gamma_rz, eps_theta].
+
+Named components mirror the stress ones where meaningful, plus the
+volumetric strain engineers tracked for incompressibility checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.fem.elements.axisym import axisym_b_matrix
+from repro.fem.elements.cst import cst_b_matrix
+from repro.fem.mesh import Mesh
+from repro.fem.results import NodalField, elements_to_nodes
+
+
+class StrainComponent(Enum):
+    """Named strain measures."""
+
+    NORMAL_X = "eps_x"           # eps_r for axisymmetric
+    NORMAL_Y = "eps_y"           # eps_z for axisymmetric
+    SHEAR = "gamma"
+    HOOP = "eps_theta"
+    OUT_OF_PLANE = "eps_z"
+    VOLUMETRIC = "eps_vol"
+    MAX_PRINCIPAL = "eps_1"
+    MIN_PRINCIPAL = "eps_2"
+
+
+@dataclass
+class StrainField:
+    """Per-element strain vectors (e, 4) with component extraction."""
+
+    mesh: Mesh
+    raw: np.ndarray
+    analysis_type: str
+
+    def __post_init__(self):
+        self.raw = np.asarray(self.raw, dtype=float)
+        if self.raw.shape != (self.mesh.n_elements, 4):
+            raise MeshError(
+                f"strain array must be ({self.mesh.n_elements}, 4); "
+                f"got {self.raw.shape}"
+            )
+
+    def element_component(self, component: StrainComponent) -> np.ndarray:
+        e1, e2, gamma, e3 = (self.raw[:, i] for i in range(4))
+        if component is StrainComponent.NORMAL_X:
+            return e1.copy()
+        if component is StrainComponent.NORMAL_Y:
+            return e2.copy()
+        if component is StrainComponent.SHEAR:
+            return gamma.copy()
+        if component in (StrainComponent.HOOP,
+                         StrainComponent.OUT_OF_PLANE):
+            if (component is StrainComponent.HOOP
+                    and self.analysis_type != "axisymmetric"):
+                raise MeshError(
+                    "hoop strain is defined for axisymmetric analyses"
+                )
+            return e3.copy()
+        if component is StrainComponent.VOLUMETRIC:
+            return e1 + e2 + e3
+        centre = 0.5 * (e1 + e2)
+        radius = np.sqrt((0.5 * (e1 - e2)) ** 2 + (0.5 * gamma) ** 2)
+        if component is StrainComponent.MAX_PRINCIPAL:
+            return centre + radius
+        if component is StrainComponent.MIN_PRINCIPAL:
+            return centre - radius
+        raise MeshError(f"unknown strain component {component!r}")
+
+    def nodal(self, component: StrainComponent) -> NodalField:
+        values = self.element_component(component)
+        return elements_to_nodes(self.mesh, values, name=component.value)
+
+
+def recover_strains(mesh: Mesh, displacements: np.ndarray,
+                    materials: Dict[int, object],
+                    analysis_type: str) -> StrainField:
+    """Element strains from the solved displacement vector.
+
+    ``materials`` is only consulted for the plane-stress out-of-plane
+    strain (eps_z = -nu/(1-nu) (eps_x + eps_y)); geometry drives the
+    rest.
+    """
+    ndof = 2 * mesh.n_nodes
+    disp = np.asarray(displacements, dtype=float)
+    if disp.shape != (ndof,):
+        raise MeshError(
+            f"displacement vector must have length {ndof}; got {disp.shape}"
+        )
+    raw = np.zeros((mesh.n_elements, 4))
+    for e in range(mesh.n_elements):
+        tri = mesh.elements[e]
+        xy = mesh.nodes[tri]
+        ue = np.empty(6)
+        for a, n in enumerate(tri):
+            ue[2 * a] = disp[2 * int(n)]
+            ue[2 * a + 1] = disp[2 * int(n) + 1]
+        if analysis_type == "axisymmetric":
+            bm, _, _ = axisym_b_matrix(xy)
+            raw[e] = bm @ ue  # [er, ez, grz, etheta]
+        elif analysis_type in ("plane_stress", "plane_strain"):
+            bm, _ = cst_b_matrix(xy)
+            strain = bm @ ue
+            raw[e, :3] = strain
+            if analysis_type == "plane_stress":
+                material = materials[int(mesh.element_groups[e])]
+                nu = getattr(material, "poisson", 0.0)
+                raw[e, 3] = -nu / (1.0 - nu) * (strain[0] + strain[1])
+            # plane strain: eps_z identically zero.
+        else:
+            raise MeshError(f"unknown analysis type {analysis_type!r}")
+    return StrainField(mesh=mesh, raw=raw, analysis_type=analysis_type)

@@ -1,0 +1,183 @@
+"""Stress recovery and the named components the paper plots.
+
+OSPL figures label their fields: EFFECTIVE STRESS (Figs 13, 16, 18),
+CIRCUMFERENTIAL STRESS (Figs 15, 16, 18), SHEAR (Fig 15), MERIDIONAL and
+RADIAL (Fig 17).  This module computes all of them from the raw element
+stress vectors:
+
+* plane problems carry [sig_x, sig_y, tau_xy] (+ sig_z for plane strain);
+* axisymmetric problems carry [sig_r, sig_z, tau_rz, sig_theta].
+
+Component definitions used here (documented because the 1970 report does
+not define them):
+
+* ``EFFECTIVE``       -- von Mises stress over all available components;
+* ``CIRCUMFERENTIAL`` -- the hoop stress sig_theta (axisymmetric only);
+* ``SHEAR``           -- the in-plane shear tau_xy / tau_rz;
+* ``MERIDIONAL``      -- the major in-plane principal stress, i.e. the
+  normal stress along the meridian of an axisymmetric shell section;
+* ``RADIAL``          -- the direct radial stress sig_r (sig_x in plane
+  problems);
+* ``AXIAL``           -- sig_z (sig_y in plane problems);
+* ``PRINCIPAL_MIN``   -- the minor in-plane principal stress.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.fem.elements.axisym import axisym_b_matrix
+from repro.fem.elements.cst import cst_b_matrix
+from repro.fem.mesh import Mesh
+from repro.fem.results import NodalField, elements_to_nodes
+
+
+class StressComponent(Enum):
+    """Named stress measures plotted in the paper's figures."""
+
+    EFFECTIVE = "effective"
+    CIRCUMFERENTIAL = "circumferential"
+    SHEAR = "shear"
+    MERIDIONAL = "meridional"
+    RADIAL = "radial"
+    AXIAL = "axial"
+    PRINCIPAL_MIN = "principal_min"
+
+
+@dataclass
+class StressField:
+    """Per-element stress vectors plus the machinery to derive components.
+
+    ``raw`` is an (e, m) array; ``m`` is 4 for both families once
+    normalised: plane rows are stored as [sig_x, sig_y, tau, sig_out]
+    where ``sig_out`` is 0 for plane stress and nu(sx+sy) for plane
+    strain, and axisymmetric rows as [sig_r, sig_z, tau_rz, sig_theta].
+    """
+
+    mesh: Mesh
+    raw: np.ndarray
+    analysis_type: str
+
+    def __post_init__(self):
+        self.raw = np.asarray(self.raw, dtype=float)
+        if self.raw.shape != (self.mesh.n_elements, 4):
+            raise MeshError(
+                f"stress array must be ({self.mesh.n_elements}, 4); "
+                f"got {self.raw.shape}"
+            )
+
+    # -- element-level component extraction ----------------------------
+    def element_component(self, component: StressComponent) -> np.ndarray:
+        s1, s2, tau, s3 = (self.raw[:, i] for i in range(4))
+        if component is StressComponent.EFFECTIVE:
+            return _von_mises(s1, s2, s3, tau)
+        if component is StressComponent.CIRCUMFERENTIAL:
+            if self.analysis_type != "axisymmetric":
+                raise MeshError(
+                    "circumferential stress is defined for axisymmetric "
+                    f"analyses, not {self.analysis_type!r}"
+                )
+            return s3.copy()
+        if component is StressComponent.SHEAR:
+            return tau.copy()
+        if component is StressComponent.RADIAL:
+            return s1.copy()
+        if component is StressComponent.AXIAL:
+            return s2.copy()
+        if component is StressComponent.MERIDIONAL:
+            return _principal(s1, s2, tau, major=True)
+        if component is StressComponent.PRINCIPAL_MIN:
+            return _principal(s1, s2, tau, major=False)
+        raise MeshError(f"unknown stress component {component!r}")
+
+    # -- nodal fields for OSPL ------------------------------------------
+    def nodal(self, component: StressComponent) -> NodalField:
+        values = self.element_component(component)
+        return elements_to_nodes(self.mesh, values, name=component.value)
+
+    def all_nodal(self) -> Dict[StressComponent, NodalField]:
+        out: Dict[StressComponent, NodalField] = {}
+        for component in StressComponent:
+            if (component is StressComponent.CIRCUMFERENTIAL
+                    and self.analysis_type != "axisymmetric"):
+                continue
+            out[component] = self.nodal(component)
+        return out
+
+
+def _von_mises(s1, s2, s3, tau) -> np.ndarray:
+    return np.sqrt(
+        0.5 * ((s1 - s2) ** 2 + (s2 - s3) ** 2 + (s3 - s1) ** 2)
+        + 3.0 * tau ** 2
+    )
+
+
+def _principal(sa, sb, tau, major: bool) -> np.ndarray:
+    centre = 0.5 * (sa + sb)
+    radius = np.sqrt((0.5 * (sa - sb)) ** 2 + tau ** 2)
+    return centre + radius if major else centre - radius
+
+
+def recover_stresses(mesh: Mesh, displacements: np.ndarray,
+                     materials: Dict[int, object],
+                     analysis_type: str) -> StressField:
+    """Element stresses from the solved displacement vector.
+
+    ``displacements`` is the full global vector with interleaved (u, v)
+    dofs; materials are looked up per element group exactly as during
+    assembly, so stresses honour the multi-material junctures the paper's
+    structures feature.
+    """
+    ndof = 2 * mesh.n_nodes
+    disp = np.asarray(displacements, dtype=float)
+    if disp.shape != (ndof,):
+        raise MeshError(
+            f"displacement vector must have length {ndof}; got {disp.shape}"
+        )
+    raw = np.zeros((mesh.n_elements, 4))
+    for e in range(mesh.n_elements):
+        tri = mesh.elements[e]
+        xy = mesh.nodes[tri]
+        ue = np.empty(6)
+        for a, n in enumerate(tri):
+            ue[2 * a] = disp[2 * int(n)]
+            ue[2 * a + 1] = disp[2 * int(n) + 1]
+        material = materials[int(mesh.element_groups[e])]
+        if analysis_type == "axisymmetric":
+            bm, _, _ = axisym_b_matrix(xy)
+            strain = bm @ ue
+            stress = material.d_axisymmetric() @ strain
+            raw[e] = stress  # [sr, sz, trz, stheta]
+        elif analysis_type == "plane_stress":
+            bm, _ = cst_b_matrix(xy)
+            strain = bm @ ue
+            stress = material.d_plane_stress() @ strain
+            raw[e, :3] = stress
+            raw[e, 3] = 0.0  # free surface: no out-of-plane stress
+        elif analysis_type == "plane_strain":
+            bm, _ = cst_b_matrix(xy)
+            strain = bm @ ue
+            stress = material.d_plane_strain() @ strain
+            raw[e, :3] = stress
+            # sig_z from the constraint eps_z = 0.  For isotropic material
+            # this is nu (sx + sy); orthotropic uses its own coupling row.
+            raw[e, 3] = _plane_strain_sz(material, strain)
+        else:
+            raise MeshError(f"unknown analysis type {analysis_type!r}")
+    return StressField(mesh=mesh, raw=raw, analysis_type=analysis_type)
+
+
+def _plane_strain_sz(material, strain: np.ndarray) -> float:
+    if hasattr(material, "poisson"):
+        d = material.d_plane_strain()
+        s = d @ strain
+        return float(material.poisson * (s[0] + s[1]))
+    # Orthotropic: sig_3 = C31 eps_1 + C32 eps_2 with eps_3 = 0.
+    c = np.linalg.inv(material._compliance3())
+    return float(c[2, 0] * strain[0] + c[2, 1] * strain[1])

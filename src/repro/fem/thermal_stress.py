@@ -1,0 +1,165 @@
+"""Thermal stress: temperatures in, equivalent loads and stresses out.
+
+The paper's Reference-1 analysis accepted temperature distributions --
+that is how a Figure-14 conduction result became a stress picture.  The
+standard initial-strain treatment is implemented here: with free thermal
+strain ``eps0 = alpha dT`` per element, the equivalent nodal load is
+
+    f_e = integral( B^T D eps0 )  =  (t A | 2 pi r A) B^T D eps0
+
+and the recovered stress subtracts the free strain:
+
+    sigma = D (B u - eps0).
+
+Temperatures are taken at the nodes (a :class:`NodalField`, typically
+straight from :class:`repro.fem.thermal.ThermalAnalysis`) and averaged
+per element, consistent with the constant-strain element.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.fem.elements.axisym import axisym_b_matrix
+from repro.fem.elements.cst import cst_b_matrix
+from repro.fem.loads import LoadCase
+from repro.fem.mesh import Mesh
+from repro.fem.results import NodalField
+from repro.fem.solve import AnalysisType, StaticAnalysis, StaticResult
+from repro.fem.stress import StressField
+
+
+def element_temperatures(mesh: Mesh, temperatures: NodalField,
+                         reference: float) -> np.ndarray:
+    """Per-element temperature rise above ``reference``."""
+    if temperatures.n_nodes != mesh.n_nodes:
+        raise MeshError(
+            f"temperature field has {temperatures.n_nodes} values for a "
+            f"mesh of {mesh.n_nodes} nodes"
+        )
+    values = temperatures.values
+    return np.array([
+        float(values[mesh.elements[e]].mean()) - reference
+        for e in range(mesh.n_elements)
+    ])
+
+
+def _element_d_and_geometry(mesh: Mesh, e: int, material,
+                            analysis_type: str):
+    xy = mesh.nodes[mesh.elements[e]]
+    if analysis_type == "axisymmetric":
+        bm, area, r_bar = axisym_b_matrix(xy)
+        weight = 2.0 * math.pi * r_bar * area
+        d = material.d_axisymmetric()
+    elif analysis_type == "plane_stress":
+        bm, area = cst_b_matrix(xy)
+        weight = material.thickness * area
+        d = material.d_plane_stress()
+    elif analysis_type == "plane_strain":
+        bm, area = cst_b_matrix(xy)
+        weight = area
+        d = material.d_plane_strain()
+    else:
+        raise MeshError(f"unknown analysis type {analysis_type!r}")
+    return bm, d, weight
+
+
+def thermal_load_case(mesh: Mesh, materials: Dict[int, object],
+                      temperatures: NodalField,
+                      analysis_type: AnalysisType,
+                      reference: float = 0.0) -> LoadCase:
+    """Equivalent nodal loads for a temperature field."""
+    kind = analysis_type.value
+    delta = element_temperatures(mesh, temperatures, reference)
+    load = LoadCase(name=f"thermal:{temperatures.name}")
+    for e in range(mesh.n_elements):
+        material = materials[int(mesh.element_groups[e])]
+        if getattr(material, "expansion", 0.0) == 0.0 or delta[e] == 0.0:
+            continue
+        bm, d, weight = _element_d_and_geometry(mesh, e, material, kind)
+        eps0 = material.thermal_strain(delta[e], kind)
+        fe = weight * (bm.T @ (d @ eps0))
+        for a, node in enumerate(mesh.elements[e]):
+            load.add_force(int(node), 0, float(fe[2 * a]))
+            load.add_force(int(node), 1, float(fe[2 * a + 1]))
+    return load
+
+
+class ThermalStressAnalysis:
+    """Static analysis driven by a temperature field.
+
+    Wraps :class:`StaticAnalysis`: the thermal equivalent loads are added
+    to any mechanical loads, and stress recovery subtracts the free
+    thermal strain so an unconstrained uniform heat-up reports zero
+    stress (the classic sanity check).
+    """
+
+    def __init__(self, mesh: Mesh, materials: Dict[int, object],
+                 analysis_type: AnalysisType,
+                 temperatures: NodalField,
+                 reference_temperature: float = 0.0):
+        self.analysis = StaticAnalysis(mesh, materials, analysis_type)
+        self.mesh = mesh
+        self.materials = materials
+        self.analysis_type = analysis_type
+        self.temperatures = temperatures
+        self.reference = reference_temperature
+
+    @property
+    def constraints(self):
+        return self.analysis.constraints
+
+    @property
+    def loads(self):
+        return self.analysis.loads
+
+    def solve(self, solver: str = "banded") -> StaticResult:
+        thermal = thermal_load_case(
+            self.mesh, self.materials, self.temperatures,
+            self.analysis_type, reference=self.reference,
+        )
+        for (node, direction), value in thermal.nodal_forces.items():
+            self.analysis.loads.add_force(node, direction, value)
+        result = self.analysis.solve(solver=solver)
+        corrected = _subtract_thermal_stress(
+            result.stresses, self.materials, self.temperatures,
+            self.reference,
+        )
+        return StaticResult(mesh=result.mesh,
+                            displacements=result.displacements,
+                            stresses=corrected)
+
+
+def _subtract_thermal_stress(stresses: StressField,
+                             materials: Dict[int, object],
+                             temperatures: NodalField,
+                             reference: float) -> StressField:
+    """sigma = D(B u) - D eps0: remove the free-expansion part."""
+    mesh = stresses.mesh
+    kind = stresses.analysis_type
+    delta = element_temperatures(mesh, temperatures, reference)
+    raw = stresses.raw.copy()
+    for e in range(mesh.n_elements):
+        material = materials[int(mesh.element_groups[e])]
+        if getattr(material, "expansion", 0.0) == 0.0 or delta[e] == 0.0:
+            continue
+        eps0 = material.thermal_strain(delta[e], kind)
+        if kind == "axisymmetric":
+            d = material.d_axisymmetric()
+            raw[e] -= d @ eps0
+        elif kind == "plane_stress":
+            d = material.d_plane_stress()
+            raw[e, :3] -= d @ eps0
+        else:  # plane_strain
+            d = material.d_plane_strain()
+            correction = d @ eps0
+            raw[e, :3] -= correction
+            # The out-of-plane stress loses both the mechanical coupling
+            # and the direct E alpha dT term.
+            raw[e, 3] -= (material.poisson * (correction[0] + correction[1])
+                          + material.youngs * material.expansion * delta[e])
+    return StressField(mesh=mesh, raw=raw, analysis_type=kind)

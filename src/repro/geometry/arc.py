@@ -1,0 +1,114 @@
+"""Circular arcs with the IDLZ conventions.
+
+The IDLZ shaping cards (type 6) describe a boundary piece by its two real
+end coordinates and a RADIUS.  The paper's rules, honoured here:
+
+* RADIUS = 0 means a straight line (callers use :class:`Segment` instead);
+* "The center of curvature is located such that moving from end 1 to end 2
+  on the arc is a counterclockwise motion";
+* "the angle subtended by the arc must be less than or equal to 90 degrees"
+  (GENERAL RESTRICTIONS, Appendix A).
+
+Given two endpoints and a radius there are two candidate centres, one on
+each side of the chord; the CCW rule picks the one to the *left* of the
+directed chord, so the minor arc from end 1 to end 2 runs counter-clockwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ArcError
+from repro.geometry.primitives import Point, distance, midpoint
+
+#: Slack applied when enforcing the 90-degree rule, so arcs constructed to
+#: subtend exactly a quarter circle survive floating-point round-off.
+_ANGLE_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A counter-clockwise circular arc from ``start`` to ``end``.
+
+    ``center`` and ``radius`` are stored explicitly; ``theta0``/``theta1``
+    are the polar angles of the endpoints about the centre with
+    ``theta1 > theta0`` (CCW sweep).
+    """
+
+    start: Point
+    end: Point
+    center: Point
+    radius: float
+    theta0: float
+    theta1: float
+
+    @property
+    def sweep(self) -> float:
+        """Subtended angle in radians (positive, CCW)."""
+        return self.theta1 - self.theta0
+
+    def length(self) -> float:
+        """Arc length."""
+        return self.radius * self.sweep
+
+    def point_at(self, t: float) -> Point:
+        """Point at fraction ``t`` of the sweep (0 at start, 1 at end)."""
+        theta = self.theta0 + t * self.sweep
+        return Point(
+            self.center.x + self.radius * math.cos(theta),
+            self.center.y + self.radius * math.sin(theta),
+        )
+
+    def tangent_at(self, t: float) -> Point:
+        """Unit tangent (in the direction of travel) at fraction ``t``."""
+        theta = self.theta0 + t * self.sweep
+        return Point(-math.sin(theta), math.cos(theta))
+
+
+def arc_through(start: Point, end: Point, radius: float,
+                max_sweep: float = math.pi / 2.0) -> Arc:
+    """Construct the IDLZ arc from ``start`` to ``end`` with ``radius``.
+
+    The centre is placed to the left of the directed chord so the (minor)
+    arc is traversed counter-clockwise, per the card-type-6 convention.
+    Raises :class:`ArcError` when the chord is longer than the diameter,
+    when the endpoints coincide, or when the subtended angle exceeds
+    ``max_sweep`` (90 degrees by default, the paper's restriction).
+    """
+    if radius <= 0.0:
+        raise ArcError(f"arc radius must be positive, got {radius}")
+    chord = distance(start, end)
+    if chord == 0.0:
+        raise ArcError("arc endpoints coincide")
+    if chord > 2.0 * radius * (1.0 + 1e-12):
+        raise ArcError(
+            f"chord length {chord:g} exceeds diameter {2 * radius:g}; "
+            "no circle of the given radius passes through both endpoints"
+        )
+    half = min(chord / (2.0 * radius), 1.0)
+    # Half-angle subtended at the centre by the chord.
+    alpha = math.asin(half)
+    sweep = 2.0 * alpha
+    if sweep > max_sweep + _ANGLE_TOL:
+        raise ArcError(
+            f"arc subtends {math.degrees(sweep):.3f} deg, more than the "
+            f"permitted {math.degrees(max_sweep):.1f} deg"
+        )
+    # Midpoint of the chord, plus the left normal scaled to reach the
+    # centre.  "Left of the chord" makes start -> end counter-clockwise.
+    mid = midpoint(start, end)
+    nx = -(end.y - start.y) / chord
+    ny = (end.x - start.x) / chord
+    h = math.sqrt(max(radius * radius - (chord / 2.0) ** 2, 0.0))
+    center = Point(mid.x + h * nx, mid.y + h * ny)
+    theta0 = math.atan2(start.y - center.y, start.x - center.x)
+    theta1 = math.atan2(end.y - center.y, end.x - center.x)
+    while theta1 <= theta0:
+        theta1 += 2.0 * math.pi
+    # Guard: the CCW sweep from start to end must equal the minor arc we
+    # validated above (it does by construction; assert against drift).
+    if theta1 - theta0 > math.pi + _ANGLE_TOL:
+        raise ArcError("internal error: constructed a major arc")
+    return Arc(start=start, end=end, center=center, radius=radius,
+               theta0=theta0, theta1=theta1)

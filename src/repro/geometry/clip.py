@@ -1,0 +1,80 @@
+"""Cohen-Sutherland segment clipping against an axis-aligned window.
+
+OSPL accepts a plot window (XMN/XMX/YMN/YMX) so the analyst can "zoom-in on
+a critical area even though some nodes in the data set are outside that
+area"; every contour and boundary segment is clipped to that window before
+being handed to the plotter.  The SC-4020 simulator also clips to its
+raster.
+"""
+
+from __future__ import annotations
+
+from enum import IntFlag
+from typing import Optional, Tuple
+
+from repro.geometry.primitives import BoundingBox, Point, Segment
+
+
+class OutCode(IntFlag):
+    """Cohen-Sutherland region codes."""
+
+    INSIDE = 0
+    LEFT = 1
+    RIGHT = 2
+    BOTTOM = 4
+    TOP = 8
+
+
+def _outcode(p: Point, box: BoundingBox) -> OutCode:
+    code = OutCode.INSIDE
+    if p[0] < box.xmin:
+        code |= OutCode.LEFT
+    elif p[0] > box.xmax:
+        code |= OutCode.RIGHT
+    if p[1] < box.ymin:
+        code |= OutCode.BOTTOM
+    elif p[1] > box.ymax:
+        code |= OutCode.TOP
+    return code
+
+
+def clip_segment(seg: Segment, box: BoundingBox) -> Optional[Segment]:
+    """Clip ``seg`` to ``box``; ``None`` when entirely outside.
+
+    Degenerate windows (zero width or height) still clip correctly -- the
+    result collapses onto the window edge.
+    """
+    x0, y0 = seg.start
+    x1, y1 = seg.end
+    code0 = _outcode(Point(x0, y0), box)
+    code1 = _outcode(Point(x1, y1), box)
+    while True:
+        if not (code0 | code1):
+            return Segment(Point(x0, y0), Point(x1, y1))
+        if code0 & code1:
+            return None
+        out = code0 if code0 else code1
+        x, y = _intersect(x0, y0, x1, y1, out, box)
+        if out == code0:
+            x0, y0 = x, y
+            code0 = _outcode(Point(x0, y0), box)
+        else:
+            x1, y1 = x, y
+            code1 = _outcode(Point(x1, y1), box)
+
+
+def _intersect(x0: float, y0: float, x1: float, y1: float,
+               out: OutCode, box: BoundingBox) -> Tuple[float, float]:
+    """Intersection of the segment with the window edge named by ``out``."""
+    if out & OutCode.TOP:
+        t = (box.ymax - y0) / (y1 - y0)
+        return (x0 + t * (x1 - x0), box.ymax)
+    if out & OutCode.BOTTOM:
+        t = (box.ymin - y0) / (y1 - y0)
+        return (x0 + t * (x1 - x0), box.ymin)
+    if out & OutCode.RIGHT:
+        t = (box.xmax - x0) / (x1 - x0)
+        return (box.xmax, y0 + t * (y1 - y0))
+    # LEFT is the only remaining possibility.
+    t = (box.xmin - x0) / (x1 - x0)
+    return (box.xmin, y0 + t * (y1 - y0))

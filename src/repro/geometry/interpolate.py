@@ -1,0 +1,90 @@
+"""Proportional placement of nodes along lines and arcs.
+
+This is the geometric core of IDLZ "shaping": a type-6 card gives the real
+coordinates of the two ends of a run of boundary lattice nodes, and the
+program spreads the intermediate nodes along the straight line or circular
+arc *in proportion to their integer-lattice spacing*.  For the common case
+of unit lattice steps that is simply equal spacing; trapezoidal subdivisions
+can put non-unit steps on a side, which the proportional rule handles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from repro.errors import GeometryError
+from repro.geometry.arc import Arc
+from repro.geometry.primitives import Point, Segment, lerp_point
+
+
+def chord_fractions(stations: Sequence[float]) -> List[float]:
+    """Normalise monotone ``stations`` to fractions in [0, 1].
+
+    ``stations`` are cumulative positions (e.g. integer-lattice distances
+    from end 1).  The first maps to 0, the last to 1.  Raises on fewer than
+    two stations or a zero overall span; non-monotone input is rejected
+    because it means the caller walked the lattice path incorrectly.
+    """
+    if len(stations) < 2:
+        raise GeometryError("need at least two stations to interpolate")
+    span = stations[-1] - stations[0]
+    if span <= 0.0:
+        raise GeometryError("stations must strictly increase overall")
+    prev = stations[0]
+    fracs: List[float] = []
+    for s in stations:
+        if s < prev - 1e-12:
+            raise GeometryError("stations must be non-decreasing")
+        prev = s
+        fracs.append((s - stations[0]) / span)
+    return fracs
+
+
+def place_along_segment(seg: Segment, stations: Sequence[float]) -> List[Point]:
+    """Points along a straight segment at the given cumulative stations."""
+    return [seg.point_at(t) for t in chord_fractions(stations)]
+
+
+def place_along_arc(arc: Arc, stations: Sequence[float]) -> List[Point]:
+    """Points along an arc at the given cumulative stations.
+
+    Fractions are applied to the *sweep angle*, i.e. arc length, which is
+    what the original CURVE routine did: nodes land equally spaced along
+    the arc when the lattice steps are equal.
+    """
+    return [arc.point_at(t) for t in chord_fractions(stations)]
+
+
+def place_along_path(path: Union[Segment, Arc],
+                     stations: Sequence[float]) -> List[Point]:
+    """Dispatch to segment or arc placement."""
+    if isinstance(path, Segment):
+        return place_along_segment(path, stations)
+    if isinstance(path, Arc):
+        return place_along_arc(path, stations)
+    raise GeometryError(f"cannot place points along {type(path).__name__}")
+
+
+def ruled_interpolate(side_a: Sequence[Point], side_b: Sequence[Point],
+                      fractions: Sequence[float]) -> List[List[Point]]:
+    """Ruled (lofted) surface between two located sides.
+
+    Given the node positions along two opposite sides of a subdivision and
+    the transverse fractions at which the intermediate rows sit, return one
+    row of points per fraction, each obtained by joining corresponding
+    side nodes with a straight line -- the paper's statement that "two
+    opposite sides in every subdivision will be straight lines" is exactly
+    this construction.
+
+    ``side_a`` and ``side_b`` must have equal length (matching node counts
+    on opposite sides); rows for fractions 0 and 1 reproduce the inputs.
+    """
+    if len(side_a) != len(side_b):
+        raise GeometryError(
+            "ruled interpolation needs equal node counts on both sides "
+            f"({len(side_a)} vs {len(side_b)})"
+        )
+    rows: List[List[Point]] = []
+    for t in fractions:
+        rows.append([lerp_point(a, b, t) for a, b in zip(side_a, side_b)])
+    return rows

@@ -1,0 +1,131 @@
+"""Polygon and triangle measures used by the meshers.
+
+IDLZ's element-reformation pass (the ANGMIN routine of the listing) needs
+triangle angles; the FEM substrate needs signed areas and orientation; OSPL
+needs point-in-triangle checks when zooming.  All of those live here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import Point
+
+
+def signed_area(points: Sequence[Point]) -> float:
+    """Signed area of a simple polygon (positive when counter-clockwise)."""
+    n = len(points)
+    if n < 3:
+        raise GeometryError(f"polygon needs at least 3 vertices, got {n}")
+    total = 0.0
+    for i in range(n):
+        x1, y1 = points[i]
+        x2, y2 = points[(i + 1) % n]
+        total += x1 * y2 - x2 * y1
+    return 0.5 * total
+
+
+def triangle_area(a: Point, b: Point, c: Point) -> float:
+    """Signed area of triangle ``abc`` (positive when CCW)."""
+    return 0.5 * ((b[0] - a[0]) * (c[1] - a[1]) - (c[0] - a[0]) * (b[1] - a[1]))
+
+
+def is_ccw(a: Point, b: Point, c: Point) -> bool:
+    """Whether triangle ``abc`` is counter-clockwise."""
+    return triangle_area(a, b, c) > 0.0
+
+
+def triangle_angles(a: Point, b: Point, c: Point) -> Tuple[float, float, float]:
+    """Interior angles (radians) at vertices ``a``, ``b``, ``c``.
+
+    Raises :class:`GeometryError` for a degenerate (zero-area, coincident
+    vertex) triangle -- exactly the "needle-like" shapes IDLZ reforms, but
+    those still have positive area; a true zero is a data error.
+    """
+    la = _side(b, c)
+    lb = _side(c, a)
+    lc = _side(a, b)
+    if la == 0.0 or lb == 0.0 or lc == 0.0:
+        raise GeometryError("triangle has coincident vertices")
+    alpha = _angle_from_sides(lb, lc, la)
+    beta = _angle_from_sides(lc, la, lb)
+    gamma = math.pi - alpha - beta
+    if gamma < 0.0:
+        gamma = 0.0
+    return (alpha, beta, gamma)
+
+
+def triangle_min_angle(a: Point, b: Point, c: Point) -> float:
+    """Smallest interior angle (radians) -- the IDLZ element-quality metric."""
+    return min(triangle_angles(a, b, c))
+
+
+def _side(p: Point, q: Point) -> float:
+    return math.hypot(q[0] - p[0], q[1] - p[1])
+
+
+def _angle_from_sides(adj1: float, adj2: float, opp: float) -> float:
+    """Angle opposite ``opp`` by the law of cosines, clamped for round-off."""
+    cos_val = (adj1 * adj1 + adj2 * adj2 - opp * opp) / (2.0 * adj1 * adj2)
+    return math.acos(max(-1.0, min(1.0, cos_val)))
+
+
+def point_in_triangle(p: Point, a: Point, b: Point, c: Point,
+                      tol: float = 1e-12) -> bool:
+    """Whether ``p`` lies inside or on triangle ``abc`` (any orientation)."""
+    d1 = triangle_area(p, a, b)
+    d2 = triangle_area(p, b, c)
+    d3 = triangle_area(p, c, a)
+    has_neg = (d1 < -tol) or (d2 < -tol) or (d3 < -tol)
+    has_pos = (d1 > tol) or (d2 > tol) or (d3 > tol)
+    return not (has_neg and has_pos)
+
+
+def polygon_centroid(points: Sequence[Point]) -> Point:
+    """Area centroid of a simple polygon (triangle centroid for n = 3)."""
+    n = len(points)
+    if n < 3:
+        raise GeometryError(f"polygon needs at least 3 vertices, got {n}")
+    a = signed_area(points)
+    if a == 0.0:
+        # Degenerate polygon: fall back to the vertex average so callers
+        # (e.g. label placement) still get a representative point.
+        sx = sum(p[0] for p in points)
+        sy = sum(p[1] for p in points)
+        return Point(sx / n, sy / n)
+    cx = 0.0
+    cy = 0.0
+    for i in range(n):
+        x1, y1 = points[i]
+        x2, y2 = points[(i + 1) % n]
+        w = x1 * y2 - x2 * y1
+        cx += (x1 + x2) * w
+        cy += (y1 + y2) * w
+    return Point(cx / (6.0 * a), cy / (6.0 * a))
+
+
+def convex_quad(a: Point, b: Point, c: Point, d: Point,
+                tol: float = 1e-12) -> bool:
+    """Whether quadrilateral ``abcd`` (in order) is strictly convex.
+
+    Used by the element-reformation pass: a diagonal of two adjacent
+    triangles may only be swapped when their union is convex, otherwise the
+    swap would fold the mesh.
+    """
+    pts: List[Point] = [a, b, c, d]
+    sign = 0
+    for i in range(4):
+        o = pts[i]
+        p = pts[(i + 1) % 4]
+        q = pts[(i + 2) % 4]
+        cross = (p[0] - o[0]) * (q[1] - p[1]) - (p[1] - o[1]) * (q[0] - p[0])
+        if abs(cross) <= tol:
+            return False
+        s = 1 if cross > 0 else -1
+        if sign == 0:
+            sign = s
+        elif s != sign:
+            return False
+    return True

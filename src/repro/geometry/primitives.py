@@ -1,0 +1,157 @@
+"""Basic planar primitives: points, segments and axis-aligned boxes.
+
+``Point`` is an immutable named tuple so it can key dictionaries (IDLZ
+identifies lattice nodes by integer coordinate pairs) while still behaving
+like a 2-vector for the light arithmetic the meshers need.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, NamedTuple
+
+from repro.errors import GeometryError
+
+
+class Point(NamedTuple):
+    """A point (or free vector) in the plane."""
+
+    x: float
+    y: float
+
+    def __add__(self, other):  # type: ignore[override]
+        if isinstance(other, tuple) and len(other) == 2:
+            return Point(self.x + other[0], self.y + other[1])
+        return NotImplemented
+
+    def __sub__(self, other):
+        if isinstance(other, tuple) and len(other) == 2:
+            return Point(self.x - other[0], self.y - other[1])
+        return NotImplemented
+
+    def __mul__(self, scalar):  # type: ignore[override]
+        if isinstance(scalar, (int, float)):
+            return Point(self.x * scalar, self.y * scalar)
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def dot(self, other: "Point") -> float:
+        """Scalar product with another point treated as a vector."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Point") -> float:
+        """Z-component of the cross product (twice a signed triangle area)."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean length of the vector from the origin."""
+        return math.hypot(self.x, self.y)
+
+    def unit(self) -> "Point":
+        """Unit vector in this direction.
+
+        Raises :class:`GeometryError` on the zero vector, which in IDLZ
+        always indicates coincident shaping endpoints.
+        """
+        n = self.norm()
+        if n == 0.0:
+            raise GeometryError("cannot normalise the zero vector")
+        return Point(self.x / n, self.y / n)
+
+    def rotated(self, angle: float, about: "Point" = None) -> "Point":
+        """Rotate by ``angle`` radians counter-clockwise about ``about``."""
+        cx, cy = (0.0, 0.0) if about is None else about
+        c, s = math.cos(angle), math.sin(angle)
+        dx, dy = self.x - cx, self.y - cy
+        return Point(cx + c * dx - s * dy, cy + s * dx + c * dy)
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return math.hypot(b[0] - a[0], b[1] - a[1])
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """Midpoint of the segment ``ab``."""
+    return Point(0.5 * (a[0] + b[0]), 0.5 * (a[1] + b[1]))
+
+
+def lerp_point(a: Point, b: Point, t: float) -> Point:
+    """Linear interpolation ``a + t * (b - a)``; ``t`` need not be in [0, 1]."""
+    return Point(a[0] + t * (b[0] - a[0]), a[1] + t * (b[1] - a[1]))
+
+
+class Segment(NamedTuple):
+    """A directed straight segment from ``start`` to ``end``."""
+
+    start: Point
+    end: Point
+
+    def length(self) -> float:
+        return distance(self.start, self.end)
+
+    def point_at(self, t: float) -> Point:
+        """Point at parameter ``t`` (0 at start, 1 at end)."""
+        return lerp_point(self.start, self.end, t)
+
+    def reversed(self) -> "Segment":
+        return Segment(self.end, self.start)
+
+
+class BoundingBox(NamedTuple):
+    """Axis-aligned box, used as plot windows and raster extents."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    @classmethod
+    def of_points(cls, points: Iterable[Point]) -> "BoundingBox":
+        """Tight box around ``points``; raises on an empty iterable."""
+        it = iter(points)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise GeometryError("bounding box of no points") from None
+        xmin = xmax = first[0]
+        ymin = ymax = first[1]
+        for p in it:
+            xmin = min(xmin, p[0])
+            xmax = max(xmax, p[0])
+            ymin = min(ymin, p[1])
+            ymax = max(ymax, p[1])
+        return cls(xmin, ymin, xmax, ymax)
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    def contains(self, p: Point, tol: float = 0.0) -> bool:
+        """Whether ``p`` lies inside (or within ``tol`` of) the box."""
+        return (
+            self.xmin - tol <= p[0] <= self.xmax + tol
+            and self.ymin - tol <= p[1] <= self.ymax + tol
+        )
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """Box grown by ``margin`` on every side."""
+        return BoundingBox(
+            self.xmin - margin,
+            self.ymin - margin,
+            self.xmax + margin,
+            self.ymax + margin,
+        )
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        return BoundingBox(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )

@@ -1,0 +1,60 @@
+"""Stromberg-Datagraphix 4020 plotter simulator.
+
+Both IDLZ and OSPL drew on the SC-4020 microfilm plotter: a CRT exposing
+film frame by frame, addressed on a 1024 x 1024 integer raster, drawing
+straight vectors, points and hardware characters.  This package recreates
+that device:
+
+* :mod:`repro.plotter.device` -- the raster device and its display list
+  (frames of vector/point/text operations), plus the world-to-raster
+  coordinate mapper every plot goes through;
+* :mod:`repro.plotter.svg`    -- renders frames to SVG files (our film);
+* :mod:`repro.plotter.ascii_art` -- renders frames to character grids so
+  tests and terminals can inspect plots without an image viewer;
+* :mod:`repro.plotter.text`   -- character metrics for label layout.
+
+Keeping the 4020's integer raster in the code path means the library
+exercises the same scale-clip-stroke pipeline the 1970 programs did.
+"""
+
+from repro.plotter.device import (
+    Plotter4020,
+    Frame,
+    VectorOp,
+    PointOp,
+    TextOp,
+    CoordinateMap,
+    RASTER_SIZE,
+)
+from repro.plotter.svg import render_svg, save_svg
+from repro.plotter.png import render_png, save_png, rasterize
+from repro.plotter.ascii_art import render_ascii
+from repro.plotter.text import char_width, text_extent
+from repro.plotter.charset import (
+    strokes_for,
+    text_strokes,
+    stroke_text_width,
+    has_glyph,
+)
+
+__all__ = [
+    "Plotter4020",
+    "Frame",
+    "VectorOp",
+    "PointOp",
+    "TextOp",
+    "CoordinateMap",
+    "RASTER_SIZE",
+    "render_svg",
+    "save_svg",
+    "render_png",
+    "save_png",
+    "rasterize",
+    "render_ascii",
+    "char_width",
+    "text_extent",
+    "strokes_for",
+    "text_strokes",
+    "stroke_text_width",
+    "has_glyph",
+]

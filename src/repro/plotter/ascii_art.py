@@ -1,0 +1,93 @@
+"""ASCII rendering of 4020 frames.
+
+Down-samples the 1024 x 1024 raster onto a character grid so plots can be
+eyeballed in a terminal and asserted on in tests (e.g. "the contour plot
+has ink in the region where the joint sits").  Vectors are rasterised with
+Bresenham's algorithm on the down-sampled grid; text ops are stamped
+starting at their anchor cell.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.plotter.device import Frame, PointOp, RASTER_SIZE, TextOp, VectorOp
+
+
+def render_ascii(frame: Frame, width: int = 100, height: int = 50) -> str:
+    """Render a frame onto a ``width`` x ``height`` character grid."""
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def cell(x: int, y: int):
+        cx = min(int(x * width / RASTER_SIZE), width - 1)
+        # Row 0 is the top of the picture; raster y grows upward.
+        cy = height - 1 - min(int(y * height / RASTER_SIZE), height - 1)
+        return cx, cy
+
+    for op in frame.ops:
+        if isinstance(op, VectorOp):
+            x0, y0 = cell(op.x0, op.y0)
+            x1, y1 = cell(op.x1, op.y1)
+            for cx, cy in _bresenham(x0, y0, x1, y1):
+                grid[cy][cx] = _stroke_char(x0, y0, x1, y1)
+        elif isinstance(op, PointOp):
+            cx, cy = cell(op.x, op.y)
+            grid[cy][cx] = "."
+        elif isinstance(op, TextOp):
+            cx, cy = cell(op.x, op.y)
+            for i, ch in enumerate(op.text):
+                if cx + i >= width:
+                    break
+                grid[cy][cx + i] = ch
+    lines = ["".join(row).rstrip() for row in grid]
+    # Trim blank top/bottom rows but keep interior structure.
+    while lines and not lines[0]:
+        lines.pop(0)
+    while lines and not lines[-1]:
+        lines.pop()
+    header = f"= {frame.title} =" if frame.title else ""
+    return "\n".join(([header] if header else []) + lines)
+
+
+def ink_fraction(frame: Frame, width: int = 100, height: int = 50) -> float:
+    """Fraction of grid cells touched by any stroke -- a test heuristic."""
+    art = render_ascii(frame, width=width, height=height)
+    body = [l for l in art.splitlines() if not l.startswith("=")]
+    inked = sum(1 for line in body for ch in line if ch != " ")
+    return inked / float(width * height)
+
+
+def _stroke_char(x0: int, y0: int, x1: int, y1: int) -> str:
+    dx, dy = abs(x1 - x0), abs(y1 - y0)
+    if dy == 0:
+        return "-"
+    if dx == 0:
+        return "|"
+    if dx >= 3 * dy:
+        return "-"
+    if dy >= 3 * dx:
+        return "|"
+    # Raster y up / grid y down flips the apparent slope.
+    rising = (x1 - x0) * (y1 - y0) > 0
+    return "/" if not rising else "\\"
+
+
+def _bresenham(x0: int, y0: int, x1: int, y1: int):
+    """Integer line rasterisation."""
+    dx = abs(x1 - x0)
+    dy = -abs(y1 - y0)
+    sx = 1 if x0 < x1 else -1
+    sy = 1 if y0 < y1 else -1
+    err = dx + dy
+    x, y = x0, y0
+    while True:
+        yield x, y
+        if x == x1 and y == y1:
+            return
+        e2 = 2 * err
+        if e2 >= dy:
+            err += dy
+            x += sx
+        if e2 <= dx:
+            err += dx
+            y += sy

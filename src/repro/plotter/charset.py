@@ -1,0 +1,131 @@
+"""The SC-4020 hardware character generator, as stroke tables.
+
+The real plotter formed characters from short CRT strokes.  This module
+carries a compact stroke font -- each glyph a list of polylines on a
+4-wide x 6-tall unit cell -- covering the character set the 1970 labels
+used: digits, upper-case letters, and ``+ - . * / = ( ) ,``.  The device
+method :meth:`repro.plotter.device.Plotter4020.stroke_text` renders a
+string through these tables so a frame can be *pure vectors*, exactly
+like the film output (TextOp-based text remains available for cheap
+annotation).
+
+Coordinates: x in [0, 4], y in [0, 6], origin at the glyph's lower left.
+Advance width is 6 units (one cell plus tracking) before scaling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+Stroke = List[Tuple[float, float]]
+
+#: Glyph cell metrics (unscaled units).
+CELL_WIDTH = 4.0
+CELL_HEIGHT = 6.0
+ADVANCE = 6.0
+
+_F: Dict[str, List[Stroke]] = {
+    "0": [[(0, 0), (4, 0), (4, 6), (0, 6), (0, 0)], [(0, 0), (4, 6)]],
+    "1": [[(1, 5), (2, 6), (2, 0)], [(1, 0), (3, 0)]],
+    "2": [[(0, 5), (1, 6), (3, 6), (4, 5), (4, 4), (0, 0), (4, 0)]],
+    "3": [[(0, 6), (4, 6), (2, 3.5), (4, 2), (4, 1), (3, 0), (1, 0),
+           (0, 1)]],
+    "4": [[(3, 0), (3, 6), (0, 2), (4, 2)]],
+    "5": [[(4, 6), (0, 6), (0, 3.5), (3, 3.5), (4, 2.5), (4, 1), (3, 0),
+           (0, 0)]],
+    "6": [[(4, 6), (1, 6), (0, 5), (0, 1), (1, 0), (3, 0), (4, 1),
+           (4, 2.5), (3, 3.5), (0, 3.5)]],
+    "7": [[(0, 6), (4, 6), (1.5, 0)]],
+    "8": [[(1, 3.5), (0, 4.5), (0, 5), (1, 6), (3, 6), (4, 5), (4, 4.5),
+           (3, 3.5), (1, 3.5), (0, 2.5), (0, 1), (1, 0), (3, 0), (4, 1),
+           (4, 2.5), (3, 3.5)]],
+    "9": [[(0, 0), (3, 0), (4, 1), (4, 5), (3, 6), (1, 6), (0, 5),
+           (0, 3.5), (1, 2.5), (4, 2.5)]],
+    "A": [[(0, 0), (2, 6), (4, 0)], [(0.7, 2), (3.3, 2)]],
+    "B": [[(0, 0), (0, 6), (3, 6), (4, 5), (4, 4), (3, 3), (0, 3)],
+          [(3, 3), (4, 2), (4, 1), (3, 0), (0, 0)]],
+    "C": [[(4, 5), (3, 6), (1, 6), (0, 5), (0, 1), (1, 0), (3, 0),
+           (4, 1)]],
+    "D": [[(0, 0), (0, 6), (3, 6), (4, 5), (4, 1), (3, 0), (0, 0)]],
+    "E": [[(4, 0), (0, 0), (0, 6), (4, 6)], [(0, 3), (3, 3)]],
+    "F": [[(0, 0), (0, 6), (4, 6)], [(0, 3), (3, 3)]],
+    "G": [[(4, 5), (3, 6), (1, 6), (0, 5), (0, 1), (1, 0), (3, 0),
+           (4, 1), (4, 3), (2, 3)]],
+    "H": [[(0, 0), (0, 6)], [(4, 0), (4, 6)], [(0, 3), (4, 3)]],
+    "I": [[(1, 0), (3, 0)], [(1, 6), (3, 6)], [(2, 0), (2, 6)]],
+    "J": [[(4, 6), (4, 1), (3, 0), (1, 0), (0, 1)]],
+    "K": [[(0, 0), (0, 6)], [(4, 6), (0, 2.5)], [(1.5, 3.5), (4, 0)]],
+    "L": [[(0, 6), (0, 0), (4, 0)]],
+    "M": [[(0, 0), (0, 6), (2, 3), (4, 6), (4, 0)]],
+    "N": [[(0, 0), (0, 6), (4, 0), (4, 6)]],
+    "O": [[(1, 0), (0, 1), (0, 5), (1, 6), (3, 6), (4, 5), (4, 1),
+           (3, 0), (1, 0)]],
+    "P": [[(0, 0), (0, 6), (3, 6), (4, 5), (4, 4), (3, 3), (0, 3)]],
+    "Q": [[(1, 0), (0, 1), (0, 5), (1, 6), (3, 6), (4, 5), (4, 1),
+           (3, 0), (1, 0)], [(2.5, 1.5), (4, 0)]],
+    "R": [[(0, 0), (0, 6), (3, 6), (4, 5), (4, 4), (3, 3), (0, 3)],
+          [(2, 3), (4, 0)]],
+    "S": [[(4, 5), (3, 6), (1, 6), (0, 5), (0, 4.5), (1, 3.5), (3, 3.5),
+           (4, 2.5), (4, 1), (3, 0), (1, 0), (0, 1)]],
+    "T": [[(0, 6), (4, 6)], [(2, 6), (2, 0)]],
+    "U": [[(0, 6), (0, 1), (1, 0), (3, 0), (4, 1), (4, 6)]],
+    "V": [[(0, 6), (2, 0), (4, 6)]],
+    "W": [[(0, 6), (1, 0), (2, 4), (3, 0), (4, 6)]],
+    "X": [[(0, 0), (4, 6)], [(0, 6), (4, 0)]],
+    "Y": [[(0, 6), (2, 3), (4, 6)], [(2, 3), (2, 0)]],
+    "Z": [[(0, 6), (4, 6), (0, 0), (4, 0)]],
+    "+": [[(2, 1), (2, 5)], [(0, 3), (4, 3)]],
+    "-": [[(0.5, 3), (3.5, 3)]],
+    ".": [[(1.8, 0), (2.2, 0), (2.2, 0.4), (1.8, 0.4), (1.8, 0)]],
+    ",": [[(2.2, 0.4), (1.8, 0.4), (1.8, 0), (2.2, 0), (2.2, 0.4),
+           (1.6, -0.8)]],
+    "*": [[(2, 1), (2, 5)], [(0.5, 2), (3.5, 4)], [(0.5, 4), (3.5, 2)]],
+    "/": [[(0.5, 0), (3.5, 6)]],
+    "=": [[(0.5, 2), (3.5, 2)], [(0.5, 4), (3.5, 4)]],
+    "(": [[(3, 6), (2, 5), (2, 1), (3, 0)]],
+    ")": [[(1, 6), (2, 5), (2, 1), (1, 0)]],
+    " ": [],
+}
+
+
+def has_glyph(char: str) -> bool:
+    """Whether the hardware generator knows this character."""
+    return char.upper() in _F
+
+
+def strokes_for(char: str) -> List[Stroke]:
+    """Stroke polylines for one character (unknown ones draw a box).
+
+    Lower-case input maps to upper case, as the 4020's single-case
+    character drum did.
+    """
+    glyph = _F.get(char.upper())
+    if glyph is None:
+        # The box glyph the operator saw for an unprintable code.
+        return [[(0.5, 0), (3.5, 0), (3.5, 6), (0.5, 6), (0.5, 0)]]
+    return glyph
+
+
+def text_strokes(text: str, x: float, y: float,
+                 size: float) -> List[Stroke]:
+    """All strokes of a string anchored at lower-left (x, y).
+
+    ``size`` is the character height in raster units; the glyph cell is
+    scaled uniformly and glyphs advance by ``ADVANCE / CELL_HEIGHT``
+    of the height.
+    """
+    scale = size / CELL_HEIGHT
+    strokes: List[Stroke] = []
+    cursor = x
+    for char in text:
+        for stroke in strokes_for(char):
+            strokes.append([
+                (cursor + px * scale, y + py * scale) for px, py in stroke
+            ])
+        cursor += ADVANCE * scale
+    return strokes
+
+
+def stroke_text_width(text: str, size: float) -> float:
+    """Advance width of a string at the given height."""
+    return len(text) * ADVANCE * size / CELL_HEIGHT

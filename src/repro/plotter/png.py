@@ -1,0 +1,157 @@
+"""Raster (PNG) rendering of 4020 frames -- film at full resolution.
+
+SVG frames are ideal for inspection, but the microfilm was a raster in
+the end.  This renderer rasterises the display list onto the full
+1024 x 1024 grid with Bresenham strokes and writes an 8-bit grayscale
+PNG using nothing but the standard library (zlib + struct): dark ink on
+a light ground, stroked text through the SC-4020 character generator so
+no font machinery is needed.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.plotter.charset import text_strokes
+from repro.plotter.device import Frame, PointOp, RASTER_SIZE, TextOp, VectorOp
+
+#: Ink and ground levels (8-bit grayscale).
+INK = 16
+GROUND = 245
+
+
+def rasterize(frame: Frame, supersample: int = 1) -> np.ndarray:
+    """The frame as a (H, W) uint8 grayscale array, row 0 at the top.
+
+    ``supersample`` renders on an n-times finer grid and box-filters
+    down, smoothing diagonal strokes.
+    """
+    if supersample < 1:
+        raise ValueError(f"supersample must be >= 1, got {supersample}")
+    size = RASTER_SIZE * supersample
+    grid = np.full((size, size), GROUND, dtype=np.uint8)
+
+    def plot_line(x0, y0, x1, y1):
+        _bresenham_into(grid, int(round(x0)), int(round(y0)),
+                        int(round(x1)), int(round(y1)), size)
+
+    s = supersample
+    for op in frame.ops:
+        if isinstance(op, VectorOp):
+            plot_line(op.x0 * s, op.y0 * s, op.x1 * s, op.y1 * s)
+        elif isinstance(op, PointOp):
+            x, y = op.x * s, op.y * s
+            if 0 <= x < size and 0 <= y < size:
+                grid[y, x] = INK
+        elif isinstance(op, TextOp):
+            for stroke in text_strokes(op.text, op.x * s, op.y * s,
+                                       op.size * s):
+                for (ax, ay), (bx, by) in zip(stroke[:-1], stroke[1:]):
+                    plot_line(ax, ay, bx, by)
+    if supersample > 1:
+        grid = grid.reshape(RASTER_SIZE, s, RASTER_SIZE, s)
+        grid = grid.mean(axis=(1, 3)).astype(np.uint8)
+    # Raster y grows upward; image row 0 is the top.
+    return grid[::-1, :]
+
+
+def _bresenham_into(grid: np.ndarray, x0: int, y0: int,
+                    x1: int, y1: int, size: int) -> None:
+    dx = abs(x1 - x0)
+    dy = -abs(y1 - y0)
+    sx = 1 if x0 < x1 else -1
+    sy = 1 if y0 < y1 else -1
+    err = dx + dy
+    x, y = x0, y0
+    while True:
+        if 0 <= x < size and 0 <= y < size:
+            grid[y, x] = INK
+        if x == x1 and y == y1:
+            return
+        e2 = 2 * err
+        if e2 >= dy:
+            err += dy
+            x += sx
+        if e2 <= dx:
+            err += dx
+            y += sy
+
+
+def encode_png(image: np.ndarray) -> bytes:
+    """Encode a (H, W) uint8 grayscale array as a PNG byte string."""
+    image = np.asarray(image)
+    if image.ndim != 2 or image.dtype != np.uint8:
+        raise ValueError("encode_png expects a 2-D uint8 array")
+    height, width = image.shape
+
+    def chunk(tag: bytes, payload: bytes) -> bytes:
+        return (struct.pack(">I", len(payload)) + tag + payload
+                + struct.pack(">I", zlib.crc32(tag + payload)))
+
+    header = struct.pack(">IIBBBBB", width, height, 8, 0, 0, 0, 0)
+    # Filter byte 0 (None) per scanline.
+    raw = b"".join(
+        b"\x00" + image[row].tobytes() for row in range(height)
+    )
+    return (
+        b"\x89PNG\r\n\x1a\n"
+        + chunk(b"IHDR", header)
+        + chunk(b"IDAT", zlib.compress(raw, level=6))
+        + chunk(b"IEND", b"")
+    )
+
+
+def render_png(frame: Frame, supersample: int = 1) -> bytes:
+    """Render one frame straight to PNG bytes."""
+    return encode_png(rasterize(frame, supersample=supersample))
+
+
+def save_png(frame: Frame, path: Union[str, Path],
+             supersample: int = 1) -> Path:
+    """Write one frame to ``path`` and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(render_png(frame, supersample=supersample))
+    return path
+
+
+def decode_png_gray8(data: bytes) -> np.ndarray:
+    """Minimal decoder for the PNGs this module writes (testing aid).
+
+    Only handles 8-bit grayscale with filter type 0 on every scanline --
+    exactly :func:`encode_png`'s output.
+    """
+    if data[:8] != b"\x89PNG\r\n\x1a\n":
+        raise ValueError("not a PNG stream")
+    pos = 8
+    width = height = None
+    idat = b""
+    while pos < len(data):
+        (length,) = struct.unpack(">I", data[pos:pos + 4])
+        tag = data[pos + 4:pos + 8]
+        payload = data[pos + 8:pos + 8 + length]
+        if tag == b"IHDR":
+            width, height, depth, color = struct.unpack(
+                ">IIBB", payload[:10]
+            )
+            if depth != 8 or color != 0:
+                raise ValueError("decoder only handles 8-bit grayscale")
+        elif tag == b"IDAT":
+            idat += payload
+        pos += 12 + length
+    if width is None:
+        raise ValueError("PNG missing IHDR")
+    raw = zlib.decompress(idat)
+    stride = width + 1
+    rows = []
+    for r in range(height):
+        line = raw[r * stride:(r + 1) * stride]
+        if line[0] != 0:
+            raise ValueError("decoder only handles filter type 0")
+        rows.append(np.frombuffer(line[1:], dtype=np.uint8))
+    return np.stack(rows)

@@ -1,0 +1,70 @@
+"""SVG rendering of 4020 frames -- our microfilm.
+
+Each frame becomes one SVG image.  The raster's y axis points up while
+SVG's points down, so y is flipped during emission.  Strokes are hairline
+black on white, matching film output; text ops use a monospace font at the
+op's raster size.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import List, Union
+
+from repro.plotter.device import Frame, PointOp, RASTER_SIZE, TextOp, VectorOp
+
+
+def render_svg(frame: Frame, scale: float = 0.75) -> str:
+    """Render one frame to an SVG document string."""
+    size = RASTER_SIZE * scale
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size:g}" '
+        f'height="{size:g}" viewBox="0 0 {RASTER_SIZE} {RASTER_SIZE}">',
+        f'<rect width="{RASTER_SIZE}" height="{RASTER_SIZE}" fill="white"/>',
+    ]
+    if frame.title:
+        parts.append(
+            f'<title>{html.escape(frame.title)}</title>'
+        )
+    for op in frame.ops:
+        if isinstance(op, VectorOp):
+            parts.append(
+                f'<line x1="{op.x0}" y1="{_flip(op.y0)}" '
+                f'x2="{op.x1}" y2="{_flip(op.y1)}" '
+                'stroke="black" stroke-width="1"/>'
+            )
+        elif isinstance(op, PointOp):
+            parts.append(
+                f'<circle cx="{op.x}" cy="{_flip(op.y)}" r="1" fill="black"/>'
+            )
+        elif isinstance(op, TextOp):
+            parts.append(
+                f'<text x="{op.x}" y="{_flip(op.y)}" '
+                f'font-family="monospace" font-size="{op.size}">'
+                f'{html.escape(op.text)}</text>'
+            )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _flip(y: int) -> int:
+    return RASTER_SIZE - 1 - y
+
+
+def save_svg(frame: Frame, path: Union[str, Path], scale: float = 0.75) -> Path:
+    """Write one frame to ``path`` and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_svg(frame, scale=scale))
+    return path
+
+
+def save_film(frames, directory: Union[str, Path], stem: str = "frame") -> List[Path]:
+    """Write every frame as ``<stem>_NN.svg`` under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths: List[Path] = []
+    for i, frame in enumerate(frames, start=1):
+        paths.append(save_svg(frame, directory / f"{stem}_{i:02d}.svg"))
+    return paths

@@ -1,0 +1,41 @@
+"""Character metrics for the simulated 4020.
+
+OSPL suppresses contour labels that would overlap their neighbours, so the
+label layout code needs character extents.  The 4020's hardware characters
+were monospaced; we model a glyph cell whose width is a fixed fraction of
+the character height (``size`` in raster units).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Width of a monospaced glyph cell as a fraction of the character height.
+GLYPH_ASPECT = 0.6
+
+
+def char_width(size: int) -> float:
+    """Width in raster units of one character at the given size."""
+    return GLYPH_ASPECT * size
+
+
+def text_extent(text: str, size: int) -> Tuple[float, float]:
+    """(width, height) in raster units of a single-line string."""
+    return (char_width(size) * len(text), float(size))
+
+
+def text_box(x: float, y: float, text: str, size: int):
+    """Axis-aligned box covered by a string anchored at lower-left (x, y).
+
+    Returned as (xmin, ymin, xmax, ymax) in raster units; used for label
+    overlap suppression.
+    """
+    w, h = text_extent(text, size)
+    return (x, y, x + w, y + h)
+
+
+def boxes_overlap(a, b) -> bool:
+    """Whether two (xmin, ymin, xmax, ymax) boxes intersect."""
+    return not (
+        a[2] < b[0] or b[2] < a[0] or a[3] < b[1] or b[3] < a[1]
+    )

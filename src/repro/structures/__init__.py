@@ -1,0 +1,49 @@
+"""Parametric builders of the paper's example structures.
+
+The NSRDC geometries (DSSV/DSRV hatches, viewports) were Navy hardware;
+exact drawings are not in the report.  Each builder here constructs a
+*plausible parametric stand-in* with the same topological features --
+multi-material junctures, arcs, graded meshes -- so the IDLZ/OSPL/FEM
+pipeline is exercised the way the paper's figures exercised the originals.
+Every substitution is noted in the builder's docstring and in DESIGN.md.
+"""
+
+from repro.structures.base import (
+    StructureCase,
+    BuiltStructure,
+    lattice_path_edges,
+    scale_case_lattice,
+)
+from repro.structures.glass_joint import glass_joint
+from repro.structures.viewport import viewport_juncture
+from repro.structures.dssv import dssv_viewport, dssv_with_transition_ring
+from repro.structures.bottom_hatch import bottom_hatch
+from repro.structures.dsrv import dsrv_hatch
+from repro.structures.cylinder import (
+    stiffened_cylinder,
+    unstiffened_cylinder,
+)
+from repro.structures.sphere_hatch import sphere_hatch
+from repro.structures.tbeam import tbeam_thermal
+from repro.structures.ring import circular_ring
+from repro.structures.library import STRUCTURES, build_all
+
+__all__ = [
+    "StructureCase",
+    "BuiltStructure",
+    "lattice_path_edges",
+    "scale_case_lattice",
+    "glass_joint",
+    "viewport_juncture",
+    "dssv_viewport",
+    "dssv_with_transition_ring",
+    "bottom_hatch",
+    "dsrv_hatch",
+    "stiffened_cylinder",
+    "unstiffened_cylinder",
+    "sphere_hatch",
+    "tbeam_thermal",
+    "circular_ring",
+    "STRUCTURES",
+    "build_all",
+]

@@ -1,0 +1,41 @@
+"""The structure registry: every example in one place.
+
+Benchmarks that sweep "all structures" (data reduction, bandwidth,
+idealization speed) iterate :data:`STRUCTURES`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.structures.base import BuiltStructure, StructureCase
+from repro.structures.cylinder import stiffened_cylinder, unstiffened_cylinder
+from repro.structures.bottom_hatch import bottom_hatch
+from repro.structures.dsrv import dsrv_hatch
+from repro.structures.dssv import dssv_viewport, dssv_with_transition_ring
+from repro.structures.glass_joint import glass_joint
+from repro.structures.ring import circular_ring
+from repro.structures.sphere_hatch import sphere_hatch
+from repro.structures.tbeam import tbeam_thermal
+from repro.structures.viewport import viewport_juncture
+
+#: name -> builder for every example structure.
+STRUCTURES: Dict[str, Callable[[], StructureCase]] = {
+    "glass_joint": glass_joint,
+    "viewport_juncture": viewport_juncture,
+    "dssv_viewport": dssv_viewport,
+    "dssv_transition_ring": dssv_with_transition_ring,
+    "dsrv_hatch": dsrv_hatch,
+    "bottom_hatch": bottom_hatch,
+    "stiffened_cylinder": stiffened_cylinder,
+    "unstiffened_cylinder": unstiffened_cylinder,
+    "sphere_hatch": sphere_hatch,
+    "tbeam": tbeam_thermal,
+    "circular_ring": circular_ring,
+}
+
+
+def build_all(renumber: bool = True) -> List[BuiltStructure]:
+    """Idealize every library structure."""
+    return [builder().build(renumber=renumber)
+            for builder in STRUCTURES.values()]

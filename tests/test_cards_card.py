@@ -1,0 +1,71 @@
+"""Unit tests for 80-column card images and decks."""
+
+import pytest
+
+from repro.cards.card import CARD_WIDTH, Card, deck_from_text, deck_to_text
+from repro.errors import CardError
+
+
+class TestCard:
+    def test_plain_text(self):
+        assert str(Card("HELLO")) == "HELLO"
+
+    def test_trailing_newline_stripped(self):
+        assert str(Card("ABC\n")) == "ABC"
+
+    def test_over_80_columns_rejected(self):
+        with pytest.raises(CardError, match="80"):
+            Card("x" * 81)
+
+    def test_over_80_columns_allowed_when_lenient(self):
+        card = Card("x" * 100, strict=False)
+        assert len(card.text) == 100
+
+    def test_exactly_80_columns_ok(self):
+        assert len(Card("y" * 80).text) == CARD_WIDTH
+
+    def test_control_characters_rejected(self):
+        with pytest.raises(CardError, match="control"):
+            Card("AB\tCD")
+
+    def test_column_access_is_one_based(self):
+        card = Card("ABC")
+        assert card.column(1) == "A"
+        assert card.column(3) == "C"
+
+    def test_column_past_text_is_blank(self):
+        assert Card("AB").column(50) == " "
+
+    def test_column_out_of_range(self):
+        with pytest.raises(CardError):
+            Card("AB").column(0)
+        with pytest.raises(CardError):
+            Card("AB").column(81)
+
+    def test_padded_is_80_wide(self):
+        assert len(Card("AB").padded()) == 80
+
+    def test_blank_detection(self):
+        assert Card("").is_blank()
+        assert Card("   ").is_blank()
+        assert not Card(" X ").is_blank()
+
+    def test_equality_ignores_padding(self):
+        assert Card("AB") == Card("AB ")
+        assert Card("AB") == "AB"
+        assert Card("AB") != Card("AC")
+
+    def test_hashable(self):
+        assert len({Card("A"), Card("A "), Card("B")}) == 2
+
+
+class TestDeckText:
+    def test_round_trip(self):
+        text = "CARD ONE\nCARD TWO\n"
+        deck = deck_from_text(text)
+        assert len(deck) == 2
+        assert deck_to_text(deck) == text
+
+    def test_empty_lines_are_blank_cards(self):
+        deck = deck_from_text("A\n\nB\n")
+        assert deck[1].is_blank()

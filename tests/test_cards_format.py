@@ -1,0 +1,224 @@
+"""Unit tests for the FORTRAN FORMAT engine.
+
+The paper's exact FORMATs are the acceptance cases: IDLZ card types use
+(I5), (12A6), (4I5), (5I5, 5X, 2I5), (2I5), (4I5, 5F8.4); the punched
+output uses (2F9.5, 51X, I3, 5X, I3) and (3I5, 62X, I3); OSPL reads
+(2I5, 5F10.4) and (2F9.5, 22X, F10.3, I1).
+"""
+
+import pytest
+
+from repro.cards.fortran_format import FortranFormat
+from repro.errors import FormatError
+
+
+class TestParsing:
+    def test_simple_integer(self):
+        fmt = FortranFormat("(I5)")
+        assert fmt.value_count() == 1
+
+    def test_repeat_count(self):
+        assert FortranFormat("(4I5)").value_count() == 4
+
+    def test_mixed_descriptors(self):
+        fmt = FortranFormat("(5I5, 5X, 2I5)")
+        assert fmt.value_count() == 7
+
+    def test_nested_group(self):
+        fmt = FortranFormat("(2(I2, F6.2))")
+        assert fmt.value_count() == 4
+
+    def test_case_insensitive(self):
+        assert FortranFormat("(i5, f8.4)").value_count() == 2
+
+    def test_empty_format_rejected(self):
+        with pytest.raises(FormatError):
+            FortranFormat("()")
+
+    def test_unknown_descriptor_rejected(self):
+        with pytest.raises(FormatError, match="unsupported"):
+            FortranFormat("(Q5)")
+
+    def test_missing_width_rejected(self):
+        with pytest.raises(FormatError, match="width"):
+            FortranFormat("(I)")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(FormatError):
+            FortranFormat("(2(I5)")
+
+    def test_dangling_repeat_rejected(self):
+        with pytest.raises(FormatError):
+            FortranFormat("(3)")
+
+
+class TestWritingIntegers:
+    def test_right_justified(self):
+        assert FortranFormat("(I5)").write([42]) == ["   42"]
+
+    def test_negative(self):
+        assert FortranFormat("(I5)").write([-42]) == ["  -42"]
+
+    def test_overflow_punches_asterisks(self):
+        assert FortranFormat("(I3)").write([12345]) == ["***"]
+
+    def test_multiple_on_one_card(self):
+        assert FortranFormat("(3I5)").write([1, 2, 3]) == [
+            "    1    2    3"
+        ]
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(FormatError):
+            FortranFormat("(I5)").write(["abc"])
+
+
+class TestWritingReals:
+    def test_f_format(self):
+        assert FortranFormat("(F8.3)").write([1.5]) == ["   1.500"]
+
+    def test_f_format_negative(self):
+        assert FortranFormat("(F8.3)").write([-1.5]) == ["  -1.500"]
+
+    def test_f_drops_leading_zero_when_tight(self):
+        # 0.12345 needs 7 chars as "0.12345"; F6.5 can hold ".12345".
+        assert FortranFormat("(F6.5)").write([0.12345]) == [".12345"]
+
+    def test_f_overflow(self):
+        assert FortranFormat("(F5.3)").write([123.456]) == ["*****"]
+
+    def test_e_format(self):
+        out = FortranFormat("(E12.4)").write([12345.678])[0]
+        assert "E+04" in out
+        assert out.startswith("  ")
+
+    def test_paper_nodal_format(self):
+        fmt = FortranFormat("(2F9.5, 51X, I3, 5X, I3)")
+        card = fmt.write([1.25, -3.5, 1, 42])[0]
+        assert card[:18] == "  1.25000 -3.50000"
+        assert card[69:72] == "  1"
+        assert card[77:80] == " 42"
+        assert len(card) == 80
+
+
+class TestWritingText:
+    def test_a_format_pads_right(self):
+        assert FortranFormat("(A6)").write(["AB"]) == ["AB    "]
+
+    def test_a_format_truncates(self):
+        assert FortranFormat("(A3)").write(["ABCDEF"]) == ["ABC"]
+
+    def test_x_descriptor_inserts_blanks(self):
+        assert FortranFormat("(I2, 3X, I2)").write([1, 2]) == [" 1    2"]
+
+    def test_hollerith_literal(self):
+        assert FortranFormat("(5HHELLO)").write([]) == ["HELLO"]
+
+    def test_quoted_literal(self):
+        assert FortranFormat("('NODE ', I3)").write([7]) == ["NODE   7"]
+
+
+class TestFormatReversion:
+    def test_spills_to_second_card(self):
+        cards = FortranFormat("(2I5)").write([1, 2, 3])
+        assert cards == ["    1    2", "    3"]
+
+    def test_exact_fill_single_card(self):
+        assert len(FortranFormat("(3I5)").write([1, 2, 3])) == 1
+
+    def test_valueless_format_with_values_rejected(self):
+        with pytest.raises(FormatError):
+            FortranFormat("(5X)").write([1])
+
+
+class TestReadingIntegers:
+    def test_simple(self):
+        assert FortranFormat("(I5)").read("   42") == [42]
+
+    def test_blank_field_reads_zero(self):
+        assert FortranFormat("(2I5)").read("    7") == [7, 0]
+
+    def test_negative(self):
+        assert FortranFormat("(I5)").read("  -13") == [-13]
+
+    def test_garbage_rejected(self):
+        with pytest.raises(FormatError):
+            FortranFormat("(I5)").read("  a b")
+
+
+class TestReadingReals:
+    def test_explicit_decimal_taken_verbatim(self):
+        assert FortranFormat("(F8.4)").read("  1.5   ") == [1.5]
+
+    def test_implied_decimal_scaling(self):
+        # The classic punched-card rule: F8.4 on "12345678" -> 1234.5678.
+        assert FortranFormat("(F8.4)").read("12345678") == [1234.5678]
+
+    def test_implied_decimal_integer(self):
+        assert FortranFormat("(F8.2)").read("     150") == [1.5]
+
+    def test_blank_reads_zero(self):
+        assert FortranFormat("(F8.4)").read("        ") == [0.0]
+
+    def test_exponent_form(self):
+        assert FortranFormat("(E10.3)").read(" 1.250E+02") == [125.0]
+
+    def test_d_exponent_form(self):
+        assert FortranFormat("(E10.3)").read(" 1.250D+02") == [125.0]
+
+
+class TestRoundTrips:
+    PAPER_FORMATS = [
+        ("(4I5)", [1, 0, 1, 6]),
+        ("(5I5, 5X, 2I5)", [1, 1, 1, 9, 5, 0, -2]),
+        ("(2I5)", [3, 4]),
+        ("(4I5, 5F8.4)", [1, 1, 5, 1, 1.0, 0.0, 2.0, 0.0, 1.5]),
+        ("(3I5, 62X, I3)", [12, 13, 25, 7]),
+        ("(2I5, 5F10.4)", [100, 160, 5.0, 0.0, 3.5, 0.0, 0.0]),
+    ]
+
+    @pytest.mark.parametrize("spec,values", PAPER_FORMATS)
+    def test_write_read_identity(self, spec, values):
+        fmt = FortranFormat(spec)
+        card = fmt.write(values)[0]
+        out = fmt.read(card)
+        for expected, got in zip(values, out):
+            assert got == pytest.approx(expected)
+
+    def test_read_short_card_pads_blank(self):
+        # Cards shorter than the format read as blank (zero) fields.
+        assert FortranFormat("(3I5)").read("    1") == [1, 0, 0]
+
+
+class TestMultiRecordFormats:
+    def test_slash_splits_records_on_write(self):
+        fmt = FortranFormat("(2I5 / 3F8.2)")
+        cards = fmt.write_records([1, 2, 1.5, 2.5, 3.5])
+        assert cards == ["    1    2", "    1.50    2.50    3.50"]
+
+    def test_slash_round_trip(self):
+        fmt = FortranFormat("(2I5 / 3F8.2)")
+        values = [7, 8, 1.25, -2.5, 0.75]
+        cards = fmt.write_records(values)
+        out = fmt.read_records(cards)
+        for expected, got in zip(values, out):
+            assert got == pytest.approx(expected)
+
+    def test_slash_reversion_over_long_list(self):
+        fmt = FortranFormat("(I5 / I5)")
+        cards = fmt.write_records([1, 2, 3])
+        assert len(cards) == 3
+
+    def test_read_records_needs_enough_cards(self):
+        fmt = FortranFormat("(I5 / I5)")
+        with pytest.raises(FormatError, match="card"):
+            fmt.read_records(["    1"])
+
+    def test_no_slash_behaves_like_write(self):
+        fmt = FortranFormat("(3I4)")
+        assert fmt.write_records([1, 2, 3]) == fmt.write([1, 2, 3])
+
+    def test_literal_before_slash_kept(self):
+        fmt = FortranFormat("('HDR' / I5)")
+        cards = fmt.write_records([42])
+        assert cards[0] == "HDR"
+        assert cards[1] == "   42"

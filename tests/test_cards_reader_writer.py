@@ -1,0 +1,90 @@
+"""Unit tests for the sequential deck reader and the card punch."""
+
+import pytest
+
+from repro.cards.card import Card
+from repro.cards.fortran_format import FortranFormat
+from repro.cards.reader import CardReader
+from repro.cards.writer import CardWriter
+from repro.errors import CardError
+
+
+class TestCardReader:
+    def test_sequential_consumption(self):
+        reader = CardReader(["    1", "    2"])
+        assert reader.read("(I5)") == [1]
+        assert reader.read("(I5)") == [2]
+        assert reader.exhausted
+
+    def test_peek_does_not_consume(self):
+        reader = CardReader(["AAA"])
+        assert str(reader.peek()) == "AAA"
+        assert reader.position == 0
+        reader.next_card()
+        assert reader.exhausted
+
+    def test_reading_past_end_raises(self):
+        reader = CardReader(["only"])
+        reader.next_card()
+        with pytest.raises(CardError, match="exhausted"):
+            reader.next_card()
+
+    def test_peek_past_end_raises(self):
+        with pytest.raises(CardError):
+            CardReader([]).peek()
+
+    def test_read_list(self):
+        reader = CardReader(["    1", "    2", "    3"])
+        rows = reader.read_list("(I5)", 2)
+        assert rows == [[1], [2]]
+        assert reader.remaining() == 1
+
+    def test_rewind(self):
+        reader = CardReader(["    9"])
+        reader.next_card()
+        reader.rewind()
+        assert reader.read("(I5)") == [9]
+
+    def test_from_text(self):
+        reader = CardReader.from_text("    1\n    2\n")
+        assert reader.remaining() == 2
+
+    def test_accepts_card_objects(self):
+        reader = CardReader([Card("   42")])
+        assert reader.read("(I5)") == [42]
+
+
+class TestCardWriter:
+    def test_punch_single(self):
+        writer = CardWriter()
+        writer.punch("(2I5)", [1, 2])
+        assert len(writer) == 1
+        assert str(writer.cards[0]) == "    1    2"
+
+    def test_punch_each_row(self):
+        writer = CardWriter()
+        writer.punch_each("(I5)", [[1], [2], [3]])
+        assert len(writer) == 3
+
+    def test_punch_spilling_format(self):
+        writer = CardWriter()
+        produced = writer.punch("(2I5)", [1, 2, 3])
+        assert len(produced) == 2
+
+    def test_punch_raw_card(self):
+        writer = CardWriter()
+        writer.punch_card("A TITLE CARD")
+        assert writer.cards[0] == Card("A TITLE CARD")
+
+    def test_to_text_round_trips_through_reader(self):
+        writer = CardWriter()
+        fmt = FortranFormat("(3I5)")
+        writer.punch(fmt, [7, 8, 9])
+        reader = CardReader.from_text(writer.to_text())
+        assert reader.read(fmt) == [7, 8, 9]
+
+    def test_value_count(self):
+        writer = CardWriter()
+        writer.punch("(3I5)", [1, 2, 3])
+        writer.punch("(2I5)", [4, 5])
+        assert writer.value_count() == 5

@@ -1,0 +1,142 @@
+"""Failure injection: corrupted card decks must fail loudly and typed.
+
+The 1970 programs halted on bad decks with cryptic FORTRAN I/O errors;
+the reproduction turns every corruption into a :class:`ReproError`
+subclass with a diagnostic.  These tests mutate valid decks in the ways
+keypunch operators actually got them wrong.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cards.reader import CardReader
+from repro.core.idlz.deck import (
+    IdlzProblem,
+    read_idlz_deck,
+    write_idlz_deck,
+)
+from repro.core.idlz.shaping import ShapingSegment
+from repro.core.idlz.subdivision import Subdivision
+from repro.core.ospl.deck import (
+    problem_from_analysis,
+    read_ospl_deck,
+    write_ospl_deck,
+)
+from repro.errors import CardError, ReproError
+from repro.fem.mesh import Mesh
+from repro.fem.results import NodalField
+
+import numpy as np
+
+
+def good_idlz_deck():
+    sub = Subdivision(index=1, kk1=1, ll1=1, kk2=4, ll2=4)
+    segments = [
+        ShapingSegment(1, 1, 1, 4, 1, 0.0, 0.0, 3.0, 0.0),
+        ShapingSegment(1, 1, 4, 4, 4, 0.0, 3.0, 3.0, 3.0),
+    ]
+    problem = IdlzProblem(title="GOOD", subdivisions=[sub],
+                          segments=segments)
+    return [str(c) for c in write_idlz_deck([problem]).cards]
+
+
+def good_ospl_deck():
+    nodes = np.array([[0.0, 0.0], [2.0, 0.0], [1.0, 2.0]])
+    mesh = Mesh(nodes=nodes, elements=np.array([[0, 1, 2]]))
+    field = NodalField("S", np.array([0.0, 10.0, 20.0]))
+    problem = problem_from_analysis(mesh, field, title1="GOOD")
+    return [str(c) for c in write_ospl_deck(problem).cards]
+
+
+class TestIdlzDeckCorruption:
+    def test_dropped_trailing_cards(self):
+        cards = good_idlz_deck()
+        with pytest.raises(CardError, match="exhausted"):
+            read_idlz_deck(CardReader(cards[:4]))
+
+    def test_garbage_in_integer_field(self):
+        cards = good_idlz_deck()
+        cards[2] = "  1x  bad card"
+        with pytest.raises(ReproError):
+            read_idlz_deck(CardReader(cards))
+
+    def test_nset_zero(self):
+        cards = good_idlz_deck()
+        cards[0] = "    0"
+        with pytest.raises(CardError, match="NSET"):
+            read_idlz_deck(CardReader(cards))
+
+    def test_nsbdvn_zero(self):
+        cards = good_idlz_deck()
+        cards[2] = cards[2][:15] + "    0"
+        with pytest.raises(CardError, match="NSBDVN"):
+            read_idlz_deck(CardReader(cards))
+
+    def test_degenerate_subdivision_card(self):
+        cards = good_idlz_deck()
+        # KK2 = KK1: no horizontal extent.
+        cards[3] = "    1    1    1    1    4"
+        with pytest.raises(ReproError, match="span"):
+            read_idlz_deck(CardReader(cards))
+
+    def test_negative_nlines(self):
+        cards = good_idlz_deck()
+        cards[4] = "    1   -1"
+        with pytest.raises(CardError, match="NLINES"):
+            read_idlz_deck(CardReader(cards))
+
+    @given(st.integers(1, 6), st.text(
+        alphabet="abcXYZ&%$", min_size=3, max_size=10))
+    @settings(max_examples=25, deadline=None)
+    def test_fuzzed_card_body_never_crashes_untyped(self, index, junk):
+        cards = good_idlz_deck()
+        if index >= len(cards):
+            return
+        cards[index] = junk
+        try:
+            problems = read_idlz_deck(CardReader(cards))
+            for problem in problems:
+                problem.run()
+        except ReproError:
+            pass  # typed failure is the contract
+        # Any other exception type fails the test by propagating.
+
+
+class TestOsplDeckCorruption:
+    def test_header_node_count_too_small(self):
+        cards = good_ospl_deck()
+        cards[0] = "    2    1"
+        with pytest.raises(CardError, match="not a mesh"):
+            read_ospl_deck(CardReader(cards))
+
+    def test_element_referencing_node_zero(self):
+        cards = good_ospl_deck()
+        cards[-1] = "    0    1    2"
+        with pytest.raises(CardError, match="references node"):
+            read_ospl_deck(CardReader(cards))
+
+    def test_truncated_nodal_cards(self):
+        cards = good_ospl_deck()
+        with pytest.raises(CardError, match="exhausted"):
+            read_ospl_deck(CardReader(cards[:4]))
+
+    def test_garbage_real_field(self):
+        cards = good_ospl_deck()
+        cards[3] = "bad.card.here"
+        with pytest.raises(ReproError):
+            read_ospl_deck(CardReader(cards))
+
+    @given(st.integers(0, 6), st.text(
+        alphabet="zq#!.-", min_size=1, max_size=12))
+    @settings(max_examples=25, deadline=None)
+    def test_fuzzed_ospl_deck_fails_typed(self, index, junk):
+        cards = good_ospl_deck()
+        if index >= len(cards):
+            return
+        cards[index] = junk
+        try:
+            problem = read_ospl_deck(CardReader(cards))
+            problem.plot()
+        except ReproError:
+            pass

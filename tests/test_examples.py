@@ -1,0 +1,85 @@
+"""Smoke tests: every example script must run clean end to end.
+
+Examples are the quickstart surface of the library; a broken one is a
+broken front door.  Each is executed in-process with argv pointing at a
+temp directory, and its promised artefacts are checked.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, tmp_path: Path, monkeypatch) -> Path:
+    out = tmp_path / name
+    out.mkdir()
+    monkeypatch.setattr(sys, "argv", [name, str(out)])
+    runpy.run_path(str(EXAMPLES_DIR / f"{name}.py"), run_name="__main__")
+    return out
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path, monkeypatch, capsys):
+        out = run_example("quickstart", tmp_path, monkeypatch)
+        assert (out / "listing.txt").exists()
+        assert (out / "punched_cards.txt").exists()
+        assert (out / "contours.svg").exists()
+        assert "contour interval" in capsys.readouterr().out
+
+    def test_pressure_hatch(self, tmp_path, monkeypatch, capsys):
+        out = run_example("pressure_hatch", tmp_path, monkeypatch)
+        assert (out / "hatch_effective_stress.svg").exists()
+        captured = capsys.readouterr().out
+        assert "effective stress range" in captured
+
+    def test_thermal_tbeam(self, tmp_path, monkeypatch, capsys):
+        out = run_example("thermal_tbeam", tmp_path, monkeypatch)
+        assert (out / "tbeam_t2s.svg").exists()
+        assert (out / "tbeam_t3s.svg").exists()
+        assert "t = 2 s" in capsys.readouterr().out
+
+    def test_card_roundtrip(self, tmp_path, monkeypatch, capsys):
+        out = run_example("card_roundtrip", tmp_path, monkeypatch)
+        assert (out / "idlz_input.deck").exists()
+        assert (out / "idlz_output.deck").exists()
+        assert (out / "ospl_input.deck").exists()
+        assert (out / "roundtrip_contours.svg").exists()
+
+    def test_zoom_plot(self, tmp_path, monkeypatch, capsys):
+        out = run_example("zoom_plot", tmp_path, monkeypatch)
+        assert (out / "full_section.svg").exists()
+        assert (out / "joint_zoom.svg").exists()
+
+    def test_thermal_stress_tbeam(self, tmp_path, monkeypatch, capsys):
+        out = run_example("thermal_stress_tbeam", tmp_path, monkeypatch)
+        assert (out / "tbeam_thermal_stress.svg").exists()
+        assert "thermal effective stress" in capsys.readouterr().out
+
+    def test_appendix_b_walkthrough(self, tmp_path, monkeypatch, capsys):
+        out = run_example("appendix_b_walkthrough", tmp_path, monkeypatch)
+        assert (out / "listing.txt").exists()
+        captured = capsys.readouterr().out
+        assert "node radii span 1.000 .. 2.000" in captured
+
+    def test_bandwidth_study(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(sys, "argv", ["bandwidth_study"])
+        runpy.run_path(str(EXAMPLES_DIR / "bandwidth_study.py"),
+                       run_name="__main__")
+        captured = capsys.readouterr().out
+        assert "speedup" in captured
+        assert "glass_joint" in captured
+
+    def test_full_film(self, tmp_path, monkeypatch, capsys):
+        out = run_example("full_film", tmp_path, monkeypatch)
+        frames = sorted(out.glob("frame_*.svg"))
+        assert len(frames) >= 30
+
+    def test_modal_tbeam(self, tmp_path, monkeypatch, capsys):
+        out = run_example("modal_tbeam", tmp_path, monkeypatch)
+        assert (out / "mode_1_contours.svg").exists()
+        assert (out / "mode_1_deformed.svg").exists()
+        assert "natural frequencies" in capsys.readouterr().out

@@ -1,0 +1,155 @@
+"""Unit tests for banded storage and the band Cholesky solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.fem.banded import BandedSymmetricMatrix, matrix_half_bandwidth
+
+
+def spd_matrix(n: int, hb: int, seed: int = 0) -> np.ndarray:
+    """A random SPD matrix with the given half bandwidth."""
+    rng = np.random.default_rng(seed)
+    a = np.zeros((n, n))
+    for i in range(n):
+        for j in range(max(0, i - hb), i + 1):
+            a[i, j] = rng.normal()
+            a[j, i] = a[i, j]
+    # Diagonal dominance guarantees positive definiteness.
+    a += np.eye(n) * (np.abs(a).sum(axis=1).max() + 1.0)
+    return a
+
+
+class TestStorage:
+    def test_add_and_get(self):
+        m = BandedSymmetricMatrix(5, 2)
+        m.add(3, 1, 7.0)
+        assert m.get(3, 1) == 7.0
+        assert m.get(1, 3) == 7.0
+
+    def test_add_accumulates(self):
+        m = BandedSymmetricMatrix(4, 1)
+        m.add(1, 1, 2.0)
+        m.add(1, 1, 3.0)
+        assert m.get(1, 1) == 5.0
+
+    def test_out_of_band_entry_rejected(self):
+        m = BandedSymmetricMatrix(5, 1)
+        with pytest.raises(SolverError, match="bandwidth"):
+            m.add(4, 0, 1.0)
+
+    def test_out_of_band_get_is_zero(self):
+        m = BandedSymmetricMatrix(5, 1)
+        assert m.get(4, 0) == 0.0
+
+    def test_dense_round_trip(self):
+        a = spd_matrix(8, 3)
+        m = BandedSymmetricMatrix.from_dense(a)
+        assert np.allclose(m.to_dense(), a)
+
+    def test_from_dense_rejects_asymmetric(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        with pytest.raises(SolverError, match="symmetric"):
+            BandedSymmetricMatrix.from_dense(a)
+
+    def test_add_block(self):
+        m = BandedSymmetricMatrix(4, 3)
+        block = np.array([[2.0, 1.0], [1.0, 2.0]])
+        m.add_block(np.array([0, 2]), block)
+        assert m.get(0, 0) == 2.0
+        assert m.get(2, 0) == 1.0
+        assert m.get(2, 2) == 2.0
+
+    def test_bandwidth_clamped_to_order(self):
+        m = BandedSymmetricMatrix(3, 10)
+        assert m.hb == 2
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(SolverError):
+            BandedSymmetricMatrix(0, 1)
+
+
+class TestCholesky:
+    @pytest.mark.parametrize("n,hb", [(5, 1), (10, 3), (20, 7), (15, 14)])
+    def test_solve_matches_numpy(self, n, hb):
+        a = spd_matrix(n, hb, seed=n * 31 + hb)
+        rhs = np.arange(1.0, n + 1.0)
+        m = BandedSymmetricMatrix.from_dense(a)
+        x = m.solve(rhs)
+        assert np.allclose(x, np.linalg.solve(a, rhs), rtol=1e-9)
+
+    def test_factor_reused_for_multiple_rhs(self):
+        a = spd_matrix(12, 4)
+        m = BandedSymmetricMatrix.from_dense(a)
+        factor = m.cholesky()
+        for seed in range(3):
+            rhs = np.random.default_rng(seed).normal(size=12)
+            assert np.allclose(factor.solve(rhs), np.linalg.solve(a, rhs))
+
+    def test_diagonal_matrix(self):
+        m = BandedSymmetricMatrix(4, 0)
+        for i, d in enumerate([1.0, 2.0, 4.0, 8.0]):
+            m.add(i, i, d)
+        x = m.solve(np.array([1.0, 2.0, 4.0, 8.0]))
+        assert x == pytest.approx([1, 1, 1, 1])
+
+    def test_indefinite_matrix_rejected(self):
+        m = BandedSymmetricMatrix(2, 1)
+        m.add(0, 0, 1.0)
+        m.add(1, 1, -1.0)
+        with pytest.raises(SolverError, match="pivot"):
+            m.cholesky()
+
+    def test_singular_matrix_rejected(self):
+        m = BandedSymmetricMatrix(3, 1)
+        m.add(0, 0, 1.0)
+        m.add(1, 1, 1.0)
+        # Row 2 left entirely zero.
+        with pytest.raises(SolverError):
+            m.cholesky()
+
+    def test_wrong_rhs_length_rejected(self):
+        m = BandedSymmetricMatrix.from_dense(spd_matrix(4, 1))
+        factor = m.cholesky()
+        with pytest.raises(SolverError, match="length"):
+            factor.solve(np.ones(5))
+
+
+class TestConstrainDof:
+    def test_constraint_applied(self):
+        a = spd_matrix(6, 2, seed=9)
+        rhs = np.ones(6)
+        m = BandedSymmetricMatrix.from_dense(a)
+        m.constrain_dof(2, rhs, value=0.5)
+        x = m.solve(rhs)
+        assert x[2] == pytest.approx(0.5)
+
+    def test_constrained_solution_matches_reduced_system(self):
+        a = spd_matrix(6, 2, seed=4)
+        rhs = np.arange(6.0)
+        m = BandedSymmetricMatrix.from_dense(a)
+        m.constrain_dof(0, rhs, value=2.0)
+        x = m.solve(rhs)
+        # Reference: eliminate dof 0 from the dense system.
+        free = np.arange(1, 6)
+        x_ref = np.linalg.solve(
+            a[np.ix_(free, free)],
+            np.arange(6.0)[free] - a[np.ix_(free, [0])].ravel() * 2.0,
+        )
+        assert np.allclose(x[1:], x_ref)
+
+    def test_band_preserved_after_constraint(self):
+        a = spd_matrix(6, 2, seed=5)
+        rhs = np.zeros(6)
+        m = BandedSymmetricMatrix.from_dense(a)
+        m.constrain_dof(3, rhs)
+        dense = m.to_dense()
+        assert dense[3, 3] == 1.0
+        assert np.count_nonzero(dense[3, :]) == 1
+        assert np.count_nonzero(dense[:, 3]) == 1
+
+
+class TestHelpers:
+    def test_matrix_half_bandwidth(self):
+        assert matrix_half_bandwidth([(0, 3), (1, 2), (5, 5)]) == 3
+        assert matrix_half_bandwidth([]) == 0

@@ -1,0 +1,174 @@
+"""Unit tests for the element formulations (CST, axisymmetric, heat)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.fem.elements.axisym import (
+    axisym_b_matrix,
+    axisym_stiffness,
+    axisym_strain,
+)
+from repro.fem.elements.cst import cst_b_matrix, cst_stiffness, cst_strain
+from repro.fem.elements.heat import (
+    edge_flux_vector,
+    heat_capacity_matrix,
+    heat_conductivity_matrix,
+)
+from repro.fem.materials import IsotropicElastic
+
+TRI = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+MAT = IsotropicElastic(youngs=1000.0, poisson=0.25)
+
+
+class TestCst:
+    def test_b_matrix_shape_and_area(self):
+        b, area = cst_b_matrix(TRI)
+        assert b.shape == (3, 6)
+        assert area == pytest.approx(0.5)
+
+    def test_inverted_element_rejected(self):
+        with pytest.raises(MeshError):
+            cst_b_matrix(TRI[::-1])
+
+    def test_rigid_translation_gives_zero_strain(self):
+        u = np.array([0.3, -0.2] * 3)
+        assert cst_strain(TRI, u) == pytest.approx([0, 0, 0])
+
+    def test_rigid_rotation_gives_zero_strain(self):
+        # Infinitesimal rotation: u = -theta*y, v = theta*x.
+        theta = 1e-3
+        u = []
+        for x, y in TRI:
+            u += [-theta * y, theta * x]
+        assert cst_strain(TRI, np.array(u)) == pytest.approx(
+            [0, 0, 0], abs=1e-12
+        )
+
+    def test_uniform_strain_reproduced(self):
+        # u = 0.01 x  ->  eps_x = 0.01.
+        u = []
+        for x, y in TRI:
+            u += [0.01 * x, 0.0]
+        strain = cst_strain(TRI, np.array(u))
+        assert strain == pytest.approx([0.01, 0.0, 0.0])
+
+    def test_pure_shear_strain(self):
+        # u = gamma * y -> gamma_xy = gamma.
+        gamma = 0.02
+        u = []
+        for x, y in TRI:
+            u += [gamma * y, 0.0]
+        strain = cst_strain(TRI, np.array(u))
+        assert strain == pytest.approx([0.0, 0.0, gamma])
+
+    def test_stiffness_symmetric_psd(self):
+        k = cst_stiffness(TRI, MAT.d_plane_stress())
+        assert np.allclose(k, k.T)
+        eigs = np.linalg.eigvalsh(k)
+        assert np.all(eigs > -1e-9 * eigs.max())
+
+    def test_stiffness_has_three_rigid_body_modes(self):
+        k = cst_stiffness(TRI, MAT.d_plane_stress())
+        eigs = np.linalg.eigvalsh(k)
+        assert np.sum(np.abs(eigs) < 1e-9 * eigs.max()) == 3
+
+    def test_stiffness_scales_with_thickness(self):
+        k1 = cst_stiffness(TRI, MAT.d_plane_stress(), thickness=1.0)
+        k2 = cst_stiffness(TRI, MAT.d_plane_stress(), thickness=2.0)
+        assert np.allclose(k2, 2 * k1)
+
+    def test_translation_invariance(self):
+        shifted = TRI + np.array([5.0, -7.0])
+        k1 = cst_stiffness(TRI, MAT.d_plane_stress())
+        k2 = cst_stiffness(shifted, MAT.d_plane_stress())
+        assert np.allclose(k1, k2)
+
+
+class TestAxisym:
+    RING = np.array([[1.0, 0.0], [2.0, 0.0], [1.5, 1.0]])
+
+    def test_b_matrix_shape(self):
+        b, area, r_bar = axisym_b_matrix(self.RING)
+        assert b.shape == (4, 6)
+        assert area == pytest.approx(0.5)
+        assert r_bar == pytest.approx(1.5)
+
+    def test_hoop_strain_from_radial_motion(self):
+        # Uniform radial displacement u0: eps_theta = u0 / r_bar.
+        u0 = 0.01
+        u = np.array([u0, 0.0] * 3)
+        strain = axisym_strain(self.RING, u)
+        assert strain[3] == pytest.approx(u0 / 1.5)
+        assert strain[0] == pytest.approx(0.0, abs=1e-15)
+
+    def test_axial_translation_strain_free(self):
+        u = np.array([0.0, 0.5] * 3)
+        strain = axisym_strain(self.RING, u)
+        assert strain == pytest.approx([0, 0, 0, 0], abs=1e-15)
+
+    def test_stiffness_symmetric(self):
+        k = axisym_stiffness(self.RING, MAT.d_axisymmetric())
+        assert np.allclose(k, k.T)
+
+    def test_stiffness_scales_with_radius(self):
+        # A ring at twice the radius has twice the volume per area.
+        far = self.RING + np.array([10.0, 0.0])
+        k_near = axisym_stiffness(self.RING, MAT.d_axisymmetric())
+        k_far = axisym_stiffness(far, MAT.d_axisymmetric())
+        # The shear block (unaffected by 1/r hoop terms) scales with r_bar.
+        assert k_far[1, 1] / k_near[1, 1] == pytest.approx(
+            11.5 / 1.5, rel=1e-6
+        )
+
+    def test_element_on_axis_allowed(self):
+        on_axis = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        k = axisym_stiffness(on_axis, MAT.d_axisymmetric())
+        assert np.isfinite(k).all()
+
+    def test_negative_radius_rejected(self):
+        bad = np.array([[-1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        with pytest.raises(MeshError, match="negative radius"):
+            axisym_b_matrix(bad)
+
+    def test_inverted_ring_rejected(self):
+        with pytest.raises(MeshError):
+            axisym_b_matrix(self.RING[::-1])
+
+
+class TestHeat:
+    def test_conductivity_rows_sum_to_zero(self):
+        k = heat_conductivity_matrix(TRI, conductivity=3.0)
+        assert k.sum(axis=1) == pytest.approx([0, 0, 0], abs=1e-12)
+
+    def test_conductivity_symmetric_psd(self):
+        k = heat_conductivity_matrix(TRI, conductivity=1.0)
+        assert np.allclose(k, k.T)
+        eigs = np.linalg.eigvalsh(k)
+        assert np.all(eigs > -1e-12)
+
+    def test_conductivity_scales_with_k(self):
+        k1 = heat_conductivity_matrix(TRI, 1.0)
+        k5 = heat_conductivity_matrix(TRI, 5.0)
+        assert np.allclose(k5, 5 * k1)
+
+    def test_lumped_capacity_total(self):
+        c = heat_capacity_matrix(TRI, volumetric_capacity=6.0)
+        # Total capacitance = rho*c*A = 3.0, spread over the diagonal.
+        assert np.trace(c) == pytest.approx(3.0)
+        assert np.count_nonzero(c - np.diag(np.diag(c))) == 0
+
+    def test_consistent_capacity_total(self):
+        c = heat_capacity_matrix(TRI, volumetric_capacity=6.0, lumped=False)
+        assert c.sum() == pytest.approx(3.0)
+        assert c[0, 1] > 0
+
+    def test_edge_flux_splits_evenly(self):
+        f = edge_flux_vector((0, 0), (2, 0), flux=5.0)
+        assert f == pytest.approx([5.0, 5.0])
+
+    def test_zero_length_edge_rejected(self):
+        with pytest.raises(MeshError):
+            edge_flux_vector((1, 1), (1, 1), flux=1.0)

@@ -1,0 +1,117 @@
+"""Unit tests for the material models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MaterialError
+from repro.fem.materials import (
+    GLASS,
+    GRP_ORTHOTROPIC,
+    IsotropicElastic,
+    OrthotropicElastic,
+    STEEL,
+    STEEL_THERMAL,
+    ThermalMaterial,
+    TITANIUM,
+)
+
+
+class TestIsotropic:
+    def test_plane_stress_matrix(self):
+        mat = IsotropicElastic(youngs=100.0, poisson=0.25)
+        d = mat.d_plane_stress()
+        c = 100.0 / (1 - 0.0625)
+        assert d[0, 0] == pytest.approx(c)
+        assert d[0, 1] == pytest.approx(0.25 * c)
+        assert d[2, 2] == pytest.approx(c * 0.375)
+
+    def test_plane_strain_stiffer_than_plane_stress(self):
+        mat = IsotropicElastic(youngs=100.0, poisson=0.3)
+        assert mat.d_plane_strain()[0, 0] > mat.d_plane_stress()[0, 0]
+
+    def test_axisymmetric_matrix_symmetric(self):
+        d = STEEL.d_axisymmetric()
+        assert d.shape == (4, 4)
+        assert np.allclose(d, d.T)
+
+    def test_axisymmetric_hoop_coupling(self):
+        d = STEEL.d_axisymmetric()
+        # Hoop strain couples to radial/axial stress through nu.
+        assert d[0, 3] > 0
+        assert d[2, 3] == 0  # but not to shear
+
+    def test_matrices_positive_definite(self):
+        for mat in (GLASS, TITANIUM, STEEL):
+            for d in (mat.d_plane_stress(), mat.d_plane_strain(),
+                      mat.d_axisymmetric()):
+                assert np.all(np.linalg.eigvalsh(d) > 0)
+
+    def test_invalid_youngs_rejected(self):
+        with pytest.raises(MaterialError):
+            IsotropicElastic(youngs=-1.0, poisson=0.3)
+
+    def test_invalid_poisson_rejected(self):
+        with pytest.raises(MaterialError):
+            IsotropicElastic(youngs=1.0, poisson=0.5)
+        with pytest.raises(MaterialError):
+            IsotropicElastic(youngs=1.0, poisson=-1.0)
+
+    def test_invalid_thickness_rejected(self):
+        with pytest.raises(MaterialError):
+            IsotropicElastic(youngs=1.0, poisson=0.3, thickness=0.0)
+
+
+class TestOrthotropic:
+    def test_reduces_to_isotropic(self):
+        e, nu = 100.0, 0.3
+        g = e / (2 * (1 + nu))
+        ortho = OrthotropicElastic(e1=e, e2=e, e3=e, g12=g,
+                                   nu12=nu, nu13=nu, nu23=nu)
+        iso = IsotropicElastic(youngs=e, poisson=nu)
+        assert np.allclose(ortho.d_plane_stress(), iso.d_plane_stress())
+        assert np.allclose(ortho.d_plane_strain(), iso.d_plane_strain(),
+                           rtol=1e-10)
+        assert np.allclose(ortho.d_axisymmetric(), iso.d_axisymmetric(),
+                           rtol=1e-10)
+
+    def test_plane_stress_asymmetry_of_moduli(self):
+        d = GRP_ORTHOTROPIC.d_plane_stress()
+        # e2 > e1 for the catalogue GRP.
+        assert d[1, 1] > d[0, 0]
+        assert d[0, 1] == pytest.approx(d[1, 0])
+
+    def test_axisymmetric_positive_definite(self):
+        d = GRP_ORTHOTROPIC.d_axisymmetric()
+        assert np.all(np.linalg.eigvalsh(d) > 0)
+
+    def test_hoop_modulus_dominates_for_grp(self):
+        # e3 (hoop) is the filament direction of the catalogue GRP.
+        d = GRP_ORTHOTROPIC.d_axisymmetric()
+        assert d[3, 3] > d[0, 0]
+
+    def test_inadmissible_poisson_rejected(self):
+        with pytest.raises(MaterialError, match="admissibility"):
+            OrthotropicElastic(e1=1.0, e2=100.0, e3=1.0, g12=1.0, nu12=0.5)
+
+    def test_nonpositive_modulus_rejected(self):
+        with pytest.raises(MaterialError):
+            OrthotropicElastic(e1=0.0, e2=1.0, e3=1.0, g12=1.0, nu12=0.1)
+
+
+class TestThermal:
+    def test_derived_quantities(self):
+        mat = ThermalMaterial(conductivity=2.0, density=4.0,
+                              specific_heat=0.5)
+        assert mat.volumetric_heat_capacity == pytest.approx(2.0)
+        assert mat.diffusivity == pytest.approx(1.0)
+
+    def test_catalogue_steel_plausible(self):
+        assert STEEL_THERMAL.diffusivity > 0
+
+    def test_invalid_conductivity_rejected(self):
+        with pytest.raises(MaterialError):
+            ThermalMaterial(conductivity=0.0)
+
+    def test_invalid_density_rejected(self):
+        with pytest.raises(MaterialError):
+            ThermalMaterial(conductivity=1.0, density=-1.0)

@@ -1,0 +1,70 @@
+"""Tests for deformed-shape plotting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.fem.postplot import auto_scale, deformed_nodes, plot_deformed
+
+
+class TestDeformedNodes:
+    def test_zero_displacement_identity(self, unit_square_mesh):
+        moved = deformed_nodes(unit_square_mesh,
+                               np.zeros(8), scale=100.0)
+        assert np.array_equal(moved, unit_square_mesh.nodes)
+
+    def test_scaling_applied(self, unit_square_mesh):
+        disp = np.zeros(8)
+        disp[2] = 0.01  # node 1, x
+        moved = deformed_nodes(unit_square_mesh, disp, scale=10.0)
+        assert moved[1, 0] == pytest.approx(1.1)
+
+    def test_wrong_length_rejected(self, unit_square_mesh):
+        with pytest.raises(MeshError):
+            deformed_nodes(unit_square_mesh, np.zeros(7), 1.0)
+
+
+class TestAutoScale:
+    def test_targets_fraction_of_extent(self, unit_square_mesh):
+        disp = np.zeros(8)
+        disp[2] = 0.001
+        scale = auto_scale(unit_square_mesh, disp, target_fraction=0.05)
+        # Peak * scale = 5% of the unit extent.
+        assert 0.001 * scale == pytest.approx(0.05)
+
+    def test_zero_displacement_unit_scale(self, unit_square_mesh):
+        assert auto_scale(unit_square_mesh, np.zeros(8)) == 1.0
+
+
+class TestPlotDeformed:
+    def test_frame_has_both_configurations(self, unit_square_mesh):
+        disp = np.zeros(8)
+        disp[2] = 0.01
+        frame = plot_deformed(unit_square_mesh, disp, scale=10.0,
+                              title="TEST")
+        # 4 boundary edges + 5 unique element edges.
+        assert len(frame.vectors()) == 9
+
+    def test_caption_reports_magnification(self, unit_square_mesh):
+        frame = plot_deformed(unit_square_mesh, np.zeros(8), scale=250.0)
+        texts = [op.text for op in frame.texts()]
+        assert any("MAGNIFIED 250X" in t for t in texts)
+
+    def test_real_solution_plot(self, built_structures):
+        from repro.fem.solve import AnalysisType, StaticAnalysis
+
+        built = built_structures["sphere_hatch"]
+        mesh = built.mesh
+        an = StaticAnalysis(mesh, built.group_materials,
+                            AnalysisType.AXISYMMETRIC)
+        an.loads.add_edge_pressure_axisym(
+            mesh, built.path_edges("outer"), 300.0
+        )
+        for n in built.path_nodes("seat_bottom"):
+            an.constraints.fix(n, 1)
+        for n in mesh.nodes_near(x=0.0, tol=1e-6):
+            an.constraints.fix(n, 0)
+        result = an.solve()
+        frame = plot_deformed(mesh, result.displacements,
+                              title="SPHERE HATCH")
+        assert len(frame.vectors()) > mesh.n_elements

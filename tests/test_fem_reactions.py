@@ -1,0 +1,117 @@
+"""Tests for reaction recovery and equilibrium checks."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.fem.materials import IsotropicElastic
+from repro.fem.mesh import Mesh
+from repro.fem.reactions import compute_reactions, reactions_for
+from repro.fem.solve import AnalysisType, StaticAnalysis
+
+MAT = IsotropicElastic(youngs=1.0e4, poisson=0.3)
+
+
+def grid(nx, ny, w, h):
+    nodes = []
+    for j in range(ny + 1):
+        for i in range(nx + 1):
+            nodes.append([w * i / nx, h * j / ny])
+    elements = []
+    for j in range(ny):
+        for i in range(nx):
+            a = j * (nx + 1) + i
+            b, c, d = a + 1, a + nx + 2, a + nx + 1
+            elements.append([a, b, c])
+            elements.append([a, c, d])
+    return Mesh(nodes=np.array(nodes), elements=np.array(elements))
+
+
+@pytest.fixture
+def tension_case():
+    mesh = grid(4, 2, 2.0, 1.0)
+    an = StaticAnalysis(mesh, {0: MAT}, AnalysisType.PLANE_STRESS)
+    an.constraints.fix_nodes(mesh.nodes_near(x=0.0), 0)
+    an.constraints.fix(mesh.nearest_node(0, 0), 1)
+    for n in mesh.nodes_near(x=2.0):
+        y = mesh.nodes[n, 1]
+        an.loads.add_force(n, 0, 100.0 * (0.25 if y in (0.0, 1.0) else 0.5))
+    return mesh, an, an.solve()
+
+
+class TestReactions:
+    def test_free_dofs_have_zero_residual(self, tension_case):
+        mesh, an, result = tension_case
+        report = reactions_for(an, result)
+        assert report.free_residual < 1e-8
+
+    def test_reactions_balance_applied(self, tension_case):
+        mesh, an, result = tension_case
+        report = reactions_for(an, result)
+        assert report.balances(tol=1e-9)
+        # Total applied Fx = 100 * height * 1 = 100.
+        assert report.applied_resultant[0] == pytest.approx(100.0)
+        assert report.reaction_resultant[0] == pytest.approx(-100.0)
+
+    def test_reactions_only_at_constrained_dofs(self, tension_case):
+        mesh, an, result = tension_case
+        report = reactions_for(an, result)
+        nonzero = np.nonzero(np.abs(report.reactions) > 1e-9)[0]
+        assert set(nonzero).issubset(set(report.constrained_dofs))
+
+    def test_reaction_distribution_on_clamped_edge(self, tension_case):
+        mesh, an, result = tension_case
+        report = reactions_for(an, result)
+        # Uniform tension: the midside clamped node carries twice the
+        # corner reaction (tributary length).
+        corner = mesh.nearest_node(0, 0)
+        mid = mesh.nearest_node(0, 0.5)
+        rc = report.reaction_at(corner)[0]
+        rm = report.reaction_at(mid)[0]
+        assert rm == pytest.approx(2 * rc, rel=1e-6)
+
+    def test_axisymmetric_axial_balance(self, built_structures):
+        built = built_structures["sphere_hatch"]
+        mesh = built.mesh
+        an = StaticAnalysis(mesh, built.group_materials,
+                            AnalysisType.AXISYMMETRIC)
+        an.loads.add_edge_pressure_axisym(
+            mesh, built.path_edges("outer"), 300.0
+        )
+        for n in built.path_nodes("seat_bottom"):
+            an.constraints.fix(n, 1)
+        for n in mesh.nodes_near(x=0.0, tol=1e-6):
+            an.constraints.fix(n, 0)
+        result = an.solve()
+        report = reactions_for(an, result)
+        # Axial equilibrium of the full ring model.
+        fz_applied = report.applied_resultant[1]
+        fz_react = report.reaction_resultant[1]
+        assert fz_applied + fz_react == pytest.approx(
+            0.0, abs=1e-6 * abs(fz_applied)
+        )
+        assert report.free_residual < 1e-6
+
+    def test_wrong_displacement_length_rejected(self, tension_case):
+        mesh, an, _ = tension_case
+        with pytest.raises(MeshError):
+            compute_reactions(mesh, {0: MAT}, AnalysisType.PLANE_STRESS,
+                              an.constraints, an.loads, np.zeros(3))
+
+    def test_prescribed_displacement_reactions(self):
+        # Stretching by prescribed end displacement: the pulled edge
+        # reacts with the bar force E A u / L.
+        mesh = grid(4, 2, 2.0, 1.0)
+        an = StaticAnalysis(mesh, {0: MAT}, AnalysisType.PLANE_STRESS)
+        an.constraints.fix_nodes(mesh.nodes_near(x=0.0), 0)
+        an.constraints.fix(mesh.nearest_node(0, 0), 1)
+        for n in mesh.nodes_near(x=2.0):
+            an.constraints.fix(n, 0, value=0.002)
+        result = an.solve()
+        report = reactions_for(an, result)
+        pulled = [2 * n for n in mesh.nodes_near(x=2.0)]
+        total = sum(report.reactions[d] for d in pulled)
+        expected = MAT.youngs * 1.0 * 0.002 / 2.0  # E A u / L
+        assert total == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,209 @@
+"""Integration tests for the static analysis driver.
+
+The acceptance standard is analytic: patch tests (exact for the CST) and
+the Lame thick-cylinder solution (convergent for the axisymmetric ring).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.fem.bc import Constraints
+from repro.fem.materials import IsotropicElastic
+from repro.fem.mesh import Mesh
+from repro.fem.solve import AnalysisType, StaticAnalysis
+from repro.fem.stress import StressComponent
+
+
+def grid_mesh(nx: int, ny: int, width: float, height: float,
+              x0: float = 0.0, y0: float = 0.0) -> Mesh:
+    """A structured triangle grid over a rectangle."""
+    nodes = []
+    for j in range(ny + 1):
+        for i in range(nx + 1):
+            nodes.append([x0 + width * i / nx, y0 + height * j / ny])
+    elements = []
+    for j in range(ny):
+        for i in range(nx):
+            a = j * (nx + 1) + i
+            b = a + 1
+            c = a + nx + 2
+            d = a + nx + 1
+            elements.append([a, b, c])
+            elements.append([a, c, d])
+    return Mesh(nodes=np.array(nodes), elements=np.array(elements))
+
+
+MAT = IsotropicElastic(youngs=1.0e4, poisson=0.3)
+
+
+class TestPlaneStressPatch:
+    def setup_method(self):
+        self.mesh = grid_mesh(4, 4, 2.0, 2.0)
+
+    def _tension(self, solver: str):
+        an = StaticAnalysis(self.mesh, {0: MAT}, AnalysisType.PLANE_STRESS)
+        an.constraints.fix_nodes(self.mesh.nodes_near(x=0.0), 0)
+        an.constraints.fix(self.mesh.nearest_node(0.0, 0.0), 1)
+        # Uniform traction sigma = 100 on the right edge via equivalent
+        # nodal loads (2.0 tall, 4 elements -> edge length 0.5 each).
+        right = self.mesh.nodes_near(x=2.0)
+        for n in right:
+            y = self.mesh.nodes[n, 1]
+            weight = 0.25 if y in (0.0, 2.0) else 0.5
+            an.loads.add_force(n, 0, 100.0 * weight)
+        return an.solve(solver=solver)
+
+    @pytest.mark.parametrize("solver", ["banded", "sparse"])
+    def test_uniaxial_tension_exact(self, solver):
+        result = self._tension(solver)
+        # u_x = sigma/E * x everywhere (exact for CST patch).
+        for n in range(self.mesh.n_nodes):
+            x = self.mesh.nodes[n, 0]
+            assert result.displacements[2 * n] == pytest.approx(
+                100.0 / 1.0e4 * x, abs=1e-9
+            )
+
+    def test_uniform_stress_field(self):
+        result = self._tension("banded")
+        sx = result.stresses.element_component(StressComponent.RADIAL)
+        assert sx == pytest.approx(np.full(self.mesh.n_elements, 100.0))
+
+    def test_poisson_contraction(self):
+        result = self._tension("banded")
+        top = self.mesh.nearest_node(0.0, 2.0)
+        assert result.displacements[2 * top + 1] == pytest.approx(
+            -0.3 * 100.0 / 1.0e4 * 2.0, rel=1e-6
+        )
+
+    def test_effective_equals_uniaxial(self):
+        result = self._tension("banded")
+        vm = result.stresses.element_component(StressComponent.EFFECTIVE)
+        assert vm == pytest.approx(np.full(self.mesh.n_elements, 100.0))
+
+    def test_solvers_agree(self):
+        banded = self._tension("banded").displacements
+        sparse = self._tension("sparse").displacements
+        assert np.allclose(banded, sparse, atol=1e-12)
+
+
+class TestConstraintsValidation:
+    def test_unconstrained_model_rejected(self, unit_square_mesh):
+        an = StaticAnalysis(unit_square_mesh, {0: MAT},
+                            AnalysisType.PLANE_STRESS)
+        with pytest.raises(SolverError, match="constraint"):
+            an.solve()
+
+    def test_underconstrained_model_flagged(self, unit_square_mesh):
+        # Only one pinned node leaves a rotation mode: the banded
+        # Cholesky must detect the singular pivot.
+        an = StaticAnalysis(unit_square_mesh, {0: MAT},
+                            AnalysisType.PLANE_STRESS)
+        an.constraints.fix(0, 0)
+        with pytest.raises(SolverError):
+            an.solve()
+
+    def test_unknown_solver_rejected(self, unit_square_mesh):
+        an = StaticAnalysis(unit_square_mesh, {0: MAT},
+                            AnalysisType.PLANE_STRESS)
+        an.constraints.fix_node(0)
+        with pytest.raises(SolverError, match="unknown solver"):
+            an.solve(solver="quantum")
+
+    def test_nonzero_prescribed_displacement(self):
+        mesh = grid_mesh(2, 2, 1.0, 1.0)
+        an = StaticAnalysis(mesh, {0: MAT}, AnalysisType.PLANE_STRESS)
+        an.constraints.fix_nodes(mesh.nodes_near(x=0.0), 0)
+        an.constraints.fix(mesh.nearest_node(0, 0), 1)
+        for n in mesh.nodes_near(x=1.0):
+            an.constraints.fix(n, 0, value=0.01)
+        result = an.solve()
+        # Stretch of 1% -> sigma_x = E * 0.01 with free lateral faces.
+        sx = result.stresses.element_component(StressComponent.RADIAL)
+        assert sx == pytest.approx(np.full(mesh.n_elements, 1.0e4 * 0.01))
+
+
+class TestAxisymmetricLame:
+    A, B, P = 1.0, 2.0, 1000.0
+
+    def _solve(self, nr: int = 16, nz: int = 2):
+        mesh = grid_mesh(nr, nz, self.B - self.A, 0.5, x0=self.A)
+        an = StaticAnalysis(mesh, {0: MAT}, AnalysisType.AXISYMMETRIC)
+        an.constraints.fix_nodes(mesh.nodes_near(y=0.0), 1)
+        an.constraints.fix_nodes(mesh.nodes_near(y=0.5), 1)
+        inner = [
+            (a, b) for a, b in mesh.boundary_edges()
+            if abs(mesh.nodes[a, 0] - self.A) < 1e-9
+            and abs(mesh.nodes[b, 0] - self.A) < 1e-9
+        ]
+        an.loads.add_edge_pressure_axisym(mesh, inner, self.P)
+        return mesh, an.solve()
+
+    def _u_exact(self, r: float) -> float:
+        # Lame solution for internal pressure, plane strain.
+        e, nu = MAT.youngs, MAT.poisson
+        a2, b2 = self.A ** 2, self.B ** 2
+        c = self.P * a2 / (b2 - a2)
+        return (1 + nu) / e * (c * (1 - 2 * nu) * r + c * b2 / r)
+
+    def test_radial_displacement_converges(self):
+        mesh, result = self._solve()
+        for r in (self.A, 1.5, self.B):
+            n = mesh.nearest_node(r, 0.25)
+            assert result.displacements[2 * n] == pytest.approx(
+                self._u_exact(r), rel=2e-3
+            )
+
+    def test_hoop_stress_profile(self):
+        mesh, result = self._solve()
+        hoop = result.stresses.nodal(StressComponent.CIRCUMFERENTIAL)
+        a2, b2 = self.A ** 2, self.B ** 2
+        mid_r = 1.5
+        exact_mid = self.P * a2 / (b2 - a2) * (1 + b2 / mid_r ** 2)
+        n = mesh.nearest_node(mid_r, 0.25)
+        assert hoop[n] == pytest.approx(exact_mid, rel=0.02)
+
+    def test_hoop_decreases_outward(self):
+        mesh, result = self._solve()
+        hoop = result.stresses.nodal(StressComponent.CIRCUMFERENTIAL)
+        inner = mesh.nearest_node(self.A, 0.25)
+        outer = mesh.nearest_node(self.B, 0.25)
+        assert hoop[inner] > hoop[outer] > 0
+
+    def test_radial_stress_compressive_inside(self):
+        mesh, result = self._solve()
+        sr = result.stresses.nodal(StressComponent.RADIAL)
+        inner = mesh.nearest_node(self.A, 0.25)
+        assert sr[inner] < 0
+        # Near the free outer surface radial stress tends to zero.
+        outer = mesh.nearest_node(self.B, 0.25)
+        assert abs(sr[outer]) < 0.2 * self.P
+
+
+class TestMultiMaterial:
+    def test_bimaterial_series_bar(self):
+        # Two materials in series under tension: strain partitions as
+        # 1/E; displacement at the far end is the sum.
+        mesh = grid_mesh(4, 2, 2.0, 1.0)
+        groups = np.zeros(mesh.n_elements, dtype=int)
+        for e in range(mesh.n_elements):
+            centroid_x = mesh.nodes[mesh.elements[e], 0].mean()
+            groups[e] = 0 if centroid_x < 1.0 else 1
+        mesh.element_groups = groups
+        soft = IsotropicElastic(youngs=1.0e4, poisson=0.0)
+        stiff = IsotropicElastic(youngs=2.0e4, poisson=0.0)
+        an = StaticAnalysis(mesh, {0: soft, 1: stiff},
+                            AnalysisType.PLANE_STRESS)
+        an.constraints.fix_nodes(mesh.nodes_near(x=0.0), 0)
+        an.constraints.fix(mesh.nearest_node(0, 0), 1)
+        sigma = 100.0
+        for n in mesh.nodes_near(x=2.0):
+            y = mesh.nodes[n, 1]
+            an.loads.add_force(n, 0, sigma * (0.25 if y in (0.0, 1.0)
+                                              else 0.5))
+        result = an.solve()
+        end = mesh.nearest_node(2.0, 0.5)
+        expected = sigma / 1.0e4 * 1.0 + sigma / 2.0e4 * 1.0
+        assert result.displacements[2 * end] == pytest.approx(
+            expected, rel=1e-9
+        )

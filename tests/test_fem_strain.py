@@ -1,0 +1,119 @@
+"""Unit tests for strain recovery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.fem.materials import IsotropicElastic
+from repro.fem.strain import StrainComponent, StrainField, recover_strains
+
+MAT = IsotropicElastic(youngs=1.0e4, poisson=0.3)
+
+
+def uniaxial_displacements(mesh, eps=0.01):
+    disp = np.zeros(2 * mesh.n_nodes)
+    disp[0::2] = eps * mesh.nodes[:, 0]
+    return disp
+
+
+class TestRecovery:
+    def test_uniaxial_plane_stress(self, unit_square_mesh):
+        sf = recover_strains(unit_square_mesh,
+                             uniaxial_displacements(unit_square_mesh),
+                             {0: MAT}, "plane_stress")
+        assert sf.element_component(StrainComponent.NORMAL_X) == (
+            pytest.approx([0.01, 0.01])
+        )
+        assert sf.element_component(StrainComponent.NORMAL_Y) == (
+            pytest.approx([0.0, 0.0], abs=1e-15)
+        )
+
+    def test_plane_stress_out_of_plane(self, unit_square_mesh):
+        sf = recover_strains(unit_square_mesh,
+                             uniaxial_displacements(unit_square_mesh),
+                             {0: MAT}, "plane_stress")
+        ez = sf.element_component(StrainComponent.OUT_OF_PLANE)
+        expected = -0.3 / 0.7 * 0.01
+        assert ez == pytest.approx([expected, expected])
+
+    def test_plane_strain_out_of_plane_zero(self, unit_square_mesh):
+        sf = recover_strains(unit_square_mesh,
+                             uniaxial_displacements(unit_square_mesh),
+                             {0: MAT}, "plane_strain")
+        assert sf.element_component(StrainComponent.OUT_OF_PLANE) == (
+            pytest.approx([0.0, 0.0])
+        )
+
+    def test_axisymmetric_hoop(self):
+        from repro.fem.mesh import Mesh
+
+        nodes = np.array([[1.0, 0.0], [2.0, 0.0], [1.5, 1.0]])
+        mesh = Mesh(nodes=nodes, elements=np.array([[0, 1, 2]]))
+        disp = np.zeros(6)
+        disp[0::2] = 0.01  # uniform radial motion
+        sf = recover_strains(mesh, disp, {0: MAT}, "axisymmetric")
+        hoop = sf.element_component(StrainComponent.HOOP)
+        assert hoop[0] == pytest.approx(0.01 / 1.5)
+
+    def test_hoop_rejected_for_plane(self, unit_square_mesh):
+        sf = recover_strains(unit_square_mesh, np.zeros(8), {0: MAT},
+                             "plane_stress")
+        with pytest.raises(MeshError, match="axisymmetric"):
+            sf.element_component(StrainComponent.HOOP)
+
+    def test_unknown_analysis_rejected(self, unit_square_mesh):
+        with pytest.raises(MeshError, match="unknown analysis"):
+            recover_strains(unit_square_mesh, np.zeros(8), {0: MAT},
+                            "shell")
+
+    def test_wrong_vector_length_rejected(self, unit_square_mesh):
+        with pytest.raises(MeshError):
+            recover_strains(unit_square_mesh, np.zeros(5), {0: MAT},
+                            "plane_stress")
+
+
+class TestComponents:
+    def make(self, unit_square_mesh, rows):
+        return StrainField(mesh=unit_square_mesh,
+                           raw=np.array(rows, float),
+                           analysis_type="plane_strain")
+
+    def test_volumetric(self, unit_square_mesh):
+        sf = self.make(unit_square_mesh, [[0.01, 0.02, 0.0, 0.0]] * 2)
+        assert sf.element_component(StrainComponent.VOLUMETRIC) == (
+            pytest.approx([0.03, 0.03])
+        )
+
+    def test_principal_pure_shear(self, unit_square_mesh):
+        sf = self.make(unit_square_mesh, [[0.0, 0.0, 0.02, 0.0]] * 2)
+        e1 = sf.element_component(StrainComponent.MAX_PRINCIPAL)
+        e2 = sf.element_component(StrainComponent.MIN_PRINCIPAL)
+        assert e1 == pytest.approx([0.01, 0.01])
+        assert e2 == pytest.approx([-0.01, -0.01])
+
+    def test_principal_ordering(self, unit_square_mesh):
+        sf = self.make(unit_square_mesh, [[0.03, 0.01, 0.005, 0.0]] * 2)
+        e1 = sf.element_component(StrainComponent.MAX_PRINCIPAL)
+        e2 = sf.element_component(StrainComponent.MIN_PRINCIPAL)
+        assert np.all(e1 >= e2)
+        assert e1 + e2 == pytest.approx([0.04, 0.04])
+
+    def test_nodal_conversion(self, unit_square_mesh):
+        sf = self.make(unit_square_mesh, [[0.01, 0.0, 0.0, 0.0],
+                                          [0.03, 0.0, 0.0, 0.0]])
+        field = sf.nodal(StrainComponent.NORMAL_X)
+        assert field[0] == pytest.approx(0.02)  # shared-node average
+
+    def test_strain_consistent_with_stress(self, unit_square_mesh):
+        # Hooke round trip: D eps (plane stress) equals recovered stress.
+        from repro.fem.stress import recover_stresses
+
+        disp = uniaxial_displacements(unit_square_mesh)
+        strains = recover_strains(unit_square_mesh, disp, {0: MAT},
+                                  "plane_stress")
+        stresses = recover_stresses(unit_square_mesh, disp, {0: MAT},
+                                    "plane_stress")
+        d = MAT.d_plane_stress()
+        for e in range(2):
+            sigma = d @ strains.raw[e, :3]
+            assert sigma == pytest.approx(stresses.raw[e, :3])

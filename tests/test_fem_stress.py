@@ -1,0 +1,147 @@
+"""Unit tests for stress recovery and the named components."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.fem.materials import IsotropicElastic
+from repro.fem.mesh import Mesh
+from repro.fem.results import NodalField, elements_to_nodes
+from repro.fem.stress import StressComponent, StressField, recover_stresses
+
+MAT = IsotropicElastic(youngs=1000.0, poisson=0.25)
+
+
+def make_field(mesh, rows):
+    return StressField(mesh=mesh, raw=np.array(rows, dtype=float),
+                       analysis_type="axisymmetric")
+
+
+class TestComponents:
+    def test_effective_uniaxial(self, unit_square_mesh):
+        sf = make_field(unit_square_mesh,
+                        [[100, 0, 0, 0], [100, 0, 0, 0]])
+        vm = sf.element_component(StressComponent.EFFECTIVE)
+        assert vm == pytest.approx([100, 100])
+
+    def test_effective_pure_shear(self, unit_square_mesh):
+        sf = make_field(unit_square_mesh, [[0, 0, 50, 0]] * 2)
+        vm = sf.element_component(StressComponent.EFFECTIVE)
+        assert vm == pytest.approx([50 * np.sqrt(3)] * 2)
+
+    def test_effective_hydrostatic_is_zero(self, unit_square_mesh):
+        sf = make_field(unit_square_mesh, [[-75, -75, 0, -75]] * 2)
+        vm = sf.element_component(StressComponent.EFFECTIVE)
+        assert vm == pytest.approx([0, 0], abs=1e-9)
+
+    def test_circumferential_extracts_hoop(self, unit_square_mesh):
+        sf = make_field(unit_square_mesh, [[1, 2, 3, 4], [5, 6, 7, 8]])
+        assert sf.element_component(
+            StressComponent.CIRCUMFERENTIAL
+        ) == pytest.approx([4, 8])
+
+    def test_circumferential_rejected_for_plane(self, unit_square_mesh):
+        sf = StressField(mesh=unit_square_mesh,
+                         raw=np.zeros((2, 4)), analysis_type="plane_stress")
+        with pytest.raises(MeshError, match="axisymmetric"):
+            sf.element_component(StressComponent.CIRCUMFERENTIAL)
+
+    def test_meridional_is_major_principal(self, unit_square_mesh):
+        # sx=0, sy=0, tau=30: principals are +-30.
+        sf = make_field(unit_square_mesh, [[0, 0, 30, 0]] * 2)
+        assert sf.element_component(
+            StressComponent.MERIDIONAL
+        ) == pytest.approx([30, 30])
+        assert sf.element_component(
+            StressComponent.PRINCIPAL_MIN
+        ) == pytest.approx([-30, -30])
+
+    def test_principal_ordering(self, unit_square_mesh):
+        sf = make_field(unit_square_mesh, [[120, 40, 30, 0]] * 2)
+        major = sf.element_component(StressComponent.MERIDIONAL)
+        minor = sf.element_component(StressComponent.PRINCIPAL_MIN)
+        assert np.all(major >= minor)
+        # Invariant: sum of principals equals sx + sy.
+        assert major + minor == pytest.approx([160, 160])
+
+    def test_radial_axial_shear(self, unit_square_mesh):
+        sf = make_field(unit_square_mesh, [[1, 2, 3, 4]] * 2)
+        assert sf.element_component(StressComponent.RADIAL)[0] == 1
+        assert sf.element_component(StressComponent.AXIAL)[0] == 2
+        assert sf.element_component(StressComponent.SHEAR)[0] == 3
+
+    def test_all_nodal_skips_hoop_for_plane(self, unit_square_mesh):
+        sf = StressField(mesh=unit_square_mesh,
+                         raw=np.zeros((2, 4)), analysis_type="plane_stress")
+        fields = sf.all_nodal()
+        assert StressComponent.CIRCUMFERENTIAL not in fields
+        assert StressComponent.EFFECTIVE in fields
+
+    def test_wrong_raw_shape_rejected(self, unit_square_mesh):
+        with pytest.raises(MeshError):
+            StressField(mesh=unit_square_mesh, raw=np.zeros((2, 3)),
+                        analysis_type="plane_stress")
+
+
+class TestRecovery:
+    def test_plane_strain_sz(self, unit_square_mesh):
+        # Uniform eps_x via prescribed displacement: u = 0.01 x.
+        disp = np.zeros(8)
+        for n in range(4):
+            disp[2 * n] = 0.01 * unit_square_mesh.nodes[n, 0]
+        sf = recover_stresses(unit_square_mesh, disp, {0: MAT},
+                              "plane_strain")
+        sx = sf.raw[:, 0]
+        sz = sf.raw[:, 3]
+        assert sz == pytest.approx(MAT.poisson * (sx + sf.raw[:, 1]))
+
+    def test_plane_stress_sz_zero(self, unit_square_mesh):
+        disp = np.random.default_rng(0).normal(size=8) * 1e-3
+        sf = recover_stresses(unit_square_mesh, disp, {0: MAT},
+                              "plane_stress")
+        assert sf.raw[:, 3] == pytest.approx([0, 0])
+
+    def test_wrong_displacement_length_rejected(self, unit_square_mesh):
+        with pytest.raises(MeshError, match="length"):
+            recover_stresses(unit_square_mesh, np.zeros(7), {0: MAT},
+                             "plane_stress")
+
+    def test_unknown_analysis_rejected(self, unit_square_mesh):
+        with pytest.raises(MeshError, match="unknown analysis"):
+            recover_stresses(unit_square_mesh, np.zeros(8), {0: MAT},
+                             "membrane")
+
+
+class TestNodalAveraging:
+    def test_uniform_field_unchanged(self, unit_square_mesh):
+        field = elements_to_nodes(unit_square_mesh, np.array([5.0, 5.0]))
+        assert field.values == pytest.approx([5, 5, 5, 5])
+
+    def test_shared_nodes_average(self, unit_square_mesh):
+        field = elements_to_nodes(unit_square_mesh, np.array([0.0, 10.0]))
+        # Nodes 0 and 2 belong to both (equal-area) elements.
+        assert field[0] == pytest.approx(5.0)
+        assert field[2] == pytest.approx(5.0)
+        # Nodes 1 and 3 belong to one element each.
+        assert field[1] == pytest.approx(0.0)
+        assert field[3] == pytest.approx(10.0)
+
+    def test_area_weighting(self):
+        # Two triangles of different area sharing an edge.
+        nodes = np.array([[0, 0], [1, 0], [0, 1], [3, 3]], float)
+        mesh = Mesh(nodes=nodes, elements=np.array([[0, 1, 2], [1, 3, 2]]))
+        areas = np.abs(mesh.element_areas())
+        field = elements_to_nodes(mesh, np.array([1.0, 2.0]))
+        expected = (areas[0] * 1.0 + areas[1] * 2.0) / areas.sum()
+        assert field[1] == pytest.approx(expected)
+
+    def test_length_mismatch_rejected(self, unit_square_mesh):
+        with pytest.raises(MeshError):
+            elements_to_nodes(unit_square_mesh, np.array([1.0]))
+
+    def test_nodal_field_stats(self):
+        field = NodalField("f", np.array([1.0, 5.0, 3.0]))
+        assert field.min() == 1.0
+        assert field.max() == 5.0
+        assert field.range() == 4.0
+        assert field.scaled(2.0).max() == 10.0

@@ -1,0 +1,162 @@
+"""Unit and integration tests for the heat-conduction substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BoundaryConditionError, SolverError
+from repro.fem.materials import ThermalMaterial
+from repro.fem.mesh import Mesh
+from repro.fem.thermal import ThermalAnalysis, ThermalPulse
+
+
+def bar_mesh(nx: int, length: float = 1.0, height: float = 0.2) -> Mesh:
+    nodes = []
+    for j in range(2):
+        for i in range(nx + 1):
+            nodes.append([length * i / nx, height * j])
+    elements = []
+    for i in range(nx):
+        a, b = i, i + 1
+        c, d = i + nx + 2, i + nx + 1
+        elements.append([a, b, c])
+        elements.append([a, c, d])
+    return Mesh(nodes=np.array(nodes), elements=np.array(elements))
+
+
+MAT = ThermalMaterial(conductivity=2.0, density=1.0, specific_heat=1.0)
+
+
+class TestPulse:
+    def test_flux_window(self):
+        pulse = ThermalPulse(magnitude=10.0, duration=2.0, start=1.0)
+        assert pulse.flux_at(0.5) == 0.0
+        assert pulse.flux_at(1.0) == 10.0
+        assert pulse.flux_at(2.9) == 10.0
+        assert pulse.flux_at(3.0) == 0.0
+
+
+class TestSteady:
+    def test_linear_profile_between_fixed_ends(self):
+        mesh = bar_mesh(8)
+        an = ThermalAnalysis(mesh, {0: MAT})
+        an.fix_temperature(mesh.nodes_near(x=0.0), 100.0)
+        an.fix_temperature(mesh.nodes_near(x=1.0), 0.0)
+        temps = an.solve_steady()
+        for n in range(mesh.n_nodes):
+            x = mesh.nodes[n, 0]
+            assert temps[n] == pytest.approx(100.0 * (1 - x), abs=1e-8)
+
+    def test_flux_balance_steady(self):
+        # Fixed cold end + constant flux on the hot end: the steady
+        # gradient is q / k.
+        mesh = bar_mesh(10)
+        an = ThermalAnalysis(mesh, {0: MAT})
+        an.fix_temperature(mesh.nodes_near(x=0.0), 0.0)
+        right = [
+            (a, b) for a, b in mesh.boundary_edges()
+            if mesh.nodes[a, 0] == 1.0 and mesh.nodes[b, 0] == 1.0
+        ]
+        q = 4.0
+        an.add_constant_flux(right, q)
+        temps = an.solve_steady()
+        hot = mesh.nearest_node(1.0, 0.1)
+        assert temps[hot] == pytest.approx(q / MAT.conductivity * 1.0,
+                                           rel=1e-6)
+
+    def test_no_fixed_temperature_rejected(self):
+        an = ThermalAnalysis(bar_mesh(4), {0: MAT})
+        with pytest.raises(SolverError, match="prescribed"):
+            an.solve_steady()
+
+    def test_fix_outside_mesh_rejected(self):
+        an = ThermalAnalysis(bar_mesh(2), {0: MAT})
+        with pytest.raises(BoundaryConditionError):
+            an.fix_temperature([999], 0.0)
+
+
+class TestTransient:
+    def test_uniform_initial_stays_uniform_without_load(self):
+        mesh = bar_mesh(4)
+        an = ThermalAnalysis(mesh, {0: MAT})
+        history = an.solve_transient(dt=0.1, n_steps=5, initial=50.0)
+        assert history.final().values == pytest.approx(
+            np.full(mesh.n_nodes, 50.0)
+        )
+
+    def test_relaxes_to_steady_state(self):
+        mesh = bar_mesh(6)
+        an = ThermalAnalysis(mesh, {0: MAT})
+        an.fix_temperature(mesh.nodes_near(x=0.0), 100.0)
+        an.fix_temperature(mesh.nodes_near(x=1.0), 0.0)
+        history = an.solve_transient(dt=0.5, n_steps=100, initial=0.0)
+        steady = an.solve_steady()
+        assert np.allclose(history.final().values, steady.values, atol=0.01)
+
+    def test_pulse_heats_then_diffuses(self):
+        mesh = bar_mesh(8)
+        an = ThermalAnalysis(mesh, {0: MAT})
+        an.fix_temperature(mesh.nodes_near(x=0.0), 0.0)
+        right = [
+            (a, b) for a, b in mesh.boundary_edges()
+            if mesh.nodes[a, 0] == 1.0 and mesh.nodes[b, 0] == 1.0
+        ]
+        an.add_pulse(right, ThermalPulse(magnitude=20.0, duration=0.2))
+        history = an.solve_transient(dt=0.05, n_steps=40, initial=0.0)
+        hot_node = mesh.nearest_node(1.0, 0.1)
+        trace = [snap[hot_node] for snap in history.snapshots]
+        peak = int(np.argmax(trace))
+        # Peak occurs during/just after the pulse, then decays.
+        assert 0 < peak < 10
+        assert trace[-1] < trace[peak]
+
+    def test_monotone_decay_after_pulse(self):
+        mesh = bar_mesh(4)
+        an = ThermalAnalysis(mesh, {0: MAT})
+        an.fix_temperature(mesh.nodes_near(x=0.0), 0.0)
+        right = [
+            (a, b) for a, b in mesh.boundary_edges()
+            if mesh.nodes[a, 0] == 1.0 and mesh.nodes[b, 0] == 1.0
+        ]
+        an.add_pulse(right, ThermalPulse(magnitude=5.0, duration=0.1))
+        history = an.solve_transient(dt=0.1, n_steps=30)
+        maxima = [snap.max() for snap in history.snapshots[3:]]
+        assert all(a >= b - 1e-12 for a, b in zip(maxima, maxima[1:]))
+
+    def test_snapshot_lookup(self):
+        mesh = bar_mesh(2)
+        an = ThermalAnalysis(mesh, {0: MAT})
+        history = an.solve_transient(dt=0.25, n_steps=8, initial=1.0)
+        snap = history.at_time(1.0)
+        assert "t=1" in snap.name
+
+    def test_invalid_dt_rejected(self):
+        an = ThermalAnalysis(bar_mesh(2), {0: MAT})
+        with pytest.raises(SolverError):
+            an.solve_transient(dt=0.0, n_steps=5)
+
+    def test_invalid_steps_rejected(self):
+        an = ThermalAnalysis(bar_mesh(2), {0: MAT})
+        with pytest.raises(SolverError):
+            an.solve_transient(dt=0.1, n_steps=0)
+
+    def test_backward_euler_unconditionally_stable(self):
+        # A huge time step must not blow up.
+        mesh = bar_mesh(6)
+        an = ThermalAnalysis(mesh, {0: MAT})
+        an.fix_temperature(mesh.nodes_near(x=0.0), 0.0)
+        history = an.solve_transient(dt=100.0, n_steps=5, initial=50.0)
+        assert np.all(np.isfinite(history.final().values))
+        assert history.final().values.max() <= 50.0 + 1e-9
+
+
+class TestEnergyAccounting:
+    def test_adiabatic_energy_conserved(self):
+        # No fixed temperatures, no load: total heat content constant.
+        mesh = bar_mesh(5)
+        an = ThermalAnalysis(mesh, {0: MAT})
+        capacity = an.capacity.toarray()
+        t0 = np.full(mesh.n_nodes, 30.0)
+        history = an.solve_transient(dt=0.2, n_steps=10, initial=30.0)
+        e0 = float(t0 @ capacity @ np.ones(mesh.n_nodes))
+        e1 = float(history.final().values @ capacity @ np.ones(mesh.n_nodes))
+        assert e1 == pytest.approx(e0)

@@ -1,0 +1,140 @@
+"""Tests for axisymmetric (ring) heat conduction.
+
+Analytic anchor: steady radial conduction through a cylinder wall gives
+the logarithmic profile T(r) = T_a + (T_b - T_a) ln(r/a) / ln(b/a), and
+the total radial heat flow is Q = 2 pi k L (T_a - T_b) / ln(b/a).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.fem.elements.heat import (
+    edge_flux_vector_axisym,
+    heat_capacity_matrix_axisym,
+    heat_conductivity_matrix_axisym,
+)
+from repro.fem.materials import ThermalMaterial
+from repro.fem.mesh import Mesh
+from repro.fem.thermal import ThermalAnalysis
+
+MAT = ThermalMaterial(conductivity=2.0, density=1.0, specific_heat=1.0)
+A, B, L = 1.0, 2.0, 0.5
+
+
+def ring_mesh(nr: int, nz: int = 2) -> Mesh:
+    nodes = []
+    for j in range(nz + 1):
+        for i in range(nr + 1):
+            nodes.append([A + (B - A) * i / nr, L * j / nz])
+    elements = []
+    for j in range(nz):
+        for i in range(nr):
+            a = j * (nr + 1) + i
+            b, c, d = a + 1, a + nr + 2, a + nr + 1
+            elements.append([a, b, c])
+            elements.append([a, c, d])
+    return Mesh(nodes=np.array(nodes), elements=np.array(elements))
+
+
+class TestRingElements:
+    RING = np.array([[1.0, 0.0], [2.0, 0.0], [1.5, 1.0]])
+
+    def test_conductivity_scales_with_radius(self):
+        near = heat_conductivity_matrix_axisym(self.RING, 1.0)
+        far = heat_conductivity_matrix_axisym(
+            self.RING + np.array([10.0, 0.0]), 1.0
+        )
+        assert far[0, 0] / near[0, 0] == pytest.approx(11.5 / 1.5)
+
+    def test_conductivity_rows_sum_to_zero(self):
+        k = heat_conductivity_matrix_axisym(self.RING, 3.0)
+        assert k.sum(axis=1) == pytest.approx([0, 0, 0], abs=1e-12)
+
+    def test_capacity_total_is_ring_volume(self):
+        c = heat_capacity_matrix_axisym(self.RING, 2.0)
+        # Volume = 2 pi r_bar A = 2 pi * 1.5 * 0.5.
+        assert np.trace(c) == pytest.approx(2.0 * 2 * math.pi * 0.75)
+
+    def test_on_axis_element_rejected(self):
+        flat = np.array([[0.0, 0.0], [0.0, 1.0], [0.0, 2.0]])
+        with pytest.raises(MeshError):
+            heat_conductivity_matrix_axisym(flat, 1.0)
+
+    def test_edge_flux_weights_outer_node(self):
+        f = edge_flux_vector_axisym((1.0, 0.0), (2.0, 0.0), 1.0)
+        assert f[1] > f[0]
+        # Total = q * 2 pi r_bar L = 2 pi * 1.5.
+        assert f.sum() == pytest.approx(2 * math.pi * 1.5)
+
+    def test_zero_length_edge_rejected(self):
+        with pytest.raises(MeshError):
+            edge_flux_vector_axisym((1.0, 0.0), (1.0, 0.0), 1.0)
+
+
+class TestSteadyRadialConduction:
+    def _solve(self, nr=24):
+        mesh = ring_mesh(nr)
+        an = ThermalAnalysis(mesh, {0: MAT}, axisymmetric=True)
+        an.fix_temperature(mesh.nodes_near(x=A), 100.0)
+        an.fix_temperature(mesh.nodes_near(x=B), 0.0)
+        return mesh, an.solve_steady()
+
+    def test_logarithmic_profile(self):
+        mesh, temps = self._solve()
+        for r in (1.25, 1.5, 1.75):
+            n = mesh.nearest_node(r, 0.25)
+            exact = 100.0 * (1 - math.log(r / A) / math.log(B / A))
+            assert temps[n] == pytest.approx(exact, abs=0.25)
+
+    def test_profile_is_not_linear(self):
+        # The log profile sags below the straight line between the ends.
+        mesh, temps = self._solve()
+        n = mesh.nearest_node(1.5, 0.25)
+        linear = 50.0
+        assert temps[n] < linear
+
+    def test_plane_solver_would_be_linear(self):
+        # Cross-check the axisymmetric flag matters: the plane solver
+        # gives the straight-line profile on the same mesh.
+        mesh = ring_mesh(24)
+        an = ThermalAnalysis(mesh, {0: MAT}, axisymmetric=False)
+        an.fix_temperature(mesh.nodes_near(x=A), 100.0)
+        an.fix_temperature(mesh.nodes_near(x=B), 0.0)
+        temps = an.solve_steady()
+        n = mesh.nearest_node(1.5, 0.25)
+        assert temps[n] == pytest.approx(50.0, abs=1e-6)
+
+    def test_flux_driven_ring(self):
+        # Fixed outer temperature, known heat input at the inner wall:
+        # the inner temperature follows Q ln(b/a) / (2 pi k L).
+        mesh = ring_mesh(24)
+        an = ThermalAnalysis(mesh, {0: MAT}, axisymmetric=True)
+        an.fix_temperature(mesh.nodes_near(x=B), 0.0)
+        inner = [
+            (a, b) for a, b in mesh.boundary_edges()
+            if abs(mesh.nodes[a, 0] - A) < 1e-9
+            and abs(mesh.nodes[b, 0] - A) < 1e-9
+        ]
+        q = 4.0  # per unit area at r = a
+        an.add_constant_flux(inner, q)
+        temps = an.solve_steady()
+        total_q = q * 2 * math.pi * A * L
+        expected = total_q * math.log(B / A) / (
+            2 * math.pi * MAT.conductivity * L
+        )
+        hot = mesh.nearest_node(A, 0.25)
+        assert temps[hot] == pytest.approx(expected, rel=5e-3)
+
+
+class TestTransientRing:
+    def test_energy_decay_toward_sink(self):
+        mesh = ring_mesh(8)
+        an = ThermalAnalysis(mesh, {0: MAT}, axisymmetric=True)
+        an.fix_temperature(mesh.nodes_near(x=B), 0.0)
+        history = an.solve_transient(dt=0.05, n_steps=40, initial=100.0)
+        maxima = [snap.max() for snap in history.snapshots]
+        assert maxima[-1] < maxima[0]
+        assert all(m2 <= m1 + 1e-9 for m1, m2 in zip(maxima, maxima[1:]))

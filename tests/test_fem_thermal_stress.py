@@ -1,0 +1,199 @@
+"""Tests for thermal-stress analysis (the Fig 14 -> stress pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.fem.materials import IsotropicElastic
+from repro.fem.mesh import Mesh
+from repro.fem.results import NodalField
+from repro.fem.solve import AnalysisType
+from repro.fem.stress import StressComponent
+from repro.fem.thermal_stress import (
+    ThermalStressAnalysis,
+    element_temperatures,
+    thermal_load_case,
+)
+from repro.errors import MeshError
+
+MAT = IsotropicElastic(youngs=1.0e4, poisson=0.3, expansion=1.0e-5)
+
+
+def grid_mesh(nx, ny, width, height):
+    nodes = []
+    for j in range(ny + 1):
+        for i in range(nx + 1):
+            nodes.append([width * i / nx, height * j / ny])
+    elements = []
+    for j in range(ny):
+        for i in range(nx):
+            a = j * (nx + 1) + i
+            b, c, d = a + 1, a + nx + 2, a + nx + 1
+            elements.append([a, b, c])
+            elements.append([a, c, d])
+    return Mesh(nodes=np.array(nodes), elements=np.array(elements))
+
+
+def uniform_field(mesh, value):
+    return NodalField("T", np.full(mesh.n_nodes, float(value)))
+
+
+class TestElementTemperatures:
+    def test_uniform(self, unit_square_mesh):
+        delta = element_temperatures(unit_square_mesh,
+                                     uniform_field(unit_square_mesh, 150.0),
+                                     reference=100.0)
+        assert delta == pytest.approx([50.0, 50.0])
+
+    def test_size_mismatch_rejected(self, unit_square_mesh):
+        with pytest.raises(MeshError):
+            element_temperatures(unit_square_mesh,
+                                 NodalField("T", np.zeros(3)), 0.0)
+
+
+class TestThermalLoads:
+    def test_zero_expansion_gives_no_load(self, unit_square_mesh):
+        cold = IsotropicElastic(youngs=1e4, poisson=0.3, expansion=0.0)
+        load = thermal_load_case(unit_square_mesh, {0: cold},
+                                 uniform_field(unit_square_mesh, 100.0),
+                                 AnalysisType.PLANE_STRESS)
+        assert len(load.nodal_forces) == 0
+
+    def test_uniform_heating_loads_self_equilibrate(self):
+        mesh = grid_mesh(3, 3, 1.0, 1.0)
+        load = thermal_load_case(mesh, {0: MAT}, uniform_field(mesh, 80.0),
+                                 AnalysisType.PLANE_STRESS)
+        fx, fy = load.total_force(mesh.n_nodes)
+        assert fx == pytest.approx(0.0, abs=1e-9)
+        assert fy == pytest.approx(0.0, abs=1e-9)
+
+
+class TestFreeExpansion:
+    def test_unconstrained_plane_stress_heating_is_stress_free(self):
+        mesh = grid_mesh(4, 4, 2.0, 2.0)
+        dt = 100.0
+        tsa = ThermalStressAnalysis(mesh, {0: MAT},
+                                    AnalysisType.PLANE_STRESS,
+                                    uniform_field(mesh, dt))
+        # Minimal restraint: pin the origin, roll the x-axis.
+        origin = mesh.nearest_node(0, 0)
+        tsa.constraints.fix_node(origin)
+        tsa.constraints.fix(mesh.nearest_node(2, 0), 1)
+        result = tsa.solve()
+        vm = result.stresses.element_component(StressComponent.EFFECTIVE)
+        assert np.abs(vm).max() < 1e-6 * MAT.youngs * MAT.expansion * dt
+
+    def test_plane_strain_heating_leaves_only_sigma_z(self):
+        # eps_z = 0 is itself a constraint: free in-plane expansion still
+        # carries sigma_z = -E alpha dT out of plane, and nothing in
+        # plane -- the classic plane-strain thermal result.
+        mesh = grid_mesh(4, 4, 2.0, 2.0)
+        dt = 100.0
+        tsa = ThermalStressAnalysis(mesh, {0: MAT},
+                                    AnalysisType.PLANE_STRAIN,
+                                    uniform_field(mesh, dt))
+        origin = mesh.nearest_node(0, 0)
+        tsa.constraints.fix_node(origin)
+        tsa.constraints.fix(mesh.nearest_node(2, 0), 1)
+        result = tsa.solve()
+        scale = MAT.youngs * MAT.expansion * dt
+        in_plane = result.stresses.raw[:, :3]
+        assert np.abs(in_plane).max() < 1e-6 * scale
+        sz = result.stresses.raw[:, 3]
+        assert sz == pytest.approx(np.full(mesh.n_elements, -scale),
+                                   rel=1e-6)
+
+    def test_free_expansion_displacement_matches_alpha_dt(self):
+        mesh = grid_mesh(4, 2, 2.0, 1.0)
+        dt = 50.0
+        tsa = ThermalStressAnalysis(mesh, {0: MAT},
+                                    AnalysisType.PLANE_STRESS,
+                                    uniform_field(mesh, dt))
+        tsa.constraints.fix_nodes(mesh.nodes_near(x=0.0), 0)
+        tsa.constraints.fix(mesh.nearest_node(0, 0), 1)
+        result = tsa.solve()
+        far = mesh.nearest_node(2.0, 0.5)
+        assert result.displacements[2 * far] == pytest.approx(
+            MAT.expansion * dt * 2.0, rel=1e-6
+        )
+
+
+class TestConstrainedBar:
+    def test_fully_restrained_axial_stress(self):
+        # A bar clamped at both ends and heated: sigma_x = -E alpha dT
+        # (plane stress, lateral expansion free).
+        mesh = grid_mesh(6, 2, 3.0, 1.0)
+        dt = 100.0
+        tsa = ThermalStressAnalysis(mesh, {0: MAT},
+                                    AnalysisType.PLANE_STRESS,
+                                    uniform_field(mesh, dt))
+        tsa.constraints.fix_nodes(mesh.nodes_near(x=0.0), 0)
+        tsa.constraints.fix_nodes(mesh.nodes_near(x=3.0), 0)
+        tsa.constraints.fix(mesh.nearest_node(0, 0), 1)
+        result = tsa.solve()
+        sx = result.stresses.element_component(StressComponent.RADIAL)
+        expected = -MAT.youngs * MAT.expansion * dt
+        assert sx == pytest.approx(np.full(mesh.n_elements, expected),
+                                   rel=1e-6)
+
+    def test_reference_temperature_shifts_zero(self):
+        mesh = grid_mesh(4, 2, 2.0, 1.0)
+        tsa = ThermalStressAnalysis(mesh, {0: MAT},
+                                    AnalysisType.PLANE_STRESS,
+                                    uniform_field(mesh, 80.0),
+                                    reference_temperature=80.0)
+        tsa.constraints.fix_nodes(mesh.nodes_near(x=0.0), 0)
+        tsa.constraints.fix_nodes(mesh.nodes_near(x=2.0), 0)
+        tsa.constraints.fix(mesh.nearest_node(0, 0), 1)
+        result = tsa.solve()
+        vm = result.stresses.element_component(StressComponent.EFFECTIVE)
+        assert np.abs(vm).max() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestGradient:
+    def test_hot_face_goes_into_compression(self):
+        # Clamp both ends; heat the top face only: the hot fibres carry
+        # compression relative to the cold ones.
+        mesh = grid_mesh(8, 4, 4.0, 1.0)
+        temps = NodalField("T", 100.0 * mesh.nodes[:, 1])
+        tsa = ThermalStressAnalysis(mesh, {0: MAT},
+                                    AnalysisType.PLANE_STRESS, temps)
+        tsa.constraints.fix_nodes(mesh.nodes_near(x=0.0), 0)
+        tsa.constraints.fix_nodes(mesh.nodes_near(x=4.0), 0)
+        tsa.constraints.fix(mesh.nearest_node(0, 0), 1)
+        result = tsa.solve()
+        sx = result.stresses.element_component(StressComponent.RADIAL)
+        hot = [sx[e] for e in range(mesh.n_elements)
+               if mesh.nodes[mesh.elements[e], 1].mean() > 0.75]
+        cold = [sx[e] for e in range(mesh.n_elements)
+                if mesh.nodes[mesh.elements[e], 1].mean() < 0.25]
+        assert np.mean(hot) < np.mean(cold)
+
+    def test_axisymmetric_heated_ring(self):
+        # A free ring heated uniformly expands stress-free; axisymmetric
+        # path exercised with the hoop strain term.
+        nodes = []
+        for j in range(3):
+            for i in range(5):
+                nodes.append([1.0 + 0.25 * i, 0.25 * j])
+        elements = []
+        for j in range(2):
+            for i in range(4):
+                a = j * 5 + i
+                b, c, d = a + 1, a + 6, a + 5
+                elements.append([a, b, c])
+                elements.append([a, c, d])
+        mesh = Mesh(nodes=np.array(nodes), elements=np.array(elements))
+        dt = 60.0
+        tsa = ThermalStressAnalysis(mesh, {0: MAT},
+                                    AnalysisType.AXISYMMETRIC,
+                                    uniform_field(mesh, dt))
+        tsa.constraints.fix_nodes(mesh.nodes_near(y=0.0), 1)
+        result = tsa.solve()
+        vm = result.stresses.element_component(StressComponent.EFFECTIVE)
+        scale = MAT.youngs * MAT.expansion * dt
+        assert np.abs(vm).max() < 1e-6 * scale
+        # Radial growth u = alpha dT r.
+        outer = mesh.nearest_node(2.0, 0.0)
+        assert result.displacements[2 * outer] == pytest.approx(
+            MAT.expansion * dt * 2.0, rel=1e-6
+        )

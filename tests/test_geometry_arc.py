@@ -1,0 +1,93 @@
+"""Unit tests for the IDLZ circular-arc rules."""
+
+import math
+
+import pytest
+
+from repro.errors import ArcError
+from repro.geometry.arc import arc_through
+from repro.geometry.primitives import Point, distance
+
+
+class TestArcConstruction:
+    def test_quarter_circle_center(self):
+        arc = arc_through(Point(1, 0), Point(0, 1), 1.0)
+        assert arc.center.x == pytest.approx(0.0, abs=1e-12)
+        assert arc.center.y == pytest.approx(0.0, abs=1e-12)
+
+    def test_quarter_circle_sweep_is_90_degrees(self):
+        arc = arc_through(Point(1, 0), Point(0, 1), 1.0)
+        assert math.degrees(arc.sweep) == pytest.approx(90.0)
+
+    def test_ccw_convention_puts_center_left_of_chord(self):
+        # Chord pointing +x: centre must be above (left).
+        arc = arc_through(Point(-1, 0), Point(1, 0), 2.0)
+        assert arc.center.y > 0.0
+
+    def test_endpoints_are_reproduced(self):
+        start, end = Point(2, 1), Point(1, 2)
+        arc = arc_through(start, end, 1.5)
+        assert arc.point_at(0.0).x == pytest.approx(start.x)
+        assert arc.point_at(0.0).y == pytest.approx(start.y)
+        assert arc.point_at(1.0).x == pytest.approx(end.x)
+        assert arc.point_at(1.0).y == pytest.approx(end.y)
+
+    def test_all_points_at_radius_from_center(self):
+        arc = arc_through(Point(3, 0), Point(0, 3), 3.0)
+        for t in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert distance(arc.point_at(t), arc.center) == pytest.approx(3.0)
+
+    def test_length_matches_sweep(self):
+        arc = arc_through(Point(1, 0), Point(0, 1), 1.0)
+        assert arc.length() == pytest.approx(math.pi / 2)
+
+    def test_midpoint_bulges_away_from_center(self):
+        arc = arc_through(Point(-1, 0), Point(1, 0), 5.0)
+        mid = arc.point_at(0.5)
+        # Centre is above; the arc sags below the chord.
+        assert mid.y < 0.0
+
+    def test_tangent_is_perpendicular_to_radius(self):
+        arc = arc_through(Point(1, 0), Point(0, 1), 1.0)
+        t = arc.tangent_at(0.3)
+        p = arc.point_at(0.3)
+        radial = Point(p.x - arc.center.x, p.y - arc.center.y)
+        assert radial.dot(t) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestArcRules:
+    def test_more_than_90_degrees_rejected(self):
+        # Chord equal to radius*sqrt(3) subtends 120 degrees.
+        r = 1.0
+        chord = r * math.sqrt(3.0)
+        with pytest.raises(ArcError, match="deg"):
+            arc_through(Point(0, 0), Point(chord, 0), r)
+
+    def test_exactly_90_degrees_allowed(self):
+        r = 2.0
+        chord = r * math.sqrt(2.0)
+        arc = arc_through(Point(0, 0), Point(chord, 0), r)
+        assert math.degrees(arc.sweep) == pytest.approx(90.0)
+
+    def test_custom_max_sweep(self):
+        r = 1.0
+        chord = 2 * r * math.sin(math.radians(30))  # 60-degree arc
+        with pytest.raises(ArcError):
+            arc_through(Point(0, 0), Point(chord, 0), r,
+                        max_sweep=math.radians(45))
+
+    def test_chord_longer_than_diameter_rejected(self):
+        with pytest.raises(ArcError, match="diameter"):
+            arc_through(Point(0, 0), Point(3, 0), 1.0)
+
+    def test_zero_radius_rejected(self):
+        with pytest.raises(ArcError, match="positive"):
+            arc_through(Point(0, 0), Point(1, 0), 0.0)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ArcError):
+            arc_through(Point(0, 0), Point(1, 0), -2.0)
+
+    def test_coincident_endpoints_rejected(self):
+        with pytest.raises(ArcError, match="coincide"):
+            arc_through(Point(1, 1), Point(1, 1), 1.0)

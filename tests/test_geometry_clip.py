@@ -1,0 +1,69 @@
+"""Unit tests for Cohen-Sutherland clipping (the OSPL zoom kernel)."""
+
+import pytest
+
+from repro.geometry.clip import clip_segment
+from repro.geometry.primitives import BoundingBox, Point, Segment
+
+BOX = BoundingBox(0, 0, 10, 10)
+
+
+def seg(x0, y0, x1, y1):
+    return Segment(Point(x0, y0), Point(x1, y1))
+
+
+class TestClipSegment:
+    def test_fully_inside_unchanged(self):
+        s = seg(1, 1, 9, 9)
+        assert clip_segment(s, BOX) == s
+
+    def test_fully_outside_none(self):
+        assert clip_segment(seg(20, 20, 30, 30), BOX) is None
+
+    def test_outside_straddling_corner_region_none(self):
+        # Both endpoints outside, path passes near but misses the box.
+        assert clip_segment(seg(-5, 9, 1, 15), BOX) is None
+
+    def test_one_end_clipped(self):
+        out = clip_segment(seg(5, 5, 15, 5), BOX)
+        assert out.end == Point(10, 5)
+        assert out.start == Point(5, 5)
+
+    def test_both_ends_clipped(self):
+        out = clip_segment(seg(-5, 5, 15, 5), BOX)
+        assert out.start == Point(0, 5)
+        assert out.end == Point(10, 5)
+
+    def test_diagonal_through_box(self):
+        out = clip_segment(seg(-10, -10, 20, 20), BOX)
+        assert out.start == Point(0, 0)
+        assert out.end == Point(10, 10)
+
+    def test_clip_top(self):
+        out = clip_segment(seg(5, 5, 5, 20), BOX)
+        assert out.end == Point(5, 10)
+
+    def test_clip_bottom(self):
+        out = clip_segment(seg(5, -5, 5, 5), BOX)
+        assert out.start == Point(5, 0)
+
+    def test_clip_left(self):
+        out = clip_segment(seg(-5, 3, 5, 3), BOX)
+        assert out.start == Point(0, 3)
+
+    def test_touching_edge_kept(self):
+        s = seg(0, 0, 0, 10)
+        assert clip_segment(s, BOX) == s
+
+    def test_clipped_point_lies_on_original_line(self):
+        original = seg(-3, 2, 13, 6)
+        out = clip_segment(original, BOX)
+        # Parametrise: y = 2 + (x + 3) * 4 / 16.
+        for p in (out.start, out.end):
+            assert p.y == pytest.approx(2 + (p.x + 3) * 4.0 / 16.0)
+
+    def test_degenerate_window(self):
+        line_box = BoundingBox(0, 5, 10, 5)
+        out = clip_segment(seg(5, 0, 5, 10), line_box)
+        assert out.start == Point(5, 5)
+        assert out.end == Point(5, 5)

@@ -1,0 +1,93 @@
+"""Unit tests for proportional node placement (the shaping kernel)."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.arc import arc_through
+from repro.geometry.interpolate import (
+    chord_fractions,
+    place_along_arc,
+    place_along_path,
+    place_along_segment,
+    ruled_interpolate,
+)
+from repro.geometry.primitives import Point, Segment
+
+
+class TestChordFractions:
+    def test_uniform_stations(self):
+        assert chord_fractions([0, 1, 2, 3]) == pytest.approx(
+            [0.0, 1 / 3, 2 / 3, 1.0]
+        )
+
+    def test_nonuniform_stations(self):
+        assert chord_fractions([0.0, 3.0, 4.0]) == pytest.approx(
+            [0.0, 0.75, 1.0]
+        )
+
+    def test_offset_stations_normalise(self):
+        assert chord_fractions([10, 11, 12]) == pytest.approx([0, 0.5, 1])
+
+    def test_single_station_rejected(self):
+        with pytest.raises(GeometryError):
+            chord_fractions([1.0])
+
+    def test_zero_span_rejected(self):
+        with pytest.raises(GeometryError):
+            chord_fractions([2.0, 2.0])
+
+    def test_decreasing_stations_rejected(self):
+        with pytest.raises(GeometryError):
+            chord_fractions([0.0, 2.0, 1.0])
+
+
+class TestPlacement:
+    def test_segment_equal_spacing(self):
+        seg = Segment(Point(0, 0), Point(4, 0))
+        pts = place_along_segment(seg, [0, 1, 2, 3, 4])
+        assert [p.x for p in pts] == pytest.approx([0, 1, 2, 3, 4])
+
+    def test_segment_proportional_spacing(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        pts = place_along_segment(seg, [0, 1, 4])
+        assert [p.x for p in pts] == pytest.approx([0.0, 2.5, 10.0])
+
+    def test_arc_equal_spacing_equal_angles(self):
+        arc = arc_through(Point(1, 0), Point(0, 1), 1.0)
+        pts = place_along_arc(arc, [0, 1, 2])
+        # Middle point sits at 45 degrees.
+        assert pts[1].x == pytest.approx(math.cos(math.radians(45)))
+        assert pts[1].y == pytest.approx(math.sin(math.radians(45)))
+
+    def test_place_along_path_dispatches(self):
+        seg = Segment(Point(0, 0), Point(2, 0))
+        arc = arc_through(Point(1, 0), Point(0, 1), 1.0)
+        assert len(place_along_path(seg, [0, 1])) == 2
+        assert len(place_along_path(arc, [0, 1])) == 2
+
+    def test_place_along_unknown_type_rejected(self):
+        with pytest.raises(GeometryError):
+            place_along_path("not a path", [0, 1])
+
+
+class TestRuledInterpolation:
+    def test_endpoints_reproduced(self):
+        a = [Point(0, 0), Point(1, 0)]
+        b = [Point(0, 2), Point(1, 2)]
+        rows = ruled_interpolate(a, b, [0.0, 1.0])
+        assert rows[0] == a
+        assert rows[1] == b
+
+    def test_midline(self):
+        a = [Point(0, 0), Point(2, 0)]
+        b = [Point(0, 2), Point(4, 2)]
+        (mid,) = ruled_interpolate(a, b, [0.5])
+        assert mid[0] == Point(0, 1)
+        assert mid[1] == Point(3, 1)
+
+    def test_mismatched_sides_rejected(self):
+        with pytest.raises(GeometryError, match="equal node counts"):
+            ruled_interpolate([Point(0, 0)], [Point(0, 1), Point(1, 1)],
+                              [0.5])

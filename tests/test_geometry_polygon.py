@@ -1,0 +1,116 @@
+"""Unit tests for polygon and triangle measures."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.polygon import (
+    convex_quad,
+    is_ccw,
+    point_in_triangle,
+    polygon_centroid,
+    signed_area,
+    triangle_angles,
+    triangle_area,
+    triangle_min_angle,
+)
+from repro.geometry.primitives import Point
+
+
+RIGHT = (Point(0, 0), Point(1, 0), Point(0, 1))
+EQUILATERAL = (Point(0, 0), Point(1, 0), Point(0.5, math.sqrt(3) / 2))
+
+
+class TestAreas:
+    def test_ccw_triangle_positive(self):
+        assert triangle_area(*RIGHT) == pytest.approx(0.5)
+
+    def test_cw_triangle_negative(self):
+        a, b, c = RIGHT
+        assert triangle_area(a, c, b) == pytest.approx(-0.5)
+
+    def test_is_ccw(self):
+        a, b, c = RIGHT
+        assert is_ccw(a, b, c)
+        assert not is_ccw(a, c, b)
+
+    def test_signed_area_square(self):
+        square = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        assert signed_area(square) == pytest.approx(4.0)
+
+    def test_signed_area_needs_three_vertices(self):
+        with pytest.raises(GeometryError):
+            signed_area([Point(0, 0), Point(1, 1)])
+
+
+class TestAngles:
+    def test_right_triangle_angles(self):
+        angles = triangle_angles(*RIGHT)
+        degs = sorted(math.degrees(a) for a in angles)
+        assert degs == pytest.approx([45.0, 45.0, 90.0])
+
+    def test_angles_sum_to_pi(self):
+        tri = (Point(0.3, 0.1), Point(2.0, 0.5), Point(1.1, 1.7))
+        assert sum(triangle_angles(*tri)) == pytest.approx(math.pi)
+
+    def test_equilateral_min_angle(self):
+        assert math.degrees(triangle_min_angle(*EQUILATERAL)) == (
+            pytest.approx(60.0)
+        )
+
+    def test_needle_triangle_small_min_angle(self):
+        needle = (Point(0, 0), Point(10, 0), Point(5, 0.1))
+        assert math.degrees(triangle_min_angle(*needle)) < 2.0
+
+    def test_coincident_vertices_raise(self):
+        with pytest.raises(GeometryError):
+            triangle_angles(Point(0, 0), Point(0, 0), Point(1, 1))
+
+
+class TestPointInTriangle:
+    def test_interior(self):
+        assert point_in_triangle(Point(0.2, 0.2), *RIGHT)
+
+    def test_exterior(self):
+        assert not point_in_triangle(Point(1, 1), *RIGHT)
+
+    def test_on_edge(self):
+        assert point_in_triangle(Point(0.5, 0.0), *RIGHT)
+
+    def test_vertex(self):
+        assert point_in_triangle(Point(0, 0), *RIGHT)
+
+    def test_orientation_independent(self):
+        a, b, c = RIGHT
+        assert point_in_triangle(Point(0.2, 0.2), a, c, b)
+
+
+class TestCentroid:
+    def test_triangle_centroid(self):
+        c = polygon_centroid(list(RIGHT))
+        assert c.x == pytest.approx(1.0 / 3.0)
+        assert c.y == pytest.approx(1.0 / 3.0)
+
+    def test_square_centroid(self):
+        square = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        assert polygon_centroid(square) == Point(1, 1)
+
+    def test_degenerate_polygon_falls_back_to_mean(self):
+        collinear = [Point(0, 0), Point(1, 0), Point(2, 0)]
+        assert polygon_centroid(collinear) == Point(1, 0)
+
+
+class TestConvexQuad:
+    def test_square_is_convex(self):
+        assert convex_quad(Point(0, 0), Point(1, 0), Point(1, 1),
+                           Point(0, 1))
+
+    def test_dart_is_not_convex(self):
+        # Re-entrant vertex at (0.5, 0.25).
+        assert not convex_quad(Point(0, 0), Point(1, 0), Point(0.5, 0.25),
+                               Point(0.5, 1))
+
+    def test_collinear_edge_is_not_strictly_convex(self):
+        assert not convex_quad(Point(0, 0), Point(1, 0), Point(2, 0),
+                               Point(0, 1))

@@ -1,0 +1,116 @@
+"""Unit tests for points, segments and bounding boxes."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import (
+    BoundingBox,
+    Point,
+    Segment,
+    distance,
+    lerp_point,
+    midpoint,
+)
+
+
+class TestPoint:
+    def test_addition(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+
+    def test_subtraction(self):
+        assert Point(5, 5) - Point(2, 3) == Point(3, 2)
+
+    def test_scalar_multiplication(self):
+        assert Point(1, -2) * 3 == Point(3, -6)
+        assert 3 * Point(1, -2) == Point(3, -6)
+
+    def test_dot_product(self):
+        assert Point(1, 2).dot(Point(3, 4)) == 11
+
+    def test_cross_product_sign(self):
+        assert Point(1, 0).cross(Point(0, 1)) == 1.0
+        assert Point(0, 1).cross(Point(1, 0)) == -1.0
+
+    def test_norm(self):
+        assert Point(3, 4).norm() == 5.0
+
+    def test_unit_vector(self):
+        u = Point(0, 2).unit()
+        assert u == Point(0, 1)
+
+    def test_unit_of_zero_vector_raises(self):
+        with pytest.raises(GeometryError):
+            Point(0, 0).unit()
+
+    def test_rotation_quarter_turn(self):
+        p = Point(1, 0).rotated(math.pi / 2)
+        assert p.x == pytest.approx(0.0, abs=1e-12)
+        assert p.y == pytest.approx(1.0)
+
+    def test_rotation_about_center(self):
+        p = Point(2, 1).rotated(math.pi, about=Point(1, 1))
+        assert p.x == pytest.approx(0.0)
+        assert p.y == pytest.approx(1.0)
+
+    def test_point_is_hashable(self):
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+
+class TestSegmentHelpers:
+    def test_distance(self):
+        assert distance(Point(0, 0), Point(3, 4)) == 5.0
+
+    def test_midpoint(self):
+        assert midpoint(Point(0, 0), Point(2, 4)) == Point(1, 2)
+
+    def test_lerp_endpoints(self):
+        a, b = Point(1, 1), Point(3, 5)
+        assert lerp_point(a, b, 0.0) == a
+        assert lerp_point(a, b, 1.0) == b
+
+    def test_lerp_extrapolates(self):
+        assert lerp_point(Point(0, 0), Point(1, 1), 2.0) == Point(2, 2)
+
+    def test_segment_length(self):
+        assert Segment(Point(0, 0), Point(0, 7)).length() == 7.0
+
+    def test_segment_point_at(self):
+        seg = Segment(Point(0, 0), Point(4, 0))
+        assert seg.point_at(0.25) == Point(1, 0)
+
+    def test_segment_reversed(self):
+        seg = Segment(Point(0, 0), Point(1, 2))
+        assert seg.reversed() == Segment(Point(1, 2), Point(0, 0))
+
+
+class TestBoundingBox:
+    def test_of_points(self):
+        box = BoundingBox.of_points([Point(1, 5), Point(-2, 3), Point(0, 9)])
+        assert box == BoundingBox(-2, 3, 1, 9)
+
+    def test_of_no_points_raises(self):
+        with pytest.raises(GeometryError):
+            BoundingBox.of_points([])
+
+    def test_width_height(self):
+        box = BoundingBox(0, 0, 4, 3)
+        assert box.width == 4 and box.height == 3
+
+    def test_contains(self):
+        box = BoundingBox(0, 0, 1, 1)
+        assert box.contains(Point(0.5, 0.5))
+        assert not box.contains(Point(1.5, 0.5))
+
+    def test_contains_with_tolerance(self):
+        box = BoundingBox(0, 0, 1, 1)
+        assert box.contains(Point(1.05, 0.5), tol=0.1)
+
+    def test_expanded(self):
+        assert BoundingBox(0, 0, 1, 1).expanded(1) == BoundingBox(-1, -1, 2, 2)
+
+    def test_union(self):
+        a = BoundingBox(0, 0, 1, 1)
+        b = BoundingBox(2, -1, 3, 0.5)
+        assert a.union(b) == BoundingBox(0, -1, 3, 1)

@@ -1,0 +1,187 @@
+"""Unit tests for IDLZ outputs (plots, listing, punch) and the card deck."""
+
+import pytest
+
+from repro.cards.reader import CardReader
+from repro.core.idlz.deck import (
+    IdlzProblem,
+    read_idlz_deck,
+    write_idlz_deck,
+)
+from repro.core.idlz.output import (
+    DEFAULT_ELEMENT_FORMAT,
+    DEFAULT_NODAL_FORMAT,
+    plot_all,
+    plot_idealization,
+    plot_mesh,
+    plot_subdivision,
+    print_listing,
+    punch_cards,
+)
+from repro.core.idlz.pipeline import Idealizer
+from repro.core.idlz.shaping import ShapingSegment
+from repro.core.idlz.subdivision import Subdivision
+from repro.errors import CardError
+
+
+@pytest.fixture
+def plate_ideal():
+    sub = Subdivision(index=1, kk1=1, ll1=1, kk2=4, ll2=4)
+    segments = [
+        ShapingSegment(1, 1, 1, 4, 1, 0.0, 0.0, 3.0, 0.0),
+        ShapingSegment(1, 1, 4, 4, 4, 0.0, 3.0, 3.0, 3.0),
+    ]
+    return Idealizer("TEST PLATE", [sub]).run(segments)
+
+
+class TestPlots:
+    def test_plot_mesh_has_all_edges(self, plate_ideal):
+        frame = plot_mesh(plate_ideal.mesh, "X")
+        unique_edges = len(plate_ideal.mesh.edge_counts())
+        # One stroke per unique edge (title text extra).
+        assert len(frame.vectors()) == unique_edges
+
+    def test_plot_idealization_two_frames(self, plate_ideal):
+        frames = plot_idealization(plate_ideal)
+        assert len(frames) == 2
+        assert "INITIAL" in frames[0].title
+        assert "FINAL" in frames[1].title
+
+    def test_subdivision_plot_labels_every_node(self, plate_ideal):
+        frame = plot_subdivision(plate_ideal,
+                                 plate_ideal.subdivisions[0])
+        labels = [op.text for op in frame.texts()]
+        for n in range(plate_ideal.n_nodes):
+            assert str(n + 1) in labels
+
+    def test_plot_all_frame_count(self, plate_ideal):
+        frames = plot_all(plate_ideal)
+        assert len(frames) == 2 + len(plate_ideal.subdivisions)
+
+
+class TestListing:
+    def test_listing_contains_counts(self, plate_ideal):
+        listing = print_listing(plate_ideal)
+        assert "NUMBER OF NODES           16" in listing
+        assert "NUMBER OF ELEMENTS        18" in listing
+
+    def test_listing_node_lines(self, plate_ideal):
+        listing = print_listing(plate_ideal)
+        assert listing.count("\n") > plate_ideal.n_nodes
+
+    def test_listing_mentions_bandwidth(self, plate_ideal):
+        assert "BANDWIDTH" in print_listing(plate_ideal)
+
+
+class TestPunch:
+    def test_card_count(self, plate_ideal):
+        writer = punch_cards(plate_ideal)
+        assert len(writer) == plate_ideal.n_nodes + plate_ideal.n_elements
+
+    def test_nodal_cards_in_paper_format(self, plate_ideal):
+        writer = punch_cards(plate_ideal)
+        from repro.cards.fortran_format import FortranFormat
+
+        fmt = FortranFormat(DEFAULT_NODAL_FORMAT)
+        x, y, flag, number = fmt.read(writer.cards[0].padded())
+        assert number == 1
+        assert flag in (0, 1, 2)
+
+    def test_element_cards_reference_valid_nodes(self, plate_ideal):
+        writer = punch_cards(plate_ideal)
+        from repro.cards.fortran_format import FortranFormat
+
+        fmt = FortranFormat(DEFAULT_ELEMENT_FORMAT)
+        for card in writer.cards[plate_ideal.n_nodes:]:
+            n1, n2, n3, _num = fmt.read(card.padded())
+            for n in (n1, n2, n3):
+                assert 1 <= n <= plate_ideal.n_nodes
+
+    def test_custom_format(self, plate_ideal):
+        writer = punch_cards(plate_ideal, nodal_format="(2F10.4, 2I5)")
+        assert len(writer.cards[0].text) <= 40
+
+
+class TestDeckRoundTrip:
+    def make_problem(self):
+        sub = Subdivision(index=1, kk1=1, ll1=1, kk2=4, ll2=4)
+        segments = [
+            ShapingSegment(1, 1, 1, 4, 1, 0.0, 0.0, 3.0, 0.0),
+            ShapingSegment(1, 1, 4, 4, 4, 0.0, 3.0, 3.0, 3.0, 0.0),
+        ]
+        return IdlzProblem(title="ROUND TRIP", subdivisions=[sub],
+                           segments=segments)
+
+    def test_write_read_identity(self):
+        problem = self.make_problem()
+        deck = write_idlz_deck([problem])
+        (back,) = read_idlz_deck(CardReader(deck.cards))
+        assert back.title == "ROUND TRIP"
+        assert back.subdivisions == problem.subdivisions
+        assert len(back.segments) == 2
+        seg = back.segments[0]
+        assert (seg.k1, seg.l1, seg.k2, seg.l2) == (1, 1, 4, 1)
+        assert seg.x2 == pytest.approx(3.0)
+
+    def test_reread_problem_runs(self):
+        deck = write_idlz_deck([self.make_problem()])
+        (back,) = read_idlz_deck(CardReader(deck.cards))
+        ideal = back.run()
+        assert ideal.n_nodes == 16
+
+    def test_multiple_problems(self):
+        deck = write_idlz_deck([self.make_problem(), self.make_problem()])
+        problems = read_idlz_deck(CardReader(deck.cards))
+        assert len(problems) == 2
+
+    def test_default_formats_preserved(self):
+        deck = write_idlz_deck([self.make_problem()])
+        (back,) = read_idlz_deck(CardReader(deck.cards))
+        assert back.nodal_format == DEFAULT_NODAL_FORMAT
+        assert back.element_format == DEFAULT_ELEMENT_FORMAT
+
+    def test_bad_nset_rejected(self):
+        with pytest.raises(CardError, match="NSET"):
+            read_idlz_deck(CardReader(["    0"]))
+
+    def test_truncated_deck_rejected(self):
+        deck = write_idlz_deck([self.make_problem()])
+        with pytest.raises(CardError, match="exhausted"):
+            read_idlz_deck(CardReader(deck.cards[:-3]))
+
+    def test_input_value_count(self):
+        problem = self.make_problem()
+        # 4 (type 3) + 7 (type 4) + 2 (type 5) + 2 * 9 (type 6).
+        assert problem.input_value_count() == 4 + 7 + 2 + 18
+
+    def test_structure_cases_round_trip(self, built_structures):
+        for name, built in built_structures.items():
+            problem = built.case.problem()
+            deck = write_idlz_deck([problem])
+            (back,) = read_idlz_deck(CardReader(deck.cards))
+            ideal = back.run()
+            assert ideal.n_nodes == built.idealization.n_nodes, name
+            assert ideal.n_elements == built.idealization.n_elements, name
+
+
+class TestListingDetails:
+    def test_subdivision_table(self, plate_ideal):
+        listing = print_listing(plate_ideal)
+        assert "SBDVN  KIND" in listing
+        assert "rectangle" in listing
+
+    def test_quality_lines(self, plate_ideal):
+        listing = print_listing(plate_ideal)
+        assert "MIN ELEMENT ANGLE" in listing
+        assert "MEAN SHAPE QUALITY" in listing
+
+    def test_trapezoid_kind_listed(self):
+        sub = Subdivision(index=1, kk1=1, ll1=1, kk2=9, ll2=4, ntaprw=1)
+        segments = [
+            ShapingSegment(1, 4, 1, 6, 1, 3.0, 0.0, 5.0, 0.0),
+            ShapingSegment(1, 1, 4, 9, 4, 0.0, 3.0, 8.0, 3.0),
+        ]
+        ideal = Idealizer("TRAP", [sub]).run(segments)
+        listing = print_listing(ideal)
+        assert "row_trapezoid" in listing
+        assert "NTAPRW" in listing

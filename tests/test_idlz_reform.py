@@ -1,0 +1,130 @@
+"""Unit tests for element reformation (diagonal swapping)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.idlz.reform import quality_report, reform_elements
+from repro.errors import MeshError
+from repro.fem.mesh import Mesh
+
+
+def quad_mesh(d: float, bad_diagonal: bool = True) -> Mesh:
+    """A kite quadrilateral split by one of its diagonals.
+
+    With ``bad_diagonal`` the long diagonal is used, producing two
+    needle-like triangles; the swap to the short diagonal improves the
+    minimum angle.
+    """
+    nodes = np.array([
+        [0.0, 0.0],     # 0 left
+        [5.0, -d],      # 1 bottom
+        [10.0, 0.0],    # 2 right
+        [5.0, d],       # 3 top
+    ])
+    if bad_diagonal:
+        elements = np.array([[0, 1, 2], [0, 2, 3]])
+    else:
+        elements = np.array([[0, 1, 3], [1, 2, 3]])
+    return Mesh(nodes=nodes, elements=elements)
+
+
+class TestSwap:
+    def test_needle_pair_swapped(self):
+        mesh = quad_mesh(0.5)
+        before = mesh.min_angle()
+        swaps = reform_elements(mesh)
+        assert swaps == 1
+        assert mesh.min_angle() > before
+
+    def test_swapped_connectivity_uses_other_diagonal(self):
+        mesh = quad_mesh(0.5)
+        reform_elements(mesh)
+        edges = set(mesh.edge_counts())
+        assert (1, 3) in edges
+        assert (0, 2) not in edges
+
+    def test_good_pair_untouched(self):
+        mesh = quad_mesh(5.0, bad_diagonal=False)
+        # Square-ish kite already using the better diagonal.
+        assert reform_elements(mesh) == 0
+
+    def test_swap_preserves_total_area(self):
+        mesh = quad_mesh(0.5)
+        area_before = np.abs(mesh.element_areas()).sum()
+        reform_elements(mesh)
+        assert np.abs(mesh.element_areas()).sum() == pytest.approx(
+            area_before
+        )
+
+    def test_swapped_elements_remain_ccw(self):
+        mesh = quad_mesh(0.5)
+        reform_elements(mesh)
+        assert np.all(mesh.element_areas() > 0)
+
+    def test_nonconvex_pair_never_swapped(self):
+        # A dart: swapping would fold the mesh.
+        nodes = np.array([
+            [0.0, 0.0], [10.0, 0.0], [5.0, 1.0], [5.0, 4.0],
+        ])
+        elements = np.array([[0, 1, 2], [0, 2, 3]])
+        mesh = Mesh(nodes=nodes, elements=elements)
+        mesh.orient_ccw()
+        reform_elements(mesh)
+        assert np.all(mesh.element_areas() > 0)
+
+    def test_material_interface_never_crossed(self):
+        mesh = quad_mesh(0.5)
+        mesh.element_groups = np.array([0, 1])
+        assert reform_elements(mesh) == 0
+
+    def test_idempotent(self):
+        mesh = quad_mesh(0.5)
+        reform_elements(mesh)
+        assert reform_elements(mesh) == 0
+
+
+class TestOnRealMeshes:
+    def test_reform_never_decreases_min_angle(self, built_structures):
+        for name, built in built_structures.items():
+            pre = built.idealization.prereform_mesh
+            post = pre.copy()
+            reform_elements(post)
+            assert post.min_angle() >= pre.min_angle() - 1e-12, name
+
+    def test_reform_preserves_area(self, built_structures):
+        for name, built in built_structures.items():
+            pre = built.idealization.prereform_mesh
+            post = pre.copy()
+            reform_elements(post)
+            assert np.abs(post.element_areas()).sum() == pytest.approx(
+                np.abs(pre.element_areas()).sum()
+            ), name
+
+    def test_reform_preserves_boundary(self, built_structures):
+        # Boundary edges are never swapped away.
+        for name, built in built_structures.items():
+            pre = built.idealization.prereform_mesh
+            post = pre.copy()
+            reform_elements(post)
+            pre_boundary = {
+                (min(a, b), max(a, b)) for a, b in pre.boundary_edges()
+            }
+            post_boundary = {
+                (min(a, b), max(a, b)) for a, b in post.boundary_edges()
+            }
+            assert pre_boundary == post_boundary, name
+
+
+class TestQualityReport:
+    def test_report_fields(self, unit_square_mesh):
+        report = quality_report(unit_square_mesh)
+        assert report["min_angle_deg"] == pytest.approx(45.0)
+        assert report["mean_min_angle_deg"] == pytest.approx(45.0)
+        assert "worst_decile_deg" in report
+
+    def test_empty_mesh_rejected(self):
+        mesh = Mesh(nodes=np.zeros((3, 2)), elements=np.zeros((0, 3), int))
+        with pytest.raises(MeshError):
+            quality_report(mesh)

@@ -1,0 +1,221 @@
+"""Unit tests for IDLZ shaping: segments, arcs and interpolation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.idlz.grid import LatticeGrid
+from repro.core.idlz.shaping import Shaper, ShapingSegment
+from repro.core.idlz.subdivision import Subdivision
+from repro.errors import ShapingError
+
+
+def rect_shaper(kk2=3, ll2=3):
+    sub = Subdivision(index=1, kk1=1, ll1=1, kk2=kk2, ll2=ll2)
+    grid = LatticeGrid([sub])
+    return sub, grid, Shaper(grid)
+
+
+class TestApplySegment:
+    def test_straight_line_locates_run(self):
+        sub, grid, shaper = rect_shaper()
+        nodes = shaper.apply_segment(
+            ShapingSegment(1, 1, 1, 3, 1, 0.0, 0.0, 4.0, 0.0)
+        )
+        assert len(nodes) == 3
+        assert shaper.positions[grid.node(2, 1)] == pytest.approx([2.0, 0.0])
+        assert shaper.located[grid.node(2, 1)]
+
+    def test_arc_places_nodes_on_circle(self):
+        sub, grid, shaper = rect_shaper()
+        shaper.apply_segment(
+            ShapingSegment(1, 1, 1, 3, 1, 1.0, 0.0, 0.0, 1.0, radius=1.0)
+        )
+        mid = shaper.positions[grid.node(2, 1)]
+        assert np.hypot(*mid) == pytest.approx(1.0)
+        assert mid[0] == pytest.approx(math.cos(math.radians(45)))
+
+    def test_reversed_lattice_order(self):
+        sub, grid, shaper = rect_shaper()
+        shaper.apply_segment(
+            ShapingSegment(1, 3, 1, 1, 1, 4.0, 0.0, 0.0, 0.0)
+        )
+        # End 1 of the segment is lattice (3, 1).
+        assert shaper.positions[grid.node(3, 1)] == pytest.approx([4.0, 0.0])
+        assert shaper.positions[grid.node(1, 1)] == pytest.approx([0.0, 0.0])
+
+    def test_point_segment_locates_single_node(self):
+        sub, grid, shaper = rect_shaper()
+        nodes = shaper.apply_segment(
+            ShapingSegment(1, 2, 1, 2, 1, 5.0, 6.0, 5.0, 6.0)
+        )
+        assert nodes == [grid.node(2, 1)]
+        assert shaper.positions[nodes[0]] == pytest.approx([5.0, 6.0])
+
+    def test_conflicting_relocation_rejected(self):
+        sub, grid, shaper = rect_shaper()
+        shaper.apply_segment(ShapingSegment(1, 1, 1, 3, 1, 0, 0, 4, 0))
+        with pytest.raises(ShapingError, match="relocates"):
+            shaper.apply_segment(ShapingSegment(1, 1, 1, 3, 1, 9, 9, 12, 9))
+
+    def test_consistent_relocation_allowed(self):
+        sub, grid, shaper = rect_shaper()
+        shaper.apply_segment(ShapingSegment(1, 1, 1, 3, 1, 0, 0, 4, 0))
+        shaper.apply_segment(ShapingSegment(1, 1, 1, 3, 1, 0, 0, 4, 0))
+
+    def test_endpoints_off_any_side_rejected(self):
+        from repro.errors import IdealizationError
+
+        sub, grid, shaper = rect_shaper()
+        with pytest.raises(IdealizationError, match="common side"):
+            shaper.apply_segment(ShapingSegment(1, 2, 2, 3, 3, 0, 0, 1, 1))
+
+    def test_unknown_subdivision_rejected(self):
+        sub, grid, shaper = rect_shaper()
+        with pytest.raises(ShapingError, match="no subdivision"):
+            shaper.apply_segment(ShapingSegment(7, 1, 1, 3, 1, 0, 0, 1, 0))
+
+
+class TestShapeRectangle:
+    def test_horizontal_pair_interpolation(self):
+        sub, grid, shaper = rect_shaper()
+        shaper.apply_segment(ShapingSegment(1, 1, 1, 3, 1, 0, 0, 2, 0))
+        shaper.apply_segment(ShapingSegment(1, 1, 3, 3, 3, 0, 4, 2, 4))
+        shaper.shape_subdivision(sub)
+        assert shaper.all_located()
+        centre = shaper.positions[grid.node(2, 2)]
+        assert centre == pytest.approx([1.0, 2.0])
+
+    def test_vertical_pair_interpolation(self):
+        sub, grid, shaper = rect_shaper()
+        shaper.apply_segment(ShapingSegment(1, 1, 1, 1, 3, 0, 0, 0, 2))
+        shaper.apply_segment(ShapingSegment(1, 3, 1, 3, 3, 6, 0, 6, 2))
+        shaper.shape_subdivision(sub)
+        centre = shaper.positions[grid.node(2, 2)]
+        assert centre == pytest.approx([3.0, 1.0])
+
+    def test_unlocated_pair_rejected(self):
+        sub, grid, shaper = rect_shaper()
+        shaper.apply_segment(ShapingSegment(1, 1, 1, 3, 1, 0, 0, 2, 0))
+        with pytest.raises(ShapingError, match="no opposite pair"):
+            shaper.shape_subdivision(sub)
+
+    def test_prefer_pair_honoured_when_both_available(self):
+        sub, grid, shaper = rect_shaper()
+        # Locate all four sides: bottom/top straight, sides bulged.
+        shaper.apply_segment(ShapingSegment(1, 1, 1, 3, 1, 0, 0, 2, 0))
+        shaper.apply_segment(ShapingSegment(1, 1, 3, 3, 3, 0, 2, 2, 2))
+        shaper.apply_segment(ShapingSegment(1, 1, 1, 1, 3, 0, 0, 0, 2))
+        shaper.apply_segment(ShapingSegment(1, 3, 1, 3, 3, 2, 0, 2, 2))
+        shaper.shape_subdivision(sub, prefer_pair="horizontal")
+        assert shaper.all_located()
+
+    def test_bad_prefer_pair_rejected(self):
+        sub, grid, shaper = rect_shaper()
+        shaper.apply_segment(ShapingSegment(1, 1, 1, 3, 1, 0, 0, 2, 0))
+        shaper.apply_segment(ShapingSegment(1, 1, 3, 3, 3, 0, 2, 2, 2))
+        with pytest.raises(ShapingError, match="prefer_pair"):
+            shaper.shape_subdivision(sub, prefer_pair="diagonal")
+
+    def test_located_nodes_never_moved_by_interpolation(self):
+        sub, grid, shaper = rect_shaper()
+        # Pin one interior-side node somewhere unusual first.
+        shaper.apply_segment(ShapingSegment(1, 1, 2, 1, 2, -5.0, 1.0,
+                                            -5.0, 1.0))
+        shaper.apply_segment(ShapingSegment(1, 1, 1, 3, 1, 0, 0, 2, 0))
+        shaper.apply_segment(ShapingSegment(1, 1, 3, 3, 3, 0, 2, 2, 2))
+        shaper.shape_subdivision(sub)
+        assert shaper.positions[grid.node(1, 2)] == pytest.approx(
+            [-5.0, 1.0]
+        )
+
+
+class TestShapeTrapezoid:
+    def test_slant_sides_become_straight_lines(self):
+        sub = Subdivision(index=1, kk1=1, ll1=1, kk2=9, ll2=4, ntaprw=1)
+        grid = LatticeGrid([sub])
+        shaper = Shaper(grid)
+        shaper.apply_segment(ShapingSegment(1, 4, 1, 6, 1, 3, 0, 5, 0))
+        shaper.apply_segment(ShapingSegment(1, 1, 4, 9, 4, 0, 3, 8, 3))
+        shaper.shape_subdivision(sub)
+        # Left slant: (4,1)->(1,4) must be collinear after shaping.
+        pts = [shaper.positions[grid.node(k, l)]
+               for k, l in [(4, 1), (3, 2), (2, 3), (1, 4)]]
+        v0 = np.array(pts[-1]) - np.array(pts[0])
+        for p in pts[1:-1]:
+            v = np.array(p) - np.array(pts[0])
+            assert abs(v0[0] * v[1] - v0[1] * v[0]) < 1e-12
+
+    def test_triangle_apex_as_point_side(self):
+        sub = Subdivision(index=1, kk1=1, ll1=1, kk2=5, ll2=3, ntaprw=-1)
+        grid = LatticeGrid([sub])
+        shaper = Shaper(grid)
+        shaper.apply_segment(ShapingSegment(1, 1, 1, 5, 1, 0, 0, 4, 0))
+        shaper.apply_segment(ShapingSegment(1, 3, 3, 3, 3, 2, 3, 2, 3))
+        shaper.shape_subdivision(sub)
+        assert shaper.all_located()
+        # Mid-row nodes lie between base and apex.
+        mid = shaper.positions[grid.node(3, 2)]
+        assert 0 < mid[1] < 3
+
+
+class TestMultiSubdivision:
+    def test_shared_side_shaped_once_used_twice(self):
+        s1 = Subdivision(index=1, kk1=1, ll1=1, kk2=3, ll2=3)
+        s2 = Subdivision(index=2, kk1=3, ll1=1, kk2=5, ll2=3)
+        grid = LatticeGrid([s1, s2])
+        shaper = Shaper(grid)
+        # Shape s1 fully via left/right.
+        shaper.apply_segment(ShapingSegment(1, 1, 1, 1, 3, 0, 0, 0, 2))
+        shaper.apply_segment(ShapingSegment(1, 3, 1, 3, 3, 1, 0, 1, 2))
+        shaper.shape_subdivision(s1)
+        # s2 only needs its right side: the left comes from s1.
+        shaper.apply_segment(ShapingSegment(2, 5, 1, 5, 3, 3, 0, 3, 2))
+        shaper.shape_subdivision(s2)
+        assert shaper.all_located()
+        shared = shaper.positions[grid.node(3, 2)]
+        assert shared == pytest.approx([1.0, 1.0])
+
+
+class TestGradedSpacing:
+    """Hint 5: 'If several different spacings of nodes are required along
+    one side of a subdivision, break that side into several line
+    segments, each having a different node spacing.'"""
+
+    def test_two_segments_grade_the_spacing(self):
+        sub = Subdivision(index=1, kk1=1, ll1=1, kk2=7, ll2=3)
+        grid = LatticeGrid([sub])
+        shaper = Shaper(grid)
+        # Bottom side: lattice nodes 1..4 cover 3.0 real units (coarse),
+        # nodes 4..7 cover only 0.6 (fine) -- crowding toward the right.
+        shaper.apply_segment(ShapingSegment(1, 1, 1, 4, 1, 0.0, 0.0,
+                                            3.0, 0.0))
+        shaper.apply_segment(ShapingSegment(1, 4, 1, 7, 1, 3.0, 0.0,
+                                            3.6, 0.0))
+        shaper.apply_segment(ShapingSegment(1, 1, 3, 4, 3, 0.0, 1.0,
+                                            3.0, 1.0))
+        shaper.apply_segment(ShapingSegment(1, 4, 3, 7, 3, 3.0, 1.0,
+                                            3.6, 1.0))
+        shaper.shape_subdivision(sub)
+        xs = [shaper.positions[grid.node(k, 1)][0] for k in range(1, 8)]
+        coarse = xs[1] - xs[0]
+        fine = xs[6] - xs[5]
+        assert coarse == pytest.approx(1.0)
+        assert fine == pytest.approx(0.2)
+
+    def test_interior_follows_the_grading(self):
+        sub = Subdivision(index=1, kk1=1, ll1=1, kk2=7, ll2=3)
+        grid = LatticeGrid([sub])
+        shaper = Shaper(grid)
+        for l, y in ((1, 0.0), (3, 1.0)):
+            shaper.apply_segment(ShapingSegment(1, 1, l, 4, l, 0.0, y,
+                                                3.0, y))
+            shaper.apply_segment(ShapingSegment(1, 4, l, 7, l, 3.0, y,
+                                                3.6, y))
+        shaper.shape_subdivision(sub)
+        # The middle row inherits the same graded x positions.
+        for k in range(1, 8):
+            bottom_x = shaper.positions[grid.node(k, 1)][0]
+            mid_x = shaper.positions[grid.node(k, 2)][0]
+            assert mid_x == pytest.approx(bottom_x)

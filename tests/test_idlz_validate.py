@@ -1,0 +1,163 @@
+"""Tests for the IDLZ pre-flight validator."""
+
+import pytest
+
+from repro.core.idlz.deck import IdlzProblem
+from repro.core.idlz.limits import STRICT_1970
+from repro.core.idlz.shaping import ShapingSegment
+from repro.core.idlz.subdivision import Subdivision
+from repro.core.idlz.validate import check_problem
+
+
+def plate_problem(segments=None):
+    sub = Subdivision(index=1, kk1=1, ll1=1, kk2=4, ll2=4)
+    if segments is None:
+        segments = [
+            ShapingSegment(1, 1, 1, 4, 1, 0.0, 0.0, 3.0, 0.0),
+            ShapingSegment(1, 1, 4, 4, 4, 0.0, 3.0, 3.0, 3.0),
+        ]
+    return IdlzProblem(title="T", subdivisions=[sub], segments=segments)
+
+
+class TestCleanDecks:
+    def test_valid_problem_is_clean(self):
+        report = check_problem(plate_problem())
+        assert report.ok
+        assert report.diagnostics == []
+
+    def test_every_library_structure_is_clean(self, built_structures):
+        for name, built in built_structures.items():
+            report = check_problem(built.case.problem())
+            assert report.ok, f"{name}: {report}"
+
+
+class TestStructuralErrors:
+    def test_unknown_subdivision_flagged(self):
+        problem = plate_problem()
+        problem.segments.append(
+            ShapingSegment(9, 1, 1, 4, 1, 0, 0, 1, 0)
+        )
+        report = check_problem(problem)
+        assert not report.ok
+        assert any("unknown subdivision 9" in d.message
+                   for d in report.errors)
+
+    def test_duplicate_subdivision_number_flagged(self):
+        problem = plate_problem()
+        problem.subdivisions.append(
+            Subdivision(index=1, kk1=4, ll1=1, kk2=6, ll2=4)
+        )
+        report = check_problem(problem)
+        assert any("duplicate" in d.message for d in report.errors)
+
+    def test_endpoints_off_side_flagged(self):
+        problem = plate_problem(segments=[
+            ShapingSegment(1, 2, 2, 3, 3, 0, 0, 1, 1),  # interior run
+            ShapingSegment(1, 1, 1, 4, 1, 0, 0, 3, 0),
+            ShapingSegment(1, 1, 4, 4, 4, 0, 3, 3, 3),
+        ])
+        report = check_problem(problem)
+        assert any("common side" in d.message for d in report.errors)
+
+    def test_point_off_lattice_flagged(self):
+        problem = plate_problem()
+        problem.segments.append(
+            ShapingSegment(1, 9, 9, 9, 9, 1, 1, 1, 1)
+        )
+        report = check_problem(problem)
+        assert any("lattice point" in d.message for d in report.errors)
+
+
+class TestArcErrors:
+    def test_impossible_radius_flagged(self):
+        problem = plate_problem(segments=[
+            # Chord 3 with radius 1: impossible circle.
+            ShapingSegment(1, 1, 1, 4, 1, 0, 0, 3, 0, radius=1.0),
+            ShapingSegment(1, 1, 4, 4, 4, 0, 3, 3, 3),
+        ])
+        report = check_problem(problem)
+        assert any("bad arc" in d.message for d in report.errors)
+
+    def test_over_90_degree_arc_flagged(self):
+        problem = plate_problem(segments=[
+            # Chord 3 with radius 1.6: sweep ~140 degrees.
+            ShapingSegment(1, 1, 1, 4, 1, 0, 0, 3, 0, radius=1.6),
+            ShapingSegment(1, 1, 4, 4, 4, 0, 3, 3, 3),
+        ])
+        report = check_problem(problem)
+        assert any("deg" in d.message for d in report.errors)
+
+    def test_degenerate_straight_segment_flagged(self):
+        problem = plate_problem(segments=[
+            ShapingSegment(1, 1, 1, 4, 1, 2, 2, 2, 2),
+            ShapingSegment(1, 1, 4, 4, 4, 0, 3, 3, 3),
+        ])
+        report = check_problem(problem)
+        assert any("coincident real endpoints" in d.message
+                   for d in report.errors)
+
+
+class TestShapeability:
+    def test_missing_pair_detected(self):
+        problem = plate_problem(segments=[
+            ShapingSegment(1, 1, 1, 4, 1, 0, 0, 3, 0),  # bottom only
+        ])
+        report = check_problem(problem)
+        assert any("no opposite pair" in d.message for d in report.errors)
+
+    def test_dependency_through_earlier_subdivision(self):
+        # Sub 2 only locates its right side; its left side comes from
+        # sub 1 having been shaped first -- the validator must see that.
+        s1 = Subdivision(index=1, kk1=1, ll1=1, kk2=3, ll2=3)
+        s2 = Subdivision(index=2, kk1=3, ll1=1, kk2=5, ll2=3)
+        segments = [
+            ShapingSegment(1, 1, 1, 1, 3, 0, 0, 0, 2),
+            ShapingSegment(1, 3, 1, 3, 3, 1, 0, 1, 2),
+            ShapingSegment(2, 5, 1, 5, 3, 3, 0, 3, 2),
+        ]
+        problem = IdlzProblem(title="T", subdivisions=[s1, s2],
+                              segments=segments)
+        assert check_problem(problem).ok
+
+    def test_wrong_order_detected(self):
+        # Same as above but sub 2 listed first: its left side is not yet
+        # located when it shapes.
+        s1 = Subdivision(index=1, kk1=1, ll1=1, kk2=3, ll2=3)
+        s2 = Subdivision(index=2, kk1=3, ll1=1, kk2=5, ll2=3)
+        segments = [
+            ShapingSegment(1, 1, 1, 1, 3, 0, 0, 0, 2),
+            ShapingSegment(1, 3, 1, 3, 3, 1, 0, 1, 2),
+            ShapingSegment(2, 5, 1, 5, 3, 3, 0, 3, 2),
+        ]
+        problem = IdlzProblem(title="T", subdivisions=[s2, s1],
+                              segments=segments)
+        report = check_problem(problem)
+        assert any(d.where == "subdivision 2" for d in report.errors)
+
+    def test_over_located_warns(self):
+        problem = plate_problem(segments=[
+            ShapingSegment(1, 1, 1, 4, 1, 0, 0, 3, 0),
+            ShapingSegment(1, 1, 4, 4, 4, 0, 3, 3, 3),
+            ShapingSegment(1, 1, 1, 1, 4, 0, 0, 0, 3),
+            ShapingSegment(1, 4, 1, 4, 4, 3, 0, 3, 3),
+        ])
+        report = check_problem(problem)
+        assert report.ok  # warnings only
+        assert any("all four sides" in d.message for d in report.warnings)
+
+
+class TestLimits:
+    def test_strict_limits_applied(self):
+        sub = Subdivision(index=1, kk1=1, ll1=1, kk2=41, ll2=3)
+        problem = IdlzProblem(title="WIDE", subdivisions=[sub],
+                              segments=[])
+        report = check_problem(problem, limits=STRICT_1970)
+        assert any("horizontal" in d.message for d in report.errors)
+
+    def test_report_str_lists_findings(self):
+        problem = plate_problem(segments=[])
+        text = str(check_problem(problem))
+        assert "ERROR" in text
+
+    def test_clean_report_str(self):
+        assert str(check_problem(plate_problem())) == "deck is clean"

@@ -1,0 +1,127 @@
+"""Integration: combined mechanical + thermal loading, and superposition.
+
+A pressure vessel that is also hot is the everyday NSRDC load case; the
+machinery must superpose correctly because everything is linear.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fem.materials import IsotropicElastic
+from repro.fem.mesh import Mesh
+from repro.fem.results import NodalField
+from repro.fem.solve import AnalysisType, StaticAnalysis
+from repro.fem.stress import StressComponent
+from repro.fem.thermal_stress import ThermalStressAnalysis
+
+MAT = IsotropicElastic(youngs=3.0e7, poisson=0.3, expansion=6.5e-6)
+A, B = 10.0, 10.5
+
+
+def wall_mesh(nr=4, nz=8, height=4.0):
+    nodes = []
+    for j in range(nz + 1):
+        for i in range(nr + 1):
+            nodes.append([A + (B - A) * i / nr, height * j / nz])
+    elements = []
+    for j in range(nz):
+        for i in range(nr):
+            a = j * (nr + 1) + i
+            b, c, d = a + 1, a + nr + 2, a + nr + 1
+            elements.append([a, b, c])
+            elements.append([a, c, d])
+    return Mesh(nodes=np.array(nodes), elements=np.array(elements))
+
+
+def constrain(an, mesh, height=4.0):
+    an.constraints.fix_nodes(mesh.nodes_near(y=0.0), 1)
+    an.constraints.fix_nodes(mesh.nodes_near(y=height), 1)
+
+
+def outer_edges(mesh):
+    return [
+        (a, b) for a, b in mesh.boundary_edges()
+        if abs(mesh.nodes[a, 0] - B) < 1e-9
+        and abs(mesh.nodes[b, 0] - B) < 1e-9
+    ]
+
+
+class TestCombinedLoading:
+    def test_superposition_of_pressure_and_heat(self):
+        mesh = wall_mesh()
+        dt = 50.0
+        temps = NodalField("T", np.full(mesh.n_nodes, dt))
+
+        # Pressure only.
+        an_p = StaticAnalysis(mesh, {0: MAT}, AnalysisType.AXISYMMETRIC)
+        constrain(an_p, mesh)
+        an_p.loads.add_edge_pressure_axisym(mesh, outer_edges(mesh), 500.0)
+        u_p = an_p.solve().displacements
+
+        # Heat only.
+        tsa_t = ThermalStressAnalysis(mesh, {0: MAT},
+                                      AnalysisType.AXISYMMETRIC, temps)
+        constrain(tsa_t, mesh)
+        u_t = tsa_t.solve().displacements
+
+        # Combined.
+        tsa_c = ThermalStressAnalysis(mesh, {0: MAT},
+                                      AnalysisType.AXISYMMETRIC, temps)
+        constrain(tsa_c, mesh)
+        tsa_c.loads.add_edge_pressure_axisym(mesh, outer_edges(mesh),
+                                             500.0)
+        u_c = tsa_c.solve().displacements
+
+        assert np.allclose(u_c, u_p + u_t, atol=1e-12 + 1e-9 *
+                           np.abs(u_p + u_t).max())
+
+    def test_combined_stresses_superpose(self):
+        mesh = wall_mesh()
+        dt = 50.0
+        temps = NodalField("T", np.full(mesh.n_nodes, dt))
+
+        an_p = StaticAnalysis(mesh, {0: MAT}, AnalysisType.AXISYMMETRIC)
+        constrain(an_p, mesh)
+        an_p.loads.add_edge_pressure_axisym(mesh, outer_edges(mesh), 500.0)
+        s_p = an_p.solve().stresses.raw
+
+        tsa_t = ThermalStressAnalysis(mesh, {0: MAT},
+                                      AnalysisType.AXISYMMETRIC, temps)
+        constrain(tsa_t, mesh)
+        s_t = tsa_t.solve().stresses.raw
+
+        tsa_c = ThermalStressAnalysis(mesh, {0: MAT},
+                                      AnalysisType.AXISYMMETRIC, temps)
+        constrain(tsa_c, mesh)
+        tsa_c.loads.add_edge_pressure_axisym(mesh, outer_edges(mesh),
+                                             500.0)
+        s_c = tsa_c.solve().stresses.raw
+
+        scale = np.abs(s_p).max() + np.abs(s_t).max()
+        assert np.allclose(s_c, s_p + s_t, atol=1e-9 * scale)
+
+    def test_heating_a_restrained_ring_compresses_it_axially(self):
+        # Axially clamped hot cylinder wall: sigma_z < 0.
+        mesh = wall_mesh()
+        temps = NodalField("T", np.full(mesh.n_nodes, 80.0))
+        tsa = ThermalStressAnalysis(mesh, {0: MAT},
+                                    AnalysisType.AXISYMMETRIC, temps)
+        constrain(tsa, mesh)
+        result = tsa.solve()
+        sz = result.stresses.nodal(StressComponent.AXIAL)
+        mid = mesh.nearest_node(10.25, 2.0)
+        assert sz[mid] < 0.0
+
+    def test_combined_plot_through_ospl(self):
+        from repro.core.ospl import conplt
+
+        mesh = wall_mesh()
+        temps = NodalField("T", np.full(mesh.n_nodes, 50.0))
+        tsa = ThermalStressAnalysis(mesh, {0: MAT},
+                                    AnalysisType.AXISYMMETRIC, temps)
+        constrain(tsa, mesh)
+        tsa.loads.add_edge_pressure_axisym(mesh, outer_edges(mesh), 500.0)
+        result = tsa.solve()
+        vm = result.stresses.nodal(StressComponent.EFFECTIVE)
+        plot = conplt(mesh, vm, title="COMBINED LOADS")
+        assert plot.n_segments() > 0

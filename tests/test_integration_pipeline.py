@@ -1,0 +1,256 @@
+"""Full-pipeline integration tests: IDLZ -> analysis -> OSPL.
+
+These run the exact workflow the paper's Figures 13-18 ran: idealize,
+solve, contour -- and assert on the physics as well as the plumbing.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.ospl.plot import conplt
+from repro.fem.solve import AnalysisType, StaticAnalysis
+from repro.fem.stress import StressComponent
+from repro.fem.thermal import ThermalAnalysis, ThermalPulse
+from repro.structures.tbeam import thermal_materials
+
+
+@pytest.fixture(scope="module")
+def hatch_solution(built_structures):
+    built = built_structures["dsrv_hatch"]
+    mesh = built.mesh
+    an = StaticAnalysis(mesh, built.group_materials,
+                        AnalysisType.AXISYMMETRIC)
+    for path in ("dome_outer", "skirt_outer"):
+        an.loads.add_edge_pressure_axisym(mesh, built.path_edges(path),
+                                          400.0)
+    for n in built.path_nodes("flange_bottom"):
+        an.constraints.fix(n, 1)
+    for n in mesh.nodes_near(x=0.0, tol=1e-6):
+        an.constraints.fix(n, 0)
+    return built, an.solve()
+
+
+@pytest.fixture(scope="module")
+def cylinder_solution(built_structures):
+    built = built_structures["unstiffened_cylinder"]
+    mesh = built.mesh
+    an = StaticAnalysis(mesh, built.group_materials,
+                        AnalysisType.AXISYMMETRIC)
+    an.loads.add_edge_pressure_axisym(mesh, built.path_edges("outer"),
+                                      100.0)
+    for n in built.path_nodes("base"):
+        an.constraints.fix(n, 1)
+    for n in mesh.nodes_near(x=0.0, tol=1e-6):
+        an.constraints.fix(n, 0)
+    return built, an.solve()
+
+
+class TestHatchAnalysis:
+    def test_solves_with_finite_displacements(self, hatch_solution):
+        _, result = hatch_solution
+        assert np.all(np.isfinite(result.displacements))
+        assert 0 < result.max_displacement() < 0.1
+
+    def test_external_pressure_compresses_dome(self, hatch_solution):
+        built, result = hatch_solution
+        # The dome pole moves downward (negative z displacement).
+        pole_nodes = built.path_nodes("pole")
+        w = [result.displacements[2 * n + 1] for n in pole_nodes]
+        assert max(w) < 0.0
+
+    def test_effective_stress_positive(self, hatch_solution):
+        _, result = hatch_solution
+        vm = result.stresses.nodal(StressComponent.EFFECTIVE)
+        assert vm.min() >= 0.0
+        assert vm.max() > 0.0
+
+    def test_stress_magnitude_order_of_pR_over_t(self, hatch_solution):
+        # Thin-shell estimate for the dome: sigma ~ p R / (2 t)
+        #   = 400 * 6.25 / (2 * 0.5) = 2500 psi.
+        _, result = hatch_solution
+        vm = result.stresses.nodal(StressComponent.EFFECTIVE)
+        estimate = 400.0 * 6.25 / (2 * 0.5)
+        assert 0.3 * estimate < vm.max() < 3.0 * estimate
+
+    def test_ospl_plot_of_solution(self, hatch_solution):
+        built, result = hatch_solution
+        vm = result.stresses.nodal(StressComponent.EFFECTIVE)
+        plot = conplt(built.mesh, vm, title="DSRV HATCH")
+        assert plot.n_segments() > 50
+        assert len(plot.labels) > 0
+
+
+class TestCylinderAnalysis:
+    def test_hoop_compression_in_wall(self, cylinder_solution):
+        built, result = cylinder_solution
+        hoop = result.stresses.nodal(StressComponent.CIRCUMFERENTIAL)
+        mesh = built.mesh
+        # Mid-length wall node well away from ends and closure.
+        n = mesh.nearest_node(10.25, 6.0)
+        # Thin-shell hoop for external pressure: -p r / t = -2050 psi.
+        expected = -100.0 * 10.25 / 0.5
+        assert hoop[n] == pytest.approx(expected, rel=0.35)
+        assert hoop[n] < 0
+
+    def test_radial_displacement_inward(self, cylinder_solution):
+        built, result = cylinder_solution
+        mesh = built.mesh
+        n = mesh.nearest_node(10.5, 6.0)
+        assert result.displacements[2 * n] < 0.0
+
+    def test_orthotropic_vs_isotropic_differs(self, built_structures):
+        # Swapping GRP for titanium changes the hoop stiffness and thus
+        # the radial deflection: the orthotropic path must matter.
+        from repro.fem.materials import TITANIUM
+
+        built = built_structures["unstiffened_cylinder"]
+        mesh = built.mesh
+
+        def deflection(materials):
+            an = StaticAnalysis(mesh, materials, AnalysisType.AXISYMMETRIC)
+            an.loads.add_edge_pressure_axisym(
+                mesh, built.path_edges("outer"), 100.0
+            )
+            for n in built.path_nodes("base"):
+                an.constraints.fix(n, 1)
+            for n in mesh.nodes_near(x=0.0, tol=1e-6):
+                an.constraints.fix(n, 0)
+            result = an.solve()
+            probe = mesh.nearest_node(10.5, 6.0)
+            return result.displacements[2 * probe]
+
+        grp = deflection(built.group_materials)
+        iso = deflection({0: TITANIUM, 1: TITANIUM})
+        assert abs(grp) > 2.0 * abs(iso)  # GRP is far softer
+
+    def test_stiffeners_reduce_deflection(self, built_structures):
+        def max_radial(built):
+            mesh = built.mesh
+            an = StaticAnalysis(mesh, built.group_materials,
+                                AnalysisType.AXISYMMETRIC)
+            an.loads.add_edge_pressure_axisym(
+                mesh, built.path_edges("outer"), 100.0
+            )
+            for n in built.path_nodes("base"):
+                an.constraints.fix(n, 1)
+            for n in mesh.nodes_near(x=0.0, tol=1e-6):
+                an.constraints.fix(n, 0)
+            result = an.solve()
+            u = result.displacements[0::2]
+            return float(np.abs(u).max())
+
+        plain = max_radial(built_structures["unstiffened_cylinder"])
+        stiff = max_radial(built_structures["stiffened_cylinder"])
+        assert stiff < plain
+
+
+class TestGlassJointAnalysis:
+    def test_figure_17_components_plot(self, built_structures):
+        built = built_structures["glass_joint"]
+        mesh = built.mesh
+        an = StaticAnalysis(mesh, built.group_materials,
+                            AnalysisType.AXISYMMETRIC)
+        an.loads.add_edge_pressure_axisym(mesh, built.path_edges("outer"),
+                                          500.0)
+        for n in built.path_nodes("bottom"):
+            an.constraints.fix(n, 1)
+        for n in built.path_nodes("top"):
+            an.constraints.fix(n, 1)
+        result = an.solve()
+        for component in (StressComponent.MERIDIONAL,
+                          StressComponent.RADIAL):
+            field = result.stresses.nodal(component)
+            plot = conplt(mesh, field, title="GLASS JOINT")
+            assert plot.n_segments() > 0
+
+    def test_stress_concentration_at_joint(self, built_structures):
+        built = built_structures["glass_joint"]
+        mesh = built.mesh
+        an = StaticAnalysis(mesh, built.group_materials,
+                            AnalysisType.AXISYMMETRIC)
+        an.loads.add_edge_pressure_axisym(mesh, built.path_edges("outer"),
+                                          500.0)
+        for n in built.path_nodes("bottom"):
+            an.constraints.fix(n, 1)
+        for n in built.path_nodes("top"):
+            an.constraints.fix(n, 1)
+        result = an.solve()
+        vm = result.stresses.nodal(StressComponent.EFFECTIVE)
+        # The stiff steel insert perturbs the field: stresses near the
+        # joint band differ from the far-field wall stress.
+        far = vm[mesh.nearest_node(9.5, 0.5)]
+        near = max(vm[n] for n in range(mesh.n_nodes)
+                   if 2.8 <= mesh.nodes[n, 1] <= 3.6)
+        assert near > 1.1 * far
+
+
+class TestTbeamThermal:
+    def test_figure_14_snapshots(self, built_structures):
+        built = built_structures["tbeam"]
+        mesh = built.mesh
+        an = ThermalAnalysis(mesh, thermal_materials(built.case))
+        an.add_pulse(built.path_edges("flange_top"),
+                     ThermalPulse(magnitude=0.5, duration=1.0))
+        an.fix_temperature(built.path_nodes("web_foot"), 80.0)
+        history = an.solve_transient(dt=0.05, n_steps=60, initial=80.0)
+        t2 = history.at_time(2.0)
+        t3 = history.at_time(3.0)
+        # Flange face heated well above ambient; web foot pinned.
+        assert t2.max() > 100.0
+        assert t2.values[built.path_nodes("web_foot")[0]] == 80.0
+        # After the pulse ends the peak decays between 2 s and 3 s.
+        assert t3.max() < t2.max()
+        for snap in (t2, t3):
+            plot = conplt(mesh, snap, title="T-BEAM")
+            assert plot.n_segments() > 0
+
+    def test_heat_flows_down_the_web(self, built_structures):
+        built = built_structures["tbeam"]
+        mesh = built.mesh
+        an = ThermalAnalysis(mesh, thermal_materials(built.case))
+        an.add_pulse(built.path_edges("flange_top"),
+                     ThermalPulse(magnitude=0.5, duration=1.0))
+        an.fix_temperature(built.path_nodes("web_foot"), 80.0)
+        history = an.solve_transient(dt=0.05, n_steps=60, initial=80.0)
+        final = history.final()
+        flange_n = mesh.nearest_node(1.5, 3.5)
+        web_mid = mesh.nearest_node(0.25, 1.5)
+        assert final[flange_n] > final[web_mid] >= 80.0 - 1e-9
+
+
+class TestSphereHatchAnalysis:
+    def test_figure_18_plots(self, built_structures):
+        built = built_structures["sphere_hatch"]
+        mesh = built.mesh
+        an = StaticAnalysis(mesh, built.group_materials,
+                            AnalysisType.AXISYMMETRIC)
+        an.loads.add_edge_pressure_axisym(mesh, built.path_edges("outer"),
+                                          300.0)
+        for n in built.path_nodes("seat_bottom"):
+            an.constraints.fix(n, 1)
+        for n in mesh.nodes_near(x=0.0, tol=1e-6):
+            an.constraints.fix(n, 0)
+        result = an.solve()
+        for component in (StressComponent.CIRCUMFERENTIAL,
+                          StressComponent.EFFECTIVE):
+            field = result.stresses.nodal(component)
+            plot = conplt(mesh, field, title="SPHERE HATCH")
+            assert plot.n_segments() > 0
+
+    def test_cap_in_compression(self, built_structures):
+        built = built_structures["sphere_hatch"]
+        mesh = built.mesh
+        an = StaticAnalysis(mesh, built.group_materials,
+                            AnalysisType.AXISYMMETRIC)
+        an.loads.add_edge_pressure_axisym(mesh, built.path_edges("outer"),
+                                          300.0)
+        for n in built.path_nodes("seat_bottom"):
+            an.constraints.fix(n, 1)
+        for n in mesh.nodes_near(x=0.0, tol=1e-6):
+            an.constraints.fix(n, 0)
+        result = an.solve()
+        hoop = result.stresses.nodal(StressComponent.CIRCUMFERENTIAL)
+        pole_region = mesh.nearest_node(0.5, 7.9)
+        assert hoop[pole_region] < 0.0

@@ -1,0 +1,112 @@
+"""Unit tests for Appendix D: the automatic contour interval."""
+
+import pytest
+
+from repro.core.ospl.intervals import (
+    BASES,
+    choose_interval,
+    contour_levels,
+    ladder_values,
+)
+from repro.errors import ContourError
+
+
+class TestWorkedExample:
+    def test_paper_appendix_d_example(self):
+        # "if the largest and smallest values to be plotted are 50000 psi
+        # and 10000 psi, the determined interval would be 2500 psi."
+        assert choose_interval(10000.0, 50000.0) == 2500.0
+
+    def test_figure_13_interval(self):
+        # Figure 13's caption reads "CONTOUR INTERVAL IS 2500." with
+        # stress labels spanning roughly 10000..60000 psi.
+        assert choose_interval(10000.0, 60000.0) == 2500.0
+
+
+class TestLadder:
+    def test_ladder_progression(self):
+        assert ladder_values(1.0, 100.0) == pytest.approx(
+            [1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0]
+        )
+
+    def test_ladder_fractional_decade(self):
+        assert ladder_values(0.1, 1.0) == pytest.approx(
+            [0.1, 0.25, 0.5, 1.0]
+        )
+
+    def test_ladder_bad_range_rejected(self):
+        with pytest.raises(ContourError):
+            ladder_values(-1.0, 1.0)
+
+    def test_chosen_interval_is_on_ladder(self):
+        for span in (3.0, 17.0, 123.0, 9999.0, 0.04, 7.7e8):
+            interval = choose_interval(0.0, span)
+            decade = 1.0
+            while decade < interval:
+                decade *= 10.0
+            while decade > interval * 10.0:
+                decade /= 10.0
+            ratio = interval / decade
+            assert any(
+                ratio == pytest.approx(b) or ratio == pytest.approx(b / 10)
+                for b in BASES
+            ), (span, interval)
+
+    def test_interval_near_five_percent(self):
+        for span in (10.0, 40.0, 1000.0, 6.3e5):
+            interval = choose_interval(0.0, span)
+            assert 0.02 * span <= interval <= 0.11 * span
+
+    def test_negative_values_supported(self):
+        # Only the range matters, not the sign of the data.
+        assert choose_interval(-20000.0, 20000.0) == choose_interval(
+            0.0, 40000.0
+        )
+
+    def test_zero_range_rejected(self):
+        with pytest.raises(ContourError):
+            choose_interval(5.0, 5.0)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ContourError):
+            choose_interval(5.0, 1.0)
+
+
+class TestContourLevels:
+    def test_figure_12_levels(self):
+        # The worked triangle: values 5..35 with interval 10 -> 10, 20, 30.
+        assert contour_levels(5.0, 35.0, 10.0) == pytest.approx(
+            [10.0, 20.0, 30.0]
+        )
+
+    def test_levels_are_interval_multiples(self):
+        levels = contour_levels(7.0, 93.0, 25.0)
+        assert levels == pytest.approx([25.0, 50.0, 75.0])
+
+    def test_exact_bounds_included(self):
+        levels = contour_levels(10.0, 30.0, 10.0)
+        assert levels == pytest.approx([10.0, 20.0, 30.0])
+
+    def test_negative_span(self):
+        levels = contour_levels(-25.0, 25.0, 10.0)
+        assert levels == pytest.approx([-20, -10, 0, 10, 20])
+
+    def test_user_lowest_honoured(self):
+        levels = contour_levels(5.0, 35.0, 10.0, lowest=7.0)
+        assert levels == pytest.approx([7.0, 17.0, 27.0])
+
+    def test_user_lowest_below_data_advanced(self):
+        levels = contour_levels(5.0, 35.0, 10.0, lowest=-33.0)
+        assert levels[0] == pytest.approx(7.0)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ContourError):
+            contour_levels(0.0, 1.0, 0.0)
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ContourError):
+            contour_levels(1.0, 0.0, 0.5)
+
+    def test_absurd_interval_guard(self):
+        with pytest.raises(ContourError, match="levels"):
+            contour_levels(0.0, 1.0e12, 1e-3)

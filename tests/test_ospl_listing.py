@@ -1,0 +1,104 @@
+"""Tests for the printed-output generator (the OSPL contrast artefact)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ospl.listing import (
+    ENTRIES_PER_LINE,
+    PAGE_LINES,
+    page_count,
+    print_field,
+    print_fields,
+)
+from repro.fem.mesh import Mesh
+from repro.fem.results import NodalField
+
+
+def big_mesh(n_nodes: int) -> Mesh:
+    per_row = 10
+    rows = (n_nodes + per_row - 1) // per_row
+    nodes = []
+    for j in range(rows + 1):
+        for i in range(per_row + 1):
+            nodes.append([float(i), float(j)])
+    elements = []
+    for j in range(rows):
+        for i in range(per_row):
+            a = j * (per_row + 1) + i
+            b, c, d = a + 1, a + per_row + 2, a + per_row + 1
+            elements.append([a, b, c])
+            elements.append([a, c, d])
+    return Mesh(nodes=np.array(nodes), elements=np.array(elements))
+
+
+class TestPrintField:
+    def test_every_node_listed(self, unit_square_mesh):
+        field = NodalField("S", np.array([1.0, 2.0, 3.0, 4.0]))
+        listing = print_field(unit_square_mesh, field)
+        for n in range(1, 5):
+            assert f"{n:6d}" in listing
+
+    def test_values_formatted(self, unit_square_mesh):
+        field = NodalField("S", np.array([1.5, -2.25, 0.0, 100.0]))
+        listing = print_field(unit_square_mesh, field)
+        assert "1.500" in listing
+        assert "-2.250" in listing
+
+    def test_min_max_footer(self, unit_square_mesh):
+        field = NodalField("S", np.array([1.0, 9.0, 3.0, 4.0]))
+        listing = print_field(unit_square_mesh, field)
+        assert "MINIMUM" in listing and "MAXIMUM" in listing
+        assert "9.0000" in listing
+
+    def test_title_carriage_control(self, unit_square_mesh):
+        field = NodalField("S", np.zeros(4))
+        listing = print_field(unit_square_mesh, field, title="MY CASE")
+        assert listing.startswith("1")
+        assert "MY CASE" in listing
+
+    def test_lines_within_printer_width(self, unit_square_mesh):
+        field = NodalField("S", np.full(4, 123456.789))
+        for line in print_field(unit_square_mesh, field).splitlines():
+            assert len(line) <= 132
+
+
+class TestPageCount:
+    def test_small_listing_one_page(self, unit_square_mesh):
+        field = NodalField("S", np.zeros(4))
+        assert page_count(print_field(unit_square_mesh, field)) == 1
+
+    def test_500_node_listing_spans_pages(self):
+        mesh = big_mesh(500)
+        field = NodalField("S", np.arange(float(mesh.n_nodes)))
+        listing = print_field(mesh, field)
+        lines = mesh.n_nodes / ENTRIES_PER_LINE
+        assert page_count(listing) >= lines / PAGE_LINES
+
+    def test_multiple_fields_multiply_pages(self):
+        mesh = big_mesh(500)
+        fields = [NodalField(f"C{i}", np.arange(float(mesh.n_nodes)))
+                  for i in range(4)]
+        one = page_count(print_field(mesh, fields[0]))
+        four = page_count(print_fields(mesh, fields))
+        assert four >= 4 * one
+
+    def test_empty_listing_zero_pages(self):
+        assert page_count("") == 0
+
+
+class TestDataProblemContrast:
+    def test_plot_replaces_pages_of_print(self):
+        # The paper's pitch in one assertion: a 500-node, 4-component
+        # output is pages of print but a handful of film frames.
+        from repro.core.ospl import conplt
+
+        mesh = big_mesh(500)
+        fields = [
+            NodalField(f"C{i}",
+                       (i + 1.0) * (mesh.nodes[:, 0] + mesh.nodes[:, 1]))
+            for i in range(4)
+        ]
+        pages = page_count(print_fields(mesh, fields))
+        frames = [conplt(mesh, f).frame for f in fields]
+        assert pages >= 8
+        assert len(frames) == 4

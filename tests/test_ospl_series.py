@@ -1,0 +1,83 @@
+"""Tests for the increment-series plotting (the film loop)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ospl.series import plot_increments
+from repro.errors import ContourError
+from repro.fem.mesh import Mesh
+from repro.fem.results import NodalField
+
+
+@pytest.fixture
+def mesh_and_increments():
+    nodes = []
+    for j in range(4):
+        for i in range(4):
+            nodes.append([float(i), float(j)])
+    elements = []
+    for j in range(3):
+        for i in range(3):
+            a = j * 4 + i
+            b, c, d = a + 1, a + 5, a + 4
+            elements.append([a, b, c])
+            elements.append([a, c, d])
+    mesh = Mesh(nodes=np.array(nodes), elements=np.array(elements))
+    base = mesh.nodes[:, 0] * 100.0
+    fields = [NodalField("EFFECTIVE STRESS", base * scale)
+              for scale in (1.0, 2.0, 3.0)]
+    return mesh, fields
+
+
+class TestPlotIncrements:
+    def test_one_plot_per_increment(self, mesh_and_increments):
+        mesh, fields = mesh_and_increments
+        plots = plot_increments(mesh, fields, title="SERIES")
+        assert len(plots) == 3
+
+    def test_captions_number_the_increments(self, mesh_and_increments):
+        mesh, fields = mesh_and_increments
+        plots = plot_increments(mesh, fields)
+        for i, plot in enumerate(plots, start=1):
+            texts = [op.text for op in plot.frame.texts()]
+            assert any(f"INCREMENT NUMBER {i}" in t for t in texts)
+
+    def test_first_increment_offset(self, mesh_and_increments):
+        mesh, fields = mesh_and_increments
+        plots = plot_increments(mesh, fields[:1], first_increment=100)
+        texts = [op.text for op in plots[0].frame.texts()]
+        assert any("INCREMENT NUMBER 100" in t for t in texts)
+
+    def test_shared_interval_is_common(self, mesh_and_increments):
+        mesh, fields = mesh_and_increments
+        plots = plot_increments(mesh, fields, shared_interval=True)
+        intervals = {plot.interval for plot in plots}
+        assert len(intervals) == 1
+
+    def test_independent_intervals_differ(self, mesh_and_increments):
+        mesh, fields = mesh_and_increments
+        plots = plot_increments(mesh, fields, shared_interval=False)
+        assert plots[0].interval < plots[2].interval
+
+    def test_growing_field_grows_segments(self, mesh_and_increments):
+        mesh, fields = mesh_and_increments
+        plots = plot_increments(mesh, fields, shared_interval=True)
+        # At a fixed interval, a 3x larger field crosses more levels.
+        assert plots[2].n_segments() > plots[0].n_segments()
+
+    def test_frames_are_distinct(self, mesh_and_increments):
+        mesh, fields = mesh_and_increments
+        plots = plot_increments(mesh, fields)
+        frames = {id(plot.frame) for plot in plots}
+        assert len(frames) == 3
+
+    def test_empty_series_rejected(self, mesh_and_increments):
+        mesh, _ = mesh_and_increments
+        with pytest.raises(ContourError):
+            plot_increments(mesh, [])
+
+    def test_quantity_name_in_caption(self, mesh_and_increments):
+        mesh, fields = mesh_and_increments
+        plots = plot_increments(mesh, fields, quantity="shear")
+        texts = [op.text for op in plots[0].frame.texts()]
+        assert any("SHEAR" in t for t in texts)

@@ -1,0 +1,100 @@
+"""Tests for the SC-4020 stroked character generator."""
+
+import string
+
+import pytest
+
+from repro.plotter.charset import (
+    ADVANCE,
+    CELL_HEIGHT,
+    CELL_WIDTH,
+    has_glyph,
+    stroke_text_width,
+    strokes_for,
+    text_strokes,
+)
+from repro.plotter.device import Plotter4020
+
+
+class TestGlyphTables:
+    def test_all_digits_present(self):
+        for d in string.digits:
+            assert has_glyph(d)
+
+    def test_all_uppercase_present(self):
+        for c in string.ascii_uppercase:
+            assert has_glyph(c)
+
+    def test_label_symbols_present(self):
+        for c in "+-.*/=(), ":
+            assert has_glyph(c)
+
+    def test_lowercase_maps_to_uppercase(self):
+        assert strokes_for("a") == strokes_for("A")
+
+    def test_unknown_char_draws_box(self):
+        box = strokes_for("#")
+        assert len(box) == 1
+        assert box[0][0] == box[0][-1]  # closed
+
+    def test_space_draws_nothing(self):
+        assert strokes_for(" ") == []
+
+    def test_glyphs_stay_in_cell(self):
+        for char in string.digits + string.ascii_uppercase + "+-.*/=()":
+            for stroke in strokes_for(char):
+                for x, y in stroke:
+                    assert -0.01 <= x <= CELL_WIDTH + 0.01, char
+                    assert -1.0 <= y <= CELL_HEIGHT + 0.01, char
+
+    def test_every_visible_glyph_has_ink(self):
+        for char in string.digits + string.ascii_uppercase + "+-.*/=()":
+            assert strokes_for(char), char
+
+
+class TestLayout:
+    def test_advance_scaling(self):
+        assert stroke_text_width("ABC", 12.0) == pytest.approx(
+            3 * ADVANCE * 12.0 / CELL_HEIGHT
+        )
+
+    def test_strokes_anchored_and_scaled(self):
+        strokes = text_strokes("I", 100.0, 200.0, 6.0)
+        xs = [x for s in strokes for x, _ in s]
+        ys = [y for s in strokes for _, y in s]
+        assert min(xs) >= 100.0
+        assert min(ys) >= 200.0
+        assert max(ys) <= 206.0 + 1e-9
+
+    def test_second_char_offset_by_advance(self):
+        one = text_strokes("1", 0.0, 0.0, 6.0)
+        two = text_strokes("11", 0.0, 0.0, 6.0)
+        # Second glyph's strokes are the first's shifted by ADVANCE.
+        second = two[len(one):]
+        assert len(second) == len(one)
+        for stroke_a, stroke_b in zip(one, second):
+            for (xa, ya), (xb, yb) in zip(stroke_a, stroke_b):
+                assert xb == pytest.approx(xa + ADVANCE)
+                assert yb == pytest.approx(ya)
+
+
+class TestDeviceIntegration:
+    def test_stroke_text_emits_vectors_only(self):
+        p = Plotter4020()
+        p.stroke_text(100, 100, "X=1", size=12)
+        assert len(p.frame.vectors()) > 0
+        assert p.frame.texts() == []
+
+    def test_stroke_text_ink_in_expected_box(self):
+        p = Plotter4020()
+        p.stroke_text(100, 100, "+22500.", size=12)
+        for op in p.frame.vectors():
+            assert 100 <= op.x0 <= 100 + stroke_text_width("+22500.", 12)
+            assert 100 - 3 <= op.y0 <= 112.01
+
+    def test_stroke_text_clipped_at_raster_edge(self):
+        p = Plotter4020()
+        p.stroke_text(1020, 1020, "W", size=12)
+        # Nothing escapes the raster.
+        for op in p.frame.vectors():
+            assert op.x1 <= 1023 and op.y1 <= 1023

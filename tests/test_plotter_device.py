@@ -1,0 +1,147 @@
+"""Unit tests for the SC-4020 simulator."""
+
+import pytest
+
+from repro.errors import PlotterError
+from repro.plotter.device import (
+    CoordinateMap,
+    Plotter4020,
+    PointOp,
+    RASTER_SIZE,
+    TextOp,
+    VectorOp,
+)
+from repro.geometry.primitives import BoundingBox
+
+
+class TestDrawing:
+    def test_vector_recorded(self):
+        p = Plotter4020()
+        p.vector(0, 0, 100, 100)
+        assert p.frame.vectors() == [VectorOp(0, 0, 100, 100)]
+
+    def test_move_draw(self):
+        p = Plotter4020()
+        p.move_to(10, 10)
+        p.draw_to(20, 10)
+        p.draw_to(20, 20)
+        assert len(p.frame.vectors()) == 2
+        assert p.frame.vectors()[1] == VectorOp(20, 10, 20, 20)
+
+    def test_draw_without_move_positions_only(self):
+        p = Plotter4020()
+        p.draw_to(5, 5)
+        assert len(p.frame.ops) == 0
+        p.draw_to(9, 5)
+        assert len(p.frame.vectors()) == 1
+
+    def test_polyline(self):
+        p = Plotter4020()
+        p.polyline([(0, 0), (10, 0), (10, 10)])
+        assert len(p.frame.vectors()) == 2
+
+    def test_point(self):
+        p = Plotter4020()
+        p.point(100, 200)
+        assert p.frame.points() == [PointOp(100, 200)]
+
+    def test_text(self):
+        p = Plotter4020()
+        p.text(50, 60, "HELLO", size=12)
+        assert p.frame.texts() == [TextOp(50, 60, "HELLO", 12)]
+
+    def test_empty_text_ignored(self):
+        p = Plotter4020()
+        p.text(50, 60, "")
+        assert len(p.frame.ops) == 0
+
+
+class TestClipping:
+    def test_vector_clipped_to_raster(self):
+        p = Plotter4020()
+        p.vector(500, 500, 2000, 500)
+        (op,) = p.frame.vectors()
+        assert op.x1 == RASTER_SIZE - 1
+
+    def test_offscreen_vector_dropped(self):
+        p = Plotter4020()
+        p.vector(-100, -100, -50, -50)
+        assert len(p.frame.ops) == 0
+
+    def test_offscreen_point_dropped(self):
+        p = Plotter4020()
+        p.point(5000, 5000)
+        assert len(p.frame.ops) == 0
+
+    def test_strict_mode_raises_off_raster(self):
+        p = Plotter4020(strict=True)
+        with pytest.raises(PlotterError):
+            p.vector(0, 0, 5000, 0)
+
+    def test_strict_mode_point(self):
+        p = Plotter4020(strict=True)
+        with pytest.raises(PlotterError):
+            p.point(-1, 0)
+
+    def test_text_anchor_clamped(self):
+        p = Plotter4020()
+        p.text(5000, 5000, "X")
+        (op,) = p.frame.texts()
+        assert op.x == RASTER_SIZE - 1
+
+
+class TestFrames:
+    def test_advance_starts_new_frame(self):
+        p = Plotter4020()
+        p.vector(0, 0, 1, 1)
+        p.advance("second")
+        p.vector(2, 2, 3, 3)
+        assert len(p.frames) == 2
+        assert p.frames[1].title == "second"
+        assert len(p.frames[0].vectors()) == 1
+
+    def test_drop_empty_frames(self):
+        p = Plotter4020()
+        p.advance("has content")
+        p.vector(0, 0, 1, 1)
+        p.advance("empty")
+        p.drop_empty_frames()
+        assert len(p.frames) == 1
+        assert p.frames[0].title == "has content"
+
+
+class TestCoordinateMap:
+    def test_preserves_aspect_ratio(self):
+        cmap = CoordinateMap(BoundingBox(0, 0, 10, 5), margin=100)
+        x0, y0 = cmap.to_raster(0, 0)
+        x1, y1 = cmap.to_raster(10, 5)
+        assert (x1 - x0) == pytest.approx(2 * (y1 - y0))
+
+    def test_world_fits_in_plot_area(self):
+        cmap = CoordinateMap(BoundingBox(-3, 2, 7, 22), margin=80)
+        for wx, wy in [(-3, 2), (7, 22), (-3, 22), (7, 2)]:
+            rx, ry = cmap.to_raster(wx, wy)
+            assert 80 - 1e-9 <= rx <= RASTER_SIZE - 80
+            assert 80 - 1e-9 <= ry <= RASTER_SIZE - 80
+
+    def test_round_trip(self):
+        cmap = CoordinateMap(BoundingBox(1, 2, 9, 11))
+        rx, ry = cmap.to_raster(4.5, 7.25)
+        wx, wy = cmap.to_world(rx, ry)
+        assert wx == pytest.approx(4.5)
+        assert wy == pytest.approx(7.25)
+
+    def test_length_scaling(self):
+        cmap = CoordinateMap(BoundingBox(0, 0, 10, 10), margin=100)
+        assert cmap.length_to_raster(10) == pytest.approx(
+            RASTER_SIZE - 1 - 200
+        )
+
+    def test_degenerate_world_does_not_crash(self):
+        cmap = CoordinateMap(BoundingBox(5, 5, 5, 5))
+        rx, ry = cmap.to_raster(5, 5)
+        assert 0 <= rx <= RASTER_SIZE
+
+    def test_excessive_margin_rejected(self):
+        with pytest.raises(PlotterError):
+            CoordinateMap(BoundingBox(0, 0, 1, 1), margin=600)

@@ -1,0 +1,109 @@
+"""Tests for the pure-stdlib PNG renderer."""
+
+import numpy as np
+import pytest
+
+from repro.plotter.device import Plotter4020, RASTER_SIZE
+from repro.plotter.png import (
+    GROUND,
+    INK,
+    decode_png_gray8,
+    encode_png,
+    rasterize,
+    render_png,
+    save_png,
+)
+
+
+class TestRasterize:
+    def test_empty_frame_is_blank(self):
+        p = Plotter4020()
+        img = rasterize(p.frame)
+        assert img.shape == (RASTER_SIZE, RASTER_SIZE)
+        assert (img == GROUND).all()
+
+    def test_horizontal_stroke_inked(self):
+        p = Plotter4020()
+        p.vector(100, 512, 900, 512)
+        img = rasterize(p.frame)
+        row = RASTER_SIZE - 1 - 512  # y flips to image rows
+        assert (img[row, 100:900] == INK).all()
+        assert img[row - 5, 500] == GROUND
+
+    def test_point_inked(self):
+        p = Plotter4020()
+        p.point(10, 20)
+        img = rasterize(p.frame)
+        assert img[RASTER_SIZE - 1 - 20, 10] == INK
+
+    def test_text_rendered_through_charset(self):
+        p = Plotter4020()
+        p.text(500, 500, "A", size=40)
+        img = rasterize(p.frame)
+        region = img[RASTER_SIZE - 1 - 545:RASTER_SIZE - 1 - 495,
+                     495:545]
+        assert (region == INK).any()
+
+    def test_supersampling_antialiases(self):
+        p = Plotter4020()
+        p.vector(0, 0, 1023, 1023)
+        crisp = rasterize(p.frame, supersample=1)
+        smooth = rasterize(p.frame, supersample=2)
+        # Supersampling introduces intermediate gray levels.
+        assert len(np.unique(smooth)) > len(np.unique(crisp))
+
+    def test_bad_supersample_rejected(self):
+        p = Plotter4020()
+        with pytest.raises(ValueError):
+            rasterize(p.frame, supersample=0)
+
+
+class TestPngCodec:
+    def test_signature_and_chunks(self):
+        data = encode_png(np.zeros((4, 6), dtype=np.uint8))
+        assert data[:8] == b"\x89PNG\r\n\x1a\n"
+        assert b"IHDR" in data and b"IDAT" in data and b"IEND" in data
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        img = rng.integers(0, 256, size=(17, 23)).astype(np.uint8)
+        assert np.array_equal(decode_png_gray8(encode_png(img)), img)
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            encode_png(np.zeros((4, 4), dtype=float))
+
+    def test_decoder_rejects_non_png(self):
+        with pytest.raises(ValueError):
+            decode_png_gray8(b"GIF89a....")
+
+
+class TestEndToEnd:
+    def test_render_and_reload_frame(self):
+        p = Plotter4020()
+        p.vector(0, 0, 1023, 0)
+        p.vector(0, 0, 0, 1023)
+        data = render_png(p.frame)
+        img = decode_png_gray8(data)
+        assert img.shape == (RASTER_SIZE, RASTER_SIZE)
+        # Bottom edge of the plot is the last image row.
+        assert (img[-1, :] == INK).all()
+        assert (img[:, 0] == INK).all()
+
+    def test_save_png(self, tmp_path):
+        p = Plotter4020()
+        p.vector(10, 10, 500, 500)
+        out = save_png(p.frame, tmp_path / "frames" / "f.png")
+        assert out.exists()
+        assert out.read_bytes()[:8] == b"\x89PNG\r\n\x1a\n"
+
+    def test_contour_plot_renders(self, built_structures):
+        from repro.core.ospl import conplt
+        from repro.fem.results import NodalField
+
+        built = built_structures["tbeam"]
+        field = NodalField("S", built.mesh.nodes[:, 1] * 10)
+        plot = conplt(built.mesh, field, title="PNG TEST")
+        img = rasterize(plot.frame)
+        ink_fraction = float((img < 128).mean())
+        assert 0.001 < ink_fraction < 0.5

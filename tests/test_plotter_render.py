@@ -1,0 +1,118 @@
+"""Unit tests for SVG and ASCII rendering of 4020 frames."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.plotter.ascii_art import ink_fraction, render_ascii
+from repro.plotter.device import Frame, Plotter4020
+from repro.plotter.svg import render_svg, save_film, save_svg
+from repro.plotter.text import boxes_overlap, char_width, text_box, text_extent
+
+
+class TestSvg:
+    def test_contains_line_elements(self):
+        p = Plotter4020()
+        p.vector(0, 0, 100, 100)
+        svg = render_svg(p.frame)
+        assert "<line" in svg
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+
+    def test_y_axis_flipped(self):
+        p = Plotter4020()
+        p.vector(0, 0, 0, 100)  # upward in raster space
+        svg = render_svg(p.frame)
+        # Raster y=0 maps to SVG y=1023 (bottom).
+        assert 'y1="1023"' in svg
+
+    def test_text_escaped(self):
+        p = Plotter4020()
+        p.text(10, 10, "A<B>&C")
+        svg = render_svg(p.frame)
+        assert "A&lt;B&gt;&amp;C" in svg
+
+    def test_point_rendered_as_circle(self):
+        p = Plotter4020()
+        p.point(7, 8)
+        assert "<circle" in render_svg(p.frame)
+
+    def test_title_rendered(self):
+        frame = Frame(title="MY PLOT")
+        assert "MY PLOT" in render_svg(frame)
+
+    def test_save_svg(self, tmp_path: Path):
+        p = Plotter4020()
+        p.vector(0, 0, 10, 10)
+        out = save_svg(p.frame, tmp_path / "sub" / "plot.svg")
+        assert out.exists()
+        assert out.read_text().startswith("<svg")
+
+    def test_save_film(self, tmp_path: Path):
+        p = Plotter4020()
+        p.vector(0, 0, 1, 1)
+        p.advance()
+        p.vector(2, 2, 3, 3)
+        paths = save_film(p.frames, tmp_path, stem="f")
+        assert len(paths) == 2
+        assert all(path.exists() for path in paths)
+
+
+class TestAscii:
+    def test_horizontal_line(self):
+        p = Plotter4020()
+        p.vector(0, 512, 1023, 512)
+        art = render_ascii(p.frame, width=40, height=20)
+        assert "-" * 30 in art.replace("\n", "")
+
+    def test_vertical_line_uses_pipe(self):
+        p = Plotter4020()
+        p.vector(512, 0, 512, 1023)
+        art = render_ascii(p.frame, width=40, height=20)
+        assert art.count("|") >= 15
+
+    def test_text_stamped(self):
+        p = Plotter4020()
+        p.text(100, 500, "LABEL")
+        art = render_ascii(p.frame, width=60, height=20)
+        assert "LABEL" in art
+
+    def test_title_header(self):
+        p = Plotter4020()
+        p.advance("THE TITLE")
+        p.vector(0, 0, 10, 10)
+        art = render_ascii(p.frames[1])
+        assert art.splitlines()[0] == "= THE TITLE ="
+
+    def test_empty_frame_renders_empty(self):
+        assert render_ascii(Frame()) == ""
+
+    def test_ink_fraction_increases_with_content(self):
+        sparse = Plotter4020()
+        sparse.vector(0, 0, 100, 0)
+        dense = Plotter4020()
+        for y in range(0, 1000, 50):
+            dense.vector(0, y, 1023, y)
+        assert ink_fraction(dense.frame) > ink_fraction(sparse.frame)
+
+
+class TestTextMetrics:
+    def test_char_width_scales_with_size(self):
+        assert char_width(20) == 2 * char_width(10)
+
+    def test_extent(self):
+        w, h = text_extent("ABCD", 10)
+        assert w == 4 * char_width(10)
+        assert h == 10.0
+
+    def test_text_box(self):
+        box = text_box(5, 7, "AB", 10)
+        assert box[0] == 5 and box[1] == 7
+        assert box[2] == pytest.approx(5 + 2 * char_width(10))
+        assert box[3] == 17
+
+    def test_boxes_overlap(self):
+        a = (0, 0, 10, 10)
+        assert boxes_overlap(a, (5, 5, 15, 15))
+        assert not boxes_overlap(a, (11, 0, 20, 10))
+        assert not boxes_overlap(a, (0, 11, 10, 20))

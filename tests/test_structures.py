@@ -1,0 +1,231 @@
+"""Tests for the structure library: geometry sanity for every case."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import IdealizationError
+from repro.structures import STRUCTURES
+from repro.structures.dsrv import dsrv_boundary_economy, dsrv_hatch
+from repro.structures.ring import RADIUS, circular_ring
+from repro.structures.tbeam import tbeam_thermal
+
+
+ALL_NAMES = sorted(STRUCTURES)
+
+
+class TestEveryStructure:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_builds_valid_mesh(self, name, built_structures):
+        built = built_structures[name]
+        built.mesh.validate()
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_mesh_min_angle_reasonable(self, name, built_structures):
+        built = built_structures[name]
+        assert math.degrees(built.mesh.min_angle()) > 5.0
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_every_subdivision_has_material(self, name, built_structures):
+        built = built_structures[name]
+        for gi in range(len(built.case.subdivisions)):
+            assert gi in built.group_materials
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_paths_resolve(self, name, built_structures):
+        built = built_structures[name]
+        for path_name in built.case.paths:
+            nodes = built.path_nodes(path_name)
+            assert len(nodes) >= 2
+            assert len(set(nodes)) == len(nodes)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_within_1970_limits(self, name, built_structures):
+        # Every library example must have fit the original program.
+        built = built_structures[name]
+        assert built.mesh.n_nodes <= 500
+        assert built.mesh.n_elements <= 850
+
+    def test_unknown_path_rejected(self, built_structures):
+        built = built_structures["glass_joint"]
+        with pytest.raises(IdealizationError, match="no path"):
+            built.path_nodes("nonexistent")
+
+
+class TestGlassJoint:
+    def test_two_materials(self, built_structures):
+        built = built_structures["glass_joint"]
+        names = {m.name for m in built.group_materials.values()}
+        assert names == {"glass", "steel"}
+
+    def test_joint_band_is_finer(self, built_structures):
+        # Element heights in the joint band (z in 2.8..3.6) are smaller
+        # than in the coarse end regions.
+        mesh = built_structures["glass_joint"].mesh
+        joint_areas, coarse_areas = [], []
+        areas = mesh.element_areas()
+        for e in range(mesh.n_elements):
+            cz = mesh.nodes[mesh.elements[e], 1].mean()
+            if 2.8 < cz < 3.6:
+                joint_areas.append(areas[e])
+            elif cz < 2.0:
+                coarse_areas.append(areas[e])
+        assert np.mean(joint_areas) < 0.5 * np.mean(coarse_areas)
+
+    def test_wall_extent(self, built_structures):
+        box = built_structures["glass_joint"].mesh.bounding_box()
+        assert box.xmin == pytest.approx(9.0)
+        assert box.xmax == pytest.approx(10.0)
+        assert box.ymax == pytest.approx(6.4)
+
+
+class TestDssv:
+    def test_triangle_subdivisions_used(self, built_structures):
+        case = built_structures["dssv_viewport"].case
+        kinds = [s.kind for s in case.subdivisions]
+        assert "triangle" in kinds
+
+    def test_transition_ring_adds_titanium(self, built_structures):
+        built = built_structures["dssv_transition_ring"]
+        names = {m.name for m in built.group_materials.values()}
+        assert "titanium" in names
+
+    def test_window_slant_shared_with_seat(self, built_structures):
+        # No cracks: the mesh must be edge-connected across the two
+        # subdivisions (every interior edge shared by two elements).
+        mesh = built_structures["dssv_viewport"].mesh
+        counts = mesh.edge_counts()
+        assert max(counts.values()) == 2
+
+
+class TestDsrv:
+    def test_eleven_arcs(self):
+        economy = dsrv_boundary_economy(dsrv_hatch())
+        assert economy["arcs"] == 11
+
+    def test_boundary_node_scale(self, built_structures):
+        # The paper's hatch had ~100 boundary nodes; ours is the same
+        # order of magnitude.
+        mesh = built_structures["dsrv_hatch"].mesh
+        boundary_nodes = {n for e in mesh.boundary_edges() for n in e}
+        assert 50 <= len(boundary_nodes) <= 150
+
+    def test_located_coordinate_economy(self):
+        economy = dsrv_boundary_economy(dsrv_hatch())
+        # Far fewer located coordinates than boundary nodes.
+        assert economy["located_coordinates"] <= 30
+
+    def test_dome_nodes_on_sphere(self, built_structures):
+        built = built_structures["dsrv_hatch"]
+        mesh = built.mesh
+        for n in built.path_nodes("dome_inner"):
+            r = math.hypot(mesh.nodes[n, 0], mesh.nodes[n, 1] - 10.0)
+            assert r == pytest.approx(6.0, abs=1e-6)
+
+
+class TestCylinders:
+    def test_stiffened_has_more_elements(self, built_structures):
+        stiff = built_structures["stiffened_cylinder"].mesh
+        plain = built_structures["unstiffened_cylinder"].mesh
+        assert stiff.n_elements > plain.n_elements
+
+    def test_orthotropic_wall_material(self, built_structures):
+        built = built_structures["unstiffened_cylinder"]
+        assert built.group_materials[0].name == "GRP"
+        assert built.group_materials[1].name == "titanium"
+
+    def test_closure_reaches_axis(self, built_structures):
+        mesh = built_structures["unstiffened_cylinder"].mesh
+        assert mesh.bounding_box().xmin == pytest.approx(0.0, abs=1e-9)
+
+    def test_hemisphere_radius(self, built_structures):
+        built = built_structures["unstiffened_cylinder"]
+        mesh = built.mesh
+        pole = built.path_nodes("pole")
+        zs = sorted(mesh.nodes[n, 1] for n in pole)
+        assert zs[0] == pytest.approx(22.0)
+        assert zs[-1] == pytest.approx(22.5)
+
+    def test_stiffener_depth(self, built_structures):
+        mesh = built_structures["stiffened_cylinder"].mesh
+        assert mesh.bounding_box().xmin == pytest.approx(0.0, abs=1e-9)
+        # Stiffener inboard face at r = 9.2.
+        stiff_nodes = mesh.nodes_near(x=9.2, tol=1e-6)
+        assert len(stiff_nodes) >= 2
+
+
+class TestRing:
+    def test_disc_radius(self, built_structures):
+        mesh = built_structures["circular_ring"].mesh
+        radii = np.hypot(mesh.nodes[:, 0], mesh.nodes[:, 1])
+        assert radii.max() == pytest.approx(RADIUS)
+
+    def test_rim_nodes_on_circle(self, built_structures):
+        mesh = built_structures["circular_ring"].mesh
+        boundary_nodes = {n for e in mesh.boundary_edges() for n in e}
+        for n in boundary_nodes:
+            r = math.hypot(mesh.nodes[n, 0], mesh.nodes[n, 1])
+            assert r == pytest.approx(RADIUS, abs=1e-9)
+
+    def test_four_triangular_subdivisions(self):
+        case = circular_ring()
+        assert all(s.kind == "triangle" for s in case.subdivisions)
+
+    def test_disc_area_near_circle(self, built_structures):
+        mesh = built_structures["circular_ring"].mesh
+        area = mesh.element_areas().sum()
+        assert 0.92 * math.pi * RADIUS ** 2 < area < math.pi * RADIUS ** 2
+
+
+class TestTbeam:
+    def test_tee_shape_extent(self, built_structures):
+        box = built_structures["tbeam"].mesh.bounding_box()
+        assert (box.xmax, box.ymax) == (3.0, 3.5)
+
+    def test_tee_area(self, built_structures):
+        mesh = built_structures["tbeam"].mesh
+        # Half-web 0.5 x 3 plus half-flange 3 x 0.5.
+        assert mesh.element_areas().sum() == pytest.approx(3.0)
+
+    def test_flange_top_path_is_top_face(self, built_structures):
+        built = built_structures["tbeam"]
+        for n in built.path_nodes("flange_top"):
+            assert built.mesh.nodes[n, 1] == pytest.approx(3.5)
+
+
+class TestBottomHatch:
+    def test_crown_nodes_on_spheres(self, built_structures):
+        from repro.structures.bottom_hatch import (
+            R_CROWN, Z_POLE_IN, Z_POLE_OUT,
+        )
+
+        built = built_structures["bottom_hatch"]
+        mesh = built.mesh
+        for n in built.path_nodes("inner")[4:]:  # skip the seat portion
+            r = math.hypot(mesh.nodes[n, 0],
+                           mesh.nodes[n, 1] - (Z_POLE_IN - R_CROWN))
+            assert r == pytest.approx(R_CROWN, abs=1e-6)
+
+    def test_shallow_head_geometry(self, built_structures):
+        built = built_structures["bottom_hatch"]
+        box = built.mesh.bounding_box()
+        # Far wider than tall: the dished-plate signature.
+        assert box.width > 2 * box.height
+
+    def test_seat_ring_below_rim(self, built_structures):
+        built = built_structures["bottom_hatch"]
+        mesh = built.mesh
+        seat = built.path_nodes("seat_base")
+        assert all(mesh.nodes[n, 1] < 0 for n in seat)
+
+    def test_second_idealization_scales(self):
+        from repro.structures import bottom_hatch
+        from repro.structures.base import scale_case_lattice
+
+        first = bottom_hatch().build()
+        second = scale_case_lattice(bottom_hatch(), 2).build()
+        assert second.mesh.n_elements == 4 * first.mesh.n_elements
+        a1 = first.mesh.element_areas().sum()
+        a2 = second.mesh.element_areas().sum()
+        assert abs(a1 - a2) / a1 < 0.02
