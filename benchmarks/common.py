@@ -4,18 +4,32 @@ Every benchmark regenerates one artefact of the paper (a figure, a table
 or a numeric claim) and prints a ``paper vs measured`` record; these
 records are collected in EXPERIMENTS.md.  SVG frames go under
 ``benchmarks/out/`` so the regenerated figures can be eyeballed.
+
+Perf trajectory: :func:`observed_run` executes a workload under the
+observability layer (:mod:`repro.obs`) and stamps the result as
+``BENCH_<name>.json`` at the repository root, in the same
+``repro.obs/v1`` schema the CLI's ``--report`` flag writes.  Running
+this module directly regenerates ``BENCH_idlz_stages.json``, the
+per-stage timing record of a paper-scale 40 x 60 idealization::
+
+    PYTHONPATH=src python benchmarks/common.py
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro import obs
+from repro.obs.report import RunReport
 from repro.plotter.device import Frame
 from repro.plotter.svg import save_svg
 
 #: Where regenerated figures are written.
 OUT_DIR = Path(__file__).parent / "out"
+
+#: Where BENCH_*.json perf records are written (the repository root).
+BENCH_DIR = Path(__file__).parent.parent
 
 
 def report(experiment: str, rows: Dict[str, object]) -> None:
@@ -29,3 +43,59 @@ def save_frame(experiment: str, frame: Frame, suffix: str = "") -> Path:
     """Persist a regenerated figure frame as SVG."""
     name = experiment + (f"_{suffix}" if suffix else "") + ".svg"
     return save_svg(frame, OUT_DIR / name)
+
+
+# ----------------------------------------------------------------------
+# Observed runs -> BENCH_*.json
+# ----------------------------------------------------------------------
+
+def bench_path(name: str) -> Path:
+    return BENCH_DIR / f"BENCH_{name}.json"
+
+
+def observed_run(name: str, workload: Callable[[], Any],
+                 write: bool = True,
+                 **meta: Any) -> Tuple[Any, RunReport, Optional[Path]]:
+    """Run ``workload`` under observation and stamp ``BENCH_<name>.json``.
+
+    Returns ``(workload result, RunReport, written path or None)``.
+    """
+    with obs.capture() as observer:
+        value = workload()
+    run_report = observer.report(experiment=name, **meta)
+    path = run_report.save(bench_path(name)) if write else None
+    return value, run_report, path
+
+
+def idlz_stage_probe(cols: int = 40, rows: int = 60):
+    """A paper-scale rectangular idealization: the standard obs workload."""
+    from repro.core.idlz.pipeline import Idealizer
+    from repro.core.idlz.shaping import ShapingSegment
+    from repro.core.idlz.subdivision import Subdivision
+
+    sub = Subdivision(index=1, kk1=1, ll1=1, kk2=cols + 1, ll2=rows + 1)
+    segments = [
+        ShapingSegment(1, 1, 1, cols + 1, 1,
+                       0.0, 0.0, float(cols), 0.0),
+        ShapingSegment(1, 1, rows + 1, cols + 1, rows + 1,
+                       0.0, float(rows), float(cols), float(rows)),
+    ]
+    return Idealizer(title=f"BENCH {cols}X{rows}",
+                     subdivisions=[sub]).run(segments)
+
+
+def main() -> None:
+    ideal, run_report, path = observed_run(
+        "idlz_stages", idlz_stage_probe, cols=40, rows=60,
+    )
+    report("bench_idlz_stages", {
+        "nodes": ideal.n_nodes,
+        "elements": ideal.n_elements,
+        "bandwidth": f"{ideal.bandwidth_before}->{ideal.bandwidth_after}",
+        "stages": ", ".join(sorted(run_report.span_names())),
+        "written": path,
+    })
+
+
+if __name__ == "__main__":
+    main()

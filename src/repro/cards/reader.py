@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, List, Union
 
+from repro import obs
 from repro.cards.card import Card
 from repro.cards.fortran_format import FortranFormat
 from repro.errors import CardError
@@ -50,6 +51,7 @@ class CardReader:
             )
         card = self._cards[self._pos]
         self._pos += 1
+        obs.count("cards.read")
         return card
 
     def peek(self) -> Card:

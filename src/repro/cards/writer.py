@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any, List, Sequence, Union
 
+from repro import obs
 from repro.cards.card import Card, deck_to_text
 from repro.cards.fortran_format import FortranFormat
 
@@ -31,6 +32,7 @@ class CardWriter:
         """Punch one raw card image."""
         card = Card(text)
         self._cards.append(card)
+        obs.count("cards.punched")
         return card
 
     def punch(self, fmt: Union[FortranFormat, str],
@@ -40,6 +42,7 @@ class CardWriter:
             fmt = FortranFormat(fmt)
         produced = [Card(line) for line in fmt.write(values)]
         self._cards.extend(produced)
+        obs.count("cards.punched", len(produced))
         return produced
 
     def punch_each(self, fmt: Union[FortranFormat, str],
@@ -51,6 +54,7 @@ class CardWriter:
         for row in rows:
             produced.extend(Card(line) for line in fmt.write(row))
         self._cards.extend(produced)
+        obs.count("cards.punched", len(produced))
         return produced
 
     def to_text(self) -> str:

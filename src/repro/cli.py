@@ -6,21 +6,42 @@
 ``--strict`` enforces the Table 1/2 restrictions exactly as the 7090
 builds did; ``--ascii`` additionally prints a terminal preview of the
 OSPL plot.
+
+Observability (see docs/OBSERVABILITY.md): ``--trace`` prints a
+per-stage timing tree to stderr, ``--report PATH.json`` writes the
+machine-readable run report, ``-v``/``-vv`` raise the log level of the
+``repro.*`` loggers and ``-q`` silences the normal stdout summary.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.core.idlz import limits as idlz_limits
 from repro.core.idlz.program import run_idlz_files
 from repro.core.ospl import limits as ospl_limits
 from repro.core.ospl.program import run_ospl_files
 from repro.errors import ReproError
 from repro.plotter.ascii_art import render_ascii
+
+_LOG_HANDLER_NAME = "repro-cli"
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument("--trace", action="store_true",
+                       help="print a per-stage timing tree to stderr")
+    group.add_argument("--report", type=Path, metavar="PATH",
+                       help="write a machine-readable JSON run report")
+    group.add_argument("-v", "--verbose", action="count", default=0,
+                       help="log progress to stderr (-vv for debug)")
+    group.add_argument("-q", "--quiet", action="store_true",
+                       help="suppress the stdout summary")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,6 +59,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="enforce the Table-2 1970 restrictions")
     idlz.add_argument("--check", action="store_true",
                       help="validate the deck without running it")
+    _add_common_options(idlz)
 
     ospl = sub.add_parser("ospl", help="contour-plot a field from a deck")
     ospl.add_argument("deck", type=Path, help="Appendix-C input deck")
@@ -47,57 +69,117 @@ def build_parser() -> argparse.ArgumentParser:
                       help="enforce the Table-1 1970 restrictions")
     ospl.add_argument("--ascii", action="store_true",
                       help="also print an ASCII preview")
+    _add_common_options(ospl)
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    try:
-        if args.command == "idlz":
-            limits = (idlz_limits.STRICT_1970 if args.strict
-                      else idlz_limits.UNLIMITED)
-            if args.check:
-                from repro.cards.reader import CardReader
-                from repro.core.idlz.deck import read_idlz_deck
-                from repro.core.idlz.validate import check_problem
+def _configure_logging(verbosity: int, quiet: bool) -> None:
+    """Point the ``repro`` logger tree at stderr at the requested level."""
+    logger = logging.getLogger("repro")
+    if quiet:
+        level = logging.ERROR
+    elif verbosity >= 2:
+        level = logging.DEBUG
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    logger.setLevel(level)
+    handler = next(
+        (h for h in logger.handlers if h.get_name() == _LOG_HANDLER_NAME),
+        None,
+    )
+    if handler is None:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.set_name(_LOG_HANDLER_NAME)
+        handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+        logger.addHandler(handler)
+    else:
+        # Re-bind in case the hosting process swapped sys.stderr.
+        handler.stream = sys.stderr
 
-                reader = CardReader.from_text(args.deck.read_text())
-                clean = True
-                for i, problem in enumerate(read_idlz_deck(reader),
-                                            start=1):
-                    report = check_problem(problem, limits=limits)
-                    print(f"problem {i}: {report}")
-                    clean = clean and report.ok
-                return 0 if clean else 1
-            runs = run_idlz_files(args.deck, args.out, limits=limits)
-            for i, run in enumerate(runs, start=1):
-                ideal = run.idealization
-                print(f"problem {i}: {run.title!r} -> "
-                      f"{ideal.n_nodes} nodes, {ideal.n_elements} elements, "
-                      f"bandwidth {ideal.bandwidth_before}"
-                      f"->{ideal.bandwidth_after}, "
-                      f"{len(run.frames)} plot frame(s), "
-                      f"{len(run.punched) if run.punched else 0} "
-                      "punched card(s)")
-            print(f"wrote outputs under {args.out}/")
-            return 0
-        # ospl
-        limits = (ospl_limits.STRICT_1970 if args.strict
-                  else ospl_limits.UNLIMITED)
-        run = run_ospl_files(args.deck, args.out, limits=limits)
-        plot = run.plot
+
+def _run_idlz(args: argparse.Namespace) -> int:
+    limits = (idlz_limits.STRICT_1970 if args.strict
+              else idlz_limits.UNLIMITED)
+    if args.check:
+        from repro.cards.reader import CardReader
+        from repro.core.idlz.deck import read_idlz_deck
+        from repro.core.idlz.validate import check_problem
+
+        with obs.span("idlz.read"):
+            reader = CardReader.from_text(args.deck.read_text())
+            problems = read_idlz_deck(reader)
+        clean = True
+        for i, problem in enumerate(problems, start=1):
+            report = check_problem(problem, limits=limits)
+            if not args.quiet:
+                print(f"problem {i}: {report}")
+            clean = clean and report.ok
+        return 0 if clean else 1
+    runs = run_idlz_files(args.deck, args.out, limits=limits)
+    if not args.quiet:
+        for i, run in enumerate(runs, start=1):
+            ideal = run.idealization
+            print(f"problem {i}: {run.title!r} -> "
+                  f"{ideal.n_nodes} nodes, {ideal.n_elements} elements, "
+                  f"bandwidth {ideal.bandwidth_before}"
+                  f"->{ideal.bandwidth_after}, "
+                  f"{len(run.frames)} plot frame(s), "
+                  f"{len(run.punched) if run.punched else 0} "
+                  "punched card(s)")
+        print(f"wrote outputs under {args.out}/")
+    return 0
+
+
+def _run_ospl(args: argparse.Namespace) -> int:
+    limits = (ospl_limits.STRICT_1970 if args.strict
+              else ospl_limits.UNLIMITED)
+    run = run_ospl_files(args.deck, args.out, limits=limits)
+    plot = run.plot
+    if not args.quiet:
         print(f"{run.title!r}: interval {plot.interval:g}, "
               f"{len(plot.levels)} levels, {plot.n_segments()} segments, "
               f"{len(plot.labels)} labels -> {args.out}")
         if args.ascii:
             print(render_ascii(plot.frame, 78, 38))
-        return 0
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    _configure_logging(args.verbose, args.quiet)
+    observer = (obs.enable() if (args.trace or args.report is not None)
+                else None)
+    try:
+        if args.command == "idlz":
+            return _run_idlz(args)
+        return _run_ospl(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if observer is not None:
+            report = observer.report(
+                command=args.command,
+                deck=str(args.deck),
+                strict=bool(args.strict),
+            )
+            if args.trace:
+                print(report.render_tree(), file=sys.stderr)
+            if args.report is not None:
+                try:
+                    report.save(args.report)
+                except OSError as exc:
+                    print(f"error: cannot write report to {args.report}: "
+                          f"{exc}", file=sys.stderr)
+                else:
+                    if not args.quiet:
+                        print(f"run report written to {args.report}")
+            obs.disable(observer)
 
 
 if __name__ == "__main__":

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.idlz.elements import create_elements
 from repro.core.idlz.grid import LatticeGrid
 from repro.core.idlz.limits import IdlzLimits, STRICT_1970, UNLIMITED
@@ -124,61 +125,72 @@ class Idealizer:
 
     def run(self, segments: Sequence[ShapingSegment]) -> Idealization:
         """Execute the IDLZ flow on the given type-6 shaping cards."""
-        self.limits.check_subdivisions(self.subdivisions)
-        grid = LatticeGrid(self.subdivisions)
-        triangles, groups = create_elements(grid)
-        self.limits.check_counts(grid.n_nodes, len(triangles))
+        with obs.span("idlz.number", subdivisions=len(self.subdivisions)):
+            self.limits.check_subdivisions(self.subdivisions)
+            grid = LatticeGrid(self.subdivisions)
+        obs.count("idlz.nodes_numbered", grid.n_nodes)
 
-        lattice_mesh = Mesh(
-            nodes=np.array(grid.lattice_coordinates(), dtype=float),
-            elements=np.array(triangles, dtype=int),
-            element_groups=np.array(groups, dtype=int),
-        )
-        lattice_mesh.orient_ccw()
+        with obs.span("idlz.elements"):
+            triangles, groups = create_elements(grid)
+            self.limits.check_counts(grid.n_nodes, len(triangles))
 
-        shaper = Shaper(grid)
-        by_subdivision: Dict[int, List[ShapingSegment]] = {}
-        for seg in segments:
-            by_subdivision.setdefault(seg.subdivision, []).append(seg)
-        known = {sub.index for sub in self.subdivisions}
-        orphans = set(by_subdivision) - known
-        if orphans:
-            raise IdealizationError(
-                f"shaping cards reference unknown subdivision(s) "
-                f"{sorted(orphans)}"
+            lattice_mesh = Mesh(
+                nodes=np.array(grid.lattice_coordinates(), dtype=float),
+                elements=np.array(triangles, dtype=int),
+                element_groups=np.array(groups, dtype=int),
             )
-        for sub in self.subdivisions:
-            for seg in by_subdivision.get(sub.index, []):
-                shaper.apply_segment(seg)
-            shaper.shape_subdivision(
-                sub, prefer_pair=self.prefer_pairs.get(sub.index)
+            lattice_mesh.orient_ccw()
+        obs.count("idlz.elements_created", len(triangles))
+
+        with obs.span("idlz.shape", segments=len(segments)):
+            shaper = Shaper(grid)
+            by_subdivision: Dict[int, List[ShapingSegment]] = {}
+            for seg in segments:
+                by_subdivision.setdefault(seg.subdivision, []).append(seg)
+            known = {sub.index for sub in self.subdivisions}
+            orphans = set(by_subdivision) - known
+            if orphans:
+                raise IdealizationError(
+                    f"shaping cards reference unknown subdivision(s) "
+                    f"{sorted(orphans)}"
+                )
+            for sub in self.subdivisions:
+                for seg in by_subdivision.get(sub.index, []):
+                    shaper.apply_segment(seg)
+                shaper.shape_subdivision(
+                    sub, prefer_pair=self.prefer_pairs.get(sub.index)
+                )
+
+        with obs.span("idlz.reform", enabled=self.reform):
+            mesh = Mesh(
+                nodes=shaper.positions.copy(),
+                elements=np.array(triangles, dtype=int),
+                element_groups=np.array(groups, dtype=int),
             )
+            mesh.orient_ccw()
+            mesh.validate()
+            prereform_mesh = mesh.copy()
+            swaps = reform_elements(mesh) if self.reform else 0
+            mesh.compute_boundary_flags()
 
-        mesh = Mesh(
-            nodes=shaper.positions.copy(),
-            elements=np.array(triangles, dtype=int),
-            element_groups=np.array(groups, dtype=int),
-        )
-        mesh.orient_ccw()
-        mesh.validate()
-        prereform_mesh = mesh.copy()
-        swaps = reform_elements(mesh) if self.reform else 0
-        mesh.compute_boundary_flags()
-
-        bandwidth_before = mesh_bandwidth(mesh)
-        permutation: Optional[List[int]] = None
-        bandwidth_after = bandwidth_before
-        if self.renumber:
-            permutation = reverse_cuthill_mckee(mesh)
-            mesh = mesh.renumbered(permutation)
-            bandwidth_after = mesh_bandwidth(mesh)
-            if bandwidth_after > bandwidth_before:
-                # RCM is a heuristic; never accept a worse numbering.
-                mesh = prereform_mesh.copy()
-                swaps = reform_elements(mesh) if self.reform else 0
-                mesh.compute_boundary_flags()
-                permutation = None
-                bandwidth_after = bandwidth_before
+        with obs.span("idlz.renumber", enabled=self.renumber):
+            bandwidth_before = mesh_bandwidth(mesh)
+            permutation: Optional[List[int]] = None
+            bandwidth_after = bandwidth_before
+            if self.renumber:
+                permutation = reverse_cuthill_mckee(mesh)
+                mesh = mesh.renumbered(permutation)
+                bandwidth_after = mesh_bandwidth(mesh)
+                if bandwidth_after > bandwidth_before:
+                    # RCM is a heuristic; never accept a worse numbering.
+                    mesh = prereform_mesh.copy()
+                    swaps = reform_elements(mesh) if self.reform else 0
+                    mesh.compute_boundary_flags()
+                    permutation = None
+                    bandwidth_after = bandwidth_before
+        obs.count("idlz.diagonal_swaps", swaps)
+        obs.gauge("idlz.bandwidth_before", bandwidth_before)
+        obs.gauge("idlz.bandwidth_after", bandwidth_after)
 
         return Idealization(
             title=self.title,

@@ -13,10 +13,12 @@ command-line interface.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Union
 
+from repro import obs
 from repro.cards.reader import CardReader
 from repro.cards.writer import CardWriter
 from repro.core.idlz.deck import IdlzProblem, read_idlz_deck
@@ -25,6 +27,8 @@ from repro.core.idlz.output import plot_all, print_listing, punch_cards
 from repro.core.idlz.pipeline import Idealization
 from repro.plotter.device import Frame
 from repro.plotter.svg import save_svg
+
+log = logging.getLogger("repro.idlz")
 
 
 @dataclass
@@ -45,21 +49,36 @@ class IdlzRun:
 def run_idlz(reader: CardReader,
              limits: IdlzLimits = UNLIMITED) -> List[IdlzRun]:
     """Execute the full IDLZ program on a card tray."""
+    with obs.span("idlz.read"):
+        problems = read_idlz_deck(reader)
+    log.info("deck read: %d problem(s)", len(problems))
     runs: List[IdlzRun] = []
-    for problem in read_idlz_deck(reader):
-        ideal = problem.run(limits=limits)
-        run = IdlzRun(
-            problem=problem,
-            idealization=ideal,
-            listing=print_listing(ideal),
-        )
-        if problem.noplot:
-            run.frames = plot_all(ideal)
-        if problem.nopnch:
-            run.punched = punch_cards(
-                ideal,
-                nodal_format=problem.nodal_format,
-                element_format=problem.element_format,
+    for i, problem in enumerate(problems, start=1):
+        with obs.span("idlz.problem", index=i, title=problem.title):
+            log.info("problem %d: %r idealizing ...", i, problem.title)
+            ideal = problem.run(limits=limits)
+            with obs.span("idlz.output", noplot=problem.noplot,
+                          nopnch=problem.nopnch):
+                run = IdlzRun(
+                    problem=problem,
+                    idealization=ideal,
+                    listing=print_listing(ideal),
+                )
+                if problem.noplot:
+                    run.frames = plot_all(ideal)
+                if problem.nopnch:
+                    run.punched = punch_cards(
+                        ideal,
+                        nodal_format=problem.nodal_format,
+                        element_format=problem.element_format,
+                    )
+            if run.punched is not None:
+                obs.count("idlz.cards_punched", len(run.punched))
+            log.info(
+                "problem %d: %r -> %d nodes, %d elements, bandwidth "
+                "%d->%d, %d swap(s)", i, problem.title, ideal.n_nodes,
+                ideal.n_elements, ideal.bandwidth_before,
+                ideal.bandwidth_after, ideal.swaps,
             )
         runs.append(run)
     return runs
@@ -87,4 +106,5 @@ def run_idlz_files(deck_path: Union[str, Path],
             (out_dir / f"problem_{i}.punch.deck").write_text(
                 run.punched.to_text()
             )
+        log.debug("problem %d: products written under %s", i, out_dir)
     return runs

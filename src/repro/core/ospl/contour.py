@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ContourError
 from repro.fem.mesh import Mesh
 from repro.fem.results import NodalField
@@ -182,8 +183,17 @@ def contour_mesh(mesh: Mesh, field: NodalField,
             f"field has {field.n_nodes} values for a mesh of "
             f"{mesh.n_nodes} nodes"
         )
-    if interval is None or interval == 0.0:
-        interval = choose_interval(field.min(), field.max())
-    levels = contour_levels(field.min(), field.max(), interval,
-                            lowest=lowest)
-    return ContourSet(mesh, field, interval, levels, window=window)
+    with obs.span("ospl.intervals", automatic=interval in (None, 0.0)):
+        if interval is None or interval == 0.0:
+            interval = choose_interval(field.min(), field.max())
+        levels = contour_levels(field.min(), field.max(), interval,
+                                lowest=lowest)
+    with obs.span("ospl.contour", elements=mesh.n_elements,
+                  levels=len(levels)):
+        contours = ContourSet(mesh, field, interval, levels, window=window)
+    obs.count("ospl.contour_segments", contours.n_segments())
+    if obs.enabled():
+        for level in contours.levels:
+            obs.observe("ospl.segments_per_level",
+                        len(contours.segments_by_level[level]))
+    return contours

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import obs
 from repro.core.ospl.boundary import boundary_segments
 from repro.core.ospl.contour import ContourSet, contour_mesh
 from repro.core.ospl.labels import Label, place_labels
@@ -70,33 +71,36 @@ def conplt(mesh: Mesh, field: NodalField,
         raise ContourError("plot window has zero extent")
     cmap = CoordinateMap(world, margin=90)
     labels = place_labels(contours, cmap, size=label_size)
+    obs.count("ospl.labels_placed", len(labels))
 
-    plotter = plotter or Plotter4020()
-    frame = plotter.advance(title or field.name)
-    # Boundary outline first (clipped to the zoom window when present).
-    for seg in boundary_segments(mesh):
-        if window is not None:
-            clipped = clip_segment(seg, window)
-            if clipped is None:
-                continue
-            seg = clipped
-        x0, y0 = cmap.to_raster(seg.start.x, seg.start.y)
-        x1, y1 = cmap.to_raster(seg.end.x, seg.end.y)
-        plotter.vector(x0, y0, x1, y1)
-    # Isograms.
-    for seg in contours.all_segments():
-        x0, y0 = cmap.to_raster(seg.start.x, seg.start.y)
-        x1, y1 = cmap.to_raster(seg.end.x, seg.end.y)
-        plotter.vector(x0, y0, x1, y1)
-    # Labels.
-    write = plotter.stroke_text if stroke_labels else plotter.text
-    for lab in labels:
-        rx, ry = cmap.to_raster(lab.x, lab.y)
-        write(rx + 3, ry + 3, lab.text, size=label_size)
-    # Captions, in the style of Figures 13-18.
-    if title:
-        write(90, 40, title.upper(), size=12)
-    caption = subtitle or f"CONTOUR PLOT * {field.name.upper()}"
-    write(90, 20, caption, size=12)
-    write(700, 40, f"CONTOUR INTERVAL IS {contours.interval:G}", size=10)
+    with obs.span("ospl.plot", segments=contours.n_segments(),
+                  labels=len(labels)):
+        plotter = plotter or Plotter4020()
+        frame = plotter.advance(title or field.name)
+        # Boundary outline first (clipped to the zoom window when present).
+        for seg in boundary_segments(mesh):
+            if window is not None:
+                clipped = clip_segment(seg, window)
+                if clipped is None:
+                    continue
+                seg = clipped
+            x0, y0 = cmap.to_raster(seg.start.x, seg.start.y)
+            x1, y1 = cmap.to_raster(seg.end.x, seg.end.y)
+            plotter.vector(x0, y0, x1, y1)
+        # Isograms.
+        for seg in contours.all_segments():
+            x0, y0 = cmap.to_raster(seg.start.x, seg.start.y)
+            x1, y1 = cmap.to_raster(seg.end.x, seg.end.y)
+            plotter.vector(x0, y0, x1, y1)
+        # Labels.
+        write = plotter.stroke_text if stroke_labels else plotter.text
+        for lab in labels:
+            rx, ry = cmap.to_raster(lab.x, lab.y)
+            write(rx + 3, ry + 3, lab.text, size=label_size)
+        # Captions, in the style of Figures 13-18.
+        if title:
+            write(90, 40, title.upper(), size=12)
+        caption = subtitle or f"CONTOUR PLOT * {field.name.upper()}"
+        write(90, 20, caption, size=12)
+        write(700, 40, f"CONTOUR INTERVAL IS {contours.interval:G}", size=10)
     return ContourPlot(contours=contours, labels=labels, frame=frame)

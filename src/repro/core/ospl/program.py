@@ -7,14 +7,18 @@ lives here; the linked path is :func:`repro.core.ospl.plot.conplt`.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
+from repro import obs
 from repro.cards.reader import CardReader
 from repro.core.ospl.deck import OsplProblem, read_ospl_deck
 from repro.core.ospl.limits import OsplLimits, UNLIMITED
 from repro.core.ospl.plot import ContourPlot
+
+log = logging.getLogger("repro.ospl")
 
 
 @dataclass
@@ -32,8 +36,16 @@ class OsplRun:
 def run_ospl(reader: CardReader,
              limits: OsplLimits = UNLIMITED) -> OsplRun:
     """Execute the standalone OSPL program on a card tray."""
-    problem = read_ospl_deck(reader)
-    return OsplRun(problem=problem, plot=problem.plot(limits=limits))
+    with obs.span("ospl.deck"):
+        problem = read_ospl_deck(reader)
+    obs.count("ospl.nodes_read", problem.mesh.n_nodes)
+    obs.count("ospl.elements_read", problem.mesh.n_elements)
+    log.info("deck read: %r, %d nodes, %d elements", problem.title1,
+             problem.mesh.n_nodes, problem.mesh.n_elements)
+    plot = problem.plot(limits=limits)
+    log.info("plot built: interval %g, %d levels, %d segments",
+             plot.interval, len(plot.levels), plot.n_segments())
+    return OsplRun(problem=problem, plot=plot)
 
 
 def run_ospl_files(deck_path: Union[str, Path],

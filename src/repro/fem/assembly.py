@@ -18,6 +18,7 @@ from typing import Callable, Dict, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.errors import MaterialError, MeshError
 from repro.fem.banded import BandedSymmetricMatrix
 from repro.fem.bandwidth import matrix_bandwidth_for_dofs, mesh_bandwidth
@@ -70,13 +71,20 @@ def assemble_banded(mesh: Mesh, materials: Dict[int, object],
     """Assemble the global stiffness in banded storage."""
     if mesh.n_elements == 0:
         raise MeshError("cannot assemble a mesh with no elements")
-    dofs_per_node = 2
-    hb = matrix_bandwidth_for_dofs(mesh_bandwidth(mesh), dofs_per_node)
-    k = BandedSymmetricMatrix(mesh.n_nodes * dofs_per_node, hb)
-    for e in range(mesh.n_elements):
-        ke = element_stiffness(mesh, e, materials, analysis_type)
-        dofs = _element_dofs(mesh.elements[e], dofs_per_node)
-        k.add_block(dofs, ke)
+    with obs.span("fem.assemble.banded", elements=mesh.n_elements):
+        dofs_per_node = 2
+        hb = matrix_bandwidth_for_dofs(mesh_bandwidth(mesh), dofs_per_node)
+        ndof = mesh.n_nodes * dofs_per_node
+        k = BandedSymmetricMatrix(ndof, hb)
+        for e in range(mesh.n_elements):
+            ke = element_stiffness(mesh, e, materials, analysis_type)
+            dofs = _element_dofs(mesh.elements[e], dofs_per_node)
+            k.add_block(dofs, ke)
+    obs.gauge("fem.ndof", ndof)
+    obs.gauge("fem.matrix_half_bandwidth", hb)
+    # Band storage holds (hb + 1) entries per row: the Cholesky fill-in
+    # ceiling the renumbering pass exists to shrink.
+    obs.gauge("fem.solver_fillin", ndof * (hb + 1))
     return k
 
 
@@ -85,18 +93,22 @@ def assemble_sparse(mesh: Mesh, materials: Dict[int, object],
     """Assemble the global stiffness as a scipy CSR matrix."""
     if mesh.n_elements == 0:
         raise MeshError("cannot assemble a mesh with no elements")
-    dofs_per_node = 2
-    ndof = mesh.n_nodes * dofs_per_node
-    rows, cols, vals = [], [], []
-    for e in range(mesh.n_elements):
-        ke = element_stiffness(mesh, e, materials, analysis_type)
-        dofs = _element_dofs(mesh.elements[e], dofs_per_node)
-        for a in range(6):
-            for b in range(6):
-                rows.append(dofs[a])
-                cols.append(dofs[b])
-                vals.append(ke[a, b])
-    return sp.coo_matrix((vals, (rows, cols)), shape=(ndof, ndof)).tocsr()
+    with obs.span("fem.assemble.sparse", elements=mesh.n_elements):
+        dofs_per_node = 2
+        ndof = mesh.n_nodes * dofs_per_node
+        rows, cols, vals = [], [], []
+        for e in range(mesh.n_elements):
+            ke = element_stiffness(mesh, e, materials, analysis_type)
+            dofs = _element_dofs(mesh.elements[e], dofs_per_node)
+            for a in range(6):
+                for b in range(6):
+                    rows.append(dofs[a])
+                    cols.append(dofs[b])
+                    vals.append(ke[a, b])
+        k = sp.coo_matrix((vals, (rows, cols)), shape=(ndof, ndof)).tocsr()
+    obs.gauge("fem.ndof", ndof)
+    obs.gauge("fem.sparse_nnz", int(k.nnz))
+    return k
 
 
 # ----------------------------------------------------------------------
@@ -113,32 +125,34 @@ def assemble_thermal(mesh: Mesh, materials: Dict[int, object],
     """
     if mesh.n_elements == 0:
         raise MeshError("cannot assemble a mesh with no elements")
-    n = mesh.n_nodes
-    k_rows, k_cols, k_vals = [], [], []
-    c_rows, c_cols, c_vals = [], [], []
-    for e in range(mesh.n_elements):
-        xy = mesh.nodes[mesh.elements[e]]
-        material = _material_for(materials, int(mesh.element_groups[e]))
-        if axisymmetric:
-            ke = heat_conductivity_matrix_axisym(xy, material.conductivity)
-            ce = heat_capacity_matrix_axisym(
-                xy, material.volumetric_heat_capacity, lumped=lumped
-            )
-        else:
-            ke = heat_conductivity_matrix(xy, material.conductivity)
-            ce = heat_capacity_matrix(
-                xy, material.volumetric_heat_capacity, lumped=lumped
-            )
-        tri = mesh.elements[e]
-        for a in range(3):
-            for b in range(3):
-                k_rows.append(int(tri[a]))
-                k_cols.append(int(tri[b]))
-                k_vals.append(ke[a, b])
-                if ce[a, b] != 0.0:
-                    c_rows.append(int(tri[a]))
-                    c_cols.append(int(tri[b]))
-                    c_vals.append(ce[a, b])
-    k = sp.coo_matrix((k_vals, (k_rows, k_cols)), shape=(n, n)).tocsr()
-    c = sp.coo_matrix((c_vals, (c_rows, c_cols)), shape=(n, n)).tocsr()
+    with obs.span("fem.assemble.thermal", elements=mesh.n_elements,
+                  axisymmetric=axisymmetric):
+        n = mesh.n_nodes
+        k_rows, k_cols, k_vals = [], [], []
+        c_rows, c_cols, c_vals = [], [], []
+        for e in range(mesh.n_elements):
+            xy = mesh.nodes[mesh.elements[e]]
+            material = _material_for(materials, int(mesh.element_groups[e]))
+            if axisymmetric:
+                ke = heat_conductivity_matrix_axisym(xy, material.conductivity)
+                ce = heat_capacity_matrix_axisym(
+                    xy, material.volumetric_heat_capacity, lumped=lumped
+                )
+            else:
+                ke = heat_conductivity_matrix(xy, material.conductivity)
+                ce = heat_capacity_matrix(
+                    xy, material.volumetric_heat_capacity, lumped=lumped
+                )
+            tri = mesh.elements[e]
+            for a in range(3):
+                for b in range(3):
+                    k_rows.append(int(tri[a]))
+                    k_cols.append(int(tri[b]))
+                    k_vals.append(ke[a, b])
+                    if ce[a, b] != 0.0:
+                        c_rows.append(int(tri[a]))
+                        c_cols.append(int(tri[b]))
+                        c_vals.append(ce[a, b])
+        k = sp.coo_matrix((k_vals, (k_rows, k_cols)), shape=(n, n)).tocsr()
+        c = sp.coo_matrix((c_vals, (c_rows, c_cols)), shape=(n, n)).tocsr()
     return k, c

@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence, Set
 
 import numpy as np
 
+from repro import obs
 from repro.errors import MeshError
 from repro.fem.mesh import Mesh
 
@@ -150,11 +151,12 @@ def _component_of(adj: List[List[int]], seed: int,
 
 def reverse_cuthill_mckee(mesh: Mesh, start: Optional[int] = None) -> List[int]:
     """RCM permutation: ``perm[old] = new`` node number."""
-    order = cuthill_mckee(mesh, start=start)
-    order.reverse()
-    perm = [0] * mesh.n_nodes
-    for new, old in enumerate(order):
-        perm[old] = new
+    with obs.span("fem.renumber.rcm", nodes=mesh.n_nodes):
+        order = cuthill_mckee(mesh, start=start)
+        order.reverse()
+        perm = [0] * mesh.n_nodes
+        for new, old in enumerate(order):
+            perm[old] = new
     return perm
 
 

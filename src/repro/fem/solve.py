@@ -24,6 +24,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro import obs
 from repro.errors import SolverError
 from repro.fem.assembly import assemble_banded, assemble_sparse
 from repro.fem.bc import Constraints
@@ -89,15 +90,21 @@ class StaticAnalysis:
         kind = self.analysis_type.value
         if solver == "banded":
             k = assemble_banded(self.mesh, self.materials, kind)
-            for dof, value in self.constraints.global_dofs(self.mesh.n_nodes):
-                k.constrain_dof(dof, rhs, value)
-            disp = k.solve(rhs)
+            with obs.span("fem.solve.banded", ndof=k.n):
+                for dof, value in self.constraints.global_dofs(
+                        self.mesh.n_nodes):
+                    k.constrain_dof(dof, rhs, value)
+                disp = k.solve(rhs)
         elif solver == "sparse":
             k = assemble_sparse(self.mesh, self.materials, kind)
-            disp = _solve_sparse(k, rhs, self.constraints, self.mesh.n_nodes)
+            with obs.span("fem.solve.sparse", ndof=k.shape[0]):
+                disp = _solve_sparse(k, rhs, self.constraints,
+                                     self.mesh.n_nodes)
         else:
             raise SolverError(f"unknown solver {solver!r}")
-        stresses = recover_stresses(self.mesh, disp, self.materials, kind)
+        with obs.span("fem.stress_recovery"):
+            stresses = recover_stresses(self.mesh, disp, self.materials,
+                                        kind)
         return StaticResult(mesh=self.mesh, displacements=disp,
                             stresses=stresses)
 
@@ -116,6 +123,7 @@ def _solve_sparse(k: sp.csr_matrix, rhs: np.ndarray,
         return disp
     kff = k[free][:, free]
     kfc = k[free][:, fixed_idx]
+    obs.gauge("fem.solver_fillin", int(kff.nnz))
     reduced_rhs = rhs[free] - kfc @ fixed_val
     try:
         solution = spla.spsolve(kff.tocsc(), reduced_rhs)

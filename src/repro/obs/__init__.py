@@ -1,0 +1,148 @@
+"""Observability: structured spans, a metrics registry, and run reports.
+
+The subsystem is **off by default** and costs next to nothing while off:
+every facade call is a module-global load, a truthiness test and a
+return.  Code throughout the pipeline instruments itself unconditionally
+through this facade::
+
+    from repro import obs
+
+    with obs.span("idlz.shape", subdivisions=4):
+        ...
+    obs.count("idlz.nodes_numbered", grid.n_nodes)
+    obs.gauge("idlz.bandwidth_after", bw)
+
+and an interested caller turns collection on around a region of work::
+
+    with obs.capture() as observer:
+        run_idlz_files(deck, out)
+    report = observer.report(command="idlz")
+    report.save("run.json")          # machine-readable
+    print(report.render_tree())      # human-readable
+
+Observers nest (a stack); span/metric calls always land on the most
+recently enabled observer.  See docs/OBSERVABILITY.md for naming
+conventions and the report schema.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, List, Optional
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.report import SCHEMA, RunReport
+from repro.obs.span import Span, Tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "RunReport", "SCHEMA", "Span", "Tracer", "Observer",
+    "capture", "count", "current", "disable", "enable", "enabled",
+    "gauge", "observe", "span",
+]
+
+
+class Observer:
+    """One enabled observation: a tracer plus a metrics registry."""
+
+    def __init__(self):
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+
+    def report(self, **meta: Any) -> RunReport:
+        """Freeze everything collected so far into a :class:`RunReport`."""
+        return RunReport.from_observer(self, meta)
+
+
+class _NoopSpanHandle:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpanHandle()
+
+#: Stack of enabled observers; empty means observability is off.
+_observers: List[Observer] = []
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+
+def enable(observer: Optional[Observer] = None) -> Observer:
+    """Push an observer; subsequent span/metric calls land on it."""
+    ob = observer if observer is not None else Observer()
+    _observers.append(ob)
+    return ob
+
+
+def disable(observer: Optional[Observer] = None) -> None:
+    """Pop an observer (the given one, or the most recent)."""
+    if not _observers:
+        return
+    if observer is None:
+        _observers.pop()
+    else:
+        try:
+            _observers.remove(observer)
+        except ValueError:
+            pass
+
+
+def enabled() -> bool:
+    return bool(_observers)
+
+
+def current() -> Optional[Observer]:
+    return _observers[-1] if _observers else None
+
+
+@contextmanager
+def capture() -> Iterator[Observer]:
+    """Enable observation for a ``with`` block."""
+    ob = enable()
+    try:
+        yield ob
+    finally:
+        disable(ob)
+
+
+# ----------------------------------------------------------------------
+# Instrumentation facade (near-zero cost while disabled)
+# ----------------------------------------------------------------------
+
+def span(name: str, **attrs: Any):
+    """A context manager timing one named region, nested per thread."""
+    if not _observers:
+        return _NOOP_SPAN
+    return _observers[-1].tracer.span(name, **attrs)
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Increment a counter."""
+    if _observers:
+        _observers[-1].metrics.count(name, amount)
+
+
+def gauge(name: str, value: Any) -> None:
+    """Set a gauge to the latest value."""
+    if _observers:
+        _observers[-1].metrics.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one observation into a histogram."""
+    if _observers:
+        _observers[-1].metrics.observe(name, value)

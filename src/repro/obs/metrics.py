@@ -1,0 +1,146 @@
+"""The metrics registry: counters, gauges and histograms.
+
+Names are dotted, lower-case, ``layer.noun`` (see docs/OBSERVABILITY.md
+for the registry of well-known names).  All three instrument kinds are
+thread-safe; histograms keep their raw observations (our workloads
+observe at stage granularity, so cardinality stays small) and summarise
+to count/min/max/mean/percentiles when serialised.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Any = None
+        self._lock = threading.Lock()
+
+    def set(self, value: Any) -> None:
+        with self._lock:
+            self.value = value
+
+
+class Histogram:
+    """A distribution of observations."""
+
+    __slots__ = ("name", "_values", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: List[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def values(self) -> List[float]:
+        with self._lock:
+            return list(self._values)
+
+    def summary(self) -> Dict[str, float]:
+        with self._lock:
+            values = sorted(self._values)
+        if not values:
+            return {"count": 0}
+        n = len(values)
+        return {
+            "count": n,
+            "min": values[0],
+            "max": values[-1],
+            "mean": sum(values) / n,
+            "total": sum(values),
+            "p50": _percentile(values, 0.50),
+            "p95": _percentile(values, 0.95),
+        }
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list."""
+    n = len(sorted_values)
+    idx = min(n - 1, max(0, int(round(q * (n - 1)))))
+    return sorted_values[idx]
+
+
+class MetricsRegistry:
+    """Lazily-created, name-addressed counters/gauges/histograms."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            try:
+                return self._counters[name]
+            except KeyError:
+                c = self._counters[name] = Counter(name)
+                return c
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            try:
+                return self._gauges[name]
+            except KeyError:
+                g = self._gauges[name] = Gauge(name)
+                return g
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            try:
+                return self._histograms[name]
+            except KeyError:
+                h = self._histograms[name] = Histogram(name)
+                return h
+
+    # Convenience verbs --------------------------------------------------
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: Any) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            counters = {n: c.value for n, c in sorted(self._counters.items())}
+            gauges = {n: g.value for n, g in sorted(self._gauges.items())}
+            hist_objs = sorted(self._histograms.items())
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": {n: h.summary() for n, h in hist_objs},
+        }

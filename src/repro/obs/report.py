@@ -1,0 +1,148 @@
+"""Machine-readable run reports: span tree + metrics as one JSON blob.
+
+The same schema (``repro.obs/v1``) is written by the CLI's ``--report``
+flag and by the benchmark harness, so the ``BENCH_*.json`` trajectory and
+ad-hoc runs can be diffed with the same tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Union
+
+SCHEMA = "repro.obs/v1"
+
+
+class RunReport:
+    """A frozen observation: metadata, span forest, metric values."""
+
+    def __init__(self, meta: Dict[str, Any], spans: List[Dict[str, Any]],
+                 metrics: Dict[str, Any]):
+        self.meta = meta
+        self.spans = spans
+        self.metrics = metrics
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_observer(cls, observer: Any,
+                      meta: Optional[Dict[str, Any]] = None) -> "RunReport":
+        return cls(
+            meta=dict(meta or {}),
+            spans=observer.tracer.to_list(),
+            metrics=observer.metrics.to_dict(),
+        )
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunReport":
+        if data.get("schema") != SCHEMA:
+            raise ValueError(
+                f"not a {SCHEMA} report (schema = {data.get('schema')!r})"
+            )
+        return cls(meta=data.get("meta", {}), spans=data.get("spans", []),
+                   metrics=data.get("metrics", {}))
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunReport":
+        return cls.from_json(Path(path).read_text())
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "meta": self.meta,
+            "spans": self.spans,
+            "metrics": self.metrics,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def span_names(self) -> Set[str]:
+        names: Set[str] = set()
+
+        def walk(span: Dict[str, Any]) -> None:
+            names.add(span["name"])
+            for child in span.get("children", []):
+                walk(child)
+
+        for root in self.spans:
+            walk(root)
+        return names
+
+    def find_spans(self, name: str) -> List[Dict[str, Any]]:
+        """All spans with the given name, depth-first order."""
+        found: List[Dict[str, Any]] = []
+
+        def walk(span: Dict[str, Any]) -> None:
+            if span["name"] == name:
+                found.append(span)
+            for child in span.get("children", []):
+                walk(child)
+
+        for root in self.spans:
+            walk(root)
+        return found
+
+    def counters(self) -> Dict[str, int]:
+        return dict(self.metrics.get("counters", {}))
+
+    def gauges(self) -> Dict[str, Any]:
+        return dict(self.metrics.get("gauges", {}))
+
+    # ------------------------------------------------------------------
+    # Rendering (the CLI's --trace output)
+    # ------------------------------------------------------------------
+    def render_tree(self) -> str:
+        """A human-readable per-stage timing tree."""
+        lines: List[str] = ["stage timings (wall / cpu)"]
+
+        def fmt(seconds: Optional[float]) -> str:
+            if seconds is None:
+                return "   open  "
+            return f"{seconds * 1000.0:8.2f}ms"
+
+        def walk(span: Dict[str, Any], depth: int) -> None:
+            indent = "  " * depth
+            attrs = span.get("attrs") or {}
+            extra = ""
+            if attrs:
+                pairs = ", ".join(f"{k}={v}" for k, v in attrs.items())
+                extra = f"  [{pairs}]"
+            lines.append(
+                f"  {indent}{span['name']:<{max(1, 34 - 2 * depth)}s}"
+                f" {fmt(span.get('wall_s'))} / {fmt(span.get('cpu_s'))}"
+                f"{extra}"
+            )
+            for child in span.get("children", []):
+                walk(child, depth + 1)
+
+        for root in self.spans:
+            walk(root, 0)
+        counters = self.metrics.get("counters", {})
+        gauges = self.metrics.get("gauges", {})
+        if counters or gauges:
+            lines.append("metrics")
+            for name, value in counters.items():
+                lines.append(f"  {name:<34s} {value}")
+            for name, value in gauges.items():
+                lines.append(f"  {name:<34s} {value}")
+        return "\n".join(lines)

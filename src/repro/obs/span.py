@@ -1,0 +1,151 @@
+"""Structured spans: nested, thread-safe wall-clock + CPU timing.
+
+A :class:`Span` records one named region of work — its wall-clock
+duration (``time.perf_counter``), its process-CPU duration
+(``time.process_time``), arbitrary key/value attributes, and any child
+spans opened while it was active.  A :class:`Tracer` owns the span
+forest; each thread keeps its own active-span stack so concurrent
+pipelines nest correctly without sharing state.
+
+Spans are deliberately dependency-free (no numpy) so the tracer can be
+imported from the lowest layers (cards, geometry) without cost.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce an attribute value to something JSON-serialisable."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+class Span:
+    """One timed region: name, attributes, timings, children."""
+
+    __slots__ = ("name", "attrs", "children", "start_s", "wall_s", "cpu_s",
+                 "_t0", "_c0")
+
+    def __init__(self, name: str, attrs: Dict[str, Any], start_s: float):
+        self.name = name
+        self.attrs = attrs
+        self.children: List["Span"] = []
+        #: Start offset in seconds from the tracer's origin.
+        self.start_s = start_s
+        #: Filled at exit; ``None`` while the span is still open.
+        self.wall_s: Optional[float] = None
+        self.cpu_s: Optional[float] = None
+        self._t0 = 0.0
+        self._c0 = 0.0
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "start_s": round(self.start_s, 9),
+            "wall_s": None if self.wall_s is None else round(self.wall_s, 9),
+            "cpu_s": None if self.cpu_s is None else round(self.cpu_s, 9),
+            "attrs": {k: _jsonable(v) for k, v in self.attrs.items()},
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+class _SpanHandle:
+    """Context manager guarding one span's enter/exit."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name, self._attrs)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None and self._span is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._close(self._span)
+        return False
+
+
+class Tracer:
+    """Owns a forest of spans; one active-span stack per thread."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._origin = time.perf_counter()
+        self.roots: List[Span] = []
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        """Open a named span as a context manager."""
+        return _SpanHandle(self, name, attrs)
+
+    def current(self) -> Optional[Span]:
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _open(self, name: str, attrs: Dict[str, Any]) -> Span:
+        now = time.perf_counter()
+        span = Span(name, attrs, start_s=now - self._origin)
+        stack = self._stack()
+        # Attach at enter so children appear in start order.
+        with self._lock:
+            if stack:
+                stack[-1].children.append(span)
+            else:
+                self.roots.append(span)
+        stack.append(span)
+        span._t0 = time.perf_counter()
+        span._c0 = time.process_time()
+        return span
+
+    def _close(self, span: Optional[Span]) -> None:
+        if span is None:
+            return
+        span.wall_s = time.perf_counter() - span._t0
+        span.cpu_s = time.process_time() - span._c0
+        stack = self._stack()
+        # Pop through any spans abandoned by an exception below us.
+        while stack:
+            if stack.pop() is span:
+                break
+
+    # ------------------------------------------------------------------
+    def to_list(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [s.to_dict() for s in self.roots]
+
+    def span_names(self) -> "set[str]":
+        """Every span name in the forest, flattened."""
+        names: set = set()
+
+        def walk(span: Span) -> None:
+            names.add(span.name)
+            for child in span.children:
+                walk(child)
+
+        with self._lock:
+            for root in self.roots:
+                walk(root)
+        return names

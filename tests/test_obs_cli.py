@@ -1,0 +1,173 @@
+"""CLI observability: --trace, --report, --verbose and --quiet."""
+
+from __future__ import annotations
+
+import logging
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.core.idlz.deck import IdlzProblem, write_idlz_deck
+from repro.core.idlz.shaping import ShapingSegment
+from repro.core.idlz.subdivision import Subdivision
+from repro.core.ospl.deck import problem_from_analysis, write_ospl_deck
+from repro.fem.mesh import Mesh
+from repro.fem.results import NodalField
+from repro.obs.report import SCHEMA, RunReport
+
+IDLZ_STAGES = {"idlz.read", "idlz.number", "idlz.elements", "idlz.shape",
+               "idlz.reform", "idlz.renumber", "idlz.output"}
+OSPL_STAGES = {"ospl.deck", "ospl.intervals", "ospl.contour", "ospl.plot"}
+
+
+@pytest.fixture
+def idlz_deck(tmp_path: Path) -> Path:
+    sub = Subdivision(index=1, kk1=1, ll1=1, kk2=5, ll2=5)
+    segments = [
+        ShapingSegment(1, 1, 1, 5, 1, 0.0, 0.0, 4.0, 0.0),
+        ShapingSegment(1, 1, 5, 5, 5, 0.0, 4.0, 4.0, 4.0),
+    ]
+    problem = IdlzProblem(title="OBS PLATE", subdivisions=[sub],
+                          segments=segments, nopnch=1)
+    deck = tmp_path / "in.deck"
+    deck.write_text(write_idlz_deck([problem]).to_text())
+    return deck
+
+
+@pytest.fixture
+def ospl_deck(tmp_path: Path) -> Path:
+    nodes = np.array([[0.0, 0.0], [2.0, 0.0], [2.0, 2.0], [0.0, 2.0]])
+    mesh = Mesh(nodes=nodes, elements=np.array([[0, 1, 2], [0, 2, 3]]))
+    field = NodalField("S", np.array([0.0, 10.0, 20.0, 10.0]))
+    problem = problem_from_analysis(mesh, field, title1="OBS FIELD")
+    deck = tmp_path / "field.deck"
+    deck.write_text(write_ospl_deck(problem).to_text())
+    return deck
+
+
+class TestIdlzReport:
+    def test_report_contains_all_stages_and_metrics(self, idlz_deck,
+                                                    tmp_path, capsys):
+        report_path = tmp_path / "run.json"
+        code = main(["idlz", str(idlz_deck), "-o", str(tmp_path / "out"),
+                     "--report", str(report_path)])
+        assert code == 0
+        assert report_path.exists()
+        report = RunReport.load(report_path)
+        assert report.to_dict()["schema"] == SCHEMA
+        assert report.meta["command"] == "idlz"
+        assert IDLZ_STAGES <= report.span_names()
+        counters = report.counters()
+        assert counters["idlz.nodes_numbered"] == 25
+        assert counters["idlz.elements_created"] == 32
+        assert "idlz.diagonal_swaps" in counters
+        assert counters["idlz.cards_punched"] > 0
+        assert counters["cards.read"] > 0
+        gauges = report.gauges()
+        assert "idlz.bandwidth_before" in gauges
+        assert "idlz.bandwidth_after" in gauges
+        assert "run report written to" in capsys.readouterr().out
+
+    def test_trace_prints_timing_tree_to_stderr(self, idlz_deck, tmp_path,
+                                                capsys):
+        code = main(["idlz", str(idlz_deck), "-o", str(tmp_path / "out"),
+                     "--trace"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "stage timings" in err
+        for stage in IDLZ_STAGES:
+            assert stage in err
+
+    def test_observation_is_torn_down_after_run(self, idlz_deck, tmp_path):
+        main(["idlz", str(idlz_deck), "-o", str(tmp_path / "out"),
+              "--trace"])
+        assert not obs.enabled()
+
+    def test_no_flags_means_no_observation_artifacts(self, idlz_deck,
+                                                     tmp_path, capsys):
+        code = main(["idlz", str(idlz_deck), "-o", str(tmp_path / "out")])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "stage timings" not in captured.err
+        assert list(tmp_path.glob("*.json")) == []
+
+
+class TestOsplReport:
+    def test_report_contains_all_stages(self, ospl_deck, tmp_path):
+        report_path = tmp_path / "run.json"
+        code = main(["ospl", str(ospl_deck), "-o", str(tmp_path / "f.svg"),
+                     "--report", str(report_path)])
+        assert code == 0
+        report = RunReport.load(report_path)
+        assert report.meta["command"] == "ospl"
+        assert OSPL_STAGES <= report.span_names()
+        counters = report.counters()
+        assert counters["ospl.nodes_read"] == 4
+        assert counters["ospl.elements_read"] == 2
+        assert counters["ospl.contour_segments"] > 0
+        histograms = report.metrics["histograms"]
+        assert histograms["ospl.segments_per_level"]["count"] > 0
+
+    def test_trace_prints_timing_tree_to_stderr(self, ospl_deck, tmp_path,
+                                                capsys):
+        code = main(["ospl", str(ospl_deck), "-o", str(tmp_path / "f.svg"),
+                     "--trace"])
+        assert code == 0
+        err = capsys.readouterr().err
+        for stage in OSPL_STAGES:
+            assert stage in err
+
+
+class TestVerbosityFlags:
+    def test_quiet_suppresses_stdout_summary(self, idlz_deck, tmp_path,
+                                             capsys):
+        code = main(["idlz", str(idlz_deck), "-o", str(tmp_path / "out"),
+                     "--quiet"])
+        assert code == 0
+        assert capsys.readouterr().out == ""
+
+    def test_quiet_ospl(self, ospl_deck, tmp_path, capsys):
+        code = main(["ospl", str(ospl_deck), "-o", str(tmp_path / "f.svg"),
+                     "--quiet"])
+        assert code == 0
+        assert capsys.readouterr().out == ""
+
+    def test_verbose_emits_progress_logs(self, idlz_deck, tmp_path, caplog):
+        with caplog.at_level(logging.INFO, logger="repro"):
+            code = main(["idlz", str(idlz_deck), "-o",
+                         str(tmp_path / "out"), "-v"])
+        assert code == 0
+        messages = [r.getMessage() for r in caplog.records
+                    if r.name.startswith("repro.idlz")]
+        assert any("idealizing" in m for m in messages)
+        assert any("nodes" in m for m in messages)
+
+    def test_default_run_emits_no_info_logs(self, idlz_deck, tmp_path,
+                                            caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro"):
+            code = main(["idlz", str(idlz_deck), "-o",
+                         str(tmp_path / "out")])
+        assert code == 0
+        # The logger level is WARNING by default, so INFO records from the
+        # program layer must not propagate.
+        assert [r for r in caplog.records
+                if r.name.startswith("repro.idlz")] == []
+
+    def test_check_respects_quiet(self, idlz_deck, capsys):
+        code = main(["idlz", str(idlz_deck), "--check", "--quiet"])
+        assert code == 0
+        assert capsys.readouterr().out == ""
+
+
+class TestReportOnFailure:
+    def test_report_written_even_when_run_errors(self, tmp_path, capsys):
+        report_path = tmp_path / "run.json"
+        code = main(["ospl", str(tmp_path / "missing.deck"),
+                     "--report", str(report_path)])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+        assert report_path.exists()
+        assert RunReport.load(report_path).meta["command"] == "ospl"
