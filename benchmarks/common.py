@@ -8,9 +8,13 @@ records are collected in EXPERIMENTS.md.  SVG frames go under
 Perf trajectory: :func:`observed_run` executes a workload under the
 observability layer (:mod:`repro.obs`) and stamps the result as
 ``BENCH_<name>.json`` at the repository root, in the same
-``repro.obs/v1`` schema the CLI's ``--report`` flag writes.  Running
-this module directly regenerates ``BENCH_idlz_stages.json``, the
-per-stage timing record of a paper-scale 40 x 60 idealization::
+``repro.obs/v1.1`` schema the CLI's ``--report`` flag writes — spans,
+metrics *and* the numerical-health snapshots the instrumented stages
+publish, so a bench record also carries mesh-quality and solver-health
+baselines.  Running this module directly regenerates
+``BENCH_idlz_stages.json``, the per-stage record of a paper-scale
+40 x 60 idealization; CI regenerates it and gates the result with
+``python -m repro obs check`` against the checked-in copy::
 
     PYTHONPATH=src python benchmarks/common.py
 """
@@ -93,6 +97,7 @@ def main() -> None:
         "elements": ideal.n_elements,
         "bandwidth": f"{ideal.bandwidth_before}->{ideal.bandwidth_after}",
         "stages": ", ".join(sorted(run_report.span_names())),
+        "health": ", ".join(run_report.health_names()),
         "written": path,
     })
 

@@ -2,6 +2,9 @@
 
     python -m repro idlz INPUT.deck -o OUT_DIR [--strict]
     python -m repro ospl INPUT.deck -o PLOT.svg [--strict] [--ascii]
+    python -m repro obs diff BASELINE.json CANDIDATE.json
+    python -m repro obs check REPORT.json --against BASELINE.json
+    python -m repro obs render REPORT.json
 
 ``--strict`` enforces the Table 1/2 restrictions exactly as the 7090
 builds did; ``--ascii`` additionally prints a terminal preview of the
@@ -9,14 +12,19 @@ OSPL plot.
 
 Observability (see docs/OBSERVABILITY.md): ``--trace`` prints a
 per-stage timing tree to stderr, ``--report PATH.json`` writes the
-machine-readable run report, ``-v``/``-vv`` raise the log level of the
-``repro.*`` loggers and ``-q`` silences the normal stdout summary.
+machine-readable run report, ``--health`` prints the post-run
+numerical-health table, ``-v``/``-vv`` raise the log level of the
+``repro.*`` loggers and ``-q`` silences the normal stdout summary.  The
+``obs`` family works on saved reports: ``diff`` compares two, ``check``
+gates a candidate against a baseline (non-zero exit on regression), and
+``render`` replays the ``--trace`` tree of a saved report.
 """
 
 from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -38,6 +46,9 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
                        help="print a per-stage timing tree to stderr")
     group.add_argument("--report", type=Path, metavar="PATH",
                        help="write a machine-readable JSON run report")
+    group.add_argument("--health", action="store_true",
+                       help="print the post-run numerical-health table "
+                            "to stderr")
     group.add_argument("-v", "--verbose", action="count", default=0,
                        help="log progress to stderr (-vv for debug)")
     group.add_argument("-q", "--quiet", action="store_true",
@@ -70,6 +81,40 @@ def build_parser() -> argparse.ArgumentParser:
     ospl.add_argument("--ascii", action="store_true",
                       help="also print an ASCII preview")
     _add_common_options(ospl)
+
+    obs_cmd = sub.add_parser("obs", help="diff, gate and render saved "
+                                         "run reports")
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    diff_cmd = obs_sub.add_parser(
+        "diff", help="compare two run reports (spans, metrics, health)")
+    diff_cmd.add_argument("baseline", type=Path,
+                          help="baseline report (A)")
+    diff_cmd.add_argument("candidate", type=Path,
+                          help="candidate report (B)")
+    diff_cmd.add_argument("--format", choices=("text", "json", "markdown"),
+                          default="text", help="output format")
+
+    check_cmd = obs_sub.add_parser(
+        "check", help="exit non-zero when the report regresses past the "
+                      "baseline")
+    check_cmd.add_argument("report", type=Path, help="candidate report")
+    check_cmd.add_argument("--against", type=Path, required=True,
+                           metavar="BASELINE", help="baseline report")
+    check_cmd.add_argument("--max-regression", default="25%",
+                           metavar="PCT",
+                           help="allowed growth per span/health value "
+                                "(default: 25%%)")
+    check_cmd.add_argument("--min-wall", type=float, default=None,
+                           metavar="SECONDS",
+                           help="ignore spans faster than this on both "
+                                "sides (default: 0.005)")
+
+    render_cmd = obs_sub.add_parser(
+        "render", help="print the --trace tree of a saved report")
+    render_cmd.add_argument("report", type=Path, help="saved report")
+    render_cmd.add_argument("--health", action="store_true",
+                            help="also print the numerical-health table")
     return parser
 
 
@@ -146,10 +191,68 @@ def _run_ospl(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_obs(args: argparse.Namespace) -> int:
+    from repro.obs.diff import (
+        FORMATTERS,
+        diff_reports,
+        find_regressions,
+        parse_threshold,
+    )
+    from repro.obs.report import RunReport
+
+    if args.obs_command == "diff":
+        diff = diff_reports(RunReport.load(args.baseline),
+                            RunReport.load(args.candidate))
+        print(FORMATTERS[args.format](diff))
+        return 0
+    if args.obs_command == "check":
+        threshold = parse_threshold(args.max_regression)
+        diff = diff_reports(RunReport.load(args.against),
+                            RunReport.load(args.report))
+        kwargs = {}
+        if args.min_wall is not None:
+            kwargs["min_wall_s"] = args.min_wall
+        problems = find_regressions(diff, max_regression=threshold,
+                                    **kwargs)
+        if problems:
+            print(f"{len(problems)} regression(s) against {args.against} "
+                  f"(threshold {args.max_regression}):", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print(f"ok: no regressions against {args.against} "
+              f"(threshold {args.max_regression})")
+        return 0
+    report = RunReport.load(args.report)
+    print(report.render_tree())
+    if args.health:
+        print(report.render_health_table())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except BrokenPipeError:
+        # A downstream consumer (`... | head`) closed the pipe early;
+        # that is not an error.  Point stdout at devnull so the
+        # interpreter's shutdown flush does not complain either.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "obs":
+        try:
+            return _run_obs(args)
+        except (ReproError, FileNotFoundError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     _configure_logging(args.verbose, args.quiet)
-    observer = (obs.enable() if (args.trace or args.report is not None)
+    observer = (obs.enable()
+                if (args.trace or args.health or args.report is not None)
                 else None)
     try:
         if args.command == "idlz":
@@ -170,6 +273,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             if args.trace:
                 print(report.render_tree(), file=sys.stderr)
+            if args.health:
+                print(report.render_health_table(), file=sys.stderr)
             if args.report is not None:
                 try:
                     report.save(args.report)

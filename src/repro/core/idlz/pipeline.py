@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
+from repro.obs.health import mesh_health
 from repro.core.idlz.elements import create_elements
 from repro.core.idlz.grid import LatticeGrid
 from repro.core.idlz.limits import IdlzLimits, STRICT_1970, UNLIMITED
@@ -141,6 +142,8 @@ class Idealizer:
             )
             lattice_mesh.orient_ccw()
         obs.count("idlz.elements_created", len(triangles))
+        if obs.enabled():
+            obs.health("idlz.elements", mesh_health(lattice_mesh))
 
         with obs.span("idlz.shape", segments=len(segments)):
             shaper = Shaper(grid)
@@ -170,8 +173,14 @@ class Idealizer:
             mesh.orient_ccw()
             mesh.validate()
             prereform_mesh = mesh.copy()
+            if obs.enabled():
+                # The shaped-but-unreformed mesh: the reformation pass's
+                # "before" picture.
+                obs.health("idlz.shape", mesh_health(prereform_mesh))
             swaps = reform_elements(mesh) if self.reform else 0
             mesh.compute_boundary_flags()
+        if obs.enabled():
+            obs.health("idlz.reform", mesh_health(mesh, swaps=swaps))
 
         with obs.span("idlz.renumber", enabled=self.renumber):
             bandwidth_before = mesh_bandwidth(mesh)
@@ -191,6 +200,12 @@ class Idealizer:
         obs.count("idlz.diagonal_swaps", swaps)
         obs.gauge("idlz.bandwidth_before", bandwidth_before)
         obs.gauge("idlz.bandwidth_after", bandwidth_after)
+        if obs.enabled():
+            obs.health("idlz.renumber", mesh_health(
+                mesh,
+                bandwidth_before=bandwidth_before,
+                bandwidth_after=bandwidth_after,
+            ))
 
         return Idealization(
             title=self.title,

@@ -183,6 +183,13 @@ def contour_mesh(mesh: Mesh, field: NodalField,
             f"field has {field.n_nodes} values for a mesh of "
             f"{mesh.n_nodes} nodes"
         )
+    if obs.enabled():
+        from repro.obs.health import field_health
+
+        # Published before interval choice so a degenerate field (zero
+        # range, NaNs) leaves its diagnosis behind even when
+        # choose_interval then refuses to contour it.
+        obs.health("ospl.field", field_health(field.values, name=field.name))
     with obs.span("ospl.intervals", automatic=interval in (None, 0.0)):
         if interval is None or interval == 0.0:
             interval = choose_interval(field.min(), field.max())

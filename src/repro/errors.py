@@ -77,3 +77,7 @@ class BoundaryConditionError(ReproError):
 
 class PlotterError(ReproError):
     """The SC-4020 plotter simulator was driven outside its raster."""
+
+
+class ObsError(ReproError):
+    """An observability artefact (run report, diff, baseline) is invalid."""

@@ -19,7 +19,9 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SolverError
+from repro.obs.health import solver_health
 
 
 class BandedSymmetricMatrix:
@@ -66,6 +68,20 @@ class BandedSymmetricMatrix:
         if d > self.hb:
             return 0.0
         return float(self.band[d, j])
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Product A @ x straight from band storage, O(n * hb)."""
+        x = np.asarray(x, dtype=float)
+        if x.shape[0] != self.n:
+            raise SolverError(f"vector length {x.shape[0]} != order {self.n}")
+        y = self.band[0] * x
+        for d in range(1, self.hb + 1):
+            m = self.n - d
+            if m <= 0:
+                break
+            y[d:] += self.band[d, :m] * x[:m]
+            y[:m] += self.band[d, :m] * x[d:]
+        return y
 
     def to_dense(self) -> np.ndarray:
         """Expand to a dense symmetric array (testing only)."""
@@ -156,6 +172,16 @@ class BandedSymmetricMatrix:
             lband[0, j] = root
             top = min(hb + 1, n - j)
             lband[1:top, j] /= root
+        if obs.enabled():
+            # lband[0] holds sqrt(pivot); square back for the D entries.
+            pivots = lband[0] * lband[0]
+            obs.health("fem.cholesky.banded", solver_health(
+                pivot_min=float(pivots.min()),
+                pivot_max=float(pivots.max()),
+                fillin=n * (hb + 1),
+                n=n,
+                half_bandwidth=hb,
+            ))
         return BandedCholeskyFactor(n, hb, lband)
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:

@@ -21,7 +21,9 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SolverError
+from repro.obs.health import solver_health
 
 
 class SkylineMatrix:
@@ -115,6 +117,21 @@ class SkylineMatrix:
         """Stored off-diagonal entries: the envelope size."""
         return sum(j - self.tops[j] for j in range(self.n))
 
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Product A @ x from envelope storage, O(profile)."""
+        x = np.asarray(x, dtype=float)
+        if x.shape[0] != self.n:
+            raise SolverError(f"vector length {x.shape[0]} != order {self.n}")
+        y = np.zeros(self.n)
+        for j in range(self.n):
+            top = self.tops[j]
+            col = self.columns[j]
+            y[j] += float(np.dot(col, x[top:j + 1]))
+            if top < j:
+                # The symmetric (strictly-lower) images of column j.
+                y[top:j] += col[: j - top] * x[j]
+        return y
+
     # ------------------------------------------------------------------
     # Boundary conditions
     # ------------------------------------------------------------------
@@ -172,6 +189,14 @@ class SkylineMatrix:
                 )
             diag[j] = math.sqrt(pivot)
             col_j[j - top_j] = diag[j]
+        if obs.enabled():
+            pivots = diag * diag
+            obs.health("fem.cholesky.skyline", solver_health(
+                pivot_min=float(pivots.min()),
+                pivot_max=float(pivots.max()),
+                fillin=self.profile() + n,
+                n=n,
+            ))
         return SkylineCholeskyFactor(n, tops, cols)
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
@@ -210,18 +235,21 @@ def assemble_skyline(mesh, materials, analysis_type: str) -> SkylineMatrix:
     """Assemble a global stiffness in skyline storage."""
     from repro.fem.assembly import _element_dofs, element_stiffness
 
-    dofs_per_node = 2
-    ndof = mesh.n_nodes * dofs_per_node
-    pairs = []
-    for tri in mesh.elements:
-        dofs = _element_dofs(tri, dofs_per_node)
-        for a in dofs:
-            for b in dofs:
-                if a < b:
-                    pairs.append((int(a), int(b)))
-    matrix = SkylineMatrix.from_dof_pairs(ndof, pairs)
-    for e in range(mesh.n_elements):
-        ke = element_stiffness(mesh, e, materials, analysis_type)
-        dofs = _element_dofs(mesh.elements[e], dofs_per_node)
-        matrix.add_block(dofs, ke)
+    with obs.span("fem.assemble.skyline", elements=mesh.n_elements):
+        dofs_per_node = 2
+        ndof = mesh.n_nodes * dofs_per_node
+        pairs = []
+        for tri in mesh.elements:
+            dofs = _element_dofs(tri, dofs_per_node)
+            for a in dofs:
+                for b in dofs:
+                    if a < b:
+                        pairs.append((int(a), int(b)))
+        matrix = SkylineMatrix.from_dof_pairs(ndof, pairs)
+        for e in range(mesh.n_elements):
+            ke = element_stiffness(mesh, e, materials, analysis_type)
+            dofs = _element_dofs(mesh.elements[e], dofs_per_node)
+            matrix.add_block(dofs, ke)
+    obs.gauge("fem.ndof", ndof)
+    obs.gauge("fem.solver_fillin", matrix.profile() + ndof)
     return matrix

@@ -31,6 +31,7 @@ from repro.fem.bc import Constraints
 from repro.fem.loads import LoadCase
 from repro.fem.mesh import Mesh
 from repro.fem.stress import StressField, recover_stresses
+from repro.obs.health import solver_health
 
 
 class AnalysisType(Enum):
@@ -76,10 +77,11 @@ class StaticAnalysis:
     def solve(self, solver: str = "banded") -> StaticResult:
         """Assemble, constrain, solve and recover stresses.
 
-        ``solver`` is ``'banded'`` (band Cholesky) or ``'sparse'``
-        (scipy sparse LU).  Raises :class:`SolverError` when the model has
-        no constraints at all -- a guaranteed rigid-body singularity the
-        1970 program would only discover as a zero pivot.
+        ``solver`` is ``'banded'`` (band Cholesky), ``'skyline'``
+        (envelope Cholesky) or ``'sparse'`` (scipy sparse LU).  Raises
+        :class:`SolverError` when the model has no constraints at all --
+        a guaranteed rigid-body singularity the 1970 program would only
+        discover as a zero pivot.
         """
         if len(self.constraints) == 0:
             raise SolverError(
@@ -88,13 +90,26 @@ class StaticAnalysis:
             )
         rhs = self.loads.vector(self.mesh.n_nodes, dofs_per_node=2)
         kind = self.analysis_type.value
-        if solver == "banded":
-            k = assemble_banded(self.mesh, self.materials, kind)
-            with obs.span("fem.solve.banded", ndof=k.n):
+        if solver in ("banded", "skyline"):
+            if solver == "banded":
+                k = assemble_banded(self.mesh, self.materials, kind)
+            else:
+                from repro.fem.skyline import assemble_skyline
+
+                k = assemble_skyline(self.mesh, self.materials, kind)
+            with obs.span(f"fem.solve.{solver}", ndof=k.n):
                 for dof, value in self.constraints.global_dofs(
                         self.mesh.n_nodes):
                     k.constrain_dof(dof, rhs, value)
                 disp = k.solve(rhs)
+            if obs.enabled():
+                # Residual of the constrained system the factorisation
+                # actually saw: ||K u - f|| / ||f||.
+                obs.health(f"fem.solve.{solver}", solver_health(
+                    residual_rel=_relative_residual(
+                        k.matvec(disp), rhs),
+                    ndof=k.n,
+                ))
         elif solver == "sparse":
             k = assemble_sparse(self.mesh, self.materials, kind)
             with obs.span("fem.solve.sparse", ndof=k.shape[0]):
@@ -132,7 +147,19 @@ def _solve_sparse(k: sp.csr_matrix, rhs: np.ndarray,
     if np.any(~np.isfinite(solution)):
         raise SolverError("sparse solve produced non-finite displacements "
                           "(singular stiffness)")
+    if obs.enabled():
+        obs.health("fem.solve.sparse", solver_health(
+            residual_rel=_relative_residual(kff @ solution, reduced_rhs),
+            fillin=int(kff.nnz),
+            ndof=int(free.size),
+        ))
     disp = np.zeros(ndof)
     disp[free] = solution
     disp[fixed_idx] = fixed_val
     return disp
+
+
+def _relative_residual(ku: np.ndarray, f: np.ndarray) -> float:
+    """||K u - f|| / ||f|| (2-norms; a zero load vector divides by 1)."""
+    denom = float(np.linalg.norm(f))
+    return float(np.linalg.norm(ku - f)) / (denom if denom > 0.0 else 1.0)

@@ -30,6 +30,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Iterator, List, Optional
 
+from repro.obs.health import HealthLog, HealthSnapshot
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -41,18 +42,20 @@ from repro.obs.span import Span, Tracer
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "HealthLog", "HealthSnapshot",
     "RunReport", "SCHEMA", "Span", "Tracer", "Observer",
     "capture", "count", "current", "disable", "enable", "enabled",
-    "gauge", "observe", "span",
+    "gauge", "health", "observe", "span",
 ]
 
 
 class Observer:
-    """One enabled observation: a tracer plus a metrics registry."""
+    """One enabled observation: tracer, metrics registry, health log."""
 
     def __init__(self):
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
+        self.health = HealthLog()
 
     def report(self, **meta: Any) -> RunReport:
         """Freeze everything collected so far into a :class:`RunReport`."""
@@ -146,3 +149,17 @@ def observe(name: str, value: float) -> None:
     """Record one observation into a histogram."""
     if _observers:
         _observers[-1].metrics.observe(name, value)
+
+
+def health(name: str, snapshot: HealthSnapshot) -> None:
+    """Publish a numerical-health snapshot under a stage name.
+
+    No-op while no observer is enabled.  Building a snapshot usually
+    costs real work (walking a mesh, a matvec), so call sites should
+    gate the *construction* on :func:`enabled`::
+
+        if obs.enabled():
+            obs.health("idlz.reform", mesh_health(mesh))
+    """
+    if _observers:
+        _observers[-1].health.publish(name, snapshot)

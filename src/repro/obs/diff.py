@@ -1,0 +1,391 @@
+"""Report diffing and regression checks over saved run reports.
+
+Two ``repro.obs`` reports — a baseline and a candidate — are compared
+three ways:
+
+* **spans**: per-name aggregate wall/CPU time and call count;
+* **metrics**: counter and numeric-gauge deltas;
+* **health**: per-snapshot value deltas, matched by name *and*
+  occurrence (the k-th ``idlz.reform`` in A pairs with the k-th in B).
+
+:func:`diff_reports` builds the structural diff, the ``format_*``
+functions render it (text / markdown / json), and
+:func:`find_regressions` turns the diff into a CI gate: a span that got
+slower than the threshold, or a health value that moved the wrong way,
+is a regression.  Directionality for health values comes from
+:data:`HEALTH_DIRECTIONS` — for ``min_angle_deg`` bigger is better, for
+``residual_rel`` smaller is — so the gate understands *numerical* as
+well as *temporal* decay.  The CLI front-ends are ``python -m repro obs
+diff`` and ``obs check``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ObsError
+from repro.obs.report import RunReport
+
+#: +1 — larger is healthier; -1 — smaller is healthier.  Health keys
+#: missing here are reported in diffs but never gate a check.
+HEALTH_DIRECTIONS: Dict[str, int] = {
+    "min_angle_deg": +1,
+    "mean_min_angle_deg": +1,
+    "worst_aspect": -1,
+    "p95_aspect": -1,
+    "needle_count": -1,
+    "degenerate_count": -1,
+    "nonfinite_count": -1,
+    "residual_rel": -1,
+    "pivot_ratio": -1,
+    "pivot_min": +1,
+    "fillin": -1,
+}
+
+#: Values this small (both sides) are noise, not signal — a residual
+#: drifting from 1e-16 to 3e-16 is not a 3x regression.
+HEALTH_FLOOR = 1e-9
+
+#: Spans faster than this (both sides) never gate: timer noise dominates.
+DEFAULT_MIN_WALL_S = 0.005
+
+
+@dataclass
+class SpanAggregate:
+    """Per-name totals over one report's span forest."""
+
+    count: int = 0
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+
+
+@dataclass
+class SpanDelta:
+    name: str
+    a: Optional[SpanAggregate]
+    b: Optional[SpanAggregate]
+
+    @property
+    def wall_delta_s(self) -> Optional[float]:
+        if self.a is None or self.b is None:
+            return None
+        return self.b.wall_s - self.a.wall_s
+
+    @property
+    def wall_ratio(self) -> Optional[float]:
+        if self.a is None or self.b is None or self.a.wall_s <= 0.0:
+            return None
+        return self.b.wall_s / self.a.wall_s
+
+
+@dataclass
+class ValueDelta:
+    """One named scalar moving between reports (metric or health key)."""
+
+    name: str
+    a: Any
+    b: Any
+
+    @property
+    def delta(self) -> Optional[float]:
+        if _numeric(self.a) and _numeric(self.b):
+            return float(self.b) - float(self.a)
+        return None
+
+
+@dataclass
+class HealthDelta:
+    """One snapshot pair: name, occurrence index, per-key deltas."""
+
+    name: str
+    occurrence: int
+    kind: str
+    values: List[ValueDelta] = field(default_factory=list)
+
+
+@dataclass
+class ReportDiff:
+    """Everything that moved between a baseline (a) and a candidate (b)."""
+
+    meta_a: Dict[str, Any]
+    meta_b: Dict[str, Any]
+    spans: List[SpanDelta]
+    counters: List[ValueDelta]
+    gauges: List[ValueDelta]
+    health: List[HealthDelta]
+
+
+def _numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def aggregate_spans(report: RunReport) -> Dict[str, SpanAggregate]:
+    """Collapse a span forest to per-name totals (depth-first)."""
+    totals: Dict[str, SpanAggregate] = {}
+
+    def walk(span: Dict[str, Any]) -> None:
+        agg = totals.setdefault(span["name"], SpanAggregate())
+        agg.count += 1
+        agg.wall_s += span.get("wall_s") or 0.0
+        agg.cpu_s += span.get("cpu_s") or 0.0
+        for child in span.get("children", []):
+            walk(child)
+
+    for root in report.spans:
+        walk(root)
+    return totals
+
+
+def diff_reports(a: RunReport, b: RunReport) -> ReportDiff:
+    """Structural diff of two reports (``a`` baseline, ``b`` candidate)."""
+    spans_a = aggregate_spans(a)
+    spans_b = aggregate_spans(b)
+    span_names = list(dict.fromkeys([*spans_a, *spans_b]))
+    spans = [
+        SpanDelta(name, spans_a.get(name), spans_b.get(name))
+        for name in span_names
+    ]
+
+    def value_deltas(da: Dict[str, Any], db: Dict[str, Any]
+                     ) -> List[ValueDelta]:
+        names = list(dict.fromkeys([*da, *db]))
+        return [ValueDelta(n, da.get(n), db.get(n)) for n in names]
+
+    counters = value_deltas(a.counters(), b.counters())
+    gauges = value_deltas(a.gauges(), b.gauges())
+
+    health: List[HealthDelta] = []
+    by_name_a = _health_by_name(a)
+    by_name_b = _health_by_name(b)
+    for name in dict.fromkeys([*by_name_a, *by_name_b]):
+        entries_a = by_name_a.get(name, [])
+        entries_b = by_name_b.get(name, [])
+        for k in range(max(len(entries_a), len(entries_b))):
+            ea = entries_a[k] if k < len(entries_a) else {}
+            eb = entries_b[k] if k < len(entries_b) else {}
+            va = ea.get("values", {})
+            vb = eb.get("values", {})
+            health.append(HealthDelta(
+                name=name,
+                occurrence=k,
+                kind=eb.get("kind", ea.get("kind", "generic")),
+                values=value_deltas(va, vb),
+            ))
+    return ReportDiff(meta_a=a.meta, meta_b=b.meta, spans=spans,
+                      counters=counters, gauges=gauges, health=health)
+
+
+def _health_by_name(report: RunReport) -> Dict[str, List[Dict[str, Any]]]:
+    grouped: Dict[str, List[Dict[str, Any]]] = {}
+    for entry in report.health:
+        grouped.setdefault(entry.get("name", "?"), []).append(entry)
+    return grouped
+
+
+# ----------------------------------------------------------------------
+# Regression gate
+# ----------------------------------------------------------------------
+
+def find_regressions(diff: ReportDiff, max_regression: float = 0.25,
+                     min_wall_s: float = DEFAULT_MIN_WALL_S) -> List[str]:
+    """Regressions in ``b`` relative to ``a``, as human-readable lines.
+
+    A span regresses when its aggregate wall time grew by more than
+    ``max_regression`` (ignoring spans under ``min_wall_s`` on both
+    sides, where timer noise dominates).  A health value regresses when
+    it moved in its unhealthy direction (per :data:`HEALTH_DIRECTIONS`)
+    by more than the same fraction.  Spans or snapshots present only in
+    the baseline are regressions too — a stage silently losing its
+    instrumentation must not pass the gate.
+    """
+    if max_regression < 0.0:
+        raise ObsError(f"max_regression must be >= 0, got {max_regression}")
+    problems: List[str] = []
+    for sd in diff.spans:
+        if sd.b is None:
+            problems.append(f"span {sd.name}: present in baseline, "
+                            "missing from candidate")
+            continue
+        if sd.a is None:
+            continue  # new instrumentation is not a regression
+        if max(sd.a.wall_s, sd.b.wall_s) < min_wall_s:
+            continue
+        limit = sd.a.wall_s * (1.0 + max_regression)
+        if sd.b.wall_s > limit:
+            pct = 100.0 * (sd.b.wall_s / sd.a.wall_s - 1.0)
+            problems.append(
+                f"span {sd.name}: wall {sd.a.wall_s * 1e3:.2f}ms -> "
+                f"{sd.b.wall_s * 1e3:.2f}ms (+{pct:.1f}%, limit "
+                f"+{100.0 * max_regression:.0f}%)"
+            )
+    for hd in diff.health:
+        label = (hd.name if hd.occurrence == 0
+                 else f"{hd.name}#{hd.occurrence}")
+        present_a = any(vd.a is not None for vd in hd.values)
+        present_b = any(vd.b is not None for vd in hd.values)
+        if present_a and not present_b:
+            problems.append(f"health {label}: present in baseline, "
+                            "missing from candidate")
+            continue
+        for vd in hd.values:
+            direction = HEALTH_DIRECTIONS.get(vd.name)
+            if direction is None or not (_numeric(vd.a) and _numeric(vd.b)):
+                continue
+            va, vb = float(vd.a), float(vd.b)
+            if max(abs(va), abs(vb)) < HEALTH_FLOOR:
+                continue
+            if direction > 0:
+                worse = vb < va * (1.0 - max_regression)
+            else:
+                worse = (vb > va * (1.0 + max_regression)
+                         if va > 0.0 else vb > va + HEALTH_FLOOR)
+            if worse:
+                problems.append(
+                    f"health {label}.{vd.name}: {va:g} -> {vb:g} "
+                    f"(worse; limit {100.0 * max_regression:.0f}%)"
+                )
+    return problems
+
+
+def parse_threshold(text: str) -> float:
+    """``"25%"`` -> 0.25; ``"0.25"`` -> 0.25.  Raises ObsError on junk."""
+    raw = text.strip()
+    try:
+        if raw.endswith("%"):
+            return float(raw[:-1]) / 100.0
+        return float(raw)
+    except ValueError:
+        raise ObsError(
+            f"cannot parse regression threshold {text!r} "
+            "(use e.g. '25%' or '0.25')"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+def _fmt_ms(seconds: Optional[float]) -> str:
+    return "      --" if seconds is None else f"{seconds * 1e3:8.2f}"
+
+
+def _fmt_pct(ratio: Optional[float]) -> str:
+    if ratio is None:
+        return "     --"
+    return f"{100.0 * (ratio - 1.0):+6.1f}%"
+
+
+def format_text(diff: ReportDiff) -> str:
+    """Aligned plain-text rendering of a diff."""
+    lines: List[str] = ["spans (aggregate wall ms, baseline -> candidate)"]
+    for sd in diff.spans:
+        wall_a = None if sd.a is None else sd.a.wall_s
+        wall_b = None if sd.b is None else sd.b.wall_s
+        lines.append(
+            f"  {sd.name:<30s} {_fmt_ms(wall_a)} -> {_fmt_ms(wall_b)}"
+            f"  {_fmt_pct(sd.wall_ratio)}"
+        )
+    moved = [vd for vd in diff.counters + diff.gauges if vd.a != vd.b]
+    if moved:
+        lines.append("metrics (changed only)")
+        for vd in moved:
+            lines.append(f"  {vd.name:<30s} {vd.a} -> {vd.b}")
+    if diff.health:
+        lines.append("health")
+        for hd in diff.health:
+            label = (hd.name if hd.occurrence == 0
+                     else f"{hd.name}#{hd.occurrence}")
+            changed = [vd for vd in hd.values if vd.a != vd.b]
+            if not changed:
+                lines.append(f"  {label:<30s} unchanged")
+                continue
+            pairs = "  ".join(
+                f"{vd.name}: {vd.a} -> {vd.b}" for vd in changed
+            )
+            lines.append(f"  {label:<30s} {pairs}")
+    return "\n".join(lines)
+
+
+def format_markdown(diff: ReportDiff) -> str:
+    """Markdown tables (for CI job summaries / PR comments)."""
+    lines = [
+        "### Span timings",
+        "",
+        "| span | baseline (ms) | candidate (ms) | delta |",
+        "|---|---:|---:|---:|",
+    ]
+    for sd in diff.spans:
+        wall_a = None if sd.a is None else sd.a.wall_s
+        wall_b = None if sd.b is None else sd.b.wall_s
+        lines.append(
+            f"| `{sd.name}` | {_fmt_ms(wall_a).strip()} | "
+            f"{_fmt_ms(wall_b).strip()} | {_fmt_pct(sd.wall_ratio).strip()} |"
+        )
+    if diff.health:
+        lines += [
+            "",
+            "### Health",
+            "",
+            "| snapshot | value | baseline | candidate |",
+            "|---|---|---:|---:|",
+        ]
+        for hd in diff.health:
+            label = (hd.name if hd.occurrence == 0
+                     else f"{hd.name}#{hd.occurrence}")
+            for vd in hd.values:
+                if vd.a == vd.b:
+                    continue
+                lines.append(
+                    f"| `{label}` | `{vd.name}` | {vd.a} | {vd.b} |"
+                )
+    moved = [vd for vd in diff.counters + diff.gauges if vd.a != vd.b]
+    if moved:
+        lines += [
+            "",
+            "### Metrics",
+            "",
+            "| metric | baseline | candidate |",
+            "|---|---:|---:|",
+        ]
+        for vd in moved:
+            lines.append(f"| `{vd.name}` | {vd.a} | {vd.b} |")
+    return "\n".join(lines)
+
+
+def format_json(diff: ReportDiff) -> str:
+    """Machine-readable rendering of a diff."""
+    payload = {
+        "schema": "repro.obs.diff/v1",
+        "meta": {"baseline": diff.meta_a, "candidate": diff.meta_b},
+        "spans": [
+            {
+                "name": sd.name,
+                "baseline": None if sd.a is None else vars(sd.a),
+                "candidate": None if sd.b is None else vars(sd.b),
+                "wall_delta_s": sd.wall_delta_s,
+                "wall_ratio": sd.wall_ratio,
+            }
+            for sd in diff.spans
+        ],
+        "counters": [vars(vd) for vd in diff.counters],
+        "gauges": [vars(vd) for vd in diff.gauges],
+        "health": [
+            {
+                "name": hd.name,
+                "occurrence": hd.occurrence,
+                "kind": hd.kind,
+                "values": [vars(vd) for vd in hd.values],
+            }
+            for hd in diff.health
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+FORMATTERS = {
+    "text": format_text,
+    "markdown": format_markdown,
+    "json": format_json,
+}

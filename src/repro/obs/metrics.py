@@ -66,6 +66,12 @@ class Histogram:
             return list(self._values)
 
     def summary(self) -> Dict[str, float]:
+        """Serialisable summary.
+
+        An empty histogram summarises to ``{"count": 0}`` only; a single
+        sample (and any all-equal set) reports that value for min, max,
+        mean, p50 and p95 alike.
+        """
         with self._lock:
             values = sorted(self._values)
         if not values:
@@ -77,14 +83,20 @@ class Histogram:
             "max": values[-1],
             "mean": sum(values) / n,
             "total": sum(values),
-            "p50": _percentile(values, 0.50),
-            "p95": _percentile(values, 0.95),
+            "p50": percentile(values, 0.50),
+            "p95": percentile(values, 0.95),
         }
 
 
-def _percentile(sorted_values: List[float], q: float) -> float:
-    """Nearest-rank percentile of an already-sorted list."""
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted, non-empty list.
+
+    With a single sample every percentile is that sample; ``q`` is
+    clamped to [0, 1].  Raises :class:`ValueError` on an empty list.
+    """
     n = len(sorted_values)
+    if n == 0:
+        raise ValueError("percentile of an empty list")
     idx = min(n - 1, max(0, int(round(q * (n - 1)))))
     return sorted_values[idx]
 

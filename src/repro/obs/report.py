@@ -1,8 +1,10 @@
-"""Machine-readable run reports: span tree + metrics as one JSON blob.
+"""Machine-readable run reports: spans + metrics + health as one blob.
 
-The same schema (``repro.obs/v1``) is written by the CLI's ``--report``
+The same schema (``repro.obs/v1.1``) is written by the CLI's ``--report``
 flag and by the benchmark harness, so the ``BENCH_*.json`` trajectory and
-ad-hoc runs can be diffed with the same tooling.
+ad-hoc runs can be diffed with the same tooling (``python -m repro obs
+diff``).  Loading accepts both ``repro.obs/v1`` (no ``health`` section)
+and ``v1.1``; anything else raises :class:`~repro.errors.ObsError`.
 """
 
 from __future__ import annotations
@@ -11,17 +13,24 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Union
 
-SCHEMA = "repro.obs/v1"
+from repro.errors import ObsError
+
+SCHEMA = "repro.obs/v1.1"
+
+#: Schema versions :meth:`RunReport.load` accepts.
+ACCEPTED_SCHEMAS = ("repro.obs/v1", "repro.obs/v1.1")
 
 
 class RunReport:
-    """A frozen observation: metadata, span forest, metric values."""
+    """A frozen observation: metadata, span forest, metrics, health."""
 
     def __init__(self, meta: Dict[str, Any], spans: List[Dict[str, Any]],
-                 metrics: Dict[str, Any]):
+                 metrics: Dict[str, Any],
+                 health: Optional[List[Dict[str, Any]]] = None):
         self.meta = meta
         self.spans = spans
         self.metrics = metrics
+        self.health = list(health or [])
 
     # ------------------------------------------------------------------
     # Construction
@@ -33,20 +42,37 @@ class RunReport:
             meta=dict(meta or {}),
             spans=observer.tracer.to_list(),
             metrics=observer.metrics.to_dict(),
+            health=observer.health.to_list(),
         )
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunReport":
-        if data.get("schema") != SCHEMA:
-            raise ValueError(
-                f"not a {SCHEMA} report (schema = {data.get('schema')!r})"
+        if not isinstance(data, dict):
+            raise ObsError(
+                f"a run report must be a JSON object, got {type(data).__name__}"
+            )
+        schema = data.get("schema")
+        if schema is None:
+            raise ObsError(
+                "not a run report: missing 'schema' field "
+                f"(expected one of {', '.join(ACCEPTED_SCHEMAS)})"
+            )
+        if schema not in ACCEPTED_SCHEMAS:
+            raise ObsError(
+                f"unsupported report schema {schema!r} "
+                f"(expected one of {', '.join(ACCEPTED_SCHEMAS)})"
             )
         return cls(meta=data.get("meta", {}), spans=data.get("spans", []),
-                   metrics=data.get("metrics", {}))
+                   metrics=data.get("metrics", {}),
+                   health=data.get("health", []))
 
     @classmethod
     def from_json(cls, text: str) -> "RunReport":
-        return cls.from_dict(json.loads(text))
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ObsError(f"run report is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "RunReport":
@@ -61,15 +87,17 @@ class RunReport:
             "meta": self.meta,
             "spans": self.spans,
             "metrics": self.metrics,
+            "health": self.health,
         }
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
 
     def save(self, path: Union[str, Path]) -> Path:
+        """Write the report, creating parent directories as needed
+        (matching how the IDLZ output stage treats ``-o``)."""
         path = Path(path)
-        if path.parent != Path(""):
-            path.parent.mkdir(parents=True, exist_ok=True)
+        path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(self.to_json() + "\n")
         return path
 
@@ -107,6 +135,22 @@ class RunReport:
 
     def gauges(self) -> Dict[str, Any]:
         return dict(self.metrics.get("gauges", {}))
+
+    def health_entries(self, name: Optional[str] = None
+                       ) -> List[Dict[str, Any]]:
+        """Health snapshots in publication order, optionally by name."""
+        if name is None:
+            return list(self.health)
+        return [e for e in self.health if e.get("name") == name]
+
+    def health_names(self) -> List[str]:
+        """Distinct snapshot names in first-publication order."""
+        seen: List[str] = []
+        for entry in self.health:
+            name = entry.get("name", "?")
+            if name not in seen:
+                seen.append(name)
+        return seen
 
     # ------------------------------------------------------------------
     # Rendering (the CLI's --trace output)
@@ -146,3 +190,36 @@ class RunReport:
             for name, value in gauges.items():
                 lines.append(f"  {name:<34s} {value}")
         return "\n".join(lines)
+
+    def render_health_table(self) -> str:
+        """The numerical-health table (the CLI's ``--health`` output).
+
+        One row per snapshot, in publication order; repeated names (the
+        IDLZ stage sequence, one entry per problem) read as a
+        progression, so the reformation pass's effect is visible as the
+        min-angle/aspect rows improving from ``idlz.shape`` to
+        ``idlz.reform``.
+        """
+        if not self.health:
+            return "health: no snapshots recorded"
+        lines: List[str] = ["numerical health"]
+        for entry in self.health:
+            name = entry.get("name", "?")
+            kind = entry.get("kind", "generic")
+            values = entry.get("values", {})
+            pairs = "  ".join(
+                f"{key}={_fmt_health_value(value)}"
+                for key, value in values.items()
+            )
+            lines.append(f"  {name:<22s} [{kind:<6s}] {pairs}")
+        return "\n".join(lines)
+
+
+def _fmt_health_value(value: Any) -> str:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if value != 0.0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+        return f"{value:.3e}"
+    return f"{value:.4g}"

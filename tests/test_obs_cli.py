@@ -1,4 +1,4 @@
-"""CLI observability: --trace, --report, --verbose and --quiet."""
+"""CLI observability: --trace, --report, --health, obs diff/check/render."""
 
 from __future__ import annotations
 
@@ -160,6 +160,146 @@ class TestVerbosityFlags:
         code = main(["idlz", str(idlz_deck), "--check", "--quiet"])
         assert code == 0
         assert capsys.readouterr().out == ""
+
+
+class TestHealthFlag:
+    def test_health_prints_table_to_stderr(self, idlz_deck, tmp_path,
+                                           capsys):
+        code = main(["idlz", str(idlz_deck), "-o", str(tmp_path / "out"),
+                     "--health"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "numerical health" in err
+        for stage in ("idlz.elements", "idlz.shape", "idlz.reform",
+                      "idlz.renumber"):
+            assert stage in err
+        assert "min_angle_deg" in err
+
+    def test_health_entries_land_in_report(self, idlz_deck, tmp_path):
+        report_path = tmp_path / "run.json"
+        code = main(["idlz", str(idlz_deck), "-o", str(tmp_path / "out"),
+                     "--report", str(report_path)])
+        assert code == 0
+        report = RunReport.load(report_path)
+        assert report.health_names() == ["idlz.elements", "idlz.shape",
+                                         "idlz.reform", "idlz.renumber"]
+        (entry,) = report.health_entries("idlz.reform")
+        assert entry["kind"] == "mesh"
+        assert "min_angle_deg" in entry["values"]
+
+    def test_ospl_health_includes_field(self, ospl_deck, tmp_path, capsys):
+        code = main(["ospl", str(ospl_deck), "-o", str(tmp_path / "f.svg"),
+                     "--health"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "ospl.field" in err
+        assert "degenerate" in err
+
+    def test_no_health_flag_no_table(self, idlz_deck, tmp_path, capsys):
+        code = main(["idlz", str(idlz_deck), "-o", str(tmp_path / "out"),
+                     "--trace"])
+        assert code == 0
+        assert "numerical health" not in capsys.readouterr().err
+
+    def test_report_parent_dirs_are_created(self, idlz_deck, tmp_path):
+        report_path = tmp_path / "nested" / "deeper" / "run.json"
+        code = main(["idlz", str(idlz_deck), "-o", str(tmp_path / "out"),
+                     "--report", str(report_path)])
+        assert code == 0
+        assert report_path.exists()
+        assert RunReport.load(report_path).meta["command"] == "idlz"
+
+
+@pytest.fixture
+def saved_reports(idlz_deck, tmp_path):
+    """Two saved reports of the same deck (baseline, candidate)."""
+    paths = []
+    for tag in ("a", "b"):
+        path = tmp_path / f"{tag}.json"
+        code = main(["idlz", str(idlz_deck), "-o",
+                     str(tmp_path / f"out_{tag}"),
+                     "--report", str(path), "--quiet"])
+        assert code == 0
+        paths.append(path)
+    return paths
+
+
+class TestObsSubcommands:
+    def test_diff_text(self, saved_reports, capsys):
+        a, b = saved_reports
+        code = main(["obs", "diff", str(a), str(b)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spans" in out
+        assert "idlz.reform" in out
+
+    def test_diff_json(self, saved_reports, capsys):
+        import json
+
+        a, b = saved_reports
+        code = main(["obs", "diff", str(a), str(b), "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.obs.diff/v1"
+
+    def test_diff_markdown(self, saved_reports, capsys):
+        a, b = saved_reports
+        code = main(["obs", "diff", str(a), str(b),
+                     "--format", "markdown"])
+        assert code == 0
+        assert "### Span timings" in capsys.readouterr().out
+
+    def test_check_passes_same_run(self, saved_reports, capsys):
+        a, b = saved_reports
+        # Identical workloads; a generous threshold must pass.
+        code = main(["obs", "check", str(b), "--against", str(a),
+                     "--max-regression", "400%", "--min-wall", "10.0"])
+        assert code == 0
+        assert "ok: no regressions" in capsys.readouterr().out
+
+    def test_check_fails_on_health_regression(self, saved_reports,
+                                              tmp_path, capsys):
+        import json
+
+        a, _ = saved_reports
+        worse = json.loads(a.read_text())
+        for entry in worse["health"]:
+            entry["values"]["needle_count"] = 99
+        worse_path = tmp_path / "worse.json"
+        worse_path.write_text(json.dumps(worse))
+        code = main(["obs", "check", str(worse_path), "--against", str(a),
+                     "--max-regression", "400%", "--min-wall", "10.0"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "regression(s) against" in err
+        assert "needle_count" in err
+
+    def test_check_rejects_junk_threshold(self, saved_reports, capsys):
+        a, b = saved_reports
+        code = main(["obs", "check", str(b), "--against", str(a),
+                     "--max-regression", "lots"])
+        assert code == 1
+        assert "threshold" in capsys.readouterr().err
+
+    def test_render_replays_tree_and_health(self, saved_reports, capsys):
+        a, _ = saved_reports
+        code = main(["obs", "render", str(a), "--health"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stage timings" in out
+        assert "numerical health" in out
+
+    def test_missing_file_is_clean_error(self, tmp_path, capsys):
+        code = main(["obs", "render", str(tmp_path / "nope.json")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_invalid_report_is_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "other/v9"}')
+        code = main(["obs", "render", str(bad)])
+        assert code == 1
+        assert "unsupported report schema" in capsys.readouterr().err
 
 
 class TestReportOnFailure:

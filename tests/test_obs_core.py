@@ -11,8 +11,9 @@ from repro import obs
 from repro.core.idlz.pipeline import Idealizer
 from repro.core.idlz.shaping import ShapingSegment
 from repro.core.idlz.subdivision import Subdivision
-from repro.obs.metrics import MetricsRegistry
-from repro.obs.report import RunReport
+from repro.errors import ObsError
+from repro.obs.metrics import MetricsRegistry, percentile
+from repro.obs.report import ACCEPTED_SCHEMAS, SCHEMA, RunReport
 
 
 def idealize_plate(cols: int = 40, rows: int = 60):
@@ -132,6 +133,39 @@ class TestMetrics:
         assert summary["p50"] == 3.0
         assert summary["p95"] == 10.0
 
+    def test_empty_histogram_summarises_to_count_zero(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")  # created but never observed
+        assert reg.to_dict()["histograms"]["h"] == {"count": 0}
+
+    def test_single_sample_histogram_percentiles(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 7.5)
+        summary = reg.to_dict()["histograms"]["h"]
+        assert summary == {
+            "count": 1, "min": 7.5, "max": 7.5, "mean": 7.5,
+            "total": 7.5, "p50": 7.5, "p95": 7.5,
+        }
+
+    def test_all_equal_samples_histogram_percentiles(self):
+        reg = MetricsRegistry()
+        for _ in range(9):
+            reg.observe("h", 3.0)
+        summary = reg.to_dict()["histograms"]["h"]
+        assert summary["count"] == 9
+        for key in ("min", "max", "mean", "p50", "p95"):
+            assert summary[key] == 3.0
+        assert summary["total"] == pytest.approx(27.0)
+
+    def test_percentile_rejects_empty_and_clamps_q(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        assert percentile([4.0], 0.0) == 4.0
+        assert percentile([4.0], 1.0) == 4.0
+        values = [1.0, 2.0, 3.0]
+        assert percentile(values, -0.5) == 1.0
+        assert percentile(values, 1.5) == 3.0
+
     def test_facade_routes_to_current_observer(self):
         with obs.capture() as ob:
             obs.count("c", 3)
@@ -174,8 +208,32 @@ class TestRunReport:
         assert RunReport.load(path).to_dict() == report.to_dict()
 
     def test_rejects_foreign_schema(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ObsError, match="something-else"):
             RunReport.from_dict({"schema": "something-else"})
+
+    def test_rejects_missing_schema_with_clean_error(self):
+        with pytest.raises(ObsError, match="missing 'schema'"):
+            RunReport.from_dict({"spans": [], "metrics": {}})
+
+    def test_rejects_non_object_payload(self):
+        with pytest.raises(ObsError, match="JSON object"):
+            RunReport.from_dict([1, 2, 3])
+
+    def test_rejects_invalid_json_text(self):
+        with pytest.raises(ObsError, match="not valid JSON"):
+            RunReport.from_json("{not json")
+
+    def test_accepts_v1_reports_without_health(self):
+        assert "repro.obs/v1" in ACCEPTED_SCHEMAS
+        report = RunReport.from_dict({
+            "schema": "repro.obs/v1",
+            "meta": {"command": "idlz"},
+            "spans": [],
+            "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        })
+        assert report.health == []
+        # Re-serialising upgrades to the current schema.
+        assert report.to_dict()["schema"] == SCHEMA
 
     def test_render_tree_mentions_spans_and_metrics(self):
         report = self.build_report()
@@ -205,6 +263,71 @@ class TestPipelineObservation:
         gauges = report.gauges()
         assert gauges["idlz.bandwidth_before"] == ideal.bandwidth_before
         assert gauges["idlz.bandwidth_after"] == ideal.bandwidth_after
+
+
+class TestConcurrentCapture:
+    def test_two_threads_running_idlz_nest_their_own_forests(self, tmp_path):
+        """Two run_idlz_files calls under one capture stay disentangled.
+
+        Each thread must contribute its own ``idlz.read`` root and its
+        own ``idlz.problem`` root with the stage spans nested inside it
+        -- not a merged or interleaved tree.
+        """
+        from repro.core.idlz.deck import IdlzProblem, write_idlz_deck
+        from repro.core.idlz.program import run_idlz_files
+
+        decks = {}
+        for label, cols in (("alpha", 4), ("beta", 6)):
+            sub = Subdivision(index=1, kk1=1, ll1=1,
+                              kk2=cols + 1, ll2=5)
+            segments = [
+                ShapingSegment(1, 1, 1, cols + 1, 1,
+                               0.0, 0.0, float(cols), 0.0),
+                ShapingSegment(1, 1, 5, cols + 1, 5,
+                               0.0, 4.0, float(cols), 4.0),
+            ]
+            problem = IdlzProblem(title=f"THREAD {label.upper()}",
+                                  subdivisions=[sub], segments=segments)
+            deck = tmp_path / f"{label}.deck"
+            deck.write_text(write_idlz_deck([problem]).to_text())
+            decks[label] = deck
+
+        errors = []
+
+        def work(label: str) -> None:
+            try:
+                run_idlz_files(decks[label], tmp_path / f"out_{label}")
+            except Exception as exc:  # pragma: no cover - reported below
+                errors.append((label, exc))
+
+        with obs.capture() as ob:
+            threads = [threading.Thread(target=work, args=(label,))
+                       for label in decks]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert errors == []
+
+        roots = ob.tracer.to_list()
+        names = [r["name"] for r in roots]
+        assert names.count("idlz.read") == 2
+        problem_roots = [r for r in roots if r["name"] == "idlz.problem"]
+        assert len(problem_roots) == 2
+        titles = {r["attrs"]["title"] for r in problem_roots}
+        assert titles == {"THREAD ALPHA", "THREAD BETA"}
+        stage_names = {"idlz.number", "idlz.elements", "idlz.shape",
+                       "idlz.reform", "idlz.renumber", "idlz.output"}
+        for root in problem_roots:
+            children = [c["name"] for c in root["children"]]
+            assert stage_names <= set(children)
+            # Every span in this subtree closed (a cross-thread mixup
+            # leaves spans dangling open).
+            def closed(span):
+                assert span["wall_s"] is not None
+                for child in span.get("children", []):
+                    closed(child)
+            closed(root)
 
 
 class TestDisabledOverhead:

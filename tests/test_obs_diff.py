@@ -1,0 +1,250 @@
+"""Report diffing and the regression gate (python -m repro obs)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.diff import (
+    DEFAULT_MIN_WALL_S,
+    HEALTH_DIRECTIONS,
+    aggregate_spans,
+    diff_reports,
+    find_regressions,
+    format_json,
+    format_markdown,
+    format_text,
+    parse_threshold,
+)
+from repro.obs.report import SCHEMA, RunReport
+
+
+def span(name, wall, children=(), cpu=None):
+    return {"name": name, "wall_s": wall,
+            "cpu_s": wall if cpu is None else cpu,
+            "start_s": 0.0, "attrs": {}, "children": list(children)}
+
+
+def report(spans=(), counters=None, gauges=None, health=()):
+    return RunReport(
+        meta={"command": "test"},
+        spans=list(spans),
+        metrics={"counters": counters or {}, "gauges": gauges or {},
+                 "histograms": {}},
+        health=list(health),
+    )
+
+
+def health_entry(name, kind="mesh", **values):
+    return {"name": name, "kind": kind, "values": values}
+
+
+class TestAggregateSpans:
+    def test_totals_collapse_repeats_and_children(self):
+        rep = report(spans=[
+            span("outer", 1.0, children=[span("inner", 0.25)]),
+            span("inner", 0.25),
+        ])
+        totals = aggregate_spans(rep)
+        assert totals["outer"].count == 1
+        assert totals["inner"].count == 2
+        assert totals["inner"].wall_s == pytest.approx(0.5)
+
+    def test_open_spans_count_as_zero_time(self):
+        rep = report(spans=[span("open", None)])
+        assert aggregate_spans(rep)["open"].wall_s == 0.0
+
+
+class TestDiffReports:
+    def test_span_delta_and_ratio(self):
+        a = report(spans=[span("s", 1.0)])
+        b = report(spans=[span("s", 1.5)])
+        (sd,) = diff_reports(a, b).spans
+        assert sd.wall_delta_s == pytest.approx(0.5)
+        assert sd.wall_ratio == pytest.approx(1.5)
+
+    def test_one_sided_spans(self):
+        a = report(spans=[span("only_a", 1.0)])
+        b = report(spans=[span("only_b", 1.0)])
+        diff = diff_reports(a, b)
+        by_name = {sd.name: sd for sd in diff.spans}
+        assert by_name["only_a"].b is None
+        assert by_name["only_b"].a is None
+        assert by_name["only_a"].wall_ratio is None
+
+    def test_counter_and_gauge_deltas(self):
+        a = report(counters={"c": 5}, gauges={"g": 2.0})
+        b = report(counters={"c": 7}, gauges={"g": 2.0})
+        diff = diff_reports(a, b)
+        (cd,) = diff.counters
+        assert (cd.a, cd.b, cd.delta) == (5, 7, 2)
+        (gd,) = diff.gauges
+        assert gd.delta == 0.0
+
+    def test_health_matched_by_name_and_occurrence(self):
+        a = report(health=[
+            health_entry("idlz.reform", min_angle_deg=10.0),
+            health_entry("idlz.reform", min_angle_deg=20.0),
+        ])
+        b = report(health=[
+            health_entry("idlz.reform", min_angle_deg=11.0),
+            health_entry("idlz.reform", min_angle_deg=19.0),
+        ])
+        diff = diff_reports(a, b)
+        assert [(hd.name, hd.occurrence) for hd in diff.health] == [
+            ("idlz.reform", 0), ("idlz.reform", 1),
+        ]
+        first, second = diff.health
+        assert first.values[0].delta == pytest.approx(1.0)
+        assert second.values[0].delta == pytest.approx(-1.0)
+
+
+class TestFindRegressions:
+    def test_clean_diff_passes(self):
+        a = report(spans=[span("s", 1.0)],
+                   health=[health_entry("h", min_angle_deg=30.0)])
+        diff = diff_reports(a, a)
+        assert find_regressions(diff) == []
+
+    def test_slower_span_is_flagged(self):
+        a = report(spans=[span("s", 1.0)])
+        b = report(spans=[span("s", 1.4)])
+        (problem,) = find_regressions(diff_reports(a, b),
+                                      max_regression=0.25)
+        assert "span s" in problem
+        assert "+40.0%" in problem
+
+    def test_growth_within_threshold_passes(self):
+        a = report(spans=[span("s", 1.0)])
+        b = report(spans=[span("s", 1.2)])
+        assert find_regressions(diff_reports(a, b),
+                                max_regression=0.25) == []
+
+    def test_fast_spans_are_timer_noise(self):
+        a = report(spans=[span("s", 0.001)])
+        b = report(spans=[span("s", 0.004)])  # 4x but microscopic
+        assert find_regressions(diff_reports(a, b)) == []
+        # An explicit lower floor re-arms the gate.
+        assert find_regressions(diff_reports(a, b),
+                                min_wall_s=0.0005) != []
+        assert DEFAULT_MIN_WALL_S == pytest.approx(0.005)
+
+    def test_missing_span_is_a_regression(self):
+        a = report(spans=[span("s", 1.0)])
+        b = report(spans=[])
+        (problem,) = find_regressions(diff_reports(a, b))
+        assert "missing from candidate" in problem
+
+    def test_new_span_is_not_a_regression(self):
+        a = report(spans=[])
+        b = report(spans=[span("new", 5.0)])
+        assert find_regressions(diff_reports(a, b)) == []
+
+    def test_higher_is_better_value_dropping_is_flagged(self):
+        assert HEALTH_DIRECTIONS["min_angle_deg"] > 0
+        a = report(health=[health_entry("m", min_angle_deg=30.0)])
+        b = report(health=[health_entry("m", min_angle_deg=20.0)])
+        (problem,) = find_regressions(diff_reports(a, b),
+                                      max_regression=0.25)
+        assert "m.min_angle_deg" in problem
+
+    def test_lower_is_better_value_rising_is_flagged(self):
+        assert HEALTH_DIRECTIONS["residual_rel"] < 0
+        a = report(health=[health_entry("s", kind="solver",
+                                        residual_rel=1e-6)])
+        b = report(health=[health_entry("s", kind="solver",
+                                        residual_rel=1e-4)])
+        (problem,) = find_regressions(diff_reports(a, b))
+        assert "s.residual_rel" in problem
+
+    def test_noise_floor_ignores_tiny_values(self):
+        # 1e-16 -> 3e-16 is numerically meaningless, not a 3x blowup.
+        a = report(health=[health_entry("s", kind="solver",
+                                        residual_rel=1e-16)])
+        b = report(health=[health_entry("s", kind="solver",
+                                        residual_rel=3e-16)])
+        assert find_regressions(diff_reports(a, b)) == []
+
+    def test_zero_baseline_count_growing_is_flagged(self):
+        a = report(health=[health_entry("m", needle_count=0)])
+        b = report(health=[health_entry("m", needle_count=2)])
+        (problem,) = find_regressions(diff_reports(a, b))
+        assert "needle_count" in problem
+
+    def test_undirected_keys_never_gate(self):
+        a = report(health=[health_entry("m", swaps=0)])
+        b = report(health=[health_entry("m", swaps=99)])
+        assert find_regressions(diff_reports(a, b)) == []
+
+    def test_missing_snapshot_is_a_regression(self):
+        a = report(health=[health_entry("m", min_angle_deg=30.0)])
+        b = report(health=[])
+        (problem,) = find_regressions(diff_reports(a, b))
+        assert "health m" in problem
+        assert "missing from candidate" in problem
+
+    def test_new_snapshot_is_not_a_regression(self):
+        a = report(health=[])
+        b = report(health=[health_entry("m", min_angle_deg=5.0)])
+        assert find_regressions(diff_reports(a, b)) == []
+
+    def test_negative_threshold_rejected(self):
+        diff = diff_reports(report(), report())
+        with pytest.raises(ObsError):
+            find_regressions(diff, max_regression=-0.5)
+
+
+class TestParseThreshold:
+    @pytest.mark.parametrize("text,expected", [
+        ("25%", 0.25), ("0.25", 0.25), (" 50% ", 0.5), ("1.0", 1.0),
+        ("0%", 0.0),
+    ])
+    def test_accepted_forms(self, text, expected):
+        assert parse_threshold(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("text", ["abc", "%", "ten%", ""])
+    def test_junk_raises_obs_error(self, text):
+        with pytest.raises(ObsError, match="threshold"):
+            parse_threshold(text)
+
+
+class TestFormatters:
+    def build_diff(self):
+        a = report(spans=[span("s", 1.0)], counters={"c": 1},
+                   health=[health_entry("m", min_angle_deg=30.0)])
+        b = report(spans=[span("s", 2.0)], counters={"c": 3},
+                   health=[health_entry("m", min_angle_deg=25.0)])
+        return diff_reports(a, b)
+
+    def test_text_mentions_all_sections(self):
+        text = format_text(self.build_diff())
+        assert "spans" in text
+        assert "s" in text
+        assert "metrics (changed only)" in text
+        assert "1 -> 3" in text
+        assert "min_angle_deg: 30.0 -> 25.0" in text
+
+    def test_markdown_emits_tables(self):
+        md = format_markdown(self.build_diff())
+        assert "### Span timings" in md
+        assert "| `s` |" in md
+        assert "### Health" in md
+        assert "| `m` | `min_angle_deg` | 30.0 | 25.0 |" in md
+
+    def test_json_is_machine_readable(self):
+        payload = json.loads(format_json(self.build_diff()))
+        assert payload["schema"] == "repro.obs.diff/v1"
+        (sd,) = payload["spans"]
+        assert sd["wall_ratio"] == pytest.approx(2.0)
+        (hd,) = payload["health"]
+        assert hd["values"][0]["name"] == "min_angle_deg"
+
+    def test_round_trip_through_saved_reports(self, tmp_path):
+        a = report(spans=[span("s", 1.0)])
+        path = a.save(tmp_path / "a.json")
+        again = RunReport.load(path)
+        assert again.to_dict()["schema"] == SCHEMA
+        diff = diff_reports(again, again)
+        assert find_regressions(diff) == []
