@@ -1,0 +1,56 @@
+"""Experiment B1 -- batch throughput and the artifact cache.
+
+The paper's economics are batch economics: decks went to the 7090 by
+the tray, and a re-run of an unchanged deck bought nothing but machine
+time.  This experiment runs the whole structure-library corpus (one
+Appendix-B deck per ``repro.structures`` entry) through the batch
+engine twice against the same cache directory and measures what the
+content-addressed cache buys: the warm pass must hit on every deck,
+execute zero jobs, and come back a large factor faster than the cold
+pass that actually idealized the structures.
+"""
+
+from pathlib import Path
+
+from common import report
+
+from repro.batch import BatchOptions, discover_jobs, dump_library, run_batch
+
+CORPUS = Path(__file__).parent.parent / "examples" / "decks" / "library"
+
+
+def _corpus_dir(tmp_path):
+    if CORPUS.is_dir() and any(CORPUS.glob("*.deck")):
+        return CORPUS
+    return dump_library(tmp_path / "library")["tbeam"].parent
+
+
+def _run(corpus, out_dir, cache_dir):
+    specs = discover_jobs([str(corpus / "*.deck")], out_dir)
+    return run_batch(specs, BatchOptions(jobs=2, cache_dir=cache_dir))
+
+
+def test_batch_cache_warm_speedup(tmp_path, benchmark):
+    corpus = _corpus_dir(tmp_path)
+    cache = tmp_path / "cache"
+    cold = _run(corpus, tmp_path / "cold", cache)
+    assert cold.ok and cold.summary["cache_hits"] == 0
+
+    runs = iter(range(1_000_000))
+    warm = benchmark(
+        lambda: _run(corpus, tmp_path / f"warm_{next(runs)}", cache)
+    )
+    assert warm.ok
+    assert warm.summary["cache_hits"] == warm.summary["total"]
+    assert warm.summary["attempts"] == 0  # nothing reached a worker
+
+    cold_s = cold.summary["wall_s"]
+    warm_s = benchmark.stats.stats.mean
+    report("B1 batch artifact cache", {
+        "decks in corpus": cold.summary["total"],
+        "cold pass (computed)": f"{cold_s * 1e3:.1f} ms",
+        "warm pass (restored)": f"{warm_s * 1e3:.1f} ms",
+        "speedup": f"{cold_s / max(warm_s, 1e-9):.1f}x",
+        "cache entries": cold.summary["cache_misses"],
+    })
+    assert warm_s < cold_s

@@ -32,6 +32,7 @@ Quickstart::
     print(ideal.summary())
 """
 
+from repro._version import __version__
 from repro.errors import (
     ReproError,
     GeometryError,
@@ -47,6 +48,7 @@ from repro.errors import (
     SolverError,
     BoundaryConditionError,
     PlotterError,
+    BatchError,
 )
 from repro.core.idlz import (
     Subdivision,
@@ -86,14 +88,12 @@ from repro.fem import (
 )
 from repro.plotter import Plotter4020, render_svg, save_svg, render_ascii
 
-__version__ = "1.0.0"
-
 __all__ = [
     # errors
     "ReproError", "GeometryError", "ArcError", "CardError", "FormatError",
     "LimitError", "IdealizationError", "ShapingError", "ContourError",
     "MeshError", "MaterialError", "SolverError", "BoundaryConditionError",
-    "PlotterError",
+    "PlotterError", "BatchError",
     # idlz
     "Subdivision", "ShapingSegment", "Idealizer", "Idealization",
     "IdlzProblem", "read_idlz_deck", "write_idlz_deck",

@@ -1,0 +1,9 @@
+"""Single source of truth for the package version.
+
+``pyproject.toml`` reads this file through setuptools' dynamic-version
+hook, :mod:`repro` re-exports it, ``python -m repro --version`` prints
+it, and the batch engine's artifact-cache key embeds it so cached
+products are invalidated whenever the code that produced them changes.
+"""
+
+__version__ = "1.1.0"

@@ -1,0 +1,59 @@
+"""Batch execution: many decks, one manifest, nothing computed twice.
+
+The 1970 workflow this package scales up is the analyst feeding a tray
+of card decks to the 7090 overnight; here the tray is a glob, the
+operator is a :class:`~concurrent.futures.ProcessPoolExecutor`, and the
+"do not re-run what already ran" ledger is a content-addressed artifact
+cache keyed by (deck bytes, run options, code version).
+
+Layers:
+
+* :mod:`repro.batch.jobs` -- deck discovery/classification, the
+  :class:`JobSpec` model;
+* :mod:`repro.batch.worker` -- runs one job in-process, never raises;
+* :mod:`repro.batch.cache` -- the :class:`ArtifactCache`;
+* :mod:`repro.batch.runner` -- the scheduler (fan-out, timeouts,
+  bounded retries with backoff, crash isolation);
+* :mod:`repro.batch.manifest` -- the ``repro.batch/v1`` record and its
+  ``status`` / ``explain`` renderings;
+* :mod:`repro.batch.corpus` -- dumps the structure library as decks.
+
+Quickstart::
+
+    from repro.batch import BatchOptions, discover_jobs, run_batch
+
+    specs = discover_jobs(["examples/decks/library/*.deck"], "out")
+    manifest = run_batch(specs, BatchOptions(jobs=4, retries=1,
+                                             cache_dir=".deck-cache"))
+    manifest.save("out/batch_manifest.json")
+    print(manifest.render_status())
+
+See docs/BATCH.md for the CLI, the manifest schema and the cache
+invalidation rules.
+"""
+
+from repro.batch.cache import ArtifactCache, CacheEntry, cache_key
+from repro.batch.corpus import dump_library
+from repro.batch.jobs import (
+    JobSpec,
+    classify_deck_path,
+    classify_deck_text,
+    discover_jobs,
+)
+from repro.batch.manifest import EXIT_PARTIAL, SCHEMA, BatchManifest
+from repro.batch.runner import (
+    BatchOptions,
+    job_cache_key,
+    job_fingerprint,
+    run_batch,
+)
+from repro.batch.worker import JobTimeout, run_job
+
+__all__ = [
+    "ArtifactCache", "CacheEntry", "cache_key",
+    "dump_library",
+    "JobSpec", "classify_deck_path", "classify_deck_text", "discover_jobs",
+    "EXIT_PARTIAL", "SCHEMA", "BatchManifest",
+    "BatchOptions", "job_cache_key", "job_fingerprint", "run_batch",
+    "JobTimeout", "run_job",
+]

@@ -1,0 +1,39 @@
+"""Dump the structure library as a deck corpus for batch runs.
+
+Every entry in :data:`repro.structures.STRUCTURES` knows how to express
+itself as an Appendix-B card deck (``StructureCase.problem()``); writing
+them all out gives ``batch run`` a realistic multi-deck workload -- the
+same eleven assemblages the paper's figures use, exactly as an analyst
+would have handed them to the card reader.
+
+The checked-in copy lives under ``examples/decks/library/``; regenerate
+it with ``python -m repro batch corpus -o examples/decks/library``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.core.idlz.deck import write_idlz_deck
+from repro.structures import STRUCTURES
+
+#: Default corpus location, relative to the working directory.
+DEFAULT_CORPUS_DIR = Path("examples/decks/library")
+
+
+def dump_library(out_dir: Union[str, Path] = DEFAULT_CORPUS_DIR,
+                 names: Union[List[str], None] = None) -> Dict[str, Path]:
+    """Write one ``<name>.deck`` per library structure; returns the paths."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+    for name, builder in STRUCTURES.items():
+        if names is not None and name not in names:
+            continue
+        problem = builder().problem()
+        deck = write_idlz_deck([problem])
+        path = out_dir / f"{name}.deck"
+        path.write_text(deck.to_text())
+        written[name] = path
+    return written

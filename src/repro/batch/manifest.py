@@ -1,0 +1,205 @@
+"""The batch manifest: one JSON record of a whole batch run.
+
+Schema ``repro.batch/v1``::
+
+    {
+      "schema": "repro.batch/v1",
+      "meta":    {"created_unix", "code_version", "out_root",
+                  "cache_dir" | null},
+      "options": {"jobs", "timeout_s", "retries", "backoff_s", "strict"},
+      "summary": {"total", "ok", "failed", "cache_hits", "cache_misses",
+                  "attempts", "wall_s"},
+      "jobs": [ {"job_id", "deck", "program", "fingerprint",
+                 "status": "ok"|"failed", "cache": "hit"|"miss"|"off",
+                 "attempts", "wall_s", "out_dir", "artifacts": [...],
+                 "summary": {...}|null, "obs": {"health", "counters"},
+                 "error": {"type","message","traceback"}|null}, ... ]
+    }
+
+``batch status`` renders the summary table, ``batch explain`` digs out
+one job's full record (error traceback and health snapshots included).
+Loading mirrors :class:`repro.obs.report.RunReport`: a wrong or missing
+schema raises :class:`~repro.errors.BatchError`, never ``KeyError``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import BatchError
+
+SCHEMA = "repro.batch/v1"
+
+#: Exit code of ``batch run`` / ``batch status`` when some jobs failed.
+#: Documented in docs/BATCH.md; distinct from 1 (usage / setup errors)
+#: so harnesses can tell "the batch ran, parts of it failed" apart from
+#: "the batch never ran".
+EXIT_PARTIAL = 3
+
+
+class BatchManifest:
+    """A frozen account of one batch run."""
+
+    def __init__(self, meta: Dict[str, Any], options: Dict[str, Any],
+                 jobs: List[Dict[str, Any]],
+                 summary: Optional[Dict[str, Any]] = None):
+        self.meta = dict(meta)
+        self.options = dict(options)
+        self.jobs = list(jobs)
+        self.summary = dict(summary) if summary else summarize_jobs(jobs)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BatchManifest":
+        if not isinstance(data, dict):
+            raise BatchError(
+                f"a batch manifest must be a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        schema = data.get("schema")
+        if schema != SCHEMA:
+            raise BatchError(
+                f"unsupported batch manifest schema {schema!r} "
+                f"(expected {SCHEMA})"
+            )
+        return cls(meta=data.get("meta", {}),
+                   options=data.get("options", {}),
+                   jobs=data.get("jobs", []),
+                   summary=data.get("summary"))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "BatchManifest":
+        try:
+            data = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise BatchError(
+                f"batch manifest {path} is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_dict(data)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "meta": self.meta,
+            "options": self.options,
+            "summary": self.summary,
+            "jobs": self.jobs,
+        }
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """One job's record, by id or by deck path/basename."""
+        for record in self.jobs:
+            if record.get("job_id") == job_id:
+                return record
+        for record in self.jobs:
+            deck = record.get("deck", "")
+            if deck == job_id or Path(deck).name == job_id:
+                return record
+        known = ", ".join(r.get("job_id", "?") for r in self.jobs)
+        raise BatchError(f"no job {job_id!r} in manifest (known: {known})")
+
+    def failed_jobs(self) -> List[Dict[str, Any]]:
+        return [r for r in self.jobs if r.get("status") != "ok"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed_jobs()
+
+    def exit_code(self) -> int:
+        """0 when every job succeeded, :data:`EXIT_PARTIAL` otherwise."""
+        return 0 if self.ok else EXIT_PARTIAL
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render_status(self) -> str:
+        """The ``batch status`` table."""
+        lines = [
+            f"batch of {self.summary.get('total', len(self.jobs))} job(s): "
+            f"{self.summary.get('ok', 0)} ok, "
+            f"{self.summary.get('failed', 0)} failed, "
+            f"{self.summary.get('cache_hits', 0)} cache hit(s), "
+            f"{self.summary.get('attempts', 0)} attempt(s), "
+            f"{self.summary.get('wall_s', 0.0):.2f}s wall",
+            f"  {'job':<24s} {'prog':<5s} {'status':<7s} "
+            f"{'cache':<5s} {'tries':>5s} {'wall':>9s}",
+        ]
+        for record in self.jobs:
+            wall = record.get("wall_s")
+            lines.append(
+                f"  {record.get('job_id', '?'):<24s}"
+                f" {record.get('program', '?'):<5s}"
+                f" {record.get('status', '?'):<7s}"
+                f" {record.get('cache', 'off'):<5s}"
+                f" {record.get('attempts', 0):>5d}"
+                f" {(f'{wall * 1000.0:7.1f}ms' if wall is not None else '      --'):>9s}"
+            )
+        return "\n".join(lines)
+
+    def render_explain(self, job_id: str) -> str:
+        """The ``batch explain`` post-mortem for one job."""
+        record = self.job(job_id)
+        lines = [
+            f"job {record.get('job_id', '?')} "
+            f"[{record.get('program', '?')}] -- {record.get('status', '?')}",
+            f"  deck        {record.get('deck', '?')}",
+            f"  fingerprint {record.get('fingerprint', '?')}",
+            f"  cache       {record.get('cache', 'off')}",
+            f"  attempts    {record.get('attempts', 0)}",
+            f"  wall        {record.get('wall_s', 0.0):.3f}s",
+            f"  out dir     {record.get('out_dir', '?')}",
+        ]
+        artifacts = record.get("artifacts") or []
+        lines.append(f"  artifacts   {', '.join(artifacts) if artifacts else '(none)'}")
+        summary = record.get("summary") or {}
+        for problem in summary.get("problems", []):
+            pairs = ", ".join(f"{k}={v}" for k, v in problem.items())
+            lines.append(f"  produced    {pairs}")
+        health = (record.get("obs") or {}).get("health") or []
+        if health:
+            lines.append("  health")
+            for entry in health:
+                values = "  ".join(
+                    f"{k}={v}" for k, v in (entry.get("values") or {}).items()
+                )
+                lines.append(
+                    f"    {entry.get('name', '?'):<20s} {values}"
+                )
+        error = record.get("error")
+        if error:
+            lines.append(f"  error       {error.get('type', '?')}: "
+                         f"{error.get('message', '')}")
+            tb = (error.get("traceback") or "").rstrip()
+            if tb:
+                lines.append("  traceback")
+                lines.extend("    " + line for line in tb.splitlines())
+        return "\n".join(lines)
+
+
+def summarize_jobs(jobs: List[Dict[str, Any]],
+                   wall_s: Optional[float] = None) -> Dict[str, Any]:
+    """Aggregate per-job records into the manifest summary block."""
+    ok = sum(1 for r in jobs if r.get("status") == "ok")
+    return {
+        "total": len(jobs),
+        "ok": ok,
+        "failed": len(jobs) - ok,
+        "cache_hits": sum(1 for r in jobs if r.get("cache") == "hit"),
+        "cache_misses": sum(1 for r in jobs if r.get("cache") == "miss"),
+        "attempts": sum(r.get("attempts", 0) for r in jobs),
+        "wall_s": (wall_s if wall_s is not None
+                   else sum(r.get("wall_s") or 0.0 for r in jobs)),
+    }

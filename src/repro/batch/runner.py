@@ -1,0 +1,282 @@
+"""The batch scheduler: fan jobs out, retry failures, account for all.
+
+Execution plan for one batch:
+
+1. **Cache pass** (in the parent, serial -- it is only a hash and a file
+   copy): every job whose key is already in the artifact cache has its
+   products restored into its out dir and never reaches the pool, which
+   is what makes a fully warm rerun near-instant.
+2. **Execution rounds** over a ``ProcessPoolExecutor`` (or inline when
+   ``jobs == 1``): round 1 runs every miss; each later round re-runs the
+   previous round's failures after an exponential backoff, up to
+   ``retries`` extra attempts per job.  The wall-clock limit is enforced
+   *inside* the worker (SIGALRM), so a timed-out job ends as a recorded
+   failure without poisoning the pool.
+3. **Accounting**: every job -- hit, success or exhausted failure --
+   gets a record in the ``repro.batch/v1`` manifest, and fresh successes
+   are stored back into the cache.
+
+A worker that dies outright (OOM-killed, interpreter abort) surfaces as
+a ``BrokenProcessPool``; the scheduler records the failure against the
+jobs in flight, rebuilds the pool and carries on with the rest of the
+round, preserving failure isolation even for crashes the worker's own
+``except`` can never see.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro import obs
+from repro._version import __version__
+from repro.batch.cache import ArtifactCache, cache_key
+from repro.batch.jobs import JobSpec
+from repro.batch.manifest import BatchManifest, summarize_jobs
+from repro.batch.worker import run_job
+from repro.core.idlz.deck import deck_fingerprint as idlz_fingerprint
+from repro.core.ospl.deck import deck_fingerprint as ospl_fingerprint
+from repro.errors import BatchError
+
+log = logging.getLogger("repro.batch")
+
+#: Ceiling on one inter-round backoff sleep, however many retries deep.
+MAX_BACKOFF_S = 30.0
+
+
+@dataclass
+class BatchOptions:
+    """Knobs of one batch run (mirrored into the manifest)."""
+
+    jobs: int = 1
+    timeout_s: Optional[float] = None
+    retries: int = 0
+    backoff_s: float = 0.1
+    strict: bool = False
+    cache_dir: Optional[Union[str, Path]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "timeout_s": self.timeout_s,
+            "retries": self.retries,
+            "backoff_s": self.backoff_s,
+            "strict": self.strict,
+        }
+
+
+def job_fingerprint(spec: JobSpec) -> str:
+    """The deck-content fingerprint for one job spec."""
+    text = Path(spec.deck).read_text()
+    if spec.program == "idlz":
+        return idlz_fingerprint(text)
+    return ospl_fingerprint(text)
+
+
+def job_cache_key(spec: JobSpec, fingerprint: str) -> str:
+    """The artifact-cache key: deck content + options + code version."""
+    return cache_key(fingerprint, spec.program,
+                     options={"strict": spec.strict})
+
+
+def run_batch(specs: Sequence[JobSpec],
+              options: Optional[BatchOptions] = None,
+              out_root: Union[str, Path] = ".") -> BatchManifest:
+    """Run every job and return the complete manifest.
+
+    Never raises for per-job failures; :class:`~repro.errors.BatchError`
+    only escapes for setup problems (an unreadable deck file counts --
+    if the batch cannot even fingerprint a deck it cannot promise cache
+    correctness for it).
+    """
+    options = options or BatchOptions()
+    if options.jobs < 1:
+        raise BatchError(f"--jobs must be >= 1, got {options.jobs}")
+    if options.retries < 0:
+        raise BatchError(f"--retries must be >= 0, got {options.retries}")
+    started = time.perf_counter()
+    cache = (ArtifactCache(options.cache_dir)
+             if options.cache_dir is not None else None)
+
+    records: Dict[str, Dict[str, Any]] = {}
+    pending: List[JobSpec] = []
+    with obs.span("batch.run", jobs=len(specs), workers=options.jobs):
+        with obs.span("batch.cache_pass", enabled=cache is not None):
+            for spec in specs:
+                try:
+                    fingerprint = job_fingerprint(spec)
+                except OSError as exc:
+                    raise BatchError(
+                        f"cannot read deck {spec.deck}: {exc}"
+                    ) from exc
+                records[spec.job_id] = _base_record(spec, fingerprint)
+                if cache is None:
+                    pending.append(spec)
+                    continue
+                entry = cache.lookup(job_cache_key(spec, fingerprint))
+                if entry is None:
+                    records[spec.job_id]["cache"] = "miss"
+                    pending.append(spec)
+                    continue
+                restore_start = time.perf_counter()
+                artifacts = entry.restore_into(spec.out_dir)
+                record = records[spec.job_id]
+                record.update(entry.result)
+                record.update(
+                    cache="hit",
+                    status="ok",
+                    attempts=0,
+                    artifacts=artifacts,
+                    out_dir=spec.out_dir,
+                    wall_s=time.perf_counter() - restore_start,
+                )
+                obs.count("batch.cache_hits")
+                log.info("job %s: cache hit", spec.job_id)
+        for spec in pending:
+            obs.count("batch.cache_misses" if cache else "batch.uncached")
+
+        with obs.span("batch.execute", pending=len(pending)):
+            for spec, result, attempts in _execute_all(pending, options):
+                record = records[spec.job_id]
+                record.update(result)
+                record["attempts"] = attempts
+                if record["status"] == "ok":
+                    obs.count("batch.jobs_ok")
+                    if cache is not None:
+                        _store(cache, spec, record)
+                else:
+                    obs.count("batch.jobs_failed")
+                    error = record.get("error") or {}
+                    log.warning(
+                        "job %s: failed after %d attempt(s): %s: %s",
+                        spec.job_id, attempts, error.get("type", "?"),
+                        error.get("message", "?"),
+                    )
+
+    jobs = [records[spec.job_id] for spec in specs]
+    manifest = BatchManifest(
+        meta={
+            "created_unix": time.time(),
+            "code_version": __version__,
+            "out_root": str(out_root),
+            "cache_dir": (str(options.cache_dir)
+                          if options.cache_dir is not None else None),
+        },
+        options=options.to_dict(),
+        jobs=jobs,
+        summary=summarize_jobs(
+            jobs, wall_s=time.perf_counter() - started
+        ),
+    )
+    obs.gauge("batch.wall_s", manifest.summary["wall_s"])
+    return manifest
+
+
+def _base_record(spec: JobSpec, fingerprint: str) -> Dict[str, Any]:
+    return {
+        "job_id": spec.job_id,
+        "deck": spec.deck,
+        "program": spec.program,
+        "fingerprint": fingerprint,
+        "cache": "off",
+        "status": "failed",
+        "attempts": 0,
+        "wall_s": None,
+        "out_dir": spec.out_dir,
+        "artifacts": [],
+        "summary": None,
+        "obs": {},
+        "error": None,
+    }
+
+
+def _store(cache: ArtifactCache, spec: JobSpec,
+           record: Dict[str, Any]) -> None:
+    """Store a fresh success; a full cache disk is a warning, not a halt."""
+    stored = {
+        "status": "ok",
+        "summary": record.get("summary"),
+        "obs": record.get("obs"),
+        "error": None,
+    }
+    try:
+        cache.store(job_cache_key(spec, record["fingerprint"]),
+                    stored, spec.out_dir)
+    except BatchError as exc:
+        log.warning("job %s: %s", spec.job_id, exc)
+
+
+def _execute_all(pending: Sequence[JobSpec], options: BatchOptions):
+    """Yield ``(spec, result, attempts)`` for every pending job.
+
+    Round ``r`` runs every job still failing after ``r - 1`` attempts;
+    rounds after the first sleep an exponentially growing backoff first.
+    """
+    attempts = {spec.job_id: 0 for spec in pending}
+    queue = list(pending)
+    round_no = 0
+    while queue:
+        round_no += 1
+        if round_no > 1:
+            delay = min(options.backoff_s * (2.0 ** (round_no - 2)),
+                        MAX_BACKOFF_S)
+            if delay > 0:
+                log.info("retry round %d: %d job(s) after %.2gs backoff",
+                         round_no, len(queue), delay)
+                time.sleep(delay)
+        retry: List[JobSpec] = []
+        for spec, result in _run_round(queue, options):
+            attempts[spec.job_id] += 1
+            if (result["status"] != "ok"
+                    and attempts[spec.job_id] <= options.retries):
+                retry.append(spec)
+                continue
+            yield spec, result, attempts[spec.job_id]
+        queue = retry
+
+
+def _run_round(queue: Sequence[JobSpec], options: BatchOptions
+               ) -> List[Tuple[JobSpec, Dict[str, Any]]]:
+    """One attempt for each queued job, inline or across the pool."""
+    if options.jobs == 1 or len(queue) == 1:
+        return [(spec, run_job(spec.to_dict())) for spec in queue]
+    results: List[Tuple[JobSpec, Dict[str, Any]]] = []
+    workers = min(options.jobs, len(queue))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [(pool.submit(run_job, spec.to_dict()), spec)
+                   for spec in queue]
+        for future, spec in futures:
+            try:
+                results.append((spec, future.result()))
+            except BrokenProcessPool as exc:
+                # The worker process died outright (OOM kill, interpreter
+                # abort) -- something run_job's own except can never
+                # report.  Record the crash against this job; siblings on
+                # the same dead pool fail the same way and any retry
+                # round builds a fresh pool.
+                results.append((spec, _crash_result(spec, exc)))
+            except Exception as exc:  # unpicklable result, cancellation
+                results.append((spec, _crash_result(spec, exc)))
+    return results
+
+
+def _crash_result(spec: JobSpec, exc: BaseException) -> Dict[str, Any]:
+    """A result record for a job whose worker never reported back."""
+    return {
+        "job_id": spec.job_id,
+        "status": "failed",
+        "summary": None,
+        "artifacts": [],
+        "obs": {},
+        "wall_s": None,
+        "error": {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": "",
+        },
+    }

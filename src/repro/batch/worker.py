@@ -1,0 +1,140 @@
+"""The batch worker: run one job, never raise.
+
+:func:`run_job` is the function the scheduler ships across the process
+pool (and calls inline when ``--jobs 1``).  It takes a pickled
+:class:`~repro.batch.jobs.JobSpec` dict and returns a plain result dict;
+every failure mode -- parse error, limit violation, timeout, even a
+stray ``KeyError`` in the pipeline -- is captured into that dict so one
+bad deck can never take its siblings (or the pool) down with it.
+
+Each job runs under its own observability capture; the health snapshots
+and counters it collects ride back in the result and end up embedded in
+the batch manifest, so a post-mortem on a batch of 500 decks has the
+same per-stage numerical-health evidence a single ``--health`` run
+prints.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+
+class JobTimeout(Exception):
+    """The job exceeded its wall-clock budget."""
+
+
+class _Deadline:
+    """SIGALRM-based wall-clock limit around one job.
+
+    Works only on the main thread of a process with ``SIGALRM`` (every
+    pool worker qualifies; so does the CLI's inline path).  Anywhere
+    else it degrades to no limit rather than refusing to run.
+    """
+
+    def __init__(self, seconds: Optional[float]):
+        self.seconds = seconds
+        self._armed = False
+
+    def __enter__(self) -> "_Deadline":
+        if (self.seconds is not None and self.seconds > 0
+                and hasattr(signal, "SIGALRM")
+                and threading.current_thread() is threading.main_thread()):
+            def _expire(signum, frame):
+                raise JobTimeout(
+                    f"job exceeded its {self.seconds:g}s wall-clock limit"
+                )
+
+            self._previous = signal.signal(signal.SIGALRM, _expire)
+            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+            self._armed = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._previous)
+        return False
+
+
+def _execute(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Run the program named by the spec; returns the summary payload."""
+    from repro.core.idlz import limits as idlz_limits
+    from repro.core.idlz.program import run_idlz_files
+    from repro.core.ospl import limits as ospl_limits
+    from repro.core.ospl.program import run_ospl_files
+
+    deck = Path(spec["deck"])
+    out_dir = Path(spec["out_dir"])
+    if out_dir.is_dir():
+        # A retry must not inherit the half-written products of the
+        # attempt that failed; the directory is job-private by contract.
+        for stale in out_dir.iterdir():
+            if stale.is_file():
+                stale.unlink()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    if spec["program"] == "idlz":
+        limits = (idlz_limits.STRICT_1970 if spec.get("strict")
+                  else idlz_limits.UNLIMITED)
+        runs = run_idlz_files(deck, out_dir, limits=limits)
+        return {"problems": [run.summary_dict() for run in runs]}
+    limits = (ospl_limits.STRICT_1970 if spec.get("strict")
+              else ospl_limits.UNLIMITED)
+    run = run_ospl_files(deck, out_dir / "plot.svg", limits=limits)
+    return {"problems": [run.summary_dict()]}
+
+
+def run_job(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one job spec; always returns, never raises.
+
+    The result dict is the manifest's per-attempt record::
+
+        {"job_id", "status": "ok"|"failed", "wall_s",
+         "summary": {...} | None,          # program products digest
+         "artifacts": [names...],          # files under the job out dir
+         "obs": {"health": [...], "counters": {...}},
+         "error": {"type", "message", "traceback"} | None}
+    """
+    from repro import obs
+
+    start = time.perf_counter()
+    result: Dict[str, Any] = {
+        "job_id": spec["job_id"],
+        "status": "ok",
+        "summary": None,
+        "artifacts": [],
+        "obs": {},
+        "error": None,
+    }
+    observer = obs.enable()
+    try:
+        with _Deadline(spec.get("timeout_s")):
+            with obs.span("batch.job", job_id=spec["job_id"],
+                          program=spec["program"]):
+                result["summary"] = _execute(spec)
+    except Exception as exc:
+        result["status"] = "failed"
+        result["error"] = {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(limit=20),
+        }
+    finally:
+        report = observer.report(job_id=spec["job_id"],
+                                 program=spec["program"])
+        obs.disable(observer)
+    result["obs"] = {
+        "health": report.health,
+        "counters": report.counters(),
+    }
+    out_dir = Path(spec["out_dir"])
+    if out_dir.is_dir():
+        result["artifacts"] = sorted(
+            p.name for p in out_dir.iterdir() if p.is_file()
+        )
+    result["wall_s"] = time.perf_counter() - start
+    return result

@@ -69,3 +69,18 @@ def deck_from_text(text: str, strict: bool = True) -> List[Card]:
 def deck_to_text(cards: Iterable[Card]) -> str:
     """Join a deck back into a text blob (trailing blanks trimmed)."""
     return "\n".join(str(c) for c in cards) + "\n"
+
+
+def canonical_deck_text(text: str) -> str:
+    """Normalise a deck blob to its canonical card-tray form.
+
+    Trailing whitespace on each card and trailing blank cards carry no
+    information on a punched card (columns past the last punch are just
+    unpunched), so two decks that differ only there are the same tray.
+    The batch engine fingerprints this canonical form, making its
+    artifact cache insensitive to editor noise.
+    """
+    lines = [line.rstrip() for line in text.splitlines()]
+    while lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines) + "\n" if lines else ""

@@ -2,6 +2,11 @@
 
     python -m repro idlz INPUT.deck -o OUT_DIR [--strict]
     python -m repro ospl INPUT.deck -o PLOT.svg [--strict] [--ascii]
+    python -m repro batch run GLOB... -o DIR [--jobs N --timeout S
+                                              --retries K --cache-dir D]
+    python -m repro batch status MANIFEST.json
+    python -m repro batch explain MANIFEST.json JOB
+    python -m repro batch corpus [-o DIR]
     python -m repro obs diff BASELINE.json CANDIDATE.json
     python -m repro obs check REPORT.json --against BASELINE.json
     python -m repro obs render REPORT.json
@@ -9,6 +14,13 @@
 ``--strict`` enforces the Table 1/2 restrictions exactly as the 7090
 builds did; ``--ascii`` additionally prints a terminal preview of the
 OSPL plot.
+
+The ``batch`` family (see docs/BATCH.md) runs many decks at once over a
+process pool with per-job timeouts and bounded retries, skips any deck
+whose products are already in the ``--cache-dir`` artifact cache, and
+writes a ``repro.batch/v1`` manifest; ``batch run`` exits 0 when every
+job succeeded and 3 (partial failure) when some failed -- sibling jobs
+are unaffected either way.
 
 Observability (see docs/OBSERVABILITY.md): ``--trace`` prints a
 per-stage timing tree to stderr, ``--report PATH.json`` writes the
@@ -30,6 +42,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro import obs
+from repro._version import __version__
 from repro.core.idlz import limits as idlz_limits
 from repro.core.idlz.program import run_idlz_files
 from repro.core.ospl import limits as ospl_limits
@@ -60,6 +73,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="IDLZ and OSPL (Rockwell & Pincus, 1970) on card decks",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     idlz = sub.add_parser("idlz", help="idealize structures from a deck")
@@ -81,6 +96,67 @@ def build_parser() -> argparse.ArgumentParser:
     ospl.add_argument("--ascii", action="store_true",
                       help="also print an ASCII preview")
     _add_common_options(ospl)
+
+    batch = sub.add_parser("batch", help="run many decks with caching, "
+                                         "retries and a manifest")
+    batch_sub = batch.add_subparsers(dest="batch_command", required=True)
+
+    batch_run = batch_sub.add_parser(
+        "run", help="fan decks out over a worker pool")
+    batch_run.add_argument("decks", nargs="+", metavar="DECK",
+                           help="deck files or glob patterns "
+                                "(** recurses; quote globs)")
+    batch_run.add_argument("-o", "--out", type=Path,
+                           default=Path("batch_out"),
+                           help="output root; each job gets "
+                                "OUT/<job_id>/ (default: batch_out)")
+    batch_run.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="worker processes (default: 1, inline)")
+    batch_run.add_argument("--timeout", type=float, default=None,
+                           metavar="SECONDS",
+                           help="per-job wall-clock limit "
+                                "(default: none)")
+    batch_run.add_argument("--retries", type=int, default=0, metavar="K",
+                           help="extra attempts per failing job "
+                                "(default: 0)")
+    batch_run.add_argument("--backoff", type=float, default=0.1,
+                           metavar="SECONDS",
+                           help="base retry backoff, doubled per round "
+                                "(default: 0.1)")
+    batch_run.add_argument("--cache-dir", type=Path, default=None,
+                           metavar="DIR",
+                           help="content-addressed artifact cache; "
+                                "unchanged decks are restored, "
+                                "not recomputed")
+    batch_run.add_argument("--strict", action="store_true",
+                           help="run every deck under the 1970 "
+                                "restrictions")
+    batch_run.add_argument("--manifest", type=Path, default=None,
+                           metavar="PATH",
+                           help="manifest path (default: "
+                                "OUT/batch_manifest.json)")
+    _add_common_options(batch_run)
+
+    batch_status = batch_sub.add_parser(
+        "status", help="summarise a saved batch manifest")
+    batch_status.add_argument("manifest", type=Path,
+                              help="batch_manifest.json")
+
+    batch_explain = batch_sub.add_parser(
+        "explain", help="post-mortem one job of a saved manifest")
+    batch_explain.add_argument("manifest", type=Path,
+                               help="batch_manifest.json")
+    batch_explain.add_argument("job", help="job id, deck path or "
+                                           "deck basename")
+
+    batch_corpus = batch_sub.add_parser(
+        "corpus", help="dump the structure library as deck files")
+    batch_corpus.add_argument("-o", "--out", type=Path,
+                              default=Path("examples/decks/library"),
+                              help="corpus directory (default: "
+                                   "examples/decks/library)")
+    batch_corpus.add_argument("-q", "--quiet", action="store_true",
+                              help="suppress the per-deck listing")
 
     obs_cmd = sub.add_parser("obs", help="diff, gate and render saved "
                                          "run reports")
@@ -191,6 +267,54 @@ def _run_ospl(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_batch(args: argparse.Namespace) -> int:
+    from repro.batch import BatchOptions, discover_jobs, run_batch
+
+    options = BatchOptions(
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        backoff_s=args.backoff,
+        strict=args.strict,
+        cache_dir=args.cache_dir,
+    )
+    specs = discover_jobs(args.decks, args.out, strict=args.strict,
+                          timeout_s=args.timeout)
+    manifest = run_batch(specs, options, out_root=args.out)
+    manifest_path = (args.manifest if args.manifest is not None
+                     else args.out / "batch_manifest.json")
+    manifest.save(manifest_path)
+    if not args.quiet:
+        print(manifest.render_status())
+        print(f"manifest written to {manifest_path}")
+        for record in manifest.failed_jobs():
+            print(f"  see: python -m repro batch explain {manifest_path} "
+                  f"{record['job_id']}")
+    return manifest.exit_code()
+
+
+def _run_batch_tools(args: argparse.Namespace) -> int:
+    """The manifest-reading and corpus subcommands (no job execution)."""
+    from repro.batch.manifest import BatchManifest
+
+    if args.batch_command == "status":
+        manifest = BatchManifest.load(args.manifest)
+        print(manifest.render_status())
+        return manifest.exit_code()
+    if args.batch_command == "explain":
+        manifest = BatchManifest.load(args.manifest)
+        print(manifest.render_explain(args.job))
+        return 0
+    from repro.batch.corpus import dump_library
+
+    written = dump_library(args.out)
+    if not args.quiet:
+        for name, path in written.items():
+            print(f"{name:<24s} -> {path}")
+        print(f"{len(written)} deck(s) under {args.out}/")
+    return 0
+
+
 def _run_obs(args: argparse.Namespace) -> int:
     from repro.obs.diff import (
         FORMATTERS,
@@ -250,6 +374,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         except (ReproError, FileNotFoundError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
+    if args.command == "batch" and args.batch_command != "run":
+        try:
+            return _run_batch_tools(args)
+        except (ReproError, FileNotFoundError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     _configure_logging(args.verbose, args.quiet)
     observer = (obs.enable()
                 if (args.trace or args.health or args.report is not None)
@@ -257,6 +387,8 @@ def _dispatch(args: argparse.Namespace) -> int:
     try:
         if args.command == "idlz":
             return _run_idlz(args)
+        if args.command == "batch":
+            return _run_batch(args)
         return _run_ospl(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -268,7 +400,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         if observer is not None:
             report = observer.report(
                 command=args.command,
-                deck=str(args.deck),
+                deck=str(getattr(args, "deck", "") or
+                         " ".join(getattr(args, "decks", []))),
                 strict=bool(args.strict),
             )
             if args.trace:

@@ -22,9 +22,11 @@ produces.  F8.4 fields honour FORTRAN implied-decimal input.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.cards.card import canonical_deck_text
 from repro.cards.fortran_format import FortranFormat
 from repro.cards.reader import CardReader
 from repro.cards.writer import CardWriter
@@ -88,6 +90,19 @@ class IdlzProblem:
             count += 2  # type 5
             count += 9 * by_sub.get(sub.index, 0)  # type 6
         return count
+
+
+def deck_fingerprint(text: str) -> str:
+    """Content fingerprint of an IDLZ deck blob (sha-256 hex).
+
+    Hashes the canonical card-tray form (trailing blanks dropped) with a
+    program tag, so an IDLZ deck and a byte-identical OSPL deck never
+    share a fingerprint.  The batch engine combines this with the run
+    options and the code version to key its artifact cache.
+    """
+    digest = hashlib.sha256(b"idlz\n")
+    digest.update(canonical_deck_text(text).encode())
+    return digest.hexdigest()
 
 
 # ----------------------------------------------------------------------

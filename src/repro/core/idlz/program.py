@@ -45,6 +45,24 @@ class IdlzRun:
     def title(self) -> str:
         return self.problem.title
 
+    def summary_dict(self) -> dict:
+        """A JSON-safe digest of what the problem produced.
+
+        This is the per-problem record the batch manifest embeds, so it
+        sticks to plain scalars.
+        """
+        ideal = self.idealization
+        return {
+            "title": self.title,
+            "nodes": ideal.n_nodes,
+            "elements": ideal.n_elements,
+            "bandwidth_before": ideal.bandwidth_before,
+            "bandwidth_after": ideal.bandwidth_after,
+            "swaps": ideal.swaps,
+            "frames": len(self.frames),
+            "cards_punched": len(self.punched) if self.punched else 0,
+        }
+
 
 def run_idlz(reader: CardReader,
              limits: IdlzLimits = UNLIMITED) -> List[IdlzRun]:

@@ -13,11 +13,13 @@ interval; the XMX/XMN/YMX/YMN window supports the zoom feature.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cards.card import canonical_deck_text
 from repro.cards.fortran_format import FortranFormat
 from repro.cards.reader import CardReader
 from repro.cards.writer import CardWriter
@@ -59,6 +61,17 @@ class OsplProblem:
     def input_value_count(self) -> int:
         """Numeric payload of the deck (for the data-volume claims)."""
         return 7 + 4 * self.mesh.n_nodes + 3 * self.mesh.n_elements
+
+
+def deck_fingerprint(text: str) -> str:
+    """Content fingerprint of an OSPL deck blob (sha-256 hex).
+
+    Same canonicalisation as :func:`repro.core.idlz.deck.deck_fingerprint`
+    but under the ``ospl`` program tag; used by the batch artifact cache.
+    """
+    digest = hashlib.sha256(b"ospl\n")
+    digest.update(canonical_deck_text(text).encode())
+    return digest.hexdigest()
 
 
 def read_ospl_deck(reader: CardReader) -> OsplProblem:

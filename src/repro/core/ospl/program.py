@@ -32,6 +32,18 @@ class OsplRun:
     def title(self) -> str:
         return self.problem.title1
 
+    def summary_dict(self) -> dict:
+        """A JSON-safe digest of the plot (embedded in batch manifests)."""
+        return {
+            "title": self.title,
+            "nodes": self.problem.mesh.n_nodes,
+            "elements": self.problem.mesh.n_elements,
+            "interval": float(self.plot.interval),
+            "levels": len(self.plot.levels),
+            "segments": self.plot.n_segments(),
+            "labels": len(self.plot.labels),
+        }
+
 
 def run_ospl(reader: CardReader,
              limits: OsplLimits = UNLIMITED) -> OsplRun:

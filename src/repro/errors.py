@@ -81,3 +81,12 @@ class PlotterError(ReproError):
 
 class ObsError(ReproError):
     """An observability artefact (run report, diff, baseline) is invalid."""
+
+
+class BatchError(ReproError):
+    """The batch engine could not set up or account for a run (no decks
+    matched, unclassifiable deck, invalid manifest or cache entry).
+
+    Per-job *execution* failures never raise this: they are captured into
+    the batch manifest so one bad deck cannot sink its siblings.
+    """

@@ -91,3 +91,86 @@ class TestArcRules:
     def test_coincident_endpoints_rejected(self):
         with pytest.raises(ArcError, match="coincide"):
             arc_through(Point(1, 1), Point(1, 1), 1.0)
+
+
+class TestPaperEdgeCases:
+    """The shaping rules' boundary conditions: an arc subtending exactly
+    90 degrees, a near-zero chord, and the CCW end-1 -> end-2 convention
+    (Appendix A's GENERAL RESTRICTIONS)."""
+
+    def test_exact_90_degrees_from_float_chord(self):
+        # chord = r * sqrt(2) puts the sweep exactly on the restriction;
+        # the construction must accept it despite round-off in sqrt.
+        for r in (1.0, 0.3, 7.5, 1e3, 1e-3):
+            chord = r * math.sqrt(2.0)
+            arc = arc_through(Point(0, 0), Point(chord, 0), r)
+            assert arc.sweep == pytest.approx(math.pi / 2, rel=1e-12)
+
+    def test_exact_90_degrees_from_rotated_endpoints(self):
+        # Endpoints sitting on the circle a quarter-turn apart, at an
+        # arbitrary rotation, still pass the 90-degree gate.
+        r = 2.5
+        for phi in (0.0, 0.31, 1.7, 3.0, -2.2):
+            start = Point(r * math.cos(phi), r * math.sin(phi))
+            end = Point(r * math.cos(phi + math.pi / 2),
+                        r * math.sin(phi + math.pi / 2))
+            arc = arc_through(start, end, r)
+            assert arc.sweep == pytest.approx(math.pi / 2, rel=1e-9)
+            assert arc.point_at(0.0).x == pytest.approx(start.x)
+            assert arc.point_at(1.0).y == pytest.approx(end.y)
+
+    def test_near_zero_chord_yields_tiny_sweep(self):
+        # A chord far smaller than the radius is a legal sliver of arc:
+        # sweep ~ chord / r, length ~ chord, and no restriction trips.
+        chord = 1e-9
+        arc = arc_through(Point(0, 0), Point(chord, 0), 1.0)
+        assert arc.sweep == pytest.approx(chord, rel=1e-6)
+        assert arc.length() == pytest.approx(chord, rel=1e-6)
+        # The centre sits essentially one radius to the left of the
+        # (eastbound) chord, i.e. straight up.
+        assert arc.center.y == pytest.approx(1.0, rel=1e-9)
+
+    def test_near_zero_chord_midpoint_stays_near_endpoints(self):
+        chord = 1e-9
+        arc = arc_through(Point(0, 0), Point(chord, 0), 1.0)
+        mid = arc.point_at(0.5)
+        assert distance(Point(0, 0), mid) <= chord
+
+    def test_ccw_orientation_every_quadrant(self):
+        # "moving from end 1 to end 2 on the arc is a counterclockwise
+        # motion": the cross product of the centre->start and
+        # centre->end radii must be positive for any chord direction.
+        r = 2.0
+        chord = 1.0
+        for phi in [k * math.pi / 6 for k in range(12)]:
+            start = Point(5.0, -3.0)
+            end = Point(start.x + chord * math.cos(phi),
+                        start.y + chord * math.sin(phi))
+            arc = arc_through(start, end, r)
+            sx, sy = start.x - arc.center.x, start.y - arc.center.y
+            ex, ey = end.x - arc.center.x, end.y - arc.center.y
+            assert sx * ey - sy * ex > 0.0, \
+                f"chord at {math.degrees(phi):.0f} deg is not CCW"
+            assert arc.theta1 > arc.theta0
+
+    def test_ccw_midpoint_lies_left_of_chord(self):
+        # Equivalent statement of the rule: the bulge of the arc falls
+        # on the right of the directed chord, the centre on the left.
+        start, end = Point(0, 0), Point(1, 1)
+        arc = arc_through(start, end, 1.0)
+        mid = arc.point_at(0.5)
+        cx, cy = end.x - start.x, end.y - start.y
+        cross_mid = cx * (mid.y - start.y) - cy * (mid.x - start.x)
+        cross_center = (cx * (arc.center.y - start.y)
+                        - cy * (arc.center.x - start.x))
+        assert cross_mid < 0.0
+        assert cross_center > 0.0
+
+    def test_swapping_endpoints_mirrors_the_center(self):
+        # End order matters under the CCW rule: reversing the chord
+        # direction puts the centre on the other side.
+        a, b = Point(0, 0), Point(1, 0)
+        fwd = arc_through(a, b, 1.0)
+        rev = arc_through(b, a, 1.0)
+        assert fwd.center.y == pytest.approx(-rev.center.y)
+        assert fwd.sweep == pytest.approx(rev.sweep)
