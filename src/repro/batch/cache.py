@@ -37,6 +37,9 @@ from repro.errors import BatchError
 #: Cache entry format version (bump to orphan old entries wholesale).
 ENTRY_SCHEMA = "repro.batch-cache/v1"
 
+#: Lint-verdict sidecar format version (same bump rule).
+LINT_SCHEMA = "repro.batch-lint/v1"
+
 
 def cache_key(deck_fingerprint: str, program: str,
               options: Optional[Dict[str, Any]] = None,
@@ -46,6 +49,23 @@ def cache_key(deck_fingerprint: str, program: str,
         "deck": deck_fingerprint,
         "program": program,
         "options": dict(sorted((options or {}).items())),
+        "code_version": code_version,
+    }, sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def lint_key(deck_fingerprint: str, program: str, strict: bool,
+             code_version: str = __version__) -> str:
+    """The content address of one deck's lint verdict (sha-256 hex).
+
+    Keyed like :func:`cache_key` -- deck content, program, the options
+    that change diagnostics (``strict`` escalates the LIM rules) and the
+    code version, so new or changed rules invalidate stored verdicts.
+    """
+    payload = json.dumps({
+        "deck": deck_fingerprint,
+        "program": program,
+        "strict": strict,
         "code_version": code_version,
     }, sort_keys=True)
     return hashlib.sha256(payload.encode()).hexdigest()
@@ -137,6 +157,46 @@ class ArtifactCache:
         if entry is None:
             raise BatchError(f"cache entry {key} unreadable after store")
         return entry
+
+    # ------------------------------------------------------------------
+    # Lint-verdict sidecar
+    # ------------------------------------------------------------------
+    def _lint_file(self, key: str) -> Path:
+        return self.root / "lint" / key[:2] / f"{key}.json"
+
+    def lookup_lint(self, key: str) -> Optional[Dict[str, Any]]:
+        """A stored lint verdict, or ``None``; corruption is a miss."""
+        try:
+            data = json.loads(self._lint_file(key).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (not isinstance(data, dict)
+                or data.get("schema") != LINT_SCHEMA
+                or not isinstance(data.get("verdict"), dict)):
+            return None
+        return data["verdict"]
+
+    def store_lint(self, key: str, verdict: Dict[str, Any]) -> None:
+        """Store one deck's lint verdict (atomic, like :meth:`store`)."""
+        path = self._lint_file(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({
+            "schema": LINT_SCHEMA,
+            "key": key,
+            "stored_unix": time.time(),
+            "code_version": __version__,
+            "verdict": verdict,
+        }, indent=2) + "\n"
+        try:
+            fd, stage = tempfile.mkstemp(prefix=f".{key[:12]}-",
+                                         dir=path.parent)
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(stage, path)
+        except OSError as exc:
+            raise BatchError(
+                f"cannot store lint verdict {key}: {exc}"
+            ) from exc
 
     def __contains__(self, key: str) -> bool:
         return self.lookup(key) is not None

@@ -6,15 +6,22 @@ Schema ``repro.batch/v1``::
       "schema": "repro.batch/v1",
       "meta":    {"created_unix", "code_version", "out_root",
                   "cache_dir" | null},
-      "options": {"jobs", "timeout_s", "retries", "backoff_s", "strict"},
-      "summary": {"total", "ok", "failed", "cache_hits", "cache_misses",
-                  "attempts", "wall_s"},
+      "options": {"jobs", "timeout_s", "retries", "backoff_s", "strict",
+                  "lint"},
+      "summary": {"total", "ok", "failed", "rejected", "cache_hits",
+                  "cache_misses", "attempts", "wall_s"},
       "jobs": [ {"job_id", "deck", "program", "fingerprint",
-                 "status": "ok"|"failed", "cache": "hit"|"miss"|"off",
+                 "status": "ok"|"failed"|"rejected",
+                 "cache": "hit"|"miss"|"off",
                  "attempts", "wall_s", "out_dir", "artifacts": [...],
                  "summary": {...}|null, "obs": {"health", "counters"},
+                 "lint": {"ok", "counts", "diagnostics": [...]}|null,
                  "error": {"type","message","traceback"}|null}, ... ]
     }
+
+``status: "rejected"`` means the ``--lint`` pre-flight found errors and
+the job never reached a worker; its ``lint`` block carries the full
+verdict (also present, with ``ok: true``, on jobs that passed).
 
 ``batch status`` renders the summary table, ``batch explain`` digs out
 one job's full record (error traceback and health snapshots included).
@@ -131,27 +138,31 @@ class BatchManifest:
             f"batch of {self.summary.get('total', len(self.jobs))} job(s): "
             f"{self.summary.get('ok', 0)} ok, "
             f"{self.summary.get('failed', 0)} failed, "
+            f"{self.summary.get('rejected', 0)} rejected, "
             f"{self.summary.get('cache_hits', 0)} cache hit(s), "
             f"{self.summary.get('attempts', 0)} attempt(s), "
             f"{self.summary.get('wall_s', 0.0):.2f}s wall",
-            f"  {'job':<24s} {'prog':<5s} {'status':<7s} "
+            f"  {'job':<24s} {'prog':<5s} {'status':<8s} "
             f"{'cache':<5s} {'tries':>5s} {'wall':>9s}",
         ]
         for record in self.jobs:
             wall = record.get("wall_s")
+            wall_text = (f"{wall * 1000.0:7.1f}ms" if wall is not None
+                         else "      --")
             lines.append(
                 f"  {record.get('job_id', '?'):<24s}"
                 f" {record.get('program', '?'):<5s}"
-                f" {record.get('status', '?'):<7s}"
+                f" {record.get('status', '?'):<8s}"
                 f" {record.get('cache', 'off'):<5s}"
                 f" {record.get('attempts', 0):>5d}"
-                f" {(f'{wall * 1000.0:7.1f}ms' if wall is not None else '      --'):>9s}"
+                f" {wall_text:>9s}"
             )
         return "\n".join(lines)
 
     def render_explain(self, job_id: str) -> str:
         """The ``batch explain`` post-mortem for one job."""
         record = self.job(job_id)
+        wall = record.get("wall_s")
         lines = [
             f"job {record.get('job_id', '?')} "
             f"[{record.get('program', '?')}] -- {record.get('status', '?')}",
@@ -159,7 +170,7 @@ class BatchManifest:
             f"  fingerprint {record.get('fingerprint', '?')}",
             f"  cache       {record.get('cache', 'off')}",
             f"  attempts    {record.get('attempts', 0)}",
-            f"  wall        {record.get('wall_s', 0.0):.3f}s",
+            f"  wall        {f'{wall:.3f}s' if wall is not None else '--'}",
             f"  out dir     {record.get('out_dir', '?')}",
         ]
         artifacts = record.get("artifacts") or []
@@ -168,6 +179,21 @@ class BatchManifest:
         for problem in summary.get("problems", []):
             pairs = ", ".join(f"{k}={v}" for k, v in problem.items())
             lines.append(f"  produced    {pairs}")
+        lint = record.get("lint")
+        if lint:
+            counts = lint.get("counts") or {}
+            lint_summary = ", ".join(
+                f"{counts.get(s, 0)} {s}(s)"
+                for s in ("error", "warning", "info") if counts.get(s)
+            ) or "clean"
+            lines.append(f"  lint        {lint_summary}")
+            for diag in lint.get("diagnostics") or []:
+                card = diag.get("card") or 0
+                at = f"card {card}" if card else "deck"
+                lines.append(
+                    f"    {at}: {diag.get('severity', '?')} "
+                    f"{diag.get('code', '?')}: {diag.get('message', '?')}"
+                )
         health = (record.get("obs") or {}).get("health") or []
         if health:
             lines.append("  health")
@@ -193,10 +219,12 @@ def summarize_jobs(jobs: List[Dict[str, Any]],
                    wall_s: Optional[float] = None) -> Dict[str, Any]:
     """Aggregate per-job records into the manifest summary block."""
     ok = sum(1 for r in jobs if r.get("status") == "ok")
+    rejected = sum(1 for r in jobs if r.get("status") == "rejected")
     return {
         "total": len(jobs),
         "ok": ok,
-        "failed": len(jobs) - ok,
+        "failed": len(jobs) - ok - rejected,
+        "rejected": rejected,
         "cache_hits": sum(1 for r in jobs if r.get("cache") == "hit"),
         "cache_misses": sum(1 for r in jobs if r.get("cache") == "miss"),
         "attempts": sum(r.get("attempts", 0) for r in jobs),

@@ -31,11 +31,12 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (Any, Dict, Iterator, List, Optional, Sequence, Tuple,
+                    Union)
 
 from repro import obs
 from repro._version import __version__
-from repro.batch.cache import ArtifactCache, cache_key
+from repro.batch.cache import ArtifactCache, cache_key, lint_key
 from repro.batch.jobs import JobSpec
 from repro.batch.manifest import BatchManifest, summarize_jobs
 from repro.batch.worker import run_job
@@ -59,6 +60,7 @@ class BatchOptions:
     backoff_s: float = 0.1
     strict: bool = False
     cache_dir: Optional[Union[str, Path]] = None
+    lint: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -67,6 +69,7 @@ class BatchOptions:
             "retries": self.retries,
             "backoff_s": self.backoff_s,
             "strict": self.strict,
+            "lint": self.lint,
         }
 
 
@@ -82,6 +85,33 @@ def job_cache_key(spec: JobSpec, fingerprint: str) -> str:
     """The artifact-cache key: deck content + options + code version."""
     return cache_key(fingerprint, spec.program,
                      options={"strict": spec.strict})
+
+
+def _lint_verdict(cache: Optional[ArtifactCache], spec: JobSpec,
+                  fingerprint: str) -> Dict[str, Any]:
+    """The lint verdict for one job, through the cache sidecar.
+
+    Verdicts are keyed on deck content + program + strict + code
+    version, so a warm rerun skips the analysis entirely and a rule
+    change invalidates every stored verdict at once.
+    """
+    key = lint_key(fingerprint, spec.program, spec.strict)
+    if cache is not None:
+        cached = cache.lookup_lint(key)
+        if cached is not None:
+            obs.count("batch.lint_cache_hits")
+            return cached
+    from repro.lint import lint_text
+
+    result = lint_text(Path(spec.deck).read_text(), spec.deck,
+                       program=spec.program, strict=spec.strict)
+    verdict = result.to_dict()
+    if cache is not None:
+        try:
+            cache.store_lint(key, verdict)
+        except BatchError as exc:
+            log.warning("job %s: %s", spec.job_id, exc)
+    return verdict
 
 
 def run_batch(specs: Sequence[JobSpec],
@@ -115,6 +145,34 @@ def run_batch(specs: Sequence[JobSpec],
                         f"cannot read deck {spec.deck}: {exc}"
                     ) from exc
                 records[spec.job_id] = _base_record(spec, fingerprint)
+                if options.lint:
+                    verdict = _lint_verdict(cache, spec, fingerprint)
+                    record = records[spec.job_id]
+                    record["lint"] = verdict
+                    if not verdict.get("ok", False):
+                        counts = verdict.get("counts") or {}
+                        n_errors = counts.get("error", 0)
+                        first = next(
+                            (d for d in verdict.get("diagnostics", [])
+                             if d.get("severity") == "error"), {})
+                        record.update(
+                            status="rejected",
+                            error={
+                                "type": "lint",
+                                "message": (
+                                    f"{n_errors} lint error(s); first: "
+                                    f"{first.get('code', '?')}: "
+                                    f"{first.get('message', '?')}"
+                                ),
+                                "traceback": "",
+                            },
+                        )
+                        obs.count("batch.jobs_rejected")
+                        log.warning(
+                            "job %s: rejected by lint (%d error(s))",
+                            spec.job_id, n_errors,
+                        )
+                        continue
                 if cache is None:
                     pending.append(spec)
                     continue
@@ -191,6 +249,7 @@ def _base_record(spec: JobSpec, fingerprint: str) -> Dict[str, Any]:
         "artifacts": [],
         "summary": None,
         "obs": {},
+        "lint": None,
         "error": None,
     }
 
@@ -211,7 +270,9 @@ def _store(cache: ArtifactCache, spec: JobSpec,
         log.warning("job %s: %s", spec.job_id, exc)
 
 
-def _execute_all(pending: Sequence[JobSpec], options: BatchOptions):
+def _execute_all(
+    pending: Sequence[JobSpec], options: BatchOptions,
+) -> Iterator[Tuple[JobSpec, Dict[str, Any], int]]:
     """Yield ``(spec, result, attempts)`` for every pending job.
 
     Round ``r`` runs every job still failing after ``r - 1`` attempts;

@@ -44,7 +44,7 @@ class _Deadline:
         if (self.seconds is not None and self.seconds > 0
                 and hasattr(signal, "SIGALRM")
                 and threading.current_thread() is threading.main_thread()):
-            def _expire(signum, frame):
+            def _expire(signum: int, frame: Any) -> None:
                 raise JobTimeout(
                     f"job exceeded its {self.seconds:g}s wall-clock limit"
                 )
@@ -54,7 +54,7 @@ class _Deadline:
             self._armed = True
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
         if self._armed:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, self._previous)

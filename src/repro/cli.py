@@ -2,8 +2,11 @@
 
     python -m repro idlz INPUT.deck -o OUT_DIR [--strict]
     python -m repro ospl INPUT.deck -o PLOT.svg [--strict] [--ascii]
-    python -m repro batch run GLOB... -o DIR [--jobs N --timeout S
-                                              --retries K --cache-dir D]
+    python -m repro lint DECKS... [-R] [--format text|json] [--strict]
+    python -m repro lint --explain CODE
+    python -m repro batch run GLOB... -o DIR [--lint] [--jobs N
+                                              --timeout S --retries K
+                                              --cache-dir D]
     python -m repro batch status MANIFEST.json
     python -m repro batch explain MANIFEST.json JOB
     python -m repro batch corpus [-o DIR]
@@ -14,6 +17,14 @@
 ``--strict`` enforces the Table 1/2 restrictions exactly as the 7090
 builds did; ``--ascii`` additionally prints a terminal preview of the
 OSPL plot.
+
+``lint`` (see docs/LINT.md) statically analyzes decks without running
+them: every finding carries a stable rule code (``IDZ...``, ``OSP...``,
+``FMT...``, ``LIM...``), a severity and the card it points at;
+``--explain CODE`` prints the catalog entry and the exit code is 1 when
+any deck has errors.  ``batch run --lint`` runs the same analysis as a
+pre-flight and records error-bearing decks as ``rejected`` in the
+manifest without spawning a worker for them.
 
 The ``batch`` family (see docs/BATCH.md) runs many decks at once over a
 process pool with per-job timeouts and bounded retries, skips any deck
@@ -97,6 +108,25 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also print an ASCII preview")
     _add_common_options(ospl)
 
+    lint = sub.add_parser("lint", help="statically analyze decks "
+                                       "without running them")
+    lint.add_argument("decks", nargs="*", metavar="DECK",
+                      help="deck files or directories of *.deck files")
+    lint.add_argument("-R", "--recursive", action="store_true",
+                      help="recurse into directories")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text", help="output format")
+    lint.add_argument("--strict", action="store_true",
+                      help="escalate the Table 1/2 LIM warnings "
+                           "to errors")
+    lint.add_argument("--explain", metavar="CODE",
+                      help="print the catalog entry for one rule "
+                           "code and exit")
+    lint.add_argument("--list", action="store_true", dest="list_rules",
+                      help="list every rule (code, severity, title) "
+                           "and exit")
+    _add_common_options(lint)
+
     batch = sub.add_parser("batch", help="run many decks with caching, "
                                          "retries and a manifest")
     batch_sub = batch.add_subparsers(dest="batch_command", required=True)
@@ -131,6 +161,11 @@ def build_parser() -> argparse.ArgumentParser:
     batch_run.add_argument("--strict", action="store_true",
                            help="run every deck under the 1970 "
                                 "restrictions")
+    batch_run.add_argument("--lint", action=argparse.BooleanOptionalAction,
+                           default=False,
+                           help="statically analyze each deck first; "
+                                "decks with lint errors are recorded as "
+                                "'rejected' and never reach a worker")
     batch_run.add_argument("--manifest", type=Path, default=None,
                            metavar="PATH",
                            help="manifest path (default: "
@@ -267,6 +302,48 @@ def _run_ospl(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import LintError
+    from repro.lint import all_rules, explain, lint_paths
+
+    if args.explain:
+        print(explain(args.explain), end="")
+        return 0
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.severity:<7s}  {rule.title}")
+        return 0
+    if not args.decks:
+        raise LintError("no decks given (or use --explain CODE / --list)")
+    results = lint_paths(args.decks, recursive=args.recursive,
+                         strict=args.strict)
+    n_errors = sum(len(r.errors) for r in results)
+    n_warnings = sum(len(r.warnings) for r in results)
+    clean = sum(1 for r in results if r.clean)
+    if args.format == "json":
+        print(json.dumps({
+            "schema": "repro.lint/v1",
+            "strict": args.strict,
+            "summary": {
+                "files": len(results),
+                "clean": clean,
+                "errors": n_errors,
+                "warnings": n_warnings,
+            },
+            "files": [r.to_dict() for r in results],
+        }, indent=2))
+    else:
+        for result in results:
+            for diagnostic in result.sorted_diagnostics():
+                print(diagnostic.render())
+        if not args.quiet:
+            print(f"{len(results)} deck(s): {clean} clean, "
+                  f"{n_errors} error(s), {n_warnings} warning(s)")
+    return 1 if n_errors else 0
+
+
 def _run_batch(args: argparse.Namespace) -> int:
     from repro.batch import BatchOptions, discover_jobs, run_batch
 
@@ -277,6 +354,7 @@ def _run_batch(args: argparse.Namespace) -> int:
         backoff_s=args.backoff,
         strict=args.strict,
         cache_dir=args.cache_dir,
+        lint=args.lint,
     )
     specs = discover_jobs(args.decks, args.out, strict=args.strict,
                           timeout_s=args.timeout)
@@ -387,6 +465,8 @@ def _dispatch(args: argparse.Namespace) -> int:
     try:
         if args.command == "idlz":
             return _run_idlz(args)
+        if args.command == "lint":
+            return _run_lint(args)
         if args.command == "batch":
             return _run_batch(args)
         return _run_ospl(args)

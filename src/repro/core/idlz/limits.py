@@ -15,18 +15,21 @@ at the limits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Sequence
 
+from repro import limits as shared
 from repro.core.idlz.subdivision import Subdivision
 from repro.errors import LimitError
 
-MAX_SUBDIVISIONS = 50
-MAX_ELEMENTS = 850
-MAX_NODES = 500
-MAX_K = 40
-MAX_L = 60
-MIN_K = 1
-MIN_L = 1
+# Single-sourced from repro.limits (the Table 1/2 data module) so the
+# runtime checker and the static analyzer can never disagree.
+MAX_SUBDIVISIONS = shared.limit_value("idlz.max_subdivisions")
+MAX_ELEMENTS = shared.limit_value("idlz.max_elements")
+MAX_NODES = shared.limit_value("idlz.max_nodes")
+MAX_K = shared.limit_value("idlz.max_k")
+MAX_L = shared.limit_value("idlz.max_l")
+MIN_K = shared.MIN_K
+MIN_L = shared.MIN_L
 
 
 @dataclass(frozen=True)

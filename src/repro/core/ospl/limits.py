@@ -10,10 +10,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import limits as shared
 from repro.errors import LimitError
 
-MAX_ELEMENTS = 1000
-MAX_NODES = 800
+# Single-sourced from repro.limits (the Table 1/2 data module) so the
+# runtime checker and the static analyzer can never disagree.
+MAX_ELEMENTS = shared.limit_value("ospl.max_elements")
+MAX_NODES = shared.limit_value("ospl.max_nodes")
 
 
 @dataclass(frozen=True)

@@ -83,6 +83,15 @@ class ObsError(ReproError):
     """An observability artefact (run report, diff, baseline) is invalid."""
 
 
+class LintError(ReproError):
+    """The static deck analyzer was misused (unknown rule code, bad
+    severity, malformed registry entry).
+
+    Findings *in decks* never raise: they are returned as diagnostics so
+    one bad card cannot hide the rest of the tray's problems.
+    """
+
+
 class BatchError(ReproError):
     """The batch engine could not set up or account for a run (no decks
     matched, unclassifiable deck, invalid manifest or cache entry).

@@ -1,0 +1,76 @@
+"""The Table 1 / Table 2 numerical restrictions, as data.
+
+The paper publishes the capacity of each program as a table:
+
+    Table 1 (OSPL)   Total number of elements allowed .......... 1000
+                     Total number of points data may be given ... 800
+
+    Table 2 (IDLZ)   Total number of subdivisions allowed ........ 50
+                     Total number of elements allowed ........... 850
+                     Total number of nodes allowed .............. 500
+                     Maximum horizontal integer coordinate ....... 40
+                     Maximum vertical integer coordinate ......... 60
+
+Historically those numbers were duplicated between the runtime checkers
+(:mod:`repro.core.idlz.limits`, :mod:`repro.core.ospl.limits`) and
+anything that wanted to *talk about* the restrictions without running a
+deck.  This module is the single source of truth: each restriction is a
+:class:`LimitSpec` carrying its program, table, value and prose, the
+runtime checkers derive their constants from it, and the static deck
+analyzer (:mod:`repro.lint`) quotes it in its ``LIM0xx`` diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class LimitSpec:
+    """One published numerical restriction."""
+
+    key: str             # e.g. "idlz.max_subdivisions"
+    program: str         # "idlz" | "ospl"
+    table: str           # "Table 2" | "Table 1"
+    value: int
+    description: str     # the table's own wording
+
+    def __str__(self) -> str:
+        return f"{self.table}: {self.description} = {self.value}"
+
+
+#: Every restriction the 1970 paper publishes, in table order.
+TABLE_1970: Tuple[LimitSpec, ...] = (
+    LimitSpec("ospl.max_elements", "ospl", "Table 1", 1000,
+              "total number of elements allowed"),
+    LimitSpec("ospl.max_nodes", "ospl", "Table 1", 800,
+              "total number of points data may be given"),
+    LimitSpec("idlz.max_subdivisions", "idlz", "Table 2", 50,
+              "total number of subdivisions allowed"),
+    LimitSpec("idlz.max_elements", "idlz", "Table 2", 850,
+              "total number of elements allowed"),
+    LimitSpec("idlz.max_nodes", "idlz", "Table 2", 500,
+              "total number of nodes allowed"),
+    LimitSpec("idlz.max_k", "idlz", "Table 2", 40,
+              "maximum horizontal integer coordinate"),
+    LimitSpec("idlz.max_l", "idlz", "Table 2", 60,
+              "maximum vertical integer coordinate"),
+)
+
+_BY_KEY: Dict[str, LimitSpec] = {spec.key: spec for spec in TABLE_1970}
+
+#: Integer lattice coordinates start at 1 in both directions (the paper's
+#: grids are 1-based); shared by the runtime checker and the analyzer.
+MIN_K = 1
+MIN_L = 1
+
+
+def limit(key: str) -> LimitSpec:
+    """The :class:`LimitSpec` for ``key`` (raises ``KeyError`` if unknown)."""
+    return _BY_KEY[key]
+
+
+def limit_value(key: str) -> int:
+    """The published maximum for ``key``."""
+    return _BY_KEY[key].value

@@ -1,0 +1,41 @@
+"""Static analysis of IDLZ/OSPL decks: find the bad card before the run.
+
+The 1970 workflow discovered a mis-punched card by submitting the deck
+overnight and reading the abort printout the next morning.  This
+package reports the same mistakes -- plus the ones the programs only
+noticed by producing garbage -- without executing anything:
+
+>>> from repro.lint import lint_text
+>>> result = lint_text("    0\\n", "bad.deck")
+>>> [d.code for d in result.diagnostics]
+['IDZ001']
+
+Every diagnostic carries a stable code (see :mod:`repro.lint.registry`
+for the families), a severity, and the 1-based card number it points
+at.  Deck problems are *returned*, never raised; only misuse of the
+analyzer itself (an unknown rule code, say) raises
+:class:`~repro.errors.LintError`.
+"""
+
+from repro.lint.diagnostics import (
+    SEVERITIES,
+    Diagnostic,
+    FileLintResult,
+    SourceLocation,
+)
+from repro.lint.engine import lint_path, lint_paths, lint_text
+from repro.lint.registry import Rule, all_rules, explain, get_rule
+
+__all__ = [
+    "SEVERITIES",
+    "Diagnostic",
+    "FileLintResult",
+    "Rule",
+    "SourceLocation",
+    "all_rules",
+    "explain",
+    "get_rule",
+    "lint_path",
+    "lint_paths",
+    "lint_text",
+]

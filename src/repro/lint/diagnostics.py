@@ -1,0 +1,125 @@
+"""Diagnostics: what the static deck analyzer reports.
+
+Every finding is a :class:`Diagnostic` -- a stable rule code, a severity,
+a formatted message, and a :class:`SourceLocation` pointing at the exact
+card of the deck file that provoked it.  The 1970 programs could only
+halt mid-run with a printed message; a diagnostic instead names the card
+so the analyst fixes the whole tray in one pass, before any compute is
+spent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Severity levels, most severe first.  ``error`` makes a deck
+#: unrunnable; ``warning`` flags suspicious but legal input; ``info`` is
+#: advisory only.
+SEVERITIES = ("error", "warning", "info")
+
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """Where in the deck a diagnostic points.
+
+    ``card`` is the 1-based card (line) number in the deck file; 0 means
+    the diagnostic concerns the deck as a whole (e.g. a truncated tray).
+    ``text`` carries the card image for rendering.
+    """
+
+    path: str
+    card: int = 0
+    text: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.card}" if self.card else self.path
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer."""
+
+    code: str            # stable rule code, e.g. "IDZ205"
+    severity: str        # "error" | "warning" | "info"
+    message: str         # formatted, card-specific message
+    location: SourceLocation
+    where: str = ""      # logical site, e.g. "problem 1, segment 2"
+
+    @property
+    def rank(self) -> int:
+        """Sort key: most severe first."""
+        return _SEVERITY_RANK.get(self.severity, len(SEVERITIES))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "path": self.location.path,
+            "card": self.location.card,
+            "card_text": self.location.text,
+            "where": self.where,
+        }
+
+    def render(self) -> str:
+        """One-line, compiler-style rendering."""
+        site = f" [{self.where}]" if self.where else ""
+        return (f"{self.location}: {self.severity} {self.code}: "
+                f"{self.message}{site}")
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class FileLintResult:
+    """Everything the analyzer found in one deck file."""
+
+    path: str
+    program: Optional[str]           # "idlz" | "ospl" | None (unclassifiable)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the deck is runnable (no errors; warnings allowed)."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """Whether the analyzer found nothing at all."""
+        return not self.diagnostics
+
+    def codes(self) -> List[str]:
+        """Distinct rule codes hit, sorted."""
+        return sorted({d.code for d in self.diagnostics})
+
+    def sorted_diagnostics(self) -> List[Diagnostic]:
+        """Diagnostics in card order, severity breaking ties."""
+        return sorted(self.diagnostics,
+                      key=lambda d: (d.location.card, d.rank, d.code))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "program": self.program,
+            "ok": self.ok,
+            "counts": {
+                "error": len(self.errors),
+                "warning": len(self.warnings),
+                "info": len(self.diagnostics)
+                        - len(self.errors) - len(self.warnings),
+            },
+            "diagnostics": [d.to_dict()
+                            for d in self.sorted_diagnostics()],
+        }

@@ -1,0 +1,124 @@
+"""The analyzer's entry points: lint text, a file, or a tray of files.
+
+``lint_text`` is the whole pipeline for one deck: classify (IDLZ or
+OSPL), parse tolerantly, derive the per-problem analyses, run every
+registered checker, and close with the trailing-card scan.  Nothing in
+here executes a deck -- the heaviest work is numbering an assemblage's
+lattice, which is exactly what makes the LIM and FMT rules honest.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro import obs
+from repro.batch.jobs import classify_deck_text
+from repro.errors import BatchError, LintError
+from repro.lint.analysis import ProblemAnalysis
+from repro.lint.context import LintContext
+from repro.lint.diagnostics import FileLintResult
+from repro.lint.model import (
+    IdlzDeckModel,
+    OsplDeckModel,
+    parse_idlz,
+    parse_ospl,
+)
+from repro.lint.registry import checkers_for
+
+#: File extension the tray scan collects (same as the batch engine).
+DECK_SUFFIX = ".deck"
+
+
+def lint_text(text: str, path: str = "<deck>",
+              program: Optional[str] = None,
+              strict: bool = False) -> FileLintResult:
+    """Statically analyze one deck blob; never raises on deck content."""
+    with obs.span("lint.deck", path=path):
+        if program is None:
+            try:
+                program = classify_deck_text(text)
+            except BatchError as exc:
+                ctx = LintContext(path=path, strict=strict)
+                ctx.emit("IDZ001", None, "deck", detail=str(exc))
+                return _finish(FileLintResult(
+                    path=path, program=None,
+                    diagnostics=ctx.diagnostics))
+        ctx = LintContext(path=path, strict=strict)
+        if program == "idlz":
+            model = parse_idlz(text, path)
+            ctx.diagnostics.extend(model.parse_diagnostics)
+            analyses = [ProblemAnalysis(p) for p in model.problems]
+            for check in checkers_for("idlz"):
+                check(ctx, model, analyses)
+            _check_trailing(ctx, model, "IDZ007")
+        elif program == "ospl":
+            model = parse_ospl(text, path)
+            ctx.diagnostics.extend(model.parse_diagnostics)
+            for check in checkers_for("ospl"):
+                check(ctx, model)
+            _check_trailing(ctx, model, "OSP004")
+        else:
+            raise LintError(
+                f"unknown program {program!r}; expected 'idlz' or 'ospl'"
+            )
+        return _finish(FileLintResult(
+            path=path, program=program,
+            diagnostics=ctx.diagnostics))
+
+
+def _check_trailing(ctx: LintContext,
+                    model: Union[IdlzDeckModel, OsplDeckModel],
+                    code: str) -> None:
+    """Cards past the declared deck that the run would never read."""
+    if model.truncated:
+        return
+    trailing = model.cards[model.cards_consumed:]
+    if trailing and any(card.text.strip() for card in trailing):
+        ctx.emit(code, trailing[0], "deck", count=len(trailing))
+
+
+def _finish(result: FileLintResult) -> FileLintResult:
+    result.diagnostics = result.sorted_diagnostics()
+    obs.count("lint.decks")
+    obs.count("lint.diagnostics", len(result.diagnostics))
+    obs.count("lint.errors", len(result.errors))
+    if not result.ok:
+        obs.count("lint.decks_rejected")
+    return result
+
+
+def lint_path(path: Union[str, Path],
+              strict: bool = False) -> FileLintResult:
+    """Statically analyze one deck file."""
+    path = Path(path)
+    return lint_text(path.read_text(), str(path), strict=strict)
+
+
+def lint_paths(paths: Sequence[Union[str, Path]],
+               recursive: bool = False,
+               strict: bool = False) -> List[FileLintResult]:
+    """Analyze files and/or directories of ``*.deck`` files.
+
+    Directories contribute their ``*.deck`` entries (recursively with
+    ``recursive``), sorted for a stable report order.  Raises
+    :class:`LintError` when nothing matches -- a silent empty report
+    would read as a clean bill of health.
+    """
+    decks: List[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            pattern = f"**/*{DECK_SUFFIX}" if recursive \
+                else f"*{DECK_SUFFIX}"
+            decks.extend(sorted(entry.glob(pattern)))
+        elif entry.exists():
+            decks.append(entry)
+        else:
+            raise LintError(f"no such deck: {entry}")
+    if not decks:
+        raise LintError(
+            f"no {DECK_SUFFIX} files matched "
+            f"{', '.join(str(p) for p in paths)}"
+        )
+    return [lint_path(deck, strict=strict) for deck in decks]

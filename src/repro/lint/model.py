@@ -1,0 +1,398 @@
+"""Tolerant, location-tracking parses of IDLZ and OSPL decks.
+
+The runtime readers (:func:`repro.core.idlz.deck.read_idlz_deck`,
+:func:`repro.core.ospl.deck.read_ospl_deck`) raise on the first bad card
+and never record where a value came from -- correct for execution, wrong
+for analysis.  The models here re-walk the same card layouts but:
+
+* keep a :class:`CardView` (1-based card number + image) on every parsed
+  entity, so rules can point at the exact card;
+* record structural problems (truncated tray, unreadable fields,
+  over-wide cards) as diagnostics instead of raising, parsing as far as
+  the deck stays coherent;
+* defer semantic validation entirely -- a subdivision whose corners do
+  not span a box still parses here (``RawSubdivision.build`` is where
+  the strict :class:`~repro.core.idlz.subdivision.Subdivision` gets
+  constructed, under the rules' control).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.cards.card import CARD_WIDTH
+from repro.cards.fortran_format import FortranFormat
+from repro.core.idlz.deck import (
+    FMT_TYPE1,
+    FMT_TYPE3,
+    FMT_TYPE4,
+    FMT_TYPE5,
+    FMT_TYPE6,
+)
+from repro.core.idlz.shaping import ShapingSegment
+from repro.core.idlz.subdivision import Subdivision
+from repro.core.ospl.deck import (
+    FMT_TYPE1 as OSPL_TYPE1,
+    FMT_TYPE3 as OSPL_TYPE3,
+    FMT_TYPE4 as OSPL_TYPE4,
+)
+from repro.errors import FormatError
+from repro.lint.diagnostics import Diagnostic, SourceLocation
+from repro.lint.registry import get_rule
+
+
+@dataclass(frozen=True)
+class CardView:
+    """One card of the deck file, with its 1-based position."""
+
+    number: int          # 1-based line number in the file
+    text: str
+
+    def location(self, path: str) -> SourceLocation:
+        return SourceLocation(path=path, card=self.number, text=self.text)
+
+
+# ----------------------------------------------------------------------
+# IDLZ raw entities
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RawSubdivision:
+    """A type-4 card, unvalidated."""
+
+    card: CardView
+    index: int
+    kk1: int
+    ll1: int
+    kk2: int
+    ll2: int
+    ntaprw: int
+    ntapcm: int
+
+    def build(self) -> Subdivision:
+        """The strict runtime object (raises ``IdealizationError``)."""
+        return Subdivision(index=self.index, kk1=self.kk1, ll1=self.ll1,
+                           kk2=self.kk2, ll2=self.ll2,
+                           ntaprw=self.ntaprw, ntapcm=self.ntapcm)
+
+
+@dataclass(frozen=True)
+class RawSegment:
+    """A type-6 card, unvalidated."""
+
+    card: CardView
+    subdivision: int
+    k1: int
+    l1: int
+    k2: int
+    l2: int
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+    radius: float
+
+    def to_segment(self) -> ShapingSegment:
+        return ShapingSegment(
+            subdivision=self.subdivision, k1=self.k1, l1=self.l1,
+            k2=self.k2, l2=self.l2, x1=self.x1, y1=self.y1,
+            x2=self.x2, y2=self.y2, radius=self.radius,
+        )
+
+
+@dataclass(frozen=True)
+class RawType5:
+    """A type-5 card: which subdivision the next NLINES cards shape."""
+
+    card: CardView
+    subdivision: int
+    nlines: int
+
+
+@dataclass(frozen=True)
+class RawFormat:
+    """A type-7 card: one of the two punch FORMATs."""
+
+    card: CardView
+    role: str            # "nodal" | "element"
+    spec: str
+
+
+@dataclass
+class RawIdlzProblem:
+    """One data set of the deck, as far as it parsed."""
+
+    number: int                       # 1-based problem index
+    title_card: Optional[CardView] = None
+    option_card: Optional[CardView] = None
+    noplot: int = 0
+    nonumb: int = 0
+    nopnch: int = 0
+    nsbdvn: int = 0
+    subdivisions: List[RawSubdivision] = field(default_factory=list)
+    type5: List[RawType5] = field(default_factory=list)
+    segments: List[RawSegment] = field(default_factory=list)
+    nodal_format: Optional[RawFormat] = None
+    element_format: Optional[RawFormat] = None
+
+
+@dataclass
+class IdlzDeckModel:
+    """A whole IDLZ deck file, parsed for analysis."""
+
+    path: str
+    cards: List[CardView]
+    nset: int = 0
+    nset_card: Optional[CardView] = None
+    problems: List[RawIdlzProblem] = field(default_factory=list)
+    parse_diagnostics: List[Diagnostic] = field(default_factory=list)
+    truncated: bool = False           # tray ran out mid-parse
+    cards_consumed: int = 0           # how far the parse got
+
+
+# ----------------------------------------------------------------------
+# OSPL raw entities
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RawOsplNode:
+    card: CardView
+    index: int           # 1-based node number (card order)
+    x: float
+    y: float
+    value: float
+    flag: int
+
+
+@dataclass(frozen=True)
+class RawOsplElement:
+    card: CardView
+    index: int           # 1-based element number (card order)
+    n1: int
+    n2: int
+    n3: int
+
+    @property
+    def nodes(self) -> Tuple[int, int, int]:
+        return (self.n1, self.n2, self.n3)
+
+
+@dataclass
+class OsplDeckModel:
+    """A whole OSPL deck file, parsed for analysis."""
+
+    path: str
+    cards: List[CardView]
+    type1_card: Optional[CardView] = None
+    nn: int = 0
+    ne: int = 0
+    xmx: float = 0.0
+    xmn: float = 0.0
+    ymx: float = 0.0
+    ymn: float = 0.0
+    delta: float = 0.0
+    title_cards: List[CardView] = field(default_factory=list)
+    nodes: List[RawOsplNode] = field(default_factory=list)
+    elements: List[RawOsplElement] = field(default_factory=list)
+    parse_diagnostics: List[Diagnostic] = field(default_factory=list)
+    truncated: bool = False
+    cards_consumed: int = 0
+
+
+# ----------------------------------------------------------------------
+# The tolerant card walk
+# ----------------------------------------------------------------------
+
+class _Tray:
+    """A cursor over the card images with diagnostic-emitting reads."""
+
+    def __init__(self, path: str, text: str, diagnostics: List[Diagnostic],
+                 family: str):
+        self.path = path
+        self.cards = [CardView(i + 1, line.rstrip("\r\n"))
+                      for i, line in enumerate(text.splitlines())]
+        self.pos = 0
+        self.diagnostics = diagnostics
+        # Structural codes differ per program family (IDZ00x / OSP00x).
+        self._truncated_code = f"{family}002"
+        self._bad_field_code = f"{family}003"
+        self._wide_code = "IDZ004"       # card width is program-agnostic
+        self.truncated = False
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.cards)
+
+    def remaining(self) -> List[CardView]:
+        return self.cards[self.pos:]
+
+    def _emit(self, code: str, card: Optional[CardView],
+              where: str, **values: Any) -> None:
+        rule = get_rule(code)
+        location = (card.location(self.path) if card is not None
+                    else SourceLocation(path=self.path))
+        self.diagnostics.append(Diagnostic(
+            code=rule.code, severity=rule.severity,
+            message=rule.format(**values), location=location, where=where,
+        ))
+
+    def take(self, expect: str, where: str) -> Optional[CardView]:
+        """The next raw card, or ``None`` (+ truncation diagnostic)."""
+        if self.exhausted:
+            if not self.truncated:
+                self.truncated = True
+                self._emit(self._truncated_code, None, where,
+                           count=len(self.cards), expect=expect)
+            return None
+        card = self.cards[self.pos]
+        self.pos += 1
+        if len(card.text) > CARD_WIDTH:
+            self._emit(self._wide_code, card, where,
+                       width=len(card.text), max=CARD_WIDTH)
+        return card
+
+    def read(self, fmt: FortranFormat, expect: str, where: str
+             ) -> Tuple[Optional[CardView], Optional[List[Any]]]:
+        """Read one card under ``fmt``; bad fields become diagnostics."""
+        card = self.take(expect, where)
+        if card is None:
+            return None, None
+        try:
+            return card, fmt.read(card.text.ljust(CARD_WIDTH))
+        except FormatError as exc:
+            self._emit(self._bad_field_code, card, where,
+                       expect=expect, detail=str(exc))
+            return card, None
+
+
+def parse_idlz(text: str, path: str = "<deck>") -> IdlzDeckModel:
+    """Parse an IDLZ deck as far as it stays structurally coherent."""
+    diagnostics: List[Diagnostic] = []
+    tray = _Tray(path, text, diagnostics, family="IDZ")
+    model = IdlzDeckModel(path=path, cards=tray.cards,
+                          parse_diagnostics=diagnostics)
+
+    card, values = tray.read(FMT_TYPE1, "the type-1 card (NSET)", "deck")
+    model.nset_card = card
+    if values is None:
+        model.truncated = tray.truncated
+        model.cards_consumed = tray.pos
+        return model
+    model.nset = values[0]
+    if model.nset < 1:
+        tray._emit("IDZ001", card, "deck",
+                   detail=f"NSET = {model.nset} declares no problems")
+        model.cards_consumed = tray.pos
+        return model
+
+    for problem_no in range(1, model.nset + 1):
+        problem = RawIdlzProblem(number=problem_no)
+        model.problems.append(problem)
+        where = f"problem {problem_no}"
+        if not _parse_idlz_problem(tray, problem, where):
+            break
+
+    model.truncated = tray.truncated
+    model.cards_consumed = tray.pos
+    return model
+
+
+def _parse_idlz_problem(tray: _Tray, problem: RawIdlzProblem,
+                        where: str) -> bool:
+    """One data set; ``False`` when the tray lost coherence."""
+    problem.title_card = tray.take("the type-2 title card", where)
+    if problem.title_card is None:
+        return False
+    card, values = tray.read(FMT_TYPE3, "the type-3 option card", where)
+    problem.option_card = card
+    if values is None:
+        return False
+    problem.noplot, problem.nonumb, problem.nopnch, problem.nsbdvn = values
+    if problem.nsbdvn < 1:
+        tray._emit("IDZ008", card, where, nsbdvn=problem.nsbdvn)
+        return False
+    for _ in range(problem.nsbdvn):
+        card, values = tray.read(FMT_TYPE4, "a type-4 subdivision card",
+                                 where)
+        if values is None:
+            return False
+        problem.subdivisions.append(RawSubdivision(card, *values))
+    for _ in range(problem.nsbdvn):
+        card, values = tray.read(FMT_TYPE5, "a type-5 card", where)
+        if values is None:
+            return False
+        sub_no, nlines = values
+        problem.type5.append(RawType5(card, sub_no, nlines))
+        if nlines < 0:
+            tray._emit("IDZ009", card, where, nlines=nlines,
+                       subdivision=sub_no)
+            return False
+        for _ in range(nlines):
+            seg_card, seg_values = tray.read(
+                FMT_TYPE6, "a type-6 shaping card", where)
+            if seg_values is None:
+                return False
+            problem.segments.append(
+                RawSegment(seg_card, sub_no, *seg_values))
+    nodal = tray.take("the nodal type-7 FORMAT card", where)
+    if nodal is None:
+        return False
+    problem.nodal_format = RawFormat(nodal, "nodal", nodal.text.strip())
+    element = tray.take("the element type-7 FORMAT card", where)
+    if element is None:
+        return False
+    problem.element_format = RawFormat(element, "element",
+                                       element.text.strip())
+    return True
+
+
+def parse_ospl(text: str, path: str = "<deck>") -> OsplDeckModel:
+    """Parse an OSPL deck as far as it stays structurally coherent."""
+    diagnostics: List[Diagnostic] = []
+    tray = _Tray(path, text, diagnostics, family="OSP")
+    model = OsplDeckModel(path=path, cards=tray.cards,
+                          parse_diagnostics=diagnostics)
+
+    card, values = tray.read(OSPL_TYPE1, "the type-1 card (NN, NE, ...)",
+                             "deck")
+    model.type1_card = card
+    if values is None:
+        model.truncated = tray.truncated
+        model.cards_consumed = tray.pos
+        return model
+    (model.nn, model.ne, model.xmx, model.xmn,
+     model.ymx, model.ymn, model.delta) = values
+    if model.nn < 3 or model.ne < 1:
+        tray._emit("OSP001", card, "deck", nn=model.nn, ne=model.ne)
+        model.cards_consumed = tray.pos
+        return model
+
+    for _ in range(2):
+        title = tray.take("a type-2 title card", "deck")
+        if title is None:
+            model.truncated = True
+            model.cards_consumed = tray.pos
+            return model
+        model.title_cards.append(title)
+    for i in range(1, model.nn + 1):
+        card, values = tray.read(OSPL_TYPE3, "a type-3 nodal card",
+                                 f"node {i}")
+        if values is None:
+            model.truncated = tray.truncated
+            model.cards_consumed = tray.pos
+            return model
+        x, y, s, flag = values
+        model.nodes.append(RawOsplNode(card, i, x, y, s, flag))
+    for i in range(1, model.ne + 1):
+        card, values = tray.read(OSPL_TYPE4, "a type-4 element card",
+                                 f"element {i}")
+        if values is None:
+            model.truncated = tray.truncated
+            model.cards_consumed = tray.pos
+            return model
+        model.elements.append(RawOsplElement(card, i, *values))
+
+    model.truncated = tray.truncated
+    model.cards_consumed = tray.pos
+    return model

@@ -83,3 +83,23 @@ class TestExamples:
         assert (out / "mode_1_contours.svg").exists()
         assert (out / "mode_1_deformed.svg").exists()
         assert "natural frequencies" in capsys.readouterr().out
+
+
+class TestCorpusLintsClean:
+    """Staleness guard: the checked-in deck corpus must lint clean.
+
+    CI gates on ``repro lint examples/decks -R``; this test is the same
+    bar, run locally.  It fails when someone edits a deck into a bad
+    state *or* lands a new rule that the corpus trips -- either way the
+    corpus and the rule set must be reconciled in the same change.
+    """
+
+    def test_every_checked_in_deck_lints_clean(self):
+        from repro.lint import lint_paths
+
+        decks_dir = EXAMPLES_DIR / "decks"
+        results = lint_paths([decks_dir], recursive=True)
+        assert len(results) >= 10
+        dirty = {r.path: [d.render() for d in r.diagnostics]
+                 for r in results if not r.clean}
+        assert not dirty, dirty

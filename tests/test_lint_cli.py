@@ -1,0 +1,123 @@
+"""Tests for the ``repro lint`` command line."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint import all_rules
+from tests.test_batch_runner import idlz_deck_text
+from tests.test_lint import f8, i5, idlz_deck
+
+#: One error (IDZ101: corners do not span a box), anchored to card 4.
+BAD_DECK = (
+    "    1\n"
+    "BAD PROBLEM\n"
+    "    0    0    0    1\n"
+    "    1    1    1   10    1\n"
+    "    1    0\n"
+    "\n"
+    "\n"
+)
+
+#: One warning (LIM002: lattice wider than the Table 2 budget) on an
+#: otherwise well-shaped strip.
+WARN_DECK = idlz_deck(
+    i5(1), "WIDE", i5(0, 0, 0, 1),
+    i5(1, 1, 1, 41, 2), i5(1, 2),
+    i5(1, 1, 41, 1) + f8(0.0, 0.0, 40.0, 0.0, 0.0),
+    i5(1, 2, 41, 2) + f8(0.0, 1.0, 40.0, 1.0, 0.0),
+    "", "")
+
+
+@pytest.fixture
+def deck_dir(tmp_path):
+    decks = tmp_path / "decks"
+    decks.mkdir()
+    (decks / "good.deck").write_text(idlz_deck_text("GOOD"))
+    (decks / "bad.deck").write_text(BAD_DECK)
+    return decks
+
+
+class TestLintCommand:
+    def test_clean_deck_exits_zero(self, deck_dir, capsys):
+        code = main(["lint", str(deck_dir / "good.deck")])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "1 deck(s): 1 clean, 0 error(s), 0 warning(s)" in stdout
+
+    def test_bad_deck_exits_one_with_card_location(self, deck_dir,
+                                                   capsys):
+        code = main(["lint", str(deck_dir / "bad.deck")])
+        assert code == 1
+        stdout = capsys.readouterr().out
+        assert ":4: error IDZ101" in stdout
+        assert "1 error(s)" in stdout
+
+    def test_directory_lints_every_deck(self, deck_dir, capsys):
+        code = main(["lint", str(deck_dir)])
+        assert code == 1
+        assert "2 deck(s): 1 clean" in capsys.readouterr().out
+
+    def test_recursive_flag_descends(self, deck_dir, capsys):
+        nested = deck_dir / "nested"
+        nested.mkdir()
+        (nested / "deep.deck").write_text(BAD_DECK)
+        main(["lint", str(deck_dir)])
+        flat = capsys.readouterr().out
+        main(["lint", str(deck_dir), "-R"])
+        deep = capsys.readouterr().out
+        assert "2 deck(s)" in flat
+        assert "3 deck(s)" in deep
+
+    def test_warnings_do_not_fail_unless_strict(self, tmp_path, capsys):
+        deck = tmp_path / "warn.deck"
+        deck.write_text(WARN_DECK)
+        assert main(["lint", str(deck)]) == 0
+        assert "LIM002" in capsys.readouterr().out
+        assert main(["lint", str(deck), "--strict"]) == 1
+
+    def test_json_output(self, deck_dir, capsys):
+        code = main(["lint", str(deck_dir), "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.lint/v1"
+        assert payload["summary"] == {"files": 2, "clean": 1,
+                                      "errors": 1, "warnings": 0}
+        by_name = {f["path"]: f for f in payload["files"]}
+        bad = by_name[str(deck_dir / "bad.deck")]
+        assert bad["diagnostics"][0]["code"] == "IDZ101"
+        assert bad["diagnostics"][0]["card"] == 4
+
+    def test_quiet_suppresses_the_summary(self, deck_dir, capsys):
+        code = main(["lint", str(deck_dir / "good.deck"), "-q"])
+        assert code == 0
+        assert capsys.readouterr().out == ""
+
+    def test_explain_prints_the_rule(self, capsys):
+        code = main(["lint", "--explain", "IDZ101"])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert stdout.startswith("IDZ101 (error)")
+
+    def test_explain_unknown_code_is_an_error(self, capsys):
+        code = main(["lint", "--explain", "IDZ999"])
+        assert code == 1
+        assert "IDZ999" in capsys.readouterr().err
+
+    def test_list_prints_the_whole_catalog(self, capsys):
+        code = main(["lint", "--list"])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        for rule in all_rules():
+            assert rule.code in stdout
+
+    def test_no_decks_is_a_usage_error(self, capsys):
+        code = main(["lint"])
+        assert code == 1
+        assert "deck" in capsys.readouterr().err
+
+    def test_missing_path_is_an_error(self, tmp_path, capsys):
+        code = main(["lint", str(tmp_path / "absent.deck")])
+        assert code == 1
+        assert "absent.deck" in capsys.readouterr().err

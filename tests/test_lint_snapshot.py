@@ -1,0 +1,192 @@
+"""Snapshot of the published rule catalog.
+
+Codes are a contract: CI gates, batch manifests and stored lint
+verdicts all key on them, and docs/LINT.md documents them one by one.
+Renaming or re-wording a rule must be a deliberate act -- update this
+table AND docs/LINT.md together, and expect stored verdicts to be
+invalidated (the lint cache key includes the code version).
+"""
+
+from repro.lint import all_rules
+
+#: Every published rule as ``(code, severity, title, template)``.
+EXPECTED = [
+    ('FMT001', 'error',
+     'malformed FORMAT',
+     'FORMAT is malformed: {detail}'),
+    ('FMT002', 'warning',
+     'FORMAT consumes too few values',
+     'FORMAT consumes {got} value(s) per card; IDLZ punches {want} ({values})'),
+    ('FMT003', 'warning',
+     'integer descriptor too narrow',
+     'descriptor {descriptor} is too narrow for {what} up to {value}; FORTRAN '
+     'punches asterisks'),
+    ('FMT004', 'warning',
+     'real descriptor too narrow',
+     'descriptor {descriptor} is too narrow for {what} {value}; FORTRAN punches '
+     'asterisks'),
+    ('IDZ001', 'error',
+     'invalid leading count card',
+     "the deck's leading count card is invalid: {detail}"),
+    ('IDZ002', 'error',
+     'deck truncated',
+     'the tray ran out after {count} card(s) while reading {expect}'),
+    ('IDZ003', 'error',
+     'unreadable card field',
+     'unreadable card under {expect}: {detail}'),
+    ('IDZ004', 'error',
+     'card exceeds 80 columns',
+     'card image is {width} columns; punched cards hold {max}'),
+    ('IDZ005', 'error',
+     'duplicate subdivision number',
+     'subdivision number {index} is declared more than once'),
+    ('IDZ006', 'error',
+     'reference to undefined subdivision',
+     '{kind} card references subdivision {index}, which no type-4 card declares'),
+    ('IDZ007', 'warning',
+     'trailing cards never read',
+     '{count} trailing card(s) after the declared deck are never read'),
+    ('IDZ008', 'error',
+     'problem declares no subdivisions',
+     'type-3 card: NSBDVN = {nsbdvn}; a problem needs at least one subdivision'),
+    ('IDZ009', 'error',
+     'negative shaping-card count',
+     'type-5 card: NLINES = {nlines} for subdivision {subdivision} must be >= 0'),
+    ('IDZ101', 'error',
+     'corners do not span a box',
+     'corners ({kk1},{ll1})-({kk2},{ll2}) do not span a box'),
+    ('IDZ102', 'error',
+     'both trapezoid indicators set',
+     'NTAPRW = {ntaprw} and NTAPCM = {ntapcm} cannot both be non-zero'),
+    ('IDZ103', 'error',
+     'taper shrinks short side away',
+     '{indicator} = {value} shrinks the short parallel side below one node (would '
+     'be {short})'),
+    ('IDZ104', 'error',
+     'overlapping subdivisions',
+     'subdivisions {a} and {b} overlap on the lattice (both cover cell ({k},{l}))'),
+    ('IDZ105', 'warning',
+     'disconnected assemblage',
+     'the assemblage is disconnected: subdivision(s) {island} share no lattice '
+     'points with the rest'),
+    ('IDZ106', 'error',
+     'lattice coordinate below origin',
+     'lattice corner ({kk1},{ll1}) is below the grid origin; integer coordinates '
+     'start at ({min_k},{min_l})'),
+    ('IDZ201', 'error',
+     'segment off every side',
+     'lattice endpoints ({k1},{l1}) and ({k2},{l2}) lie on no common side of '
+     'subdivision {index}'),
+    ('IDZ202', 'error',
+     'coincident real endpoints',
+     'straight segment has coincident real endpoints ({x},{y})'),
+    ('IDZ203', 'error',
+     'arc wound clockwise',
+     'RADIUS = {radius} winds the arc clockwise; the paper requires '
+     'counter-clockwise travel (use a positive radius, swapping the endpoints if '
+     'needed)'),
+    ('IDZ204', 'error',
+     'chord exceeds diameter',
+     'chord length {chord} exceeds the arc diameter {diameter}; no circle of '
+     'radius {radius} passes through both endpoints'),
+    ('IDZ205', 'error',
+     'arc subtends more than 90 degrees',
+     'arc subtends {sweep} deg, more than the permitted 90 deg'),
+    ('IDZ206', 'error',
+     'conflicting node locations',
+     'lattice point ({k},{l}) located at ({x},{y}) here but at ({ox},{oy}) by the '
+     'card at line {other}'),
+    ('IDZ207', 'error',
+     'no located pair of opposite sides',
+     'no opposite pair of sides of subdivision {index} will be located when it '
+     'shapes (incomplete: {missing})'),
+    ('IDZ208', 'warning',
+     'all four sides located',
+     'all four sides of subdivision {index} are located; the interpolation pair '
+     'choice may silently ignore some cards'),
+    ('IDZ209', 'error',
+     'point location off the subdivision',
+     'point location ({k},{l}) is not a lattice point of subdivision {index}'),
+    ('LIM001', 'warning',
+     'too many subdivisions',
+     '{count} subdivisions exceed the Table-2 allowance of {maximum}'),
+    ('LIM002', 'warning',
+     'horizontal coordinate beyond the grid',
+     'horizontal coordinate {value} of subdivision {index} exceeds the Table-2 '
+     'maximum of {maximum}'),
+    ('LIM003', 'warning',
+     'vertical coordinate beyond the grid',
+     'vertical coordinate {value} of subdivision {index} exceeds the Table-2 '
+     'maximum of {maximum}'),
+    ('LIM004', 'warning',
+     'too many nodes',
+     'the idealization would number {value} nodes, more than the Table-2 allowance '
+     'of {maximum}'),
+    ('LIM005', 'warning',
+     'too many elements',
+     'the idealization would create {value} elements, more than the Table-2 '
+     'allowance of {maximum}'),
+    ('LIM006', 'warning',
+     'too many OSPL points',
+     'NN = {value} points exceed the Table-1 allowance of {maximum}'),
+    ('LIM007', 'warning',
+     'too many OSPL elements',
+     'NE = {value} elements exceed the Table-1 allowance of {maximum}'),
+    ('OSP001', 'error',
+     'type-1 card is not a mesh',
+     'type-1 card: NN = {nn}, NE = {ne} is not a mesh (need NN >= 3, NE >= 1)'),
+    ('OSP002', 'error',
+     'deck truncated',
+     'the tray ran out after {count} card(s) while reading {expect}'),
+    ('OSP003', 'error',
+     'unreadable card field',
+     'unreadable card under {expect}: {detail}'),
+    ('OSP004', 'warning',
+     'trailing cards never read',
+     '{count} trailing card(s) after the declared deck are never read'),
+    ('OSP005', 'error',
+     'element references undefined node',
+     'element {index} references node {node}; the deck declares nodes 1..{nn}'),
+    ('OSP006', 'error',
+     'degenerate element',
+     'element {index} repeats node {node}; a triangle needs three distinct corners'),
+    ('OSP007', 'error',
+     'zero-area element',
+     'element {index} has zero area (nodes {n1}, {n2}, {n3} are collinear)'),
+    ('OSP008', 'error',
+     'automatic interval over a constant field',
+     'DELTA = 0 requests the automatic contour interval, but the field is constant '
+     'at {value}'),
+    ('OSP009', 'error',
+     'negative contour interval',
+     'DELTA = {delta} must be >= 0 (0 requests the automatic interval)'),
+    ('OSP010', 'error',
+     'degenerate zoom window',
+     'zoom window [{xmn}, {xmx}] x [{ymn}, {ymx}] is degenerate'),
+    ('OSP011', 'warning',
+     'unreferenced node',
+     'node {index} is referenced by no element'),
+    ('OSP012', 'warning',
+     'duplicate node coordinates',
+     'node {index} duplicates the coordinates of node {other} ({x}, {y})'),
+]
+
+
+def test_rule_catalog_matches_snapshot():
+    actual = [(r.code, r.severity, r.title, r.template)
+              for r in all_rules()]
+    assert actual == EXPECTED
+
+
+def test_every_family_is_represented():
+    families = {code[:3] for code, _, _, _ in EXPECTED}
+    assert families == {"IDZ", "OSP", "FMT", "LIM"}
+
+
+def test_severities_follow_family_policy():
+    for code, severity, _, _ in EXPECTED:
+        if code.startswith("LIM"):
+            # Budget rules warn by default; --strict escalates them.
+            assert severity == "warning", code
+        else:
+            assert severity in ("error", "warning"), code

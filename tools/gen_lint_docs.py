@@ -1,0 +1,276 @@
+"""Regenerate the rule-catalog half of docs/LINT.md.
+
+Every worked example below is linted for real while the doc is built:
+the diagnostic line shown under each deck is the analyzer's actual
+output, and the build fails if a deck stops tripping its rule.  Run
+after adding or rewording a rule:
+
+    PYTHONPATH=src python tools/gen_lint_docs.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.lint import all_rules, get_rule, lint_text  # noqa: E402
+
+ROOT = Path(__file__).parent.parent
+
+
+def i5(*vals):
+    return "".join(str(v).rjust(5) for v in vals)
+
+
+def f8(*vals):
+    return "".join(f"{v:8.4f}" for v in vals)
+
+
+def f10(*vals):
+    return "".join(f"{v:10.4f}" for v in vals)
+
+
+def node(x, y, value, flag=0):
+    return f"{x:9.5f}{y:9.5f}" + " " * 22 + f"{value:10.3f}" + str(flag)
+
+
+def deck(*cards):
+    return "\n".join(cards) + "\n"
+
+
+def square(shaping=None, nopnch=0, formats=("", "")):
+    if shaping is None:
+        shaping = [
+            i5(1, 1, 3, 1) + f8(0.0, 0.0, 2.0, 0.0, 0.0),
+            i5(1, 3, 3, 3) + f8(0.0, 2.0, 2.0, 2.0, 0.0),
+        ]
+    return deck(i5(1), "SQUARE", i5(0, 0, nopnch, 1),
+                i5(1, 1, 1, 3, 3), i5(1, len(shaping)), *shaping,
+                formats[0], formats[1])
+
+
+def shaped(*segments):
+    return square(shaping=list(segments))
+
+
+def one_sub(card):
+    return deck(i5(1), "GEOMETRY", i5(0, 0, 0, 1), card,
+                i5(1, 0), "", "")
+
+
+def ospl(type1, nodes, elements, extra=()):
+    return deck(type1, "CONTOUR PLOT", "OF A TEST FIELD",
+                *nodes, *elements, *extra)
+
+
+SQUARE_NODES = [node(0.0, 0.0, 1.0), node(1.0, 0.0, 2.0),
+                node(1.0, 1.0, 3.0), node(0.0, 1.0, 4.0)]
+SQUARE_ELEMENTS = [i5(1, 2, 3), i5(1, 3, 4)]
+SQUARE_TYPE1 = i5(4, 2) + f10(2.0, 0.0, 1.0, 0.0, 0.0)
+
+MANY_SUBS = deck(
+    i5(1), "FIFTY ONE STRIPS", i5(0, 0, 0, 51),
+    *[i5(n, n, 1, n + 1, 2) for n in range(1, 52)],
+    *[i5(n, 0) for n in range(1, 52)],
+    "", "")
+
+# code -> (program, deck text, lines to show (None = all), note or None)
+EXAMPLES = {
+    "IDZ001": ("idlz", "    0\n", None, None),
+    "IDZ002": ("idlz", "    1\nTITLE ONLY\n", None, None),
+    "IDZ003": ("idlz", deck(i5(1), "BAD FIELD", "   XX    0    0    1"),
+               None, None),
+    "IDZ004": ("idlz", deck(i5(1), "X" * 81, i5(0, 0, 0, 1),
+                            i5(1, 1, 1, 3, 3), i5(1, 0), "", ""),
+               None, "card 2 is 81 columns wide"),
+    "IDZ005": ("idlz", deck(i5(1), "DUPLICATE", i5(0, 0, 0, 2),
+                            i5(1, 1, 1, 3, 3), i5(1, 1, 1, 3, 3),
+                            i5(1, 0), i5(1, 0), "", ""), None, None),
+    "IDZ006": ("idlz", deck(i5(1), "DANGLING", i5(0, 0, 0, 1),
+                            i5(1, 1, 1, 3, 3), i5(9, 0), "", ""),
+               None, None),
+    "IDZ007": ("idlz", deck(
+        i5(1), "SQUARE", i5(0, 0, 0, 1), i5(1, 1, 1, 3, 3), i5(1, 2),
+        i5(1, 1, 3, 1) + f8(0.0, 0.0, 2.0, 0.0, 0.0),
+        i5(1, 3, 3, 3) + f8(0.0, 2.0, 2.0, 2.0, 0.0),
+        "", "", "LEFTOVER CARD"), None, None),
+    "IDZ008": ("idlz", deck(i5(1), "NO SUBDIVISIONS", i5(0, 0, 0, 0)),
+               None, None),
+    "IDZ009": ("idlz", deck(i5(1), "NEGATIVE COUNT", i5(0, 0, 0, 1),
+                            i5(1, 1, 1, 3, 3), i5(1, -2)), None, None),
+    "IDZ101": ("idlz", one_sub(i5(1, 3, 3, 1, 1)), None, None),
+    "IDZ102": ("idlz", one_sub(i5(1, 1, 1, 5, 5) + "     " + i5(1, 1)),
+               None, None),
+    "IDZ103": ("idlz", one_sub(i5(1, 1, 1, 5, 5) + "     " + i5(2, 0)),
+               None, None),
+    "IDZ104": ("idlz", deck(i5(1), "OVERLAP", i5(0, 0, 0, 2),
+                            i5(1, 1, 1, 3, 3), i5(2, 2, 2, 4, 4),
+                            i5(1, 0), i5(2, 0), "", ""), None, None),
+    "IDZ105": ("idlz", deck(i5(1), "ISLAND", i5(0, 0, 0, 2),
+                            i5(1, 1, 1, 3, 3), i5(2, 7, 7, 9, 9),
+                            i5(1, 0), i5(2, 0), "", ""), None, None),
+    "IDZ106": ("idlz", one_sub(i5(1, 0, 1, 3, 3)), None, None),
+    "IDZ201": ("idlz", shaped(
+        i5(1, 1, 3, 3) + f8(0.0, 0.0, 2.0, 2.0, 0.0)), None, None),
+    "IDZ202": ("idlz", shaped(
+        i5(1, 1, 3, 1) + f8(1.0, 1.0, 1.0, 1.0, 0.0)), None, None),
+    "IDZ203": ("idlz", shaped(
+        i5(1, 1, 3, 1) + f8(0.0, 0.0, 2.0, 0.0, -2.0)), None, None),
+    "IDZ204": ("idlz", shaped(
+        i5(1, 1, 3, 1) + f8(0.0, 0.0, 2.0, 0.0, 0.6)), None, None),
+    "IDZ205": ("idlz", shaped(
+        i5(1, 1, 3, 1) + f8(0.0, 0.0, 2.0, 0.0, 1.05)), None, None),
+    "IDZ206": ("idlz", shaped(
+        i5(1, 1, 3, 1) + f8(0.0, 0.0, 2.0, 0.0, 0.0),
+        i5(3, 1, 3, 3) + f8(9.0, 9.0, 2.0, 2.0, 0.0)), None, None),
+    "IDZ207": ("idlz", shaped(
+        i5(1, 1, 3, 1) + f8(0.0, 0.0, 2.0, 0.0, 0.0)), None, None),
+    "IDZ208": ("idlz", shaped(
+        i5(1, 1, 3, 1) + f8(0.0, 0.0, 2.0, 0.0, 0.0),
+        i5(1, 3, 3, 3) + f8(0.0, 2.0, 2.0, 2.0, 0.0),
+        i5(1, 1, 1, 3) + f8(0.0, 0.0, 0.0, 2.0, 0.0),
+        i5(3, 1, 3, 3) + f8(2.0, 0.0, 2.0, 2.0, 0.0)), None, None),
+    "IDZ209": ("idlz", shaped(
+        i5(9, 9, 9, 9) + f8(1.0, 1.0, 1.0, 1.0, 0.0)), None, None),
+    "FMT001": ("idlz", square(nopnch=1,
+                              formats=("(2F9.5, 51X, I3, 5X, I3)",
+                                       "(3I5, 62X")), None, None),
+    "FMT002": ("idlz", square(nopnch=1,
+                              formats=("(I5, I5)", "(3I5, 62X, I3)")),
+               None, None),
+    "FMT003": ("idlz", deck(
+        i5(1), "MANY NODES", i5(0, 0, 1, 1),
+        i5(1, 1, 1, 6, 3), i5(1, 2),
+        i5(1, 1, 6, 1) + f8(0.0, 0.0, 5.0, 0.0, 0.0),
+        i5(1, 3, 6, 3) + f8(0.0, 2.0, 5.0, 2.0, 0.0),
+        "(2F9.5, I3, I1)", "(3I5, 62X, I3)"), None,
+        "18 nodes, but the node-number descriptor is I1"),
+    "FMT004": ("idlz", square(nopnch=1,
+                              formats=("(2F5.4, I3, I3)",
+                                       "(3I5, 62X, I3)")), None,
+               "x reaches 2.0; F5.4 cannot hold \"2.0000\""),
+    "LIM001": ("idlz", MANY_SUBS, 4,
+               "51 one-cell strips (cards elided); Table 2 allows 50"),
+    "LIM002": ("idlz", one_sub(i5(1, 1, 1, 41, 2)), None, None),
+    "LIM003": ("idlz", one_sub(i5(1, 1, 1, 2, 61)), None, None),
+    "LIM004": ("idlz", one_sub(i5(1, 1, 1, 30, 30)), None,
+               "a 30x30 lattice is 900 nodes and 1682 elements"),
+    "LIM005": ("idlz", one_sub(i5(1, 1, 1, 30, 30)), None, None),
+    "LIM006": ("ospl", i5(900, 1100) + f10(1.0, 0.0, 1.0, 0.0, 0.0)
+               + "\n", None, None),
+    "LIM007": ("ospl", i5(900, 1100) + f10(1.0, 0.0, 1.0, 0.0, 0.0)
+               + "\n", None, None),
+    "OSP001": ("ospl", i5(2, 0) + f10(1.0, 0.0, 1.0, 0.0, 0.0) + "\n",
+               None, None),
+    "OSP002": ("ospl", ospl(SQUARE_TYPE1, SQUARE_NODES[:2], []),
+               None, None),
+    "OSP003": ("ospl", ospl(SQUARE_TYPE1,
+                            ["NOT A NODE CARD"] + SQUARE_NODES[1:],
+                            SQUARE_ELEMENTS), None, None),
+    "OSP004": ("ospl", ospl(SQUARE_TYPE1, SQUARE_NODES, SQUARE_ELEMENTS,
+                            extra=["LEFTOVER"]), None, None),
+    "OSP005": ("ospl", ospl(SQUARE_TYPE1, SQUARE_NODES,
+                            [i5(1, 2, 3), i5(1, 3, 9)]), None, None),
+    "OSP006": ("ospl", ospl(SQUARE_TYPE1, SQUARE_NODES,
+                            [i5(1, 2, 3), i5(1, 1, 4)]), None, None),
+    "OSP007": ("ospl", ospl(
+        SQUARE_TYPE1,
+        [node(0.0, 0.0, 1.0), node(1.0, 0.0, 2.0),
+         node(2.0, 0.0, 3.0), node(0.0, 1.0, 4.0)],
+        [i5(1, 2, 3), i5(1, 2, 4)]), None, None),
+    "OSP008": ("ospl", ospl(
+        SQUARE_TYPE1,
+        [node(0.0, 0.0, 5.0), node(1.0, 0.0, 5.0),
+         node(1.0, 1.0, 5.0), node(0.0, 1.0, 5.0)],
+        SQUARE_ELEMENTS), None, None),
+    "OSP009": ("ospl", ospl(
+        i5(4, 2) + f10(2.0, 0.0, 1.0, 0.0, -0.5),
+        SQUARE_NODES, SQUARE_ELEMENTS), None, None),
+    "OSP010": ("ospl", ospl(
+        i5(4, 2) + f10(0.0, 2.0, 1.0, 0.0, 0.0),
+        SQUARE_NODES, SQUARE_ELEMENTS), None, None),
+    "OSP011": ("ospl", ospl(
+        i5(5, 2) + f10(2.0, 0.0, 1.0, 0.0, 0.0),
+        SQUARE_NODES + [node(0.5, 0.5, 9.0)], SQUARE_ELEMENTS),
+        None, None),
+    "OSP012": ("ospl", ospl(
+        i5(5, 3) + f10(2.0, 0.0, 1.0, 0.0, 0.0),
+        SQUARE_NODES + [node(0.0, 0.0, 9.0)],
+        SQUARE_ELEMENTS + [i5(1, 2, 5)]), None, None),
+}
+
+FAMILIES = [
+    ("IDZ0", "Structural rules (IDZ0xx)",
+     "The card tray itself: counts, field syntax, references between "
+     "cards.  These fire while the deck is being read, before any "
+     "geometry exists."),
+    ("IDZ1", "Geometry rules (IDZ1xx)",
+     "Each subdivision's integer-coordinate box and the assemblage "
+     "they form together."),
+    ("IDZ2", "Shaping rules (IDZ2xx)",
+     "The type-6 straight-line and arc segments that pin lattice "
+     "points to real coordinates, and whether every subdivision will "
+     "find a located pair of opposite sides when it shapes."),
+    ("FMT0", "FORMAT rules (FMT0xx)",
+     "The two variable-FORMAT cards that control the punched output "
+     "deck.  Checked only when the option card requests punching "
+     "(``NOPNCH = 1``); a deck that never punches cannot overflow a "
+     "field."),
+    ("LIM0", "Capacity rules (LIM0xx)",
+     "The fixed array sizes of the 1970 programs (Tables 1 and 2 of "
+     "the paper).  Warnings by default -- this reproduction has no "
+     "fixed arrays -- but ``--strict`` escalates them to errors for "
+     "decks that must stay portable to the originals."),
+    ("OSP0", "OSPL rules (OSP0xx)",
+     "The contour-plot deck: window, node table, element table and "
+     "the field values."),
+]
+
+
+def render_example(code, program, text, show, note):
+    result = lint_text(text, "example.deck", program=program)
+    matches = [d for d in result.diagnostics if d.code == code]
+    assert matches, (code, [d.code for d in result.diagnostics])
+    lines = text.rstrip("\n").split("\n")
+    shown = lines if show is None else lines[:show] + ["..."]
+    out = []
+    if note:
+        out.append(f"*{note}*")
+        out.append("")
+    out.append("```text")
+    out.extend(line.rstrip() if line.strip() else "(blank card)"
+               for line in shown)
+    out.append("```")
+    out.append("")
+    out.append("```text")
+    out.extend(d.render() for d in matches[:2])
+    out.append("```")
+    return "\n".join(out)
+
+
+def main():
+    sections = []
+    for prefix, heading, intro in FAMILIES:
+        sections.append(f"### {heading}\n\n{intro}\n")
+        for rule in all_rules():
+            if not rule.code.startswith(prefix):
+                continue
+            program, text, show, note = EXAMPLES[rule.code]
+            sections.append(
+                f"#### {rule.code} -- {rule.title} ({rule.severity})\n\n"
+                f"{rule.explain.strip()}\n\n"
+                f"{render_example(rule.code, program, text, show, note)}\n"
+            )
+    covered = {code for code in EXAMPLES}
+    published = {rule.code for rule in all_rules()}
+    assert covered == published, covered ^ published
+
+    doc = ROOT / "docs" / "LINT.md"
+    head, marker = doc.read_text().split("<!-- CATALOG -->", 1)[0], ""
+    body = head + "<!-- CATALOG -->\n\n" + "\n".join(sections)
+    doc.write_text(body)
+    print(f"wrote {doc} ({len(published)} rules)")
+
+
+if __name__ == "__main__":
+    main()
