@@ -72,10 +72,16 @@ def observed_run(name: str, workload: Callable[[], Any],
 
 
 def idlz_stage_probe(cols: int = 40, rows: int = 60):
-    """A paper-scale rectangular idealization: the standard obs workload."""
-    from repro.core.idlz.pipeline import Idealizer
+    """A paper-scale rectangular idealization: the standard obs workload.
+
+    Runs the number -> renumber stages through
+    :func:`repro.pipeline.idlz.run_idealization` -- the same framework
+    the programs execute on -- so the bench record reflects the real
+    per-stage spans.
+    """
     from repro.core.idlz.shaping import ShapingSegment
     from repro.core.idlz.subdivision import Subdivision
+    from repro.pipeline.idlz import run_idealization
 
     sub = Subdivision(index=1, kk1=1, ll1=1, kk2=cols + 1, ll2=rows + 1)
     segments = [
@@ -84,8 +90,9 @@ def idlz_stage_probe(cols: int = 40, rows: int = 60):
         ShapingSegment(1, 1, rows + 1, cols + 1, rows + 1,
                        0.0, float(rows), float(cols), float(rows)),
     ]
-    return Idealizer(title=f"BENCH {cols}X{rows}",
-                     subdivisions=[sub]).run(segments)
+    ideal, _ = run_idealization(title=f"BENCH {cols}X{rows}",
+                                subdivisions=[sub], segments=segments)
+    return ideal
 
 
 def main() -> None:

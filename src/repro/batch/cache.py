@@ -29,10 +29,13 @@ import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 from repro._version import __version__
 from repro.errors import BatchError
+
+if TYPE_CHECKING:
+    from repro.pipeline.cache import StageCache
 
 #: Cache entry format version (bump to orphan old entries wholesale).
 ENTRY_SCHEMA = "repro.batch-cache/v1"
@@ -198,6 +201,26 @@ class ArtifactCache:
                 f"cannot store lint verdict {key}: {exc}"
             ) from exc
 
+    # ------------------------------------------------------------------
+    # Per-stage sidecar
+    # ------------------------------------------------------------------
+    @property
+    def stage_root(self) -> Path:
+        """Where the per-stage entries live (``<root>/stages/``)."""
+        return self.root / "stages"
+
+    def stage_cache(self) -> "StageCache":
+        """The stage-granular cache sharing this root (lazy import).
+
+        Whole-deck entries answer "has this exact deck run before";
+        the stage cache underneath answers "which prefix of the
+        pipeline is unchanged" when the deck *has* been edited (see
+        docs/PIPELINE.md).
+        """
+        from repro.pipeline.cache import StageCache
+
+        return StageCache(self.stage_root)
+
     def __contains__(self, key: str) -> bool:
         return self.lookup(key) is not None
 
@@ -205,7 +228,8 @@ class ArtifactCache:
         """Number of readable entries (used by ``batch status`` and tests)."""
         count = 0
         for shard in self.root.iterdir():
-            if shard.is_dir() and not shard.name.startswith("."):
+            if (shard.is_dir() and not shard.name.startswith(".")
+                    and shard.name not in ("lint", "stages")):
                 for entry in shard.iterdir():
                     if (entry / "entry.json").is_file():
                         count += 1

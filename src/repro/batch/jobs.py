@@ -38,6 +38,8 @@ class JobSpec:
     out_dir: str                  # job-private directory for artifacts
     strict: bool = False
     timeout_s: Optional[float] = None
+    #: Root of the shared per-stage cache (None disables stage reuse).
+    stage_cache: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)

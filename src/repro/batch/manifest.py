@@ -9,12 +9,16 @@ Schema ``repro.batch/v1``::
       "options": {"jobs", "timeout_s", "retries", "backoff_s", "strict",
                   "lint"},
       "summary": {"total", "ok", "failed", "rejected", "cache_hits",
-                  "cache_misses", "attempts", "wall_s"},
+                  "cache_misses", "stage_hits", "stage_misses",
+                  "attempts", "wall_s"},
       "jobs": [ {"job_id", "deck", "program", "fingerprint",
                  "status": "ok"|"failed"|"rejected",
                  "cache": "hit"|"miss"|"off",
                  "attempts", "wall_s", "out_dir", "artifacts": [...],
-                 "summary": {...}|null, "obs": {"health", "counters"},
+                 "summary": {...}|null,
+                 "stages": [{"stage", "cache": "hit"|"miss"|"off",
+                             "wall_s", "key"|null}, ...],
+                 "obs": {"health", "counters"},
                  "lint": {"ok", "counts", "diagnostics": [...]}|null,
                  "error": {"type","message","traceback"}|null}, ... ]
     }
@@ -22,6 +26,12 @@ Schema ``repro.batch/v1``::
 ``status: "rejected"`` means the ``--lint`` pre-flight found errors and
 the job never reached a worker; its ``lint`` block carries the full
 verdict (also present, with ``ok: true``, on jobs that passed).
+
+``stages`` records the job's trip through the
+:mod:`repro.pipeline` stages -- which were restored from the
+stage-granular cache (``hit``) and which had to run (``miss``;
+``off`` when the batch ran without a cache dir).  A job served whole from
+the artifact cache ran no stages at all, so its list is empty.
 
 ``batch status`` renders the summary table, ``batch explain`` digs out
 one job's full record (error traceback and health snapshots included).
@@ -140,10 +150,11 @@ class BatchManifest:
             f"{self.summary.get('failed', 0)} failed, "
             f"{self.summary.get('rejected', 0)} rejected, "
             f"{self.summary.get('cache_hits', 0)} cache hit(s), "
+            f"{self.summary.get('stage_hits', 0)} stage hit(s), "
             f"{self.summary.get('attempts', 0)} attempt(s), "
             f"{self.summary.get('wall_s', 0.0):.2f}s wall",
             f"  {'job':<24s} {'prog':<5s} {'status':<8s} "
-            f"{'cache':<5s} {'tries':>5s} {'wall':>9s}",
+            f"{'cache':<5s} {'stages':<7s} {'tries':>5s} {'wall':>9s}",
         ]
         for record in self.jobs:
             wall = record.get("wall_s")
@@ -154,6 +165,7 @@ class BatchManifest:
                 f" {record.get('program', '?'):<5s}"
                 f" {record.get('status', '?'):<8s}"
                 f" {record.get('cache', 'off'):<5s}"
+                f" {_stage_cell(record):<7s}"
                 f" {record.get('attempts', 0):>5d}"
                 f" {wall_text:>9s}"
             )
@@ -179,6 +191,18 @@ class BatchManifest:
         for problem in summary.get("problems", []):
             pairs = ", ".join(f"{k}={v}" for k, v in problem.items())
             lines.append(f"  produced    {pairs}")
+        stages = record.get("stages") or []
+        if stages:
+            lines.append("  stages")
+            for stage in stages:
+                stage_wall = stage.get("wall_s")
+                wall_part = (f"{stage_wall * 1000.0:7.1f}ms"
+                             if stage_wall is not None else "     --")
+                lines.append(
+                    f"    {stage.get('stage', '?'):<16s}"
+                    f" {stage.get('cache', 'off'):<5s}"
+                    f" {wall_part}"
+                )
         lint = record.get("lint")
         if lint:
             counts = lint.get("counts") or {}
@@ -215,11 +239,21 @@ class BatchManifest:
         return "\n".join(lines)
 
 
+def _stage_cell(record: Dict[str, Any]) -> str:
+    """The status table's stage column: ``hits/total`` or ``--``."""
+    stages = record.get("stages") or []
+    if not stages:
+        return "--"
+    hits = sum(1 for s in stages if s.get("cache") == "hit")
+    return f"{hits}/{len(stages)}"
+
+
 def summarize_jobs(jobs: List[Dict[str, Any]],
                    wall_s: Optional[float] = None) -> Dict[str, Any]:
     """Aggregate per-job records into the manifest summary block."""
     ok = sum(1 for r in jobs if r.get("status") == "ok")
     rejected = sum(1 for r in jobs if r.get("status") == "rejected")
+    stages = [s for r in jobs for s in r.get("stages") or []]
     return {
         "total": len(jobs),
         "ok": ok,
@@ -227,6 +261,8 @@ def summarize_jobs(jobs: List[Dict[str, Any]],
         "rejected": rejected,
         "cache_hits": sum(1 for r in jobs if r.get("cache") == "hit"),
         "cache_misses": sum(1 for r in jobs if r.get("cache") == "miss"),
+        "stage_hits": sum(1 for s in stages if s.get("cache") == "hit"),
+        "stage_misses": sum(1 for s in stages if s.get("cache") == "miss"),
         "attempts": sum(r.get("attempts", 0) for r in jobs),
         "wall_s": (wall_s if wall_s is not None
                    else sum(r.get("wall_s") or 0.0 for r in jobs)),

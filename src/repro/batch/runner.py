@@ -29,7 +29,7 @@ import logging
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import (Any, Dict, Iterator, List, Optional, Sequence, Tuple,
                     Union)
@@ -179,7 +179,12 @@ def run_batch(specs: Sequence[JobSpec],
                 entry = cache.lookup(job_cache_key(spec, fingerprint))
                 if entry is None:
                     records[spec.job_id]["cache"] = "miss"
-                    pending.append(spec)
+                    # A whole-deck miss still reuses every pipeline
+                    # stage whose inputs are unchanged, through the
+                    # stage cache rooted next to the artifact entries.
+                    pending.append(replace(
+                        spec, stage_cache=str(cache.stage_root)
+                    ))
                     continue
                 restore_start = time.perf_counter()
                 artifacts = entry.restore_into(spec.out_dir)
@@ -248,6 +253,7 @@ def _base_record(spec: JobSpec, fingerprint: str) -> Dict[str, Any]:
         "out_dir": spec.out_dir,
         "artifacts": [],
         "summary": None,
+        "stages": [],
         "obs": {},
         "lint": None,
         "error": None,
@@ -332,6 +338,7 @@ def _crash_result(spec: JobSpec, exc: BaseException) -> Dict[str, Any]:
         "job_id": spec.job_id,
         "status": "failed",
         "summary": None,
+        "stages": [],
         "artifacts": [],
         "obs": {},
         "wall_s": None,

@@ -24,8 +24,14 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 
-class JobTimeout(Exception):
-    """The job exceeded its wall-clock budget."""
+class JobTimeout(BaseException):
+    """The job exceeded its wall-clock budget.
+
+    A ``BaseException`` because the alarm can fire at any bytecode
+    boundary: blanket ``except Exception`` recovery paths (the stage
+    runner's error wrapping, the cache's degrade-to-miss handlers) must
+    neither swallow nor relabel it.
+    """
 
 
 class _Deadline:
@@ -61,12 +67,19 @@ class _Deadline:
         return False
 
 
-def _execute(spec: Dict[str, Any]) -> Dict[str, Any]:
-    """Run the program named by the spec; returns the summary payload."""
+def _execute(spec: Dict[str, Any]
+             ) -> "tuple[Dict[str, Any], list]":
+    """Run the program named by the spec.
+
+    Returns ``(summary, stages)``: the program-products digest and the
+    per-stage execution records (cache hit/miss, wall time) the manifest
+    embeds.
+    """
     from repro.core.idlz import limits as idlz_limits
     from repro.core.idlz.program import run_idlz_files
     from repro.core.ospl import limits as ospl_limits
     from repro.core.ospl.program import run_ospl_files
+    from repro.pipeline.cache import StageCache
 
     deck = Path(spec["deck"])
     out_dir = Path(spec["out_dir"])
@@ -77,15 +90,22 @@ def _execute(spec: Dict[str, Any]) -> Dict[str, Any]:
             if stale.is_file():
                 stale.unlink()
     out_dir.mkdir(parents=True, exist_ok=True)
+    stage_cache = (StageCache(spec["stage_cache"])
+                   if spec.get("stage_cache") else None)
     if spec["program"] == "idlz":
         limits = (idlz_limits.STRICT_1970 if spec.get("strict")
                   else idlz_limits.UNLIMITED)
-        runs = run_idlz_files(deck, out_dir, limits=limits)
-        return {"problems": [run.summary_dict() for run in runs]}
+        runs = run_idlz_files(deck, out_dir, limits=limits,
+                              stage_cache=stage_cache)
+        return (
+            {"problems": [run.summary_dict() for run in runs]},
+            [d for run in runs for d in run.stage_dicts()],
+        )
     limits = (ospl_limits.STRICT_1970 if spec.get("strict")
               else ospl_limits.UNLIMITED)
-    run = run_ospl_files(deck, out_dir / "plot.svg", limits=limits)
-    return {"problems": [run.summary_dict()]}
+    run = run_ospl_files(deck, out_dir / "plot.svg", limits=limits,
+                         stage_cache=stage_cache)
+    return {"problems": [run.summary_dict()]}, run.stage_dicts()
 
 
 def run_job(spec: Dict[str, Any]) -> Dict[str, Any]:
@@ -95,6 +115,7 @@ def run_job(spec: Dict[str, Any]) -> Dict[str, Any]:
 
         {"job_id", "status": "ok"|"failed", "wall_s",
          "summary": {...} | None,          # program products digest
+         "stages": [{stage, cache, wall_s, key}, ...],
          "artifacts": [names...],          # files under the job out dir
          "obs": {"health": [...], "counters": {...}},
          "error": {"type", "message", "traceback"} | None}
@@ -106,6 +127,7 @@ def run_job(spec: Dict[str, Any]) -> Dict[str, Any]:
         "job_id": spec["job_id"],
         "status": "ok",
         "summary": None,
+        "stages": [],
         "artifacts": [],
         "obs": {},
         "error": None,
@@ -115,8 +137,8 @@ def run_job(spec: Dict[str, Any]) -> Dict[str, Any]:
         with _Deadline(spec.get("timeout_s")):
             with obs.span("batch.job", job_id=spec["job_id"],
                           program=spec["program"]):
-                result["summary"] = _execute(spec)
-    except Exception as exc:
+                result["summary"], result["stages"] = _execute(spec)
+    except (Exception, JobTimeout) as exc:
         result["status"] = "failed"
         result["error"] = {
             "type": type(exc).__name__,

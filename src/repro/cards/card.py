@@ -8,6 +8,7 @@ text files (one card per line) -- our stand-in for a card tray.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, List
 
 from repro.errors import CardError
@@ -84,3 +85,16 @@ def canonical_deck_text(text: str) -> str:
     while lines and not lines[-1]:
         lines.pop()
     return "\n".join(lines) + "\n" if lines else ""
+
+
+def deck_fingerprint(text: str, program: str) -> str:
+    """Content fingerprint of a deck blob (sha-256 hex).
+
+    Hashes the canonical card-tray form under a program tag, so an IDLZ
+    deck and a byte-identical OSPL deck never share a fingerprint.  The
+    batch engine combines this with the run options and the code version
+    to key its artifact cache.
+    """
+    digest = hashlib.sha256(f"{program}\n".encode())
+    digest.update(canonical_deck_text(text).encode())
+    return digest.hexdigest()

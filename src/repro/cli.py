@@ -1,7 +1,9 @@
 """Command-line interface: run the 1970 programs on deck files.
 
-    python -m repro idlz INPUT.deck -o OUT_DIR [--strict]
-    python -m repro ospl INPUT.deck -o PLOT.svg [--strict] [--ascii]
+    python -m repro idlz INPUT.deck -o OUT_DIR [--strict] [--cache-dir D]
+    python -m repro ospl INPUT.deck -o PLOT.{svg,png,txt} [--strict]
+                                                          [--ascii]
+                                                          [--cache-dir D]
     python -m repro lint DECKS... [-R] [--format text|json] [--strict]
     python -m repro lint --explain CODE
     python -m repro batch run GLOB... -o DIR [--lint] [--jobs N
@@ -32,6 +34,12 @@ whose products are already in the ``--cache-dir`` artifact cache, and
 writes a ``repro.batch/v1`` manifest; ``batch run`` exits 0 when every
 job succeeded and 3 (partial failure) when some failed -- sibling jobs
 are unaffected either way.
+
+``--cache-dir`` on ``idlz``/``ospl`` enables the stage-granular result
+cache (see docs/PIPELINE.md): edits that only touch late cards (say a
+type-6 shaping card) reuse every earlier pipeline stage and re-run from
+the first stage whose inputs changed.  The directory has the same
+layout ``batch run --cache-dir`` uses, so the two share warm entries.
 
 Observability (see docs/OBSERVABILITY.md): ``--trace`` prints a
 per-stage timing tree to stderr, ``--report PATH.json`` writes the
@@ -96,16 +104,28 @@ def build_parser() -> argparse.ArgumentParser:
                       help="enforce the Table-2 1970 restrictions")
     idlz.add_argument("--check", action="store_true",
                       help="validate the deck without running it")
+    idlz.add_argument("--cache-dir", type=Path, default=None,
+                      metavar="DIR",
+                      help="stage-granular result cache; unchanged "
+                           "pipeline stages are restored, not re-run "
+                           "(shares layout with 'batch run')")
     _add_common_options(idlz)
 
     ospl = sub.add_parser("ospl", help="contour-plot a field from a deck")
     ospl.add_argument("deck", type=Path, help="Appendix-C input deck")
     ospl.add_argument("-o", "--out", type=Path, default=Path("ospl.svg"),
-                      help="output SVG path (default: ospl.svg)")
+                      help="output path; the extension picks the writer "
+                           "(.svg vector, .png raster, .txt character "
+                           "preview; default: ospl.svg)")
     ospl.add_argument("--strict", action="store_true",
                       help="enforce the Table-1 1970 restrictions")
     ospl.add_argument("--ascii", action="store_true",
                       help="also print an ASCII preview")
+    ospl.add_argument("--cache-dir", type=Path, default=None,
+                      metavar="DIR",
+                      help="stage-granular result cache; unchanged "
+                           "pipeline stages are restored, not re-run "
+                           "(shares layout with 'batch run')")
     _add_common_options(ospl)
 
     lint = sub.add_parser("lint", help="statically analyze decks "
@@ -255,6 +275,16 @@ def _configure_logging(verbosity: int, quiet: bool) -> None:
         handler.stream = sys.stderr
 
 
+def _stage_cache(args: argparse.Namespace):
+    """The ``--cache-dir`` stage cache, rooted at ``DIR/stages`` so the
+    same directory warms both the CLI and ``batch run``."""
+    if args.cache_dir is None:
+        return None
+    from repro.pipeline import StageCache
+
+    return StageCache(args.cache_dir / "stages")
+
+
 def _run_idlz(args: argparse.Namespace) -> int:
     limits = (idlz_limits.STRICT_1970 if args.strict
               else idlz_limits.UNLIMITED)
@@ -273,7 +303,8 @@ def _run_idlz(args: argparse.Namespace) -> int:
                 print(f"problem {i}: {report}")
             clean = clean and report.ok
         return 0 if clean else 1
-    runs = run_idlz_files(args.deck, args.out, limits=limits)
+    runs = run_idlz_files(args.deck, args.out, limits=limits,
+                          stage_cache=_stage_cache(args))
     if not args.quiet:
         for i, run in enumerate(runs, start=1):
             ideal = run.idealization
@@ -291,7 +322,8 @@ def _run_idlz(args: argparse.Namespace) -> int:
 def _run_ospl(args: argparse.Namespace) -> int:
     limits = (ospl_limits.STRICT_1970 if args.strict
               else ospl_limits.UNLIMITED)
-    run = run_ospl_files(args.deck, args.out, limits=limits)
+    run = run_ospl_files(args.deck, args.out, limits=limits,
+                         stage_cache=_stage_cache(args))
     plot = run.plot
     if not args.quiet:
         print(f"{run.title!r}: interval {plot.interval:g}, "

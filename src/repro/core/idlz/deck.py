@@ -22,11 +22,10 @@ produces.  F8.4 fields honour FORTRAN implied-decimal input.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.cards.card import canonical_deck_text
+from repro.cards.card import deck_fingerprint as _deck_fingerprint
 from repro.cards.fortran_format import FortranFormat
 from repro.cards.reader import CardReader
 from repro.cards.writer import CardWriter
@@ -93,16 +92,12 @@ class IdlzProblem:
 
 
 def deck_fingerprint(text: str) -> str:
-    """Content fingerprint of an IDLZ deck blob (sha-256 hex).
+    """Content fingerprint of an IDLZ deck blob.
 
-    Hashes the canonical card-tray form (trailing blanks dropped) with a
-    program tag, so an IDLZ deck and a byte-identical OSPL deck never
-    share a fingerprint.  The batch engine combines this with the run
-    options and the code version to key its artifact cache.
+    Thin wrapper over :func:`repro.cards.card.deck_fingerprint` under
+    the ``idlz`` program tag.
     """
-    digest = hashlib.sha256(b"idlz\n")
-    digest.update(canonical_deck_text(text).encode())
-    return digest.hexdigest()
+    return _deck_fingerprint(text, "idlz")
 
 
 # ----------------------------------------------------------------------

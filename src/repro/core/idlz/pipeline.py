@@ -6,25 +6,22 @@ renumber -> output, exactly the flow diagram of Appendix E.
     ideal.mesh            # the shaped, reformed, renumbered Mesh
     ideal.lattice_mesh    # the initial integer-lattice representation
     ideal.node_at(k, l)   # final node number at a lattice point
+
+The stage bodies live in :mod:`repro.pipeline.idlz` (one
+:class:`~repro.pipeline.stage.Stage` per Appendix-E box);
+:class:`Idealizer` is the stable facade over that pipeline.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
-from repro import obs
-from repro.obs.health import mesh_health
-from repro.core.idlz.elements import create_elements
 from repro.core.idlz.grid import LatticeGrid
-from repro.core.idlz.limits import IdlzLimits, STRICT_1970, UNLIMITED
-from repro.core.idlz.reform import reform_elements
-from repro.core.idlz.shaping import Shaper, ShapingSegment
+from repro.core.idlz.limits import IdlzLimits, UNLIMITED
+from repro.core.idlz.shaping import ShapingSegment
 from repro.core.idlz.subdivision import Subdivision
 from repro.errors import IdealizationError
-from repro.fem.bandwidth import mesh_bandwidth, reverse_cuthill_mckee
 from repro.fem.mesh import Mesh
 
 
@@ -125,97 +122,23 @@ class Idealizer:
         self.prefer_pairs = dict(prefer_pairs or {})
 
     def run(self, segments: Sequence[ShapingSegment]) -> Idealization:
-        """Execute the IDLZ flow on the given type-6 shaping cards."""
-        with obs.span("idlz.number", subdivisions=len(self.subdivisions)):
-            self.limits.check_subdivisions(self.subdivisions)
-            grid = LatticeGrid(self.subdivisions)
-        obs.count("idlz.nodes_numbered", grid.n_nodes)
+        """Execute the IDLZ flow on the given type-6 shaping cards.
 
-        with obs.span("idlz.elements"):
-            triangles, groups = create_elements(grid)
-            self.limits.check_counts(grid.n_nodes, len(triangles))
+        Delegates to the stage pipeline (:mod:`repro.pipeline.idlz`);
+        this class survives as the stable constructor-shaped entry
+        point.  Use :func:`repro.pipeline.idlz.run_idealization` when
+        you also want the per-stage execution records or a
+        :class:`~repro.pipeline.cache.StageCache`.
+        """
+        from repro.pipeline.idlz import run_idealization
 
-            lattice_mesh = Mesh(
-                nodes=np.array(grid.lattice_coordinates(), dtype=float),
-                elements=np.array(triangles, dtype=int),
-                element_groups=np.array(groups, dtype=int),
-            )
-            lattice_mesh.orient_ccw()
-        obs.count("idlz.elements_created", len(triangles))
-        if obs.enabled():
-            obs.health("idlz.elements", mesh_health(lattice_mesh))
-
-        with obs.span("idlz.shape", segments=len(segments)):
-            shaper = Shaper(grid)
-            by_subdivision: Dict[int, List[ShapingSegment]] = {}
-            for seg in segments:
-                by_subdivision.setdefault(seg.subdivision, []).append(seg)
-            known = {sub.index for sub in self.subdivisions}
-            orphans = set(by_subdivision) - known
-            if orphans:
-                raise IdealizationError(
-                    f"shaping cards reference unknown subdivision(s) "
-                    f"{sorted(orphans)}"
-                )
-            for sub in self.subdivisions:
-                for seg in by_subdivision.get(sub.index, []):
-                    shaper.apply_segment(seg)
-                shaper.shape_subdivision(
-                    sub, prefer_pair=self.prefer_pairs.get(sub.index)
-                )
-
-        with obs.span("idlz.reform", enabled=self.reform):
-            mesh = Mesh(
-                nodes=shaper.positions.copy(),
-                elements=np.array(triangles, dtype=int),
-                element_groups=np.array(groups, dtype=int),
-            )
-            mesh.orient_ccw()
-            mesh.validate()
-            prereform_mesh = mesh.copy()
-            if obs.enabled():
-                # The shaped-but-unreformed mesh: the reformation pass's
-                # "before" picture.
-                obs.health("idlz.shape", mesh_health(prereform_mesh))
-            swaps = reform_elements(mesh) if self.reform else 0
-            mesh.compute_boundary_flags()
-        if obs.enabled():
-            obs.health("idlz.reform", mesh_health(mesh, swaps=swaps))
-
-        with obs.span("idlz.renumber", enabled=self.renumber):
-            bandwidth_before = mesh_bandwidth(mesh)
-            permutation: Optional[List[int]] = None
-            bandwidth_after = bandwidth_before
-            if self.renumber:
-                permutation = reverse_cuthill_mckee(mesh)
-                mesh = mesh.renumbered(permutation)
-                bandwidth_after = mesh_bandwidth(mesh)
-                if bandwidth_after > bandwidth_before:
-                    # RCM is a heuristic; never accept a worse numbering.
-                    mesh = prereform_mesh.copy()
-                    swaps = reform_elements(mesh) if self.reform else 0
-                    mesh.compute_boundary_flags()
-                    permutation = None
-                    bandwidth_after = bandwidth_before
-        obs.count("idlz.diagonal_swaps", swaps)
-        obs.gauge("idlz.bandwidth_before", bandwidth_before)
-        obs.gauge("idlz.bandwidth_after", bandwidth_after)
-        if obs.enabled():
-            obs.health("idlz.renumber", mesh_health(
-                mesh,
-                bandwidth_before=bandwidth_before,
-                bandwidth_after=bandwidth_after,
-            ))
-
-        return Idealization(
+        ideal, _ = run_idealization(
             title=self.title,
-            grid=grid,
-            mesh=mesh,
-            lattice_mesh=lattice_mesh,
-            prereform_mesh=prereform_mesh,
-            swaps=swaps,
-            renumbered=permutation is not None,
-            permutation=permutation,
-            bandwidth_before=bandwidth_before,
-            bandwidth_after=bandwidth_after,
+            subdivisions=self.subdivisions,
+            segments=segments,
+            renumber=self.renumber,
+            reform=self.reform,
+            limits=self.limits,
+            prefer_pairs=self.prefer_pairs,
         )
+        return ideal

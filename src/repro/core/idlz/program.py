@@ -6,6 +6,11 @@ NOPLOT (produce the SC-4020 frames), NONUMB (renumber for bandwidth; the
 deck reader already folds this into the Idealizer) and NOPNCH (punch the
 output decks in the type-7 FORMATs).
 
+Each problem executes through the stage pipeline of
+:mod:`repro.pipeline.idlz`; pass ``stage_cache`` to reuse any stage
+whose inputs have not changed since a previous run (see
+docs/PIPELINE.md).
+
 :func:`run_idlz` works on in-memory decks; :func:`run_idlz_files` adds
 the filesystem layer (deck file in, output directory out) used by the
 command-line interface.
@@ -16,15 +21,17 @@ from __future__ import annotations
 import logging
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro import obs
 from repro.cards.reader import CardReader
 from repro.cards.writer import CardWriter
-from repro.core.idlz.deck import IdlzProblem, read_idlz_deck
+from repro.core.idlz.deck import IdlzProblem
 from repro.core.idlz.limits import IdlzLimits, UNLIMITED
-from repro.core.idlz.output import plot_all, print_listing, punch_cards
 from repro.core.idlz.pipeline import Idealization
+from repro.pipeline.cache import StageCache
+from repro.pipeline.idlz import idlz_problem_pipeline, read_pipeline
+from repro.pipeline.runner import StageRecord
 from repro.plotter.device import Frame
 from repro.plotter.svg import save_svg
 
@@ -40,6 +47,8 @@ class IdlzRun:
     listing: str
     frames: List[Frame] = field(default_factory=list)
     punched: Optional[CardWriter] = None
+    #: Per-stage execution record (cache hit/miss, wall time).
+    stages: List[StageRecord] = field(default_factory=list)
 
     @property
     def title(self) -> str:
@@ -63,35 +72,44 @@ class IdlzRun:
             "cards_punched": len(self.punched) if self.punched else 0,
         }
 
+    def stage_dicts(self) -> List[Dict[str, object]]:
+        """The stage records as JSON-safe dicts (for manifests)."""
+        return [record.to_dict() for record in self.stages]
+
 
 def run_idlz(reader: CardReader,
-             limits: IdlzLimits = UNLIMITED) -> List[IdlzRun]:
+             limits: IdlzLimits = UNLIMITED,
+             stage_cache: Optional[StageCache] = None) -> List[IdlzRun]:
     """Execute the full IDLZ program on a card tray."""
-    with obs.span("idlz.read"):
-        problems = read_idlz_deck(reader)
+    problems = read_pipeline().run({"reader": reader})["problems"]
     log.info("deck read: %d problem(s)", len(problems))
+    pipeline = idlz_problem_pipeline()
     runs: List[IdlzRun] = []
     for i, problem in enumerate(problems, start=1):
         with obs.span("idlz.problem", index=i, title=problem.title):
             log.info("problem %d: %r idealizing ...", i, problem.title)
-            ideal = problem.run(limits=limits)
-            with obs.span("idlz.output", noplot=problem.noplot,
-                          nopnch=problem.nopnch):
-                run = IdlzRun(
-                    problem=problem,
-                    idealization=ideal,
-                    listing=print_listing(ideal),
-                )
-                if problem.noplot:
-                    run.frames = plot_all(ideal)
-                if problem.nopnch:
-                    run.punched = punch_cards(
-                        ideal,
-                        nodal_format=problem.nodal_format,
-                        element_format=problem.element_format,
-                    )
-            if run.punched is not None:
-                obs.count("idlz.cards_punched", len(run.punched))
+            result = pipeline.run({
+                "subdivisions": problem.subdivisions,
+                "segments": problem.segments,
+                "limits": limits,
+                "prefer_pairs": {},
+                "reform": True,
+                "renumber": bool(problem.nonumb),
+                "title": problem.title,
+                "noplot": bool(problem.noplot),
+                "nopnch": bool(problem.nopnch),
+                "nodal_format": problem.nodal_format,
+                "element_format": problem.element_format,
+            }, cache=stage_cache)
+            ideal = result["idealization"]
+            run = IdlzRun(
+                problem=problem,
+                idealization=ideal,
+                listing=result["listing"],
+                frames=result["frames"],
+                punched=result["punched"],
+                stages=list(result.stages),
+            )
             log.info(
                 "problem %d: %r -> %d nodes, %d elements, bandwidth "
                 "%d->%d, %d swap(s)", i, problem.title, ideal.n_nodes,
@@ -104,7 +122,9 @@ def run_idlz(reader: CardReader,
 
 def run_idlz_files(deck_path: Union[str, Path],
                    out_dir: Union[str, Path],
-                   limits: IdlzLimits = UNLIMITED) -> List[IdlzRun]:
+                   limits: IdlzLimits = UNLIMITED,
+                   stage_cache: Optional[StageCache] = None
+                   ) -> List[IdlzRun]:
     """Run IDLZ on a deck file and write all products under ``out_dir``.
 
     Per problem ``i`` (1-based): ``problem_i.listing.txt`` always;
@@ -115,7 +135,7 @@ def run_idlz_files(deck_path: Union[str, Path],
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     reader = CardReader.from_text(deck_path.read_text())
-    runs = run_idlz(reader, limits=limits)
+    runs = run_idlz(reader, limits=limits, stage_cache=stage_cache)
     for i, run in enumerate(runs, start=1):
         (out_dir / f"problem_{i}.listing.txt").write_text(run.listing)
         for j, frame in enumerate(run.frames, start=1):

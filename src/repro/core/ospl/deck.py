@@ -13,13 +13,12 @@ interval; the XMX/XMN/YMX/YMN window supports the zoom feature.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.cards.card import canonical_deck_text
+from repro.cards.card import deck_fingerprint as _deck_fingerprint
 from repro.cards.fortran_format import FortranFormat
 from repro.cards.reader import CardReader
 from repro.cards.writer import CardWriter
@@ -64,14 +63,12 @@ class OsplProblem:
 
 
 def deck_fingerprint(text: str) -> str:
-    """Content fingerprint of an OSPL deck blob (sha-256 hex).
+    """Content fingerprint of an OSPL deck blob.
 
-    Same canonicalisation as :func:`repro.core.idlz.deck.deck_fingerprint`
-    but under the ``ospl`` program tag; used by the batch artifact cache.
+    Thin wrapper over :func:`repro.cards.card.deck_fingerprint` under
+    the ``ospl`` program tag.
     """
-    digest = hashlib.sha256(b"ospl\n")
-    digest.update(canonical_deck_text(text).encode())
-    return digest.hexdigest()
+    return _deck_fingerprint(text, "ospl")
 
 
 def read_ospl_deck(reader: CardReader) -> OsplProblem:

@@ -13,17 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro import obs
-from repro.core.ospl.boundary import boundary_segments
-from repro.core.ospl.contour import ContourSet, contour_mesh
-from repro.core.ospl.labels import Label, place_labels
+from repro.core.ospl.contour import ContourSet
+from repro.core.ospl.labels import Label
 from repro.core.ospl.limits import OsplLimits, UNLIMITED
-from repro.errors import ContourError
 from repro.fem.mesh import Mesh
 from repro.fem.results import NodalField
-from repro.geometry.clip import clip_segment
 from repro.geometry.primitives import BoundingBox
-from repro.plotter.device import CoordinateMap, Frame, Plotter4020
+from repro.plotter.device import Frame, Plotter4020
 
 
 @dataclass
@@ -62,45 +58,27 @@ def conplt(mesh: Mesh, field: NodalField,
     zoom, ``limits`` enforces Table 1 when strict.  ``stroke_labels``
     draws every annotation through the SC-4020 character generator so
     the frame is pure vector strokes, as the film was.
-    """
-    limits.check(mesh.n_nodes, mesh.n_elements)
-    contours = contour_mesh(mesh, field, interval=interval, lowest=lowest,
-                            window=window)
-    world = window if window is not None else mesh.bounding_box()
-    if world.width == 0.0 and world.height == 0.0:
-        raise ContourError("plot window has zero extent")
-    cmap = CoordinateMap(world, margin=90)
-    labels = place_labels(contours, cmap, size=label_size)
-    obs.count("ospl.labels_placed", len(labels))
 
-    with obs.span("ospl.plot", segments=contours.n_segments(),
-                  labels=len(labels)):
-        plotter = plotter or Plotter4020()
-        frame = plotter.advance(title or field.name)
-        # Boundary outline first (clipped to the zoom window when present).
-        for seg in boundary_segments(mesh):
-            if window is not None:
-                clipped = clip_segment(seg, window)
-                if clipped is None:
-                    continue
-                seg = clipped
-            x0, y0 = cmap.to_raster(seg.start.x, seg.start.y)
-            x1, y1 = cmap.to_raster(seg.end.x, seg.end.y)
-            plotter.vector(x0, y0, x1, y1)
-        # Isograms.
-        for seg in contours.all_segments():
-            x0, y0 = cmap.to_raster(seg.start.x, seg.start.y)
-            x1, y1 = cmap.to_raster(seg.end.x, seg.end.y)
-            plotter.vector(x0, y0, x1, y1)
-        # Labels.
-        write = plotter.stroke_text if stroke_labels else plotter.text
-        for lab in labels:
-            rx, ry = cmap.to_raster(lab.x, lab.y)
-            write(rx + 3, ry + 3, lab.text, size=label_size)
-        # Captions, in the style of Figures 13-18.
-        if title:
-            write(90, 40, title.upper(), size=12)
-        caption = subtitle or f"CONTOUR PLOT * {field.name.upper()}"
-        write(90, 20, caption, size=12)
-        write(700, 40, f"CONTOUR INTERVAL IS {contours.interval:G}", size=10)
-    return ContourPlot(contours=contours, labels=labels, frame=frame)
+    Delegates to the intervals -> contour -> labels -> plot stages of
+    :mod:`repro.pipeline.ospl`; use
+    :func:`repro.pipeline.ospl.conplt_pipeline` directly for the stage
+    records or stage-granular caching.
+    """
+    from repro.pipeline.ospl import conplt_pipeline
+
+    result = conplt_pipeline().run({
+        "mesh": mesh,
+        "field": field,
+        "interval": interval,
+        "lowest": lowest,
+        "window": window,
+        "limits": limits,
+        "title": title,
+        "subtitle": subtitle,
+        "plotter": plotter,
+        "label_size": label_size,
+        "stroke_labels": stroke_labels,
+    })
+    return ContourPlot(contours=result["contours"],
+                       labels=result["labels"],
+                       frame=result["frame"])

@@ -3,20 +3,25 @@
 The original shipped both as a standalone main (read the Appendix-C deck,
 plot) and as CALL CONPLT linked into the analysis.  The standalone path
 lives here; the linked path is :func:`repro.core.ospl.plot.conplt`.
+Both execute the deck -> intervals -> contour -> labels -> plot stages
+of :mod:`repro.pipeline.ospl`; pass ``stage_cache`` to reuse stages
+whose inputs are unchanged (see docs/PIPELINE.md).
 """
 
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, List, Optional, Union
 
-from repro import obs
 from repro.cards.reader import CardReader
-from repro.core.ospl.deck import OsplProblem, read_ospl_deck
+from repro.core.ospl.deck import OsplProblem
 from repro.core.ospl.limits import OsplLimits, UNLIMITED
 from repro.core.ospl.plot import ContourPlot
+from repro.pipeline.cache import StageCache
+from repro.pipeline.ospl import ospl_pipeline
+from repro.pipeline.runner import StageRecord
 
 log = logging.getLogger("repro.ospl")
 
@@ -27,6 +32,8 @@ class OsplRun:
 
     problem: OsplProblem
     plot: ContourPlot
+    #: Per-stage execution record (cache hit/miss, wall time).
+    stages: List[StageRecord] = field(default_factory=list)
 
     @property
     def title(self) -> str:
@@ -44,30 +51,65 @@ class OsplRun:
             "labels": len(self.plot.labels),
         }
 
+    def stage_dicts(self) -> List[Dict[str, object]]:
+        """The stage records as JSON-safe dicts (for manifests)."""
+        return [record.to_dict() for record in self.stages]
+
 
 def run_ospl(reader: CardReader,
-             limits: OsplLimits = UNLIMITED) -> OsplRun:
+             limits: OsplLimits = UNLIMITED,
+             stage_cache: Optional[StageCache] = None) -> OsplRun:
     """Execute the standalone OSPL program on a card tray."""
-    with obs.span("ospl.deck"):
-        problem = read_ospl_deck(reader)
-    obs.count("ospl.nodes_read", problem.mesh.n_nodes)
-    obs.count("ospl.elements_read", problem.mesh.n_elements)
+    result = ospl_pipeline().run({
+        "reader": reader,
+        "limits": limits,
+        "lowest": None,
+        "plotter": None,
+        "label_size": 9,
+        "stroke_labels": False,
+    }, cache=stage_cache)
+    problem = result["problem"]
     log.info("deck read: %r, %d nodes, %d elements", problem.title1,
              problem.mesh.n_nodes, problem.mesh.n_elements)
-    plot = problem.plot(limits=limits)
+    plot = ContourPlot(contours=result["contours"],
+                       labels=result["labels"],
+                       frame=result["frame"])
     log.info("plot built: interval %g, %d levels, %d segments",
              plot.interval, len(plot.levels), plot.n_segments())
-    return OsplRun(problem=problem, plot=plot)
+    return OsplRun(problem=problem, plot=plot, stages=list(result.stages))
+
+
+#: Output writers :func:`run_ospl_files` picks from the file extension.
+_WRITERS = {".svg": "svg", ".png": "png", ".txt": "text"}
 
 
 def run_ospl_files(deck_path: Union[str, Path],
                    out_path: Union[str, Path],
-                   limits: OsplLimits = UNLIMITED) -> OsplRun:
-    """Run OSPL on a deck file and write the frame as SVG."""
-    from repro.plotter.svg import save_svg
+                   limits: OsplLimits = UNLIMITED,
+                   stage_cache: Optional[StageCache] = None) -> OsplRun:
+    """Run OSPL on a deck file and write the frame to ``out_path``.
 
+    The writer is picked from the extension: ``.svg`` (vector),
+    ``.png`` (raster), ``.txt`` (character-cell preview).  Anything
+    else -- including no extension -- writes SVG, the historical
+    default.
+    """
     deck_path = Path(deck_path)
+    out_path = Path(out_path)
     reader = CardReader.from_text(deck_path.read_text())
-    run = run_ospl(reader, limits=limits)
-    save_svg(run.plot.frame, Path(out_path))
+    run = run_ospl(reader, limits=limits, stage_cache=stage_cache)
+    backend = _WRITERS.get(out_path.suffix.lower(), "svg")
+    if backend == "png":
+        from repro.plotter.png import save_png
+
+        save_png(run.plot.frame, out_path)
+    elif backend == "text":
+        from repro.plotter.ascii_art import render_ascii
+
+        out_path.write_text(render_ascii(run.plot.frame))
+    else:
+        from repro.plotter.svg import save_svg
+
+        save_svg(run.plot.frame, out_path)
+    log.debug("frame written to %s (%s backend)", out_path, backend)
     return run

@@ -83,6 +83,31 @@ class ObsError(ReproError):
     """An observability artefact (run report, diff, baseline) is invalid."""
 
 
+class PipelineError(ReproError):
+    """A stage pipeline is mis-wired or mis-used (a stage requires a
+    context value nothing provides, duplicate stage names, a stage that
+    failed to produce a declared output)."""
+
+
+class StageError(PipelineError):
+    """An unexpected (non-:class:`ReproError`) exception escaped a stage.
+
+    Domain errors pass through pipelines unchanged so callers keep
+    catching the types they always caught; everything else is wrapped
+    here with the pipeline and stage named, preserving the original as
+    ``__cause__``.
+    """
+
+    def __init__(self, pipeline: str, stage: str, original: BaseException):
+        self.pipeline = pipeline
+        self.stage = stage
+        self.original = original
+        super().__init__(
+            f"stage {pipeline}.{stage} failed: "
+            f"{type(original).__name__}: {original}"
+        )
+
+
 class LintError(ReproError):
     """The static deck analyzer was misused (unknown rule code, bad
     severity, malformed registry entry).

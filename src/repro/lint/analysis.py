@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.idlz.subdivision import Subdivision
-from repro.errors import IdealizationError
+from repro.errors import IdealizationError, LimitError
 from repro.lint.model import RawIdlzProblem, RawSegment
 
 
@@ -59,14 +59,23 @@ class ProblemAnalysis:
         if not self.complete or not self.built:
             return None
         try:
-            from repro.core.idlz.elements import create_elements
-            from repro.core.idlz.grid import LatticeGrid
+            from repro.core.idlz.limits import UNLIMITED
+            from repro.pipeline.idlz import analysis_pipeline
 
-            grid = LatticeGrid(list(self.built.values()))
-            triangles, _ = create_elements(grid)
-        except IdealizationError:
+            # The number -> elements slice of the program pipeline,
+            # mutation-free: it derives the counts the full run would
+            # produce without shaping, reforming or touching disk.
+            result = analysis_pipeline("lint").run({
+                "subdivisions": list(self.built.values()),
+                "limits": UNLIMITED,
+            })
+        except (IdealizationError, LimitError):
+            # LimitError covers the structural MIN_K floor the pipeline
+            # always enforces; lint reports such decks through its own
+            # geometry rules instead of crashing the analysis.
             return None
-        self._counts = (grid.n_nodes, len(triangles))
+        self._counts = (result["grid"].n_nodes,
+                        len(result["triangles"]))
         return self._counts
 
     # ------------------------------------------------------------------

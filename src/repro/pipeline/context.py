@@ -1,0 +1,55 @@
+"""The frozen context object threaded through a pipeline.
+
+A :class:`Context` is an immutable string-keyed mapping.  Stages read
+their declared inputs from it and return a plain dict of the values they
+provide; the pipeline folds those into a *new* context with
+:meth:`Context.derive`, so no stage can mutate what an earlier stage saw
+-- re-running a stage against the same upstream context is always safe,
+which is what makes stage-granular caching sound.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping
+
+from repro.errors import PipelineError
+
+
+class Context(Mapping[str, Any]):
+    """An immutable mapping of pipeline values."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Mapping[str, Any]):
+        object.__setattr__(self, "_values", dict(values))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Context is frozen; use derive()")
+
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return self._values[key]
+        except KeyError:
+            known = ", ".join(sorted(self._values)) or "(empty)"
+            raise PipelineError(
+                f"pipeline context has no value {key!r} (has: {known})"
+            ) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._values
+
+    def derive(self, updates: Mapping[str, Any]) -> "Context":
+        """A new context with ``updates`` folded in (originals untouched)."""
+        merged: Dict[str, Any] = dict(self._values)
+        merged.update(updates)
+        return Context(merged)
+
+    def __repr__(self) -> str:
+        keys = ", ".join(sorted(self._values))
+        return f"Context({keys})"

@@ -1,0 +1,97 @@
+"""Digest helpers shared by the golden-equivalence suite and its generator.
+
+The golden corpus (``tests/data/golden_corpus.json``) pins, field for
+field, what the legacy IDLZ/OSPL drivers produced for every deck in
+``examples/decks`` at the moment the stage-pipeline framework replaced
+them.  ``tools/gen_golden_corpus.py`` regenerates the file; the digests
+here define exactly which fields "field for field" means:
+
+* every mesh array (nodes, elements, boundary flags, element groups)
+  hashed over its raw bytes -- bitwise equality, not approximate;
+* the full listing text and punched-card text;
+* every plotter frame's display list (op-by-op repr);
+* the scalar run summary (counts, bandwidths, swaps, interval, levels).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+
+def _sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def text_digest(text: str) -> str:
+    return _sha(text.encode())
+
+
+def array_digest(arr: Optional[np.ndarray]) -> Optional[str]:
+    if arr is None:
+        return None
+    return _sha(np.ascontiguousarray(arr).tobytes())
+
+
+def mesh_digest(mesh: Any) -> Dict[str, Optional[str]]:
+    return {
+        "nodes": array_digest(mesh.nodes),
+        "elements": array_digest(mesh.elements),
+        "boundary_flags": array_digest(mesh.boundary_flags),
+        "element_groups": array_digest(mesh.element_groups),
+    }
+
+
+def frame_digest(frame: Any) -> Dict[str, Any]:
+    ops = "\n".join(repr(op) for op in frame.ops)
+    return {"title": frame.title, "ops": _sha(ops.encode())}
+
+
+def idealization_digest(ideal: Any) -> Dict[str, Any]:
+    return {
+        "summary": ideal.summary(),
+        "mesh": mesh_digest(ideal.mesh),
+        "lattice_mesh": mesh_digest(ideal.lattice_mesh),
+        "prereform_mesh": mesh_digest(ideal.prereform_mesh),
+        "permutation": (None if ideal.permutation is None
+                        else _sha(repr(list(ideal.permutation)).encode())),
+    }
+
+
+def idlz_run_digest(run: Any) -> Dict[str, Any]:
+    """Everything one IDLZ problem produced, digested."""
+    return {
+        "title": run.title,
+        "idealization": idealization_digest(run.idealization),
+        "listing": text_digest(run.listing),
+        "frames": [frame_digest(f) for f in run.frames],
+        "punched": (None if run.punched is None
+                    else text_digest(run.punched.to_text())),
+    }
+
+
+def ospl_run_digest(run: Any) -> Dict[str, Any]:
+    """Everything one OSPL run produced, digested."""
+    plot = run.plot
+    labels = [(lab.text, round(lab.x, 12), round(lab.y, 12))
+              for lab in plot.labels]
+    return {
+        "title": run.title,
+        "summary": run.summary_dict(),
+        "mesh": mesh_digest(run.problem.mesh),
+        "field": array_digest(run.problem.field.values),
+        "interval": plot.interval,
+        "levels": [float(v) for v in plot.levels],
+        "n_segments": plot.n_segments(),
+        "labels": _sha(repr(labels).encode()),
+        "frame": frame_digest(plot.frame),
+    }
+
+
+def deck_digest(program: str, runs: List[Any]) -> Dict[str, Any]:
+    if program == "idlz":
+        return {"program": "idlz",
+                "problems": [idlz_run_digest(r) for r in runs]}
+    return {"program": "ospl", "problems": [ospl_run_digest(r) for r in runs]}

@@ -1,0 +1,52 @@
+"""Regenerate ``tests/data/golden_corpus.json``.
+
+Runs every deck under ``examples/decks`` through the program drivers and
+records field-for-field digests of everything they produce (see
+``tests/golden_helpers.py`` for the exact field list).  The checked-in
+file was first stamped from the legacy monolithic drivers immediately
+before the stage-pipeline framework replaced them, so the golden suite
+proves the pipeline reimplementation bit-identical to the legacy flow.
+
+    PYTHONPATH=src python tools/gen_golden_corpus.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "tests"))
+
+from golden_helpers import deck_digest  # noqa: E402
+
+from repro.batch.jobs import classify_deck_path  # noqa: E402
+from repro.cards.reader import CardReader  # noqa: E402
+from repro.core.idlz.program import run_idlz  # noqa: E402
+from repro.core.ospl.program import run_ospl  # noqa: E402
+
+OUT = ROOT / "tests" / "data" / "golden_corpus.json"
+
+
+def main() -> None:
+    decks = sorted((ROOT / "examples" / "decks").rglob("*.deck"))
+    corpus = {}
+    for deck in decks:
+        rel = deck.relative_to(ROOT).as_posix()
+        program = classify_deck_path(deck)
+        reader = CardReader.from_text(deck.read_text())
+        if program == "idlz":
+            runs = run_idlz(reader)
+        else:
+            runs = [run_ospl(reader)]
+        corpus[rel] = deck_digest(program, runs)
+        print(f"{rel:<48s} {program} ({len(runs)} problem(s))")
+    OUT.parent.mkdir(parents=True, exist_ok=True)
+    OUT.write_text(json.dumps(corpus, indent=2, sort_keys=True) + "\n")
+    print(f"{len(corpus)} deck(s) -> {OUT.relative_to(ROOT)}")
+
+
+if __name__ == "__main__":
+    main()
