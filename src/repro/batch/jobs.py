@@ -40,6 +40,15 @@ class JobSpec:
     timeout_s: Optional[float] = None
     #: Root of the shared per-stage cache (None disables stage reuse).
     stage_cache: Optional[str] = None
+    #: Trace context: the batch run's trace id and the id of the run's
+    #: root span, carried into the worker so its span fragment can be
+    #: grafted back onto one fleet-wide trace (docs/OBSERVABILITY.md).
+    trace_id: Optional[str] = None
+    parent_span: Optional[str] = None
+    #: Ledger file the worker appends lifecycle events to (None: off).
+    ledger: Optional[str] = None
+    #: Wrap each pipeline stage in cProfile and ship hotspot tables.
+    profile: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)

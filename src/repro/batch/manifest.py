@@ -5,9 +5,10 @@ Schema ``repro.batch/v1``::
     {
       "schema": "repro.batch/v1",
       "meta":    {"created_unix", "code_version", "out_root",
-                  "cache_dir" | null},
+                  "cache_dir" | null,
+                  "trace_id", "root_span", "started_unix", "pid"},
       "options": {"jobs", "timeout_s", "retries", "backoff_s", "strict",
-                  "lint"},
+                  "lint", "ledger" | null, "profile"},
       "summary": {"total", "ok", "failed", "rejected", "cache_hits",
                   "cache_misses", "stage_hits", "stage_misses",
                   "attempts", "wall_s"},
@@ -18,7 +19,9 @@ Schema ``repro.batch/v1``::
                  "summary": {...}|null,
                  "stages": [{"stage", "cache": "hit"|"miss"|"off",
                              "wall_s", "key"|null}, ...],
-                 "obs": {"health", "counters"},
+                 "obs": {"trace_id", "parent_span", "pid", "origin_unix",
+                         "spans": [...], "health", "counters",
+                         "profile"?},
                  "lint": {"ok", "counts", "diagnostics": [...]}|null,
                  "error": {"type","message","traceback"}|null}, ... ]
     }
@@ -26,6 +29,13 @@ Schema ``repro.batch/v1``::
 ``status: "rejected"`` means the ``--lint`` pre-flight found errors and
 the job never reached a worker; its ``lint`` block carries the full
 verdict (also present, with ``ok: true``, on jobs that passed).
+
+``meta.trace_id`` / ``meta.root_span`` are the run's trace context:
+every executed job's ``obs.spans`` fragment carries the same trace id
+and parents to ``root_span``, which is how
+:func:`repro.obs.assemble.assemble_batch_trace` reconstructs one
+fleet-wide trace from the manifest alone.  ``obs.origin_unix`` anchors
+the worker's monotonic span clock to the shared wall clock.
 
 ``stages`` records the job's trip through the
 :mod:`repro.pipeline` stages -- which were restored from the

@@ -26,6 +26,7 @@ round, preserving failure isolation even for crashes the worker's own
 from __future__ import annotations
 
 import logging
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -43,6 +44,8 @@ from repro.batch.worker import run_job
 from repro.core.idlz.deck import deck_fingerprint as idlz_fingerprint
 from repro.core.ospl.deck import deck_fingerprint as ospl_fingerprint
 from repro.errors import BatchError
+from repro.obs import events
+from repro.obs.span import new_span_id, new_trace_id
 
 log = logging.getLogger("repro.batch")
 
@@ -61,6 +64,10 @@ class BatchOptions:
     strict: bool = False
     cache_dir: Optional[Union[str, Path]] = None
     lint: bool = False
+    #: Directory (or file) the JSONL run ledger is appended to.
+    ledger: Optional[Union[str, Path]] = None
+    #: Per-stage cProfile hotspot tables in every worker.
+    profile: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -70,6 +77,9 @@ class BatchOptions:
             "backoff_s": self.backoff_s,
             "strict": self.strict,
             "lint": self.lint,
+            "ledger": (str(self.ledger)
+                       if self.ledger is not None else None),
+            "profile": self.profile,
         }
 
 
@@ -130,114 +140,156 @@ def run_batch(specs: Sequence[JobSpec],
     if options.retries < 0:
         raise BatchError(f"--retries must be >= 0, got {options.retries}")
     started = time.perf_counter()
+    started_unix = time.time()
     cache = (ArtifactCache(options.cache_dir)
              if options.cache_dir is not None else None)
 
-    records: Dict[str, Dict[str, Any]] = {}
-    pending: List[JobSpec] = []
-    with obs.span("batch.run", jobs=len(specs), workers=options.jobs):
-        with obs.span("batch.cache_pass", enabled=cache is not None):
-            for spec in specs:
-                try:
-                    fingerprint = job_fingerprint(spec)
-                except OSError as exc:
-                    raise BatchError(
-                        f"cannot read deck {spec.deck}: {exc}"
-                    ) from exc
-                records[spec.job_id] = _base_record(spec, fingerprint)
-                if options.lint:
-                    verdict = _lint_verdict(cache, spec, fingerprint)
-                    record = records[spec.job_id]
-                    record["lint"] = verdict
-                    if not verdict.get("ok", False):
-                        counts = verdict.get("counts") or {}
-                        n_errors = counts.get("error", 0)
-                        first = next(
-                            (d for d in verdict.get("diagnostics", [])
-                             if d.get("severity") == "error"), {})
-                        record.update(
-                            status="rejected",
-                            error={
-                                "type": "lint",
-                                "message": (
-                                    f"{n_errors} lint error(s); first: "
-                                    f"{first.get('code', '?')}: "
-                                    f"{first.get('message', '?')}"
-                                ),
-                                "traceback": "",
-                            },
-                        )
-                        obs.count("batch.jobs_rejected")
-                        log.warning(
-                            "job %s: rejected by lint (%d error(s))",
-                            spec.job_id, n_errors,
-                        )
+    # Trace context: adopt the caller's trace id when observation is on
+    # (so `batch run --report` and the assembled trace agree), otherwise
+    # mint one.  Every worker fragment hangs off root_span.
+    trace_id = obs.trace_id() or new_trace_id()
+    root_span = new_span_id()
+    ledger_file = (str(events.ledger_path(options.ledger))
+                   if options.ledger is not None else None)
+    if ledger_file is not None:
+        events.enable(ledger_file)
+        events.set_context(trace_id=trace_id)
+        events.emit("run_started", schema=events.SCHEMA,
+                    jobs=len(specs), workers=options.jobs)
+
+    def _carry_context(spec: JobSpec) -> JobSpec:
+        return replace(spec, trace_id=trace_id, parent_span=root_span,
+                       ledger=ledger_file, profile=options.profile)
+
+    try:
+        records: Dict[str, Dict[str, Any]] = {}
+        pending: List[JobSpec] = []
+        with obs.span("batch.run", jobs=len(specs), workers=options.jobs):
+            with obs.span("batch.cache_pass", enabled=cache is not None):
+                for spec in specs:
+                    try:
+                        fingerprint = job_fingerprint(spec)
+                    except OSError as exc:
+                        raise BatchError(
+                            f"cannot read deck {spec.deck}: {exc}"
+                        ) from exc
+                    records[spec.job_id] = _base_record(spec, fingerprint)
+                    events.emit("job_queued", job_id=spec.job_id,
+                                program=spec.program, deck=spec.deck)
+                    if options.lint:
+                        verdict = _lint_verdict(cache, spec, fingerprint)
+                        record = records[spec.job_id]
+                        record["lint"] = verdict
+                        if not verdict.get("ok", False):
+                            counts = verdict.get("counts") or {}
+                            n_errors = counts.get("error", 0)
+                            first = next(
+                                (d for d in verdict.get("diagnostics", [])
+                                 if d.get("severity") == "error"), {})
+                            record.update(
+                                status="rejected",
+                                error={
+                                    "type": "lint",
+                                    "message": (
+                                        f"{n_errors} lint error(s); first: "
+                                        f"{first.get('code', '?')}: "
+                                        f"{first.get('message', '?')}"
+                                    ),
+                                    "traceback": "",
+                                },
+                            )
+                            obs.count("batch.jobs_rejected")
+                            events.emit("job_lint_rejected",
+                                        job_id=spec.job_id, errors=n_errors)
+                            log.warning(
+                                "job %s: rejected by lint (%d error(s))",
+                                spec.job_id, n_errors,
+                            )
+                            continue
+                    if cache is None:
+                        pending.append(_carry_context(spec))
                         continue
-                if cache is None:
-                    pending.append(spec)
-                    continue
-                entry = cache.lookup(job_cache_key(spec, fingerprint))
-                if entry is None:
-                    records[spec.job_id]["cache"] = "miss"
-                    # A whole-deck miss still reuses every pipeline
-                    # stage whose inputs are unchanged, through the
-                    # stage cache rooted next to the artifact entries.
-                    pending.append(replace(
-                        spec, stage_cache=str(cache.stage_root)
-                    ))
-                    continue
-                restore_start = time.perf_counter()
-                artifacts = entry.restore_into(spec.out_dir)
-                record = records[spec.job_id]
-                record.update(entry.result)
-                record.update(
-                    cache="hit",
-                    status="ok",
-                    attempts=0,
-                    artifacts=artifacts,
-                    out_dir=spec.out_dir,
-                    wall_s=time.perf_counter() - restore_start,
-                )
-                obs.count("batch.cache_hits")
-                log.info("job %s: cache hit", spec.job_id)
-        for spec in pending:
-            obs.count("batch.cache_misses" if cache else "batch.uncached")
-
-        with obs.span("batch.execute", pending=len(pending)):
-            for spec, result, attempts in _execute_all(pending, options):
-                record = records[spec.job_id]
-                record.update(result)
-                record["attempts"] = attempts
-                if record["status"] == "ok":
-                    obs.count("batch.jobs_ok")
-                    if cache is not None:
-                        _store(cache, spec, record)
-                else:
-                    obs.count("batch.jobs_failed")
-                    error = record.get("error") or {}
-                    log.warning(
-                        "job %s: failed after %d attempt(s): %s: %s",
-                        spec.job_id, attempts, error.get("type", "?"),
-                        error.get("message", "?"),
+                    entry = cache.lookup(job_cache_key(spec, fingerprint))
+                    if entry is None:
+                        records[spec.job_id]["cache"] = "miss"
+                        # A whole-deck miss still reuses every pipeline
+                        # stage whose inputs are unchanged, through the
+                        # stage cache rooted next to the artifact entries.
+                        pending.append(_carry_context(replace(
+                            spec, stage_cache=str(cache.stage_root)
+                        )))
+                        continue
+                    restore_start = time.perf_counter()
+                    artifacts = entry.restore_into(spec.out_dir)
+                    record = records[spec.job_id]
+                    record.update(entry.result)
+                    record.update(
+                        cache="hit",
+                        status="ok",
+                        attempts=0,
+                        artifacts=artifacts,
+                        out_dir=spec.out_dir,
+                        wall_s=time.perf_counter() - restore_start,
                     )
+                    obs.count("batch.cache_hits")
+                    events.emit("job_cache_hit", job_id=spec.job_id,
+                                wall_s=round(record["wall_s"], 6))
+                    log.info("job %s: cache hit", spec.job_id)
+            for spec in pending:
+                obs.count("batch.cache_misses" if cache else "batch.uncached")
 
-    jobs = [records[spec.job_id] for spec in specs]
-    manifest = BatchManifest(
-        meta={
-            "created_unix": time.time(),
-            "code_version": __version__,
-            "out_root": str(out_root),
-            "cache_dir": (str(options.cache_dir)
-                          if options.cache_dir is not None else None),
-        },
-        options=options.to_dict(),
-        jobs=jobs,
-        summary=summarize_jobs(
-            jobs, wall_s=time.perf_counter() - started
-        ),
-    )
-    obs.gauge("batch.wall_s", manifest.summary["wall_s"])
-    return manifest
+            with obs.span("batch.execute", pending=len(pending)):
+                for spec, result, attempts in _execute_all(pending, options):
+                    record = records[spec.job_id]
+                    record.update(result)
+                    record["attempts"] = attempts
+                    events.emit("job_finished", job_id=spec.job_id,
+                                status=record["status"], attempts=attempts,
+                                wall_s=record.get("wall_s"))
+                    if record["status"] == "ok":
+                        obs.count("batch.jobs_ok")
+                        if cache is not None:
+                            _store(cache, spec, record)
+                    else:
+                        obs.count("batch.jobs_failed")
+                        error = record.get("error") or {}
+                        log.warning(
+                            "job %s: failed after %d attempt(s): %s: %s",
+                            spec.job_id, attempts, error.get("type", "?"),
+                            error.get("message", "?"),
+                        )
+
+        jobs = [records[spec.job_id] for spec in specs]
+        manifest = BatchManifest(
+            meta={
+                "created_unix": time.time(),
+                "code_version": __version__,
+                "out_root": str(out_root),
+                "cache_dir": (str(options.cache_dir)
+                              if options.cache_dir is not None else None),
+                # Trace context for repro.obs.assemble: the fleet-wide
+                # trace id, the synthetic root span every worker fragment
+                # parents to, and the absolute start of the run.
+                "trace_id": trace_id,
+                "root_span": root_span,
+                "started_unix": started_unix,
+                "pid": os.getpid(),
+            },
+            options=options.to_dict(),
+            jobs=jobs,
+            summary=summarize_jobs(
+                jobs, wall_s=time.perf_counter() - started
+            ),
+        )
+        obs.gauge("batch.wall_s", manifest.summary["wall_s"])
+        events.emit("run_finished", ok=manifest.summary["ok"],
+                    failed=manifest.summary["failed"],
+                    rejected=manifest.summary["rejected"],
+                    wall_s=round(manifest.summary["wall_s"], 6))
+        return manifest
+    finally:
+        if ledger_file is not None:
+            events.disable()
 
 
 def _base_record(spec: JobSpec, fingerprint: str) -> Dict[str, Any]:
@@ -301,6 +353,8 @@ def _execute_all(
             attempts[spec.job_id] += 1
             if (result["status"] != "ok"
                     and attempts[spec.job_id] <= options.retries):
+                events.emit("job_retried", job_id=spec.job_id,
+                            attempt=attempts[spec.job_id])
                 retry.append(spec)
                 continue
             yield spec, result, attempts[spec.job_id]

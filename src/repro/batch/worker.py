@@ -7,15 +7,20 @@ every failure mode -- parse error, limit violation, timeout, even a
 stray ``KeyError`` in the pipeline -- is captured into that dict so one
 bad deck can never take its siblings (or the pool) down with it.
 
-Each job runs under its own observability capture; the health snapshots
-and counters it collects ride back in the result and end up embedded in
-the batch manifest, so a post-mortem on a batch of 500 decks has the
-same per-stage numerical-health evidence a single ``--health`` run
-prints.
+Each job runs under its own observability capture; the health
+snapshots, counters and the **full span tree** it collects ride back in
+the result and end up embedded in the batch manifest, so a post-mortem
+on a batch of 500 decks has the same per-stage evidence a single
+``--trace``/``--health`` run prints — and :mod:`repro.obs.assemble` can
+graft every job's spans back onto one fleet-wide trace.  The spec's
+trace context (``trace_id``, ``parent_span``) is adopted verbatim; a
+``ledger`` path enables lifecycle-event appends for the duration of the
+job, and ``profile`` turns on per-stage cProfile hotspot tables.
 """
 
 from __future__ import annotations
 
+import os
 import signal
 import threading
 import time
@@ -117,10 +122,14 @@ def run_job(spec: Dict[str, Any]) -> Dict[str, Any]:
          "summary": {...} | None,          # program products digest
          "stages": [{stage, cache, wall_s, key}, ...],
          "artifacts": [names...],          # files under the job out dir
-         "obs": {"health": [...], "counters": {...}},
+         "obs": {"trace_id", "parent_span", "pid", "origin_unix",
+                 "spans": [...],           # the full worker span tree
+                 "health": [...], "counters": {...},
+                 "profile": {...}},        # only under --profile
          "error": {"type", "message", "traceback"} | None}
     """
     from repro import obs
+    from repro.obs import events
 
     start = time.perf_counter()
     result: Dict[str, Any] = {
@@ -132,7 +141,15 @@ def run_job(spec: Dict[str, Any]) -> Dict[str, Any]:
         "obs": {},
         "error": None,
     }
-    observer = obs.enable()
+    observer = obs.enable(obs.Observer(
+        trace_id=spec.get("trace_id"),
+        profile=bool(spec.get("profile")),
+    ))
+    if spec.get("ledger"):
+        events.enable(spec["ledger"])
+        events.set_context(job_id=spec["job_id"],
+                           trace_id=observer.trace_id)
+        events.emit("job_started", program=spec["program"])
     try:
         with _Deadline(spec.get("timeout_s")):
             with obs.span("batch.job", job_id=spec["job_id"],
@@ -149,10 +166,21 @@ def run_job(spec: Dict[str, Any]) -> Dict[str, Any]:
         report = observer.report(job_id=spec["job_id"],
                                  program=spec["program"])
         obs.disable(observer)
+        if spec.get("ledger"):
+            events.emit("job_attempt_finished", status=result["status"],
+                        wall_s=round(time.perf_counter() - start, 6))
+            events.disable()
     result["obs"] = {
+        "trace_id": observer.trace_id,
+        "parent_span": spec.get("parent_span"),
+        "pid": os.getpid(),
+        "origin_unix": observer.tracer.origin_unix,
+        "spans": report.spans,
         "health": report.health,
         "counters": report.counters(),
     }
+    if report.profile:
+        result["obs"]["profile"] = report.profile
     out_dir = Path(spec["out_dir"])
     if out_dir.is_dir():
         result["artifacts"] = sorted(

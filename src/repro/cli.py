@@ -8,13 +8,17 @@
     python -m repro lint --explain CODE
     python -m repro batch run GLOB... -o DIR [--lint] [--jobs N
                                               --timeout S --retries K
-                                              --cache-dir D]
+                                              --cache-dir D
+                                              --ledger D --profile]
     python -m repro batch status MANIFEST.json
     python -m repro batch explain MANIFEST.json JOB
     python -m repro batch corpus [-o DIR]
     python -m repro obs diff BASELINE.json CANDIDATE.json
     python -m repro obs check REPORT.json --against BASELINE.json
-    python -m repro obs render REPORT.json
+    python -m repro obs render REPORT_OR_MANIFEST.json
+    python -m repro obs tail LEDGER [--once]
+    python -m repro obs export SOURCE.json --format chrome|folded [-o P]
+    python -m repro obs timeline MANIFEST.json
 
 ``--strict`` enforces the Table 1/2 restrictions exactly as the 7090
 builds did; ``--ascii`` additionally prints a terminal preview of the
@@ -48,7 +52,20 @@ numerical-health table, ``-v``/``-vv`` raise the log level of the
 ``repro.*`` loggers and ``-q`` silences the normal stdout summary.  The
 ``obs`` family works on saved reports: ``diff`` compares two, ``check``
 gates a candidate against a baseline (non-zero exit on regression), and
-``render`` replays the ``--trace`` tree of a saved report.
+``render`` replays the ``--trace`` tree of a saved report -- or, given
+a batch manifest, the *assembled* cross-process trace.
+
+Fleet observability (see docs/OBSERVABILITY.md): ``batch run --ledger
+DIR`` appends lifecycle events to ``DIR/events.jsonl`` from every
+process of the run, ``obs tail`` follows that ledger live (``--once``
+drains and exits, for CI), ``obs timeline`` draws a text Gantt of a
+finished batch, and ``obs export`` converts a run report or batch
+manifest into Chrome trace-event JSON (``chrome://tracing`` /
+Perfetto) or folded stacks (flamegraph tooling).  ``--profile`` on
+``idlz``/``ospl``/``batch run`` wraps each pipeline stage in cProfile:
+hotspot tables print to stderr, ride inside ``--report`` files
+(schema ``repro.obs/v1.2``), and a folded-stacks file lands next to
+the report.
 """
 
 from __future__ import annotations
@@ -81,6 +98,11 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--health", action="store_true",
                        help="print the post-run numerical-health table "
                             "to stderr")
+    group.add_argument("--profile", action="store_true",
+                       help="wrap each pipeline stage in cProfile; "
+                            "hotspot tables print to stderr, embed in "
+                            "--report, and a folded-stacks file lands "
+                            "next to the report")
     group.add_argument("-v", "--verbose", action="count", default=0,
                        help="log progress to stderr (-vv for debug)")
     group.add_argument("-q", "--quiet", action="store_true",
@@ -190,6 +212,11 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="PATH",
                            help="manifest path (default: "
                                 "OUT/batch_manifest.json)")
+    batch_run.add_argument("--ledger", type=Path, default=None,
+                           metavar="DIR",
+                           help="append lifecycle events to "
+                                "DIR/events.jsonl from every process "
+                                "of the run (follow with 'obs tail')")
     _add_common_options(batch_run)
 
     batch_status = batch_sub.add_parser(
@@ -242,10 +269,42 @@ def build_parser() -> argparse.ArgumentParser:
                                 "sides (default: 0.005)")
 
     render_cmd = obs_sub.add_parser(
-        "render", help="print the --trace tree of a saved report")
-    render_cmd.add_argument("report", type=Path, help="saved report")
+        "render", help="print the --trace tree of a saved report, or "
+                       "the assembled trace of a batch manifest")
+    render_cmd.add_argument("report", type=Path,
+                            help="saved run report or batch manifest")
     render_cmd.add_argument("--health", action="store_true",
                             help="also print the numerical-health table")
+
+    tail_cmd = obs_sub.add_parser(
+        "tail", help="follow a run ledger's lifecycle events live")
+    tail_cmd.add_argument("ledger", type=Path,
+                          help="ledger file or its directory")
+    tail_cmd.add_argument("--once", action="store_true",
+                          help="drain what is on disk and exit "
+                               "(for CI and post-mortems)")
+
+    export_cmd = obs_sub.add_parser(
+        "export", help="convert a run report or batch manifest into "
+                       "an external trace format")
+    export_cmd.add_argument("source", type=Path,
+                            help="saved run report or batch manifest")
+    export_cmd.add_argument("--format", choices=("chrome", "folded"),
+                            default="chrome",
+                            help="chrome: trace-event JSON for "
+                                 "chrome://tracing / Perfetto; folded: "
+                                 "flamegraph folded stacks")
+    export_cmd.add_argument("-o", "--out", type=Path, default=None,
+                            help="output path (default: stdout)")
+
+    timeline_cmd = obs_sub.add_parser(
+        "timeline", help="draw a text Gantt of a batch manifest's "
+                         "assembled trace")
+    timeline_cmd.add_argument("manifest", type=Path,
+                              help="batch manifest (or run report)")
+    timeline_cmd.add_argument("--width", type=int, default=64,
+                              metavar="COLS",
+                              help="bar width in columns (default: 64)")
     return parser
 
 
@@ -387,6 +446,8 @@ def _run_batch(args: argparse.Namespace) -> int:
         strict=args.strict,
         cache_dir=args.cache_dir,
         lint=args.lint,
+        ledger=args.ledger,
+        profile=args.profile,
     )
     specs = discover_jobs(args.decks, args.out, strict=args.strict,
                           timeout_s=args.timeout)
@@ -425,6 +486,34 @@ def _run_batch_tools(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_trace(path: Path):
+    """Assemble a trace from a saved run report *or* batch manifest.
+
+    Returns ``(trace, kind)`` where ``kind`` is ``"manifest"`` or
+    ``"report"`` -- callers that only make sense for one kind can say
+    so, the exporters take either.
+    """
+    import json
+
+    from repro.batch.manifest import SCHEMA as BATCH_SCHEMA
+    from repro.batch.manifest import BatchManifest
+    from repro.errors import ObsError
+    from repro.obs.assemble import (
+        assemble_batch_trace,
+        assemble_report_trace,
+    )
+    from repro.obs.report import RunReport
+
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ObsError(f"{path} is not valid JSON: {exc}") from exc
+    if isinstance(data, dict) and data.get("schema") == BATCH_SCHEMA:
+        manifest = BatchManifest.from_dict(data)
+        return assemble_batch_trace(manifest), "manifest"
+    return assemble_report_trace(RunReport.from_dict(data)), "report"
+
+
 def _run_obs(args: argparse.Namespace) -> int:
     from repro.obs.diff import (
         FORMATTERS,
@@ -434,6 +523,35 @@ def _run_obs(args: argparse.Namespace) -> int:
     )
     from repro.obs.report import RunReport
 
+    if args.obs_command == "tail":
+        from repro.obs.events import follow_events, render_event
+
+        try:
+            for record in follow_events(args.ledger, once=args.once):
+                print(render_event(record), flush=True)
+        except KeyboardInterrupt:
+            pass
+        return 0
+    if args.obs_command == "export":
+        from repro.obs.export import chrome_trace_json, folded_stacks
+
+        trace, _kind = _load_trace(args.source)
+        rendered = (chrome_trace_json(trace)
+                    if args.format == "chrome" else folded_stacks(trace))
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(rendered + ("\n" if args.format == "chrome"
+                                            else ""))
+            print(f"{args.format} trace written to {args.out}")
+        else:
+            print(rendered, end="" if args.format == "folded" else "\n")
+        return 0
+    if args.obs_command == "timeline":
+        from repro.obs.assemble import render_timeline
+
+        trace, _kind = _load_trace(args.manifest)
+        print(render_timeline(trace, width=args.width))
+        return 0
     if args.obs_command == "diff":
         diff = diff_reports(RunReport.load(args.baseline),
                             RunReport.load(args.candidate))
@@ -457,11 +575,52 @@ def _run_obs(args: argparse.Namespace) -> int:
         print(f"ok: no regressions against {args.against} "
               f"(threshold {args.max_regression})")
         return 0
-    report = RunReport.load(args.report)
+    import json
+
+    from repro.batch.manifest import SCHEMA as BATCH_SCHEMA
+    from repro.errors import ObsError
+
+    try:
+        data = json.loads(args.report.read_text())
+    except json.JSONDecodeError as exc:
+        raise ObsError(
+            f"{args.report} is not valid JSON: {exc}"
+        ) from exc
+    if isinstance(data, dict) and data.get("schema") == BATCH_SCHEMA:
+        from repro.batch.manifest import BatchManifest
+        from repro.obs.assemble import assemble_batch_trace, render_trace
+
+        trace = assemble_batch_trace(BatchManifest.from_dict(data))
+        print(render_trace(trace))
+        return 0
+    report = RunReport.from_dict(data)
     print(report.render_tree())
+    if report.profile:
+        print(report.render_profile())
     if args.health:
         print(report.render_health_table())
     return 0
+
+
+def _save_folded(report, report_path: Path, quiet: bool) -> None:
+    """Drop the flamegraph-ready folded stacks next to a --profile
+    report (``run.json`` gets ``run.folded``)."""
+    from repro.obs.assemble import assemble_report_trace
+    from repro.obs.export import folded_stacks
+
+    try:
+        folded = folded_stacks(assemble_report_trace(report))
+    except ReproError:
+        return  # a spanless run has no stacks worth writing
+    folded_path = report_path.with_suffix(".folded")
+    try:
+        folded_path.write_text(folded)
+    except OSError as exc:
+        print(f"error: cannot write folded stacks to {folded_path}: "
+              f"{exc}", file=sys.stderr)
+        return
+    if not quiet:
+        print(f"folded stacks written to {folded_path}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -491,8 +650,9 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 1
     _configure_logging(args.verbose, args.quiet)
-    observer = (obs.enable()
-                if (args.trace or args.health or args.report is not None)
+    observer = (obs.enable(obs.Observer(profile=args.profile))
+                if (args.trace or args.health or args.profile
+                    or args.report is not None)
                 else None)
     try:
         if args.command == "idlz":
@@ -520,6 +680,10 @@ def _dispatch(args: argparse.Namespace) -> int:
                 print(report.render_tree(), file=sys.stderr)
             if args.health:
                 print(report.render_health_table(), file=sys.stderr)
+            if args.profile and report.profile:
+                # batch runs profile inside the workers; their tables
+                # ride in the manifest, not the coordinator's report.
+                print(report.render_profile(), file=sys.stderr)
             if args.report is not None:
                 try:
                     report.save(args.report)
@@ -527,6 +691,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                     print(f"error: cannot write report to {args.report}: "
                           f"{exc}", file=sys.stderr)
                 else:
+                    if args.profile:
+                        _save_folded(report, args.report, args.quiet)
                     if not args.quiet:
                         print(f"run report written to {args.report}")
             obs.disable(observer)

@@ -172,7 +172,7 @@ class BandedSymmetricMatrix:
             lband[0, j] = root
             top = min(hb + 1, n - j)
             lband[1:top, j] /= root
-        if obs.enabled():
+        if obs.health_enabled():
             # lband[0] holds sqrt(pivot); square back for the D entries.
             pivots = lband[0] * lband[0]
             obs.health("fem.cholesky.banded", solver_health(

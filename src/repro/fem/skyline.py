@@ -189,7 +189,7 @@ class SkylineMatrix:
                 )
             diag[j] = math.sqrt(pivot)
             col_j[j - top_j] = diag[j]
-        if obs.enabled():
+        if obs.health_enabled():
             pivots = diag * diag
             obs.health("fem.cholesky.skyline", solver_health(
                 pivot_min=float(pivots.min()),

@@ -102,7 +102,7 @@ class StaticAnalysis:
                         self.mesh.n_nodes):
                     k.constrain_dof(dof, rhs, value)
                 disp = k.solve(rhs)
-            if obs.enabled():
+            if obs.health_enabled():
                 # Residual of the constrained system the factorisation
                 # actually saw: ||K u - f|| / ||f||.
                 obs.health(f"fem.solve.{solver}", solver_health(
@@ -147,7 +147,7 @@ def _solve_sparse(k: sp.csr_matrix, rhs: np.ndarray,
     if np.any(~np.isfinite(solution)):
         raise SolverError("sparse solve produced non-finite displacements "
                           "(singular stiffness)")
-    if obs.enabled():
+    if obs.health_enabled():
         obs.health("fem.solve.sparse", solver_health(
             residual_rel=_relative_residual(kff @ solution, reduced_rhs),
             fillin=int(kff.nnz),

@@ -37,28 +37,58 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.profile import ProfileLog
 from repro.obs.report import SCHEMA, RunReport
-from repro.obs.span import Span, Tracer
+from repro.obs.span import Span, Tracer, new_span_id, new_trace_id
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "HealthLog", "HealthSnapshot",
+    "HealthLog", "HealthSnapshot", "ProfileLog",
     "RunReport", "SCHEMA", "Span", "Tracer", "Observer",
     "capture", "count", "current", "disable", "enable", "enabled",
-    "gauge", "health", "observe", "span",
+    "gauge", "health", "health_enabled", "new_span_id", "new_trace_id",
+    "observe", "profiling", "span", "trace_id",
 ]
 
 
 class Observer:
-    """One enabled observation: tracer, metrics registry, health log."""
+    """One enabled observation: tracer, metrics, health, profiles.
 
-    def __init__(self):
+    ``trace_id`` groups this observation's spans with fragments from
+    other processes working on the same logical run (a batch run ships
+    its trace id to every worker; see docs/OBSERVABILITY.md).  With
+    ``profile=True`` the stage-pipeline runner wraps each stage body in
+    cProfile and files the hotspot tables here.  ``collect_health=False``
+    keeps spans and metrics but skips the numerical-health snapshots --
+    their *construction* (mesh walks, residual matvecs) is the one
+    genuinely expensive part of observation, so cost-sensitive captures
+    (the overhead benchmark prices ledger + tracing this way) can opt
+    out while call sites stay unconditional.
+    """
+
+    def __init__(self, trace_id: Optional[str] = None,
+                 profile: bool = False,
+                 collect_health: bool = True):
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
         self.health = HealthLog()
+        self.trace_id = trace_id if trace_id else new_trace_id()
+        self.profile = profile
+        self.collect_health = collect_health
+        self.profiles = ProfileLog()
 
     def report(self, **meta: Any) -> RunReport:
-        """Freeze everything collected so far into a :class:`RunReport`."""
+        """Freeze everything collected so far into a :class:`RunReport`.
+
+        The report's meta always carries the trace context
+        (``trace_id``, ``origin_unix``, ``pid``) so saved reports stay
+        assemblable; explicit ``meta`` keys win.
+        """
+        import os
+
+        meta.setdefault("trace_id", self.trace_id)
+        meta.setdefault("origin_unix", self.tracer.origin_unix)
+        meta.setdefault("pid", os.getpid())
         return RunReport.from_observer(self, meta)
 
 
@@ -151,15 +181,31 @@ def observe(name: str, value: float) -> None:
         _observers[-1].metrics.observe(name, value)
 
 
+def trace_id() -> Optional[str]:
+    """The enabled observer's trace id, or ``None`` while disabled."""
+    return _observers[-1].trace_id if _observers else None
+
+
+def profiling() -> bool:
+    """True when the enabled observer wants per-stage cProfile data."""
+    return bool(_observers) and _observers[-1].profile
+
+
+def health_enabled() -> bool:
+    """True when the enabled observer collects health snapshots."""
+    return bool(_observers) and _observers[-1].collect_health
+
+
 def health(name: str, snapshot: HealthSnapshot) -> None:
     """Publish a numerical-health snapshot under a stage name.
 
-    No-op while no observer is enabled.  Building a snapshot usually
-    costs real work (walking a mesh, a matvec), so call sites should
-    gate the *construction* on :func:`enabled`::
+    No-op while no observer is enabled (or the observer opted out of
+    health).  Building a snapshot usually costs real work (walking a
+    mesh, a matvec), so call sites should gate the *construction* on
+    :func:`health_enabled`::
 
-        if obs.enabled():
+        if obs.health_enabled():
             obs.health("idlz.reform", mesh_health(mesh))
     """
-    if _observers:
+    if _observers and _observers[-1].collect_health:
         _observers[-1].health.publish(name, snapshot)

@@ -1,0 +1,319 @@
+"""Cross-process trace assembly: many span fragments, one trace.
+
+A batch run spreads one logical piece of work over many processes: the
+coordinator schedules, each pool worker runs jobs, and every one of
+them keeps its *own* tracer with its own ``perf_counter`` origin.  The
+manifest carries all the evidence home -- the run's ``trace_id`` and
+``root_span`` in its meta, and each job's ``obs`` block with the
+worker's full span tree, its pid, and its ``origin_unix`` clock anchor.
+This module reassembles those fragments into one coherent
+:class:`AssembledTrace`:
+
+* the **root** is synthesised from manifest meta (the coordinator needs
+  no observer of its own: ``started_unix`` + ``summary.wall_s`` bound
+  the run),
+* every executed job's span tree is grafted under the root, its
+  relative ``start_s`` offsets converted to absolute time through the
+  worker's ``origin_unix``,
+* jobs that never reached a worker (cache hits, lint rejections, worker
+  crashes) get a synthesised ``batch.job`` span so the assembled trace
+  accounts for *every* job in the manifest.
+
+Absolute alignment leans on one assumption, stated here so nobody
+rediscovers it in a debugger: all processes of a batch share the host
+wall clock (they are forks of one coordinator), so
+``origin_unix + start_s`` places spans from different pids on one
+comparable timeline.  Sub-millisecond skew between ``time.time()``
+samples is possible and tolerated -- the assembled tree is for
+understanding where a fleet spent its time, not for auditing clocks.
+
+:func:`assemble_report_trace` gives single-process run reports
+(``repro.obs/v1*``) the same assembled form, so the exporters in
+:mod:`repro.obs.export` can render either source.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ObsError
+
+#: Span name synthesised for jobs that have no worker span fragment.
+SYNTH_JOB_SPAN = "batch.job"
+
+
+class AssembledSpan:
+    """One span on the assembled, absolute timeline."""
+
+    __slots__ = ("name", "span_id", "pid", "job_id", "start_unix",
+                 "wall_s", "cpu_s", "attrs", "children", "synthesized")
+
+    def __init__(self, name: str, span_id: str, pid: Optional[int],
+                 start_unix: float, wall_s: float,
+                 cpu_s: Optional[float] = None,
+                 job_id: Optional[str] = None,
+                 attrs: Optional[Dict[str, Any]] = None,
+                 synthesized: bool = False):
+        self.name = name
+        self.span_id = span_id
+        self.pid = pid
+        self.job_id = job_id
+        #: Absolute wall-clock start (unix seconds).
+        self.start_unix = start_unix
+        self.wall_s = wall_s
+        self.cpu_s = cpu_s
+        self.attrs = dict(attrs or {})
+        self.children: List["AssembledSpan"] = []
+        #: True when no process actually timed this span (it was
+        #: reconstructed from manifest accounting, e.g. a cache hit).
+        self.synthesized = synthesized
+
+    @property
+    def end_unix(self) -> float:
+        return self.start_unix + (self.wall_s or 0.0)
+
+    def walk(self) -> Iterator[Tuple["AssembledSpan", int]]:
+        """Depth-first ``(span, depth)`` over this subtree."""
+        stack: List[Tuple[AssembledSpan, int]] = [(self, 0)]
+        while stack:
+            span, depth = stack.pop()
+            yield span, depth
+            for child in reversed(span.children):
+                stack.append((child, depth + 1))
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "pid": self.pid,
+            "start_unix": round(self.start_unix, 6),
+            "wall_s": round(self.wall_s, 9),
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+        if self.cpu_s is not None:
+            data["cpu_s"] = round(self.cpu_s, 9)
+        if self.job_id is not None:
+            data["job_id"] = self.job_id
+        if self.synthesized:
+            data["synthesized"] = True
+        return data
+
+
+class AssembledTrace:
+    """One coherent trace: a root span plus identity metadata."""
+
+    def __init__(self, trace_id: str, root: AssembledSpan):
+        self.trace_id = trace_id
+        self.root = root
+
+    @property
+    def start_unix(self) -> float:
+        return self.root.start_unix
+
+    @property
+    def end_unix(self) -> float:
+        """End of the latest span anywhere in the tree."""
+        return max(span.end_unix for span, _ in self.root.walk())
+
+    def walk(self) -> Iterator[Tuple[AssembledSpan, int]]:
+        return self.root.walk()
+
+    def pids(self) -> List[int]:
+        """Distinct pids that contributed spans, coordinator first."""
+        ordered: List[int] = []
+        for span, _ in self.root.walk():
+            if span.pid is not None and span.pid not in ordered:
+                ordered.append(span.pid)
+        return ordered
+
+    def span_count(self) -> int:
+        return sum(1 for _ in self.root.walk())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"trace_id": self.trace_id, "root": self.root.to_dict()}
+
+
+# ----------------------------------------------------------------------
+# Assembly
+# ----------------------------------------------------------------------
+
+def _convert_fragment(span: Dict[str, Any], origin_unix: float,
+                      pid: Optional[int], job_id: Optional[str]
+                      ) -> AssembledSpan:
+    """One serialised worker span (and its subtree) onto absolute time."""
+    assembled = AssembledSpan(
+        name=str(span.get("name", "?")),
+        span_id=str(span.get("span_id", "")),
+        pid=pid,
+        start_unix=origin_unix + float(span.get("start_s") or 0.0),
+        wall_s=float(span.get("wall_s") or 0.0),
+        cpu_s=span.get("cpu_s"),
+        job_id=job_id,
+        attrs=span.get("attrs") or {},
+    )
+    for child in span.get("children") or []:
+        assembled.children.append(
+            _convert_fragment(child, origin_unix, pid, job_id)
+        )
+    return assembled
+
+
+def _synth_job_span(record: Dict[str, Any], fallback_unix: float
+                    ) -> AssembledSpan:
+    """A stand-in span for a job that left no worker fragment."""
+    status = record.get("status", "?")
+    reason = ("cache_hit" if record.get("cache") == "hit"
+              else "lint_rejected" if status == "rejected"
+              else "no_fragment")
+    return AssembledSpan(
+        name=SYNTH_JOB_SPAN,
+        span_id=f"synth-{record.get('job_id', '?')}",
+        pid=None,
+        start_unix=fallback_unix,
+        wall_s=float(record.get("wall_s") or 0.0),
+        job_id=record.get("job_id"),
+        attrs={"job_id": record.get("job_id"), "status": status,
+               "reason": reason},
+        synthesized=True,
+    )
+
+
+def assemble_batch_trace(manifest: Any) -> AssembledTrace:
+    """Reassemble one trace from a ``repro.batch/v1`` manifest.
+
+    ``manifest`` is a :class:`~repro.batch.manifest.BatchManifest` (or
+    any object with ``meta``/``jobs``/``summary`` dict attributes).
+    Raises :class:`ObsError` for manifests written before trace context
+    existed (no ``meta.trace_id``) -- there is nothing to assemble onto.
+    """
+    meta = manifest.meta
+    trace_id = meta.get("trace_id")
+    if not trace_id:
+        raise ObsError(
+            "manifest has no meta.trace_id: it predates trace assembly "
+            "(re-run the batch to get an assemblable manifest)"
+        )
+    started_unix = float(meta.get("started_unix")
+                         or meta.get("created_unix") or 0.0)
+    root = AssembledSpan(
+        name="batch.run",
+        span_id=str(meta.get("root_span") or "root"),
+        pid=meta.get("pid"),
+        start_unix=started_unix,
+        wall_s=float(manifest.summary.get("wall_s") or 0.0),
+        attrs={"jobs": manifest.summary.get("total"),
+               "ok": manifest.summary.get("ok"),
+               "failed": manifest.summary.get("failed")},
+        synthesized=True,
+    )
+    for record in manifest.jobs:
+        job_obs = record.get("obs") or {}
+        fragments = job_obs.get("spans") or []
+        # A cache hit restores the *original* execution's obs block
+        # from the artifact cache -- spans of a different trace at a
+        # different absolute time.  Those fragments describe the run
+        # that populated the cache, not this one, so the hit gets a
+        # synthesized span like any other job that never ran.
+        stale = job_obs.get("trace_id") not in (None, trace_id)
+        if not fragments or stale:
+            root.children.append(_synth_job_span(record, started_unix))
+            continue
+        origin_unix = float(job_obs.get("origin_unix") or started_unix)
+        pid = job_obs.get("pid")
+        job_id = record.get("job_id")
+        for fragment in fragments:
+            root.children.append(
+                _convert_fragment(fragment, origin_unix, pid, job_id)
+            )
+    root.children.sort(key=lambda s: s.start_unix)
+    return AssembledTrace(trace_id=str(trace_id), root=root)
+
+
+def assemble_report_trace(report: Any) -> AssembledTrace:
+    """Assemble a single-process run report (``repro.obs/v1*``).
+
+    Single reports are already one process, so "assembly" is only the
+    conversion to absolute time (plus a synthetic root when the report
+    recorded several top-level spans).  Reports written before
+    ``origin_unix`` existed assemble at epoch offset zero -- durations
+    and nesting stay exact, absolute placement is meaningless, which is
+    fine for folded-stack export and relative timelines.
+    """
+    meta = report.meta or {}
+    trace_id = str(meta.get("trace_id") or "untraced")
+    origin_unix = float(meta.get("origin_unix") or 0.0)
+    pid = meta.get("pid")
+    roots = [_convert_fragment(span, origin_unix, pid, None)
+             for span in report.spans]
+    if not roots:
+        raise ObsError("report has no spans: nothing to assemble")
+    if len(roots) == 1:
+        root = roots[0]
+    else:
+        start = min(r.start_unix for r in roots)
+        end = max(r.end_unix for r in roots)
+        root = AssembledSpan(
+            name="run", span_id="root", pid=pid, start_unix=start,
+            wall_s=end - start, synthesized=True,
+        )
+        root.children = sorted(roots, key=lambda s: s.start_unix)
+    return AssembledTrace(trace_id=trace_id, root=root)
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+def render_trace(trace: AssembledTrace) -> str:
+    """The assembled tree as text (``obs render`` on a manifest).
+
+    Offsets are milliseconds from the trace start, so fragments from
+    different pids read on one scale.
+    """
+    t0 = trace.start_unix
+    lines = [f"assembled trace {trace.trace_id} "
+             f"({trace.span_count()} spans, {len(trace.pids())} process(es))"]
+    for span, depth in trace.walk():
+        indent = "  " * depth
+        offset_ms = (span.start_unix - t0) * 1000.0
+        who = f"pid {span.pid}" if span.pid is not None else "synth"
+        job = f" job={span.job_id}" if span.job_id else ""
+        lines.append(
+            f"  {indent}{span.name:<{max(1, 30 - 2 * depth)}s}"
+            f" +{offset_ms:9.2f}ms {span.wall_s * 1000.0:9.2f}ms"
+            f"  [{who}]{job}"
+        )
+    return "\n".join(lines)
+
+
+def render_timeline(trace: AssembledTrace, width: int = 64) -> str:
+    """A text Gantt of the trace's jobs (the ``obs timeline`` output).
+
+    One bar per direct child of the root (one per job for batch
+    manifests), scaled to the full trace duration.
+    """
+    t0 = trace.start_unix
+    total = max(trace.end_unix - t0, 1e-9)
+    label_w = max([len(_bar_label(s)) for s in trace.root.children] + [8])
+    lines = [
+        f"trace {trace.trace_id}: {total * 1000.0:.1f}ms total, "
+        f"{len(trace.root.children)} job(s), "
+        f"{len(trace.pids())} process(es)"
+    ]
+    for span in trace.root.children:
+        lead = int(round((span.start_unix - t0) / total * width))
+        body = int(round((span.wall_s or 0.0) / total * width))
+        lead = min(max(lead, 0), width)
+        body = min(max(body, 1), width - lead) if width > lead else 0
+        bar = " " * lead + ("#" * body if not span.synthesized
+                            else "." * body)
+        lines.append(
+            f"  {_bar_label(span):<{label_w}s} |{bar:<{width}s}| "
+            f"{(span.wall_s or 0.0) * 1000.0:9.2f}ms"
+        )
+    return "\n".join(lines)
+
+
+def _bar_label(span: AssembledSpan) -> str:
+    return span.job_id or span.name

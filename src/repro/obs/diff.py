@@ -15,7 +15,9 @@ slower than the threshold, or a health value that moved the wrong way,
 is a regression.  Directionality for health values comes from
 :data:`HEALTH_DIRECTIONS` — for ``min_angle_deg`` bigger is better, for
 ``residual_rel`` smaller is — so the gate understands *numerical* as
-well as *temporal* decay.  The CLI front-ends are ``python -m repro obs
+well as *temporal* decay.  Keys in :data:`HEALTH_ABS_FLOORS` gate on an
+absolute bound instead of relative drift (the observability-overhead
+budget works this way).  The CLI front-ends are ``python -m repro obs
 diff`` and ``obs check``.
 """
 
@@ -42,6 +44,17 @@ HEALTH_DIRECTIONS: Dict[str, int] = {
     "pivot_ratio": -1,
     "pivot_min": +1,
     "fillin": -1,
+    "ledger_trace_pct": -1,
+}
+
+#: Absolute bounds for health keys whose *value* is the contract, not
+#: its trajectory.  A key listed here gates on the candidate alone:
+#: past the bound fails, under it passes however noisy the relative
+#: move was (a 1% -> 3% jump is a 200% "regression" of pure jitter).
+#: ``ledger_trace_pct`` is the benchmarked observability tax — spans +
+#: run ledger, profile off — bounded at 5% of plain wall time.
+HEALTH_ABS_FLOORS: Dict[str, float] = {
+    "ledger_trace_pct": 5.0,
 }
 
 #: Values this small (both sides) are noise, not signal — a residual
@@ -235,6 +248,16 @@ def find_regressions(diff: ReportDiff, max_regression: float = 0.25,
                 continue
             va, vb = float(vd.a), float(vd.b)
             if max(abs(va), abs(vb)) < HEALTH_FLOOR:
+                continue
+            bound = HEALTH_ABS_FLOORS.get(vd.name)
+            if bound is not None:
+                # Absolute contract: the candidate value alone decides.
+                worse = vb > bound if direction < 0 else vb < bound
+                if worse:
+                    problems.append(
+                        f"health {label}.{vd.name}: {vb:g} exceeds the "
+                        f"absolute bound {bound:g} (baseline {va:g})"
+                    )
                 continue
             if direction > 0:
                 worse = vb < va * (1.0 - max_regression)

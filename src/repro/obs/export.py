@@ -1,0 +1,112 @@
+"""Trace exporters: assembled traces in formats other tools eat.
+
+Two targets, both plain text, both derived from one
+:class:`~repro.obs.assemble.AssembledTrace`:
+
+**Chrome trace-event JSON** (:func:`chrome_trace`) -- the
+``traceEvents`` format Perfetto and ``chrome://tracing`` load directly.
+Every span becomes one complete (``"ph": "X"``) event; timestamps and
+durations are integer microseconds relative to the trace start, and the
+``pid`` field carries the span's real process id, so a batch run
+renders as one track per worker with the coordinator's synthetic spans
+on their own track.  Process-name metadata events label the tracks.
+
+**Folded stacks** (:func:`folded_stacks`) -- the ``a;b;c <count>``
+format flamegraph tooling consumes.  The count is the span's *self*
+wall time in integer microseconds (total minus children, clamped at
+zero: children measured in other samples of ``perf_counter`` can
+overhang by rounding), so a flamegraph's box widths sum correctly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.assemble import AssembledSpan, AssembledTrace
+
+#: pid used for synthesized spans that no real process timed.
+SYNTH_PID = 0
+
+
+def _event_pid(span: AssembledSpan) -> int:
+    return span.pid if span.pid is not None else SYNTH_PID
+
+
+def chrome_trace(trace: AssembledTrace) -> Dict[str, Any]:
+    """The trace as a Chrome trace-event JSON object.
+
+    Returns the dict form (``{"traceEvents": [...], ...}``); callers
+    serialise with :func:`json.dumps` or :func:`chrome_trace_json`.
+    """
+    t0 = trace.start_unix
+    events: List[Dict[str, Any]] = []
+    seen_pids: List[int] = []
+    for span, _depth in trace.walk():
+        pid = _event_pid(span)
+        if pid not in seen_pids:
+            seen_pids.append(pid)
+        args: Dict[str, Any] = {k: v for k, v in span.attrs.items()}
+        if span.job_id is not None:
+            args.setdefault("job_id", span.job_id)
+        if span.synthesized:
+            args["synthesized"] = True
+        events.append({
+            "name": span.name,
+            "ph": "X",
+            "ts": max(0, int(round((span.start_unix - t0) * 1e6))),
+            "dur": max(0, int(round((span.wall_s or 0.0) * 1e6))),
+            "pid": pid,
+            "tid": 1,
+            "cat": "repro",
+            "args": args,
+        })
+    meta_pid = _event_pid(trace.root)
+    metadata: List[Dict[str, Any]] = []
+    for pid in seen_pids:
+        if pid == SYNTH_PID:
+            name = "synthesized"
+        elif pid == meta_pid:
+            name = f"coordinator (pid {pid})"
+        else:
+            name = f"worker (pid {pid})"
+        metadata.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 1,
+            "args": {"name": name},
+        })
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": trace.trace_id},
+    }
+
+
+def chrome_trace_json(trace: AssembledTrace, indent: int = 2) -> str:
+    """The Chrome trace as a JSON string (what ``obs export`` writes)."""
+    return json.dumps(chrome_trace(trace), indent=indent)
+
+
+def folded_stacks(trace: AssembledTrace) -> str:
+    """The trace as folded stacks, one ``path count`` line per span.
+
+    Stack frames are span names joined with ``;`` from the root down;
+    the count is self wall time in integer microseconds.  Zero-self
+    spans are dropped (flamegraph tools treat absent and zero alike,
+    and the noise hides the real hot paths).
+    """
+    lines: List[str] = []
+
+    def walk(span: AssembledSpan, path: str) -> None:
+        here = f"{path};{span.name}" if path else span.name
+        child_wall = sum(c.wall_s or 0.0 for c in span.children)
+        self_us = int(round(((span.wall_s or 0.0) - child_wall) * 1e6))
+        if self_us > 0:
+            lines.append(f"{here} {self_us}")
+        for child in span.children:
+            walk(child, here)
+
+    walk(trace.root, "")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -14,9 +14,10 @@ A :class:`HealthSnapshot` freezes one stage's numerical state —
   detection).
 
 Stages publish through the facade, ``obs.health("idlz.reform", snap)``,
-which is a no-op while no observer is enabled; builders below that walk
-a mesh or a field are meant to be *called* only when ``obs.enabled()``,
-so disabled runs never pay for them.  Snapshots serialize into the
+which is a no-op while no observer collects health; builders below
+that walk a mesh or a field are meant to be *called* only when
+``obs.health_enabled()``, so disabled (or health-opted-out) runs never
+pay for them.  Snapshots serialize into the
 ``health`` section of the ``repro.obs/v1.1`` run report.
 
 Like :mod:`repro.obs.span`, this module is import-cheap: numpy and the
@@ -85,7 +86,7 @@ class HealthLog:
 
 # ----------------------------------------------------------------------
 # Snapshot builders.  These do real work (they walk meshes / fields), so
-# call sites gate them on ``obs.enabled()``.
+# call sites gate them on ``obs.health_enabled()``.
 # ----------------------------------------------------------------------
 
 def mesh_health(mesh: Any, needle_aspect: float = NEEDLE_ASPECT,

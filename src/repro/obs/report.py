@@ -1,10 +1,11 @@
-"""Machine-readable run reports: spans + metrics + health as one blob.
+"""Machine-readable run reports: spans + metrics + health + profile.
 
-The same schema (``repro.obs/v1.1``) is written by the CLI's ``--report``
+The same schema (``repro.obs/v1.2``) is written by the CLI's ``--report``
 flag and by the benchmark harness, so the ``BENCH_*.json`` trajectory and
 ad-hoc runs can be diffed with the same tooling (``python -m repro obs
-diff``).  Loading accepts both ``repro.obs/v1`` (no ``health`` section)
-and ``v1.1``; anything else raises :class:`~repro.errors.ObsError`.
+diff``).  Loading accepts ``repro.obs/v1`` (no ``health`` section),
+``v1.1`` (no ``profile`` section) and ``v1.2``; anything else raises
+:class:`~repro.errors.ObsError`.
 """
 
 from __future__ import annotations
@@ -15,22 +16,25 @@ from typing import Any, Dict, List, Optional, Set, Union
 
 from repro.errors import ObsError
 
-SCHEMA = "repro.obs/v1.1"
+SCHEMA = "repro.obs/v1.2"
 
 #: Schema versions :meth:`RunReport.load` accepts.
-ACCEPTED_SCHEMAS = ("repro.obs/v1", "repro.obs/v1.1")
+ACCEPTED_SCHEMAS = ("repro.obs/v1", "repro.obs/v1.1", "repro.obs/v1.2")
 
 
 class RunReport:
-    """A frozen observation: metadata, span forest, metrics, health."""
+    """A frozen observation: metadata, span forest, metrics, health,
+    and (under ``--profile``) per-stage hotspot tables."""
 
     def __init__(self, meta: Dict[str, Any], spans: List[Dict[str, Any]],
                  metrics: Dict[str, Any],
-                 health: Optional[List[Dict[str, Any]]] = None):
+                 health: Optional[List[Dict[str, Any]]] = None,
+                 profile: Optional[Dict[str, List[Dict[str, Any]]]] = None):
         self.meta = meta
         self.spans = spans
         self.metrics = metrics
         self.health = list(health or [])
+        self.profile = dict(profile or {})
 
     # ------------------------------------------------------------------
     # Construction
@@ -43,6 +47,7 @@ class RunReport:
             spans=observer.tracer.to_list(),
             metrics=observer.metrics.to_dict(),
             health=observer.health.to_list(),
+            profile=observer.profiles.to_dict(),
         )
 
     @classmethod
@@ -64,7 +69,8 @@ class RunReport:
             )
         return cls(meta=data.get("meta", {}), spans=data.get("spans", []),
                    metrics=data.get("metrics", {}),
-                   health=data.get("health", []))
+                   health=data.get("health", []),
+                   profile=data.get("profile", {}))
 
     @classmethod
     def from_json(cls, text: str) -> "RunReport":
@@ -88,6 +94,7 @@ class RunReport:
             "spans": self.spans,
             "metrics": self.metrics,
             "health": self.health,
+            "profile": self.profile,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -190,6 +197,12 @@ class RunReport:
             for name, value in gauges.items():
                 lines.append(f"  {name:<34s} {value}")
         return "\n".join(lines)
+
+    def render_profile(self, top_n: int = 5) -> str:
+        """The per-stage hotspot tables (the CLI's ``--profile`` output)."""
+        from repro.obs.profile import render_profile
+
+        return render_profile(self.profile, top_n=top_n)
 
     def render_health_table(self) -> str:
         """The numerical-health table (the CLI's ``--health`` output).

@@ -7,6 +7,14 @@ spans opened while it was active.  A :class:`Tracer` owns the span
 forest; each thread keeps its own active-span stack so concurrent
 pipelines nest correctly without sharing state.
 
+For cross-process trace assembly (see :mod:`repro.obs.assemble`) every
+span carries a random ``span_id`` and every tracer records its
+``origin_unix`` — the wall-clock moment its ``perf_counter`` origin was
+taken — so span offsets from different processes can be mapped onto one
+absolute timeline.  A *trace id* groups the fragments of one logical
+run (a whole batch); it lives on the :class:`~repro.obs.Observer`, not
+here, because one tracer only ever sees its own process.
+
 Spans are deliberately dependency-free (no numpy) so the tracer can be
 imported from the lowest layers (cards, geometry) without cost.
 """
@@ -15,7 +23,18 @@ from __future__ import annotations
 
 import threading
 import time
+import uuid
 from typing import Any, Dict, List, Optional
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex trace id (one per logical run / batch)."""
+    return uuid.uuid4().hex[:16]
+
+
+def new_span_id() -> str:
+    """A fresh 8-hex span id (unique within a trace in practice)."""
+    return uuid.uuid4().hex[:8]
 
 
 def _jsonable(value: Any) -> Any:
@@ -29,7 +48,7 @@ class Span:
     """One timed region: name, attributes, timings, children."""
 
     __slots__ = ("name", "attrs", "children", "start_s", "wall_s", "cpu_s",
-                 "_t0", "_c0")
+                 "span_id", "_t0", "_c0")
 
     def __init__(self, name: str, attrs: Dict[str, Any], start_s: float):
         self.name = name
@@ -40,6 +59,8 @@ class Span:
         #: Filled at exit; ``None`` while the span is still open.
         self.wall_s: Optional[float] = None
         self.cpu_s: Optional[float] = None
+        #: Random id used by cross-process assembly to graft fragments.
+        self.span_id = new_span_id()
         self._t0 = 0.0
         self._c0 = 0.0
 
@@ -49,6 +70,7 @@ class Span:
     def to_dict(self) -> Dict[str, Any]:
         return {
             "name": self.name,
+            "span_id": self.span_id,
             "start_s": round(self.start_s, 9),
             "wall_s": None if self.wall_s is None else round(self.wall_s, 9),
             "cpu_s": None if self.cpu_s is None else round(self.cpu_s, 9),
@@ -86,6 +108,9 @@ class Tracer:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._origin = time.perf_counter()
+        #: Wall-clock moment of the perf_counter origin: lets span
+        #: offsets from different processes share one absolute timeline.
+        self.origin_unix = time.time()
         self.roots: List[Span] = []
 
     # ------------------------------------------------------------------

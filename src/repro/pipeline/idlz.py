@@ -102,7 +102,7 @@ def elements_stage(ctx: Context) -> Dict[str, Any]:
     )
     lattice_mesh.orient_ccw()
     obs.count("idlz.elements_created", len(triangles))
-    if obs.enabled():
+    if obs.health_enabled():
         obs.health("idlz.elements", mesh_health(lattice_mesh))
     return {"triangles": triangles, "groups": groups,
             "lattice_mesh": lattice_mesh}
@@ -154,13 +154,13 @@ def reform_stage(ctx: Context) -> Dict[str, Any]:
     mesh.orient_ccw()
     mesh.validate()
     prereform_mesh = mesh.copy()
-    if obs.enabled():
+    if obs.health_enabled():
         # The shaped-but-unreformed mesh: the reformation pass's
         # "before" picture.
         obs.health("idlz.shape", mesh_health(prereform_mesh))
     swaps = reform_elements(mesh) if ctx["reform"] else 0
     mesh.compute_boundary_flags()
-    if obs.enabled():
+    if obs.health_enabled():
         obs.health("idlz.reform", mesh_health(mesh, swaps=swaps))
     return {"reformed_mesh": mesh, "prereform_mesh": prereform_mesh,
             "swaps": swaps}
@@ -192,7 +192,7 @@ def renumber_stage(ctx: Context) -> Dict[str, Any]:
     obs.count("idlz.diagonal_swaps", ctx["swaps"])
     obs.gauge("idlz.bandwidth_before", bandwidth_before)
     obs.gauge("idlz.bandwidth_after", bandwidth_after)
-    if obs.enabled():
+    if obs.health_enabled():
         obs.health("idlz.renumber", mesh_health(
             mesh,
             bandwidth_before=bandwidth_before,

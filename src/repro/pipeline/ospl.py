@@ -90,7 +90,7 @@ def intervals_stage(ctx: Context) -> Dict[str, Any]:
             f"field has {field.n_nodes} values for a mesh of "
             f"{mesh.n_nodes} nodes"
         )
-    if obs.enabled():
+    if obs.health_enabled():
         from repro.obs.health import field_health
 
         # Published before interval choice so a degenerate field (zero

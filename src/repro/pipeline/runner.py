@@ -10,7 +10,11 @@ through a run.
 through the stages.  Every stage is executed under an observability span
 named ``<pipeline>.<stage>`` carrying the stage's declared attributes
 (plus ``cache="hit"|"miss"`` when a cache is active), so instrumentation
-is uniform across programs instead of hand-rolled per driver.  Unexpected
+is uniform across programs instead of hand-rolled per driver.  When the
+enabled observer asks for profiling, the stage body additionally runs
+under :class:`cProfile.Profile` and its hotspot table is filed on the
+observer; when a run ledger is enabled (:mod:`repro.obs.events`), each
+stage emits ``stage_open``/``stage_close`` lifecycle events.  Unexpected
 exceptions are wrapped into :class:`~repro.errors.StageError` naming the
 pipeline and stage; :class:`~repro.errors.ReproError` subclasses pass
 through untouched so callers keep catching the domain types they always
@@ -25,12 +29,15 @@ running it, and the per-stage hit/miss record rides out on the
 
 from __future__ import annotations
 
+import cProfile
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro import obs
 from repro.errors import PipelineError, ReproError, StageError
+from repro.obs import events
+from repro.obs.profile import hotspot_table
 from repro.pipeline.cache import StageCache, chain_key, chain_root
 from repro.pipeline.context import Context
 from repro.pipeline.stage import Stage
@@ -156,17 +163,34 @@ class Pipeline:
             attrs["cache"] = status
             obs.count("pipeline.stage_hits" if status == "hit"
                       else "pipeline.stage_misses")
+        events.emit("stage_open", stage=qualified, cache=status)
         start = perf_counter()
         with obs.span(qualified, **attrs):
             if cached is not None:
                 outputs = cached
             else:
+                # Under --profile each stage body runs inside its own
+                # cProfile capture; the top-N hotspot table lands on the
+                # observer keyed by the qualified stage name (repeats of
+                # the same stage across problems merge).
+                profiler: Optional[cProfile.Profile] = None
+                if obs.profiling():
+                    profiler = cProfile.Profile()
+                    profiler.enable()
                 try:
                     outputs = stage.run(ctx)
                 except ReproError:
                     raise
                 except Exception as exc:
                     raise StageError(self.name, stage.name, exc) from exc
+                finally:
+                    if profiler is not None:
+                        profiler.disable()
+                        observer = obs.current()
+                        if observer is not None:
+                            observer.profiles.record(
+                                qualified, hotspot_table(profiler)
+                            )
                 if not isinstance(outputs, dict):
                     raise PipelineError(
                         f"stage {qualified} returned "
@@ -184,4 +208,6 @@ class Pipeline:
                     cache.store(key, outputs)  # type: ignore[union-attr]
         record = StageRecord(stage=qualified, cache=status,
                              wall_s=perf_counter() - start, key=key)
+        events.emit("stage_close", stage=qualified, cache=status,
+                    wall_s=round(record.wall_s, 6))
         return ctx.derive(outputs), record, chain

@@ -9,6 +9,7 @@ import pytest
 from repro.errors import ObsError
 from repro.obs.diff import (
     DEFAULT_MIN_WALL_S,
+    HEALTH_ABS_FLOORS,
     HEALTH_DIRECTIONS,
     aggregate_spans,
     diff_reports,
@@ -188,6 +189,25 @@ class TestFindRegressions:
     def test_new_snapshot_is_not_a_regression(self):
         a = report(health=[])
         b = report(health=[health_entry("m", min_angle_deg=5.0)])
+        assert find_regressions(diff_reports(a, b)) == []
+
+    def test_absolute_bound_over_is_flagged(self):
+        assert HEALTH_ABS_FLOORS["ledger_trace_pct"] == 5.0
+        a = report(health=[health_entry("obs.overhead", kind="overhead",
+                                        ledger_trace_pct=1.0)])
+        b = report(health=[health_entry("obs.overhead", kind="overhead",
+                                        ledger_trace_pct=7.5)])
+        (problem,) = find_regressions(diff_reports(a, b))
+        assert "ledger_trace_pct" in problem
+        assert "absolute bound 5" in problem
+
+    def test_absolute_bound_ignores_relative_jitter(self):
+        # 0.5% -> 3%: a 6x relative "regression" of pure jitter, but
+        # the candidate is under the 5% contract, so the gate passes.
+        a = report(health=[health_entry("obs.overhead", kind="overhead",
+                                        ledger_trace_pct=0.5)])
+        b = report(health=[health_entry("obs.overhead", kind="overhead",
+                                        ledger_trace_pct=3.0)])
         assert find_regressions(diff_reports(a, b)) == []
 
     def test_negative_threshold_rejected(self):

@@ -1,0 +1,186 @@
+"""Trace export: Chrome trace-event JSON and folded stacks."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.batch import BatchOptions, discover_jobs, run_batch
+from repro.cli import main
+from repro.core.idlz.deck import IdlzProblem, write_idlz_deck
+from repro.core.idlz.shaping import ShapingSegment
+from repro.core.idlz.subdivision import Subdivision
+from repro.obs.assemble import (
+    AssembledSpan,
+    AssembledTrace,
+    assemble_batch_trace,
+)
+from repro.obs.export import chrome_trace, chrome_trace_json, folded_stacks
+
+
+def _span(name, span_id, pid, start, wall, children=(), job_id=None):
+    span = AssembledSpan(name=name, span_id=span_id, pid=pid,
+                         start_unix=start, wall_s=wall, job_id=job_id)
+    span.children = list(children)
+    return span
+
+
+@pytest.fixture
+def golden_trace():
+    """A hand-built two-worker trace with exact, easy arithmetic."""
+    job_a = _span("batch.job", "a0", 101, 1000.010, 0.080, job_id="alpha",
+                  children=[
+                      _span("idlz.read", "a1", 101, 1000.020, 0.030,
+                            job_id="alpha"),
+                      _span("idlz.reform", "a2", 101, 1000.055, 0.025,
+                            job_id="alpha"),
+                  ])
+    job_b = _span("batch.job", "b0", 102, 1000.040, 0.050, job_id="beta",
+                  children=[
+                      _span("ospl.contour", "b1", 102, 1000.050, 0.050,
+                            job_id="beta"),
+                  ])
+    root = _span("batch.run", "r0", 100, 1000.000, 0.100,
+                 children=[job_a, job_b])
+    root.synthesized = True
+    return AssembledTrace(trace_id="feedc0de12345678", root=root)
+
+
+class TestChromeTrace:
+    def test_valid_json_document(self, golden_trace):
+        document = json.loads(chrome_trace_json(golden_trace))
+        assert isinstance(document["traceEvents"], list)
+        assert document["displayTimeUnit"] == "ms"
+        assert document["otherData"]["trace_id"] == "feedc0de12345678"
+
+    def test_complete_events_with_integer_microseconds(self, golden_trace):
+        events = [e for e in chrome_trace(golden_trace)["traceEvents"]
+                  if e["ph"] == "X"]
+        assert len(events) == 6
+        for event in events:
+            assert isinstance(event["ts"], int) and event["ts"] >= 0
+            assert isinstance(event["dur"], int) and event["dur"] >= 0
+        by_name = {e["name"]: e for e in events}
+        assert by_name["batch.run"]["ts"] == 0
+        assert by_name["batch.run"]["dur"] == 100_000
+        assert by_name["idlz.read"]["ts"] == 20_000
+        assert by_name["idlz.read"]["dur"] == 30_000
+        assert by_name["ospl.contour"]["ts"] == 50_000
+
+    def test_children_nest_within_parents(self, golden_trace):
+        events = [e for e in chrome_trace(golden_trace)["traceEvents"]
+                  if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in events}
+        root = by_name["batch.run"]
+        for name in ("idlz.read", "idlz.reform", "ospl.contour"):
+            child = by_name[name]
+            assert child["ts"] >= root["ts"]
+            assert child["ts"] + child["dur"] <= root["ts"] + root["dur"]
+
+    def test_one_track_per_pid_with_names(self, golden_trace):
+        document = chrome_trace(golden_trace)
+        metadata = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        assert {e["pid"] for e in metadata} == {100, 101, 102}
+        names = {e["pid"]: e["args"]["name"] for e in metadata}
+        assert names[100].startswith("coordinator")
+        assert names[101].startswith("worker")
+        events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert {e["pid"] for e in events} == {100, 101, 102}
+
+    def test_job_id_rides_in_args(self, golden_trace):
+        events = [e for e in chrome_trace(golden_trace)["traceEvents"]
+                  if e["ph"] == "X" and e["name"] == "idlz.read"]
+        assert events[0]["args"]["job_id"] == "alpha"
+
+
+class TestFoldedStacks:
+    def test_self_time_arithmetic(self, golden_trace):
+        lines = folded_stacks(golden_trace).splitlines()
+        counts = {}
+        for line in lines:
+            path, count = line.rsplit(" ", 1)
+            counts[path] = int(count)
+        # Root self = 100ms - 130ms of (overlapping) children: clamped
+        # to zero and dropped.  Job beta is covered exactly by its one
+        # child (50 - 50 = 0): dropped too, so the one batch.job line
+        # is job alpha's 80 - 55 = 25ms.
+        assert "batch.run" not in counts
+        assert counts["batch.run;batch.job"] == 25_000
+        assert counts["batch.run;batch.job;idlz.read"] == 30_000
+        assert counts["batch.run;batch.job;idlz.reform"] == 25_000
+        assert counts["batch.run;batch.job;ospl.contour"] == 50_000
+
+    def test_all_counts_positive_integers(self, golden_trace):
+        for line in folded_stacks(golden_trace).splitlines():
+            assert int(line.rsplit(" ", 1)[1]) > 0
+
+    def test_trailing_newline(self, golden_trace):
+        assert folded_stacks(golden_trace).endswith("\n")
+
+
+def _plate_deck_text():
+    sub = Subdivision(index=1, kk1=1, ll1=1, kk2=4, ll2=4)
+    segments = [
+        ShapingSegment(1, 1, 1, 4, 1, 0.0, 0.0, 3.0, 0.0),
+        ShapingSegment(1, 1, 4, 4, 4, 0.0, 3.0, 3.0, 3.0),
+    ]
+    problem = IdlzProblem(title="EXPORT PLATE", subdivisions=[sub],
+                          segments=segments, nopnch=1)
+    return write_idlz_deck([problem]).to_text()
+
+
+class TestGoldenBatchExport:
+    @pytest.fixture(scope="class")
+    def manifest_path(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("export")
+        deck = root / "plate.deck"
+        deck.write_text(_plate_deck_text())
+        specs = discover_jobs([str(deck)], root / "out")
+        manifest = run_batch(specs, BatchOptions(), out_root=root / "out")
+        return manifest.save(root / "out" / "batch_manifest.json"), manifest
+
+    def test_live_manifest_exports_valid_chrome_json(self, manifest_path):
+        _, manifest = manifest_path
+        document = json.loads(
+            chrome_trace_json(assemble_batch_trace(manifest))
+        )
+        events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert {"batch.run", "batch.job", "idlz.reform"} \
+            <= {e["name"] for e in events}
+        # ts/dur monotonically consistent: every stage event inside the
+        # run window.
+        root = next(e for e in events if e["name"] == "batch.run")
+        skew_us = 50_000
+        for event in events:
+            assert event["ts"] + event["dur"] \
+                <= root["ts"] + root["dur"] + skew_us
+
+    def test_cli_export_chrome_to_file(self, manifest_path, tmp_path,
+                                       capsys):
+        path, _ = manifest_path
+        out = tmp_path / "trace.json"
+        assert main(["obs", "export", str(path), "--format", "chrome",
+                     "-o", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert any(e["ph"] == "X" for e in document["traceEvents"])
+        assert "chrome trace written" in capsys.readouterr().out
+
+    def test_cli_export_folded_to_stdout(self, manifest_path, capsys):
+        path, _ = manifest_path
+        assert main(["obs", "export", str(path), "--format",
+                     "folded"]) == 0
+        out = capsys.readouterr().out
+        assert "batch.run;batch.job" in out
+        for line in out.strip().splitlines():
+            int(line.rsplit(" ", 1)[1])
+
+    def test_cli_export_run_reports_too(self, tmp_path, capsys):
+        deck = tmp_path / "plate.deck"
+        deck.write_text(_plate_deck_text())
+        report = tmp_path / "run.json"
+        assert main(["idlz", str(deck), "-o", str(tmp_path / "o"),
+                     "--report", str(report), "-q"]) == 0
+        assert main(["obs", "export", str(report), "--format",
+                     "folded"]) == 0
+        assert "idlz.read" in capsys.readouterr().out

@@ -192,6 +192,31 @@ class TestIdlzHealthProgression:
         ideal = sheared_plate()  # must run clean with obs disabled
         assert ideal.n_elements > 0
 
+    def test_collect_health_false_keeps_spans_drops_snapshots(self):
+        # The overhead benchmark's configuration: spans and metrics on,
+        # health-snapshot construction off.
+        ob = obs.enable(obs.Observer(collect_health=False))
+        try:
+            assert obs.enabled()
+            assert not obs.health_enabled()
+            ideal = sheared_plate()
+        finally:
+            obs.disable(ob)
+        assert ideal.n_elements > 0
+        report = ob.report()
+        assert "idlz.reform" in report.span_names()
+        assert report.health == []
+
+    def test_health_publish_respects_opt_out(self):
+        from repro.obs.health import HealthSnapshot
+
+        ob = obs.enable(obs.Observer(collect_health=False))
+        try:
+            obs.health("x", HealthSnapshot(kind="mesh", values={"a": 1}))
+        finally:
+            obs.disable(ob)
+        assert ob.report().health == []
+
 
 class TestSolverHealthIntegration:
     def setup_method(self):
