@@ -102,7 +102,7 @@ def idlz_stage_probe(cols: int = 40, rows: int = 60):
 
 
 def measure_obs_overhead(workload: Callable[[], Any],
-                         repeats: int = 3) -> Dict[str, float]:
+                         repeats: int = 5) -> Dict[str, float]:
     """The observability tax: spans + run ledger vs a bare run.
 
     Times ``workload`` ``repeats`` times plain and ``repeats`` times
@@ -115,10 +115,18 @@ def measure_obs_overhead(workload: Callable[[], Any],
     Returns the values of the ``obs.overhead`` health snapshot; the
     ``ledger_trace_pct`` key is bounded at 5% by ``obs check`` through
     :data:`repro.obs.diff.HEALTH_ABS_FLOORS`.  Call with a workload
-    whose plain wall time is a few hundred milliseconds at least:
-    the absolute overhead is near-constant, so a short denominator
-    turns timer jitter into percentage swings.
+    whose plain wall time is a few hundred milliseconds at least: the
+    absolute overhead is near-constant, so a short denominator turns
+    timer jitter into percentage swings.
+
+    The ``--series`` sampler is priced separately as ``series_pct``
+    (bounded at 2%): it runs on its own thread, so its tax is its
+    **duty cycle** — median per-sample cost over the sampling
+    interval — not a wall-time delta, which at this magnitude would
+    measure scheduler noise rather than the sampler.
     """
+    from repro.obs.series import DEFAULT_INTERVAL_S, SeriesSampler
+
     with tempfile.TemporaryDirectory() as tmp:
         def traced() -> None:
             observer = obs.enable(obs.Observer(collect_health=False))
@@ -138,12 +146,23 @@ def measure_obs_overhead(workload: Callable[[], Any],
             t0 = time.perf_counter()
             traced()
             traced_s = min(traced_s, time.perf_counter() - t0)
+
+        sampler = SeriesSampler(Path(tmp) / "series.jsonl")
+        costs = []
+        for _ in range(50):
+            t0 = time.perf_counter()
+            sampler.sample_once()
+            costs.append(time.perf_counter() - t0)
+        sample_s = sorted(costs)[len(costs) // 2]
+
     pct = (100.0 * (traced_s - plain_s) / plain_s
            if plain_s > 0.0 else 0.0)
     return {
         "plain_s": round(plain_s, 6),
         "traced_s": round(traced_s, 6),
+        "series_sample_s": round(sample_s, 6),
         "ledger_trace_pct": round(max(pct, 0.0), 3),
+        "series_pct": round(100.0 * sample_s / DEFAULT_INTERVAL_S, 3),
     }
 
 
@@ -173,6 +192,7 @@ def main() -> None:
         "stages": ", ".join(sorted(run_report.span_names())),
         "health": ", ".join(run_report.health_names()),
         "ledger_trace_pct": overhead["ledger_trace_pct"],
+        "series_pct": overhead["series_pct"],
         "written": path,
     })
 

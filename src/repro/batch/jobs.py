@@ -49,6 +49,9 @@ class JobSpec:
     ledger: Optional[str] = None
     #: Wrap each pipeline stage in cProfile and ship hotspot tables.
     profile: bool = False
+    #: Which attempt this spec represents (1-based; retries increment),
+    #: so the worker's ledger events can say "attempt 2 of 3".
+    attempt: int = 1
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)

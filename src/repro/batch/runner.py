@@ -45,6 +45,7 @@ from repro.core.idlz.deck import deck_fingerprint as idlz_fingerprint
 from repro.core.ospl.deck import deck_fingerprint as ospl_fingerprint
 from repro.errors import BatchError
 from repro.obs import events
+from repro.obs.series import SeriesSampler
 from repro.obs.span import new_span_id, new_trace_id
 
 log = logging.getLogger("repro.batch")
@@ -68,6 +69,10 @@ class BatchOptions:
     ledger: Optional[Union[str, Path]] = None
     #: Per-stage cProfile hotspot tables in every worker.
     profile: bool = False
+    #: Background metrics sampler writing ``series.jsonl`` next to the
+    #: ledger (or under the out root when no ledger is configured).
+    series: bool = False
+    series_interval_s: float = 0.25
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -80,6 +85,7 @@ class BatchOptions:
             "ledger": (str(self.ledger)
                        if self.ledger is not None else None),
             "profile": self.profile,
+            "series": self.series,
         }
 
 
@@ -155,11 +161,37 @@ def run_batch(specs: Sequence[JobSpec],
         events.enable(ledger_file)
         events.set_context(trace_id=trace_id)
         events.emit("run_started", schema=events.SCHEMA,
-                    jobs=len(specs), workers=options.jobs)
+                    jobs=len(specs), workers=options.jobs,
+                    retries=options.retries)
 
     def _carry_context(spec: JobSpec) -> JobSpec:
         return replace(spec, trace_id=trace_id, parent_span=root_span,
                        ledger=ledger_file, profile=options.profile)
+
+    # Fleet gauges for the --series sampler: the coordinator updates
+    # this dict as jobs settle (cache hit, lint reject, finish); the
+    # sampler thread only reads it, and plain-dict reads of int values
+    # are safe under the GIL.
+    progress = {"done": 0, "cache_hits": 0}
+
+    def _fleet_gauges() -> Dict[str, Any]:
+        done = progress["done"]
+        elapsed = time.perf_counter() - started
+        return {
+            "queue_depth": max(0, len(specs) - done),
+            "decks_sec": (round(done / elapsed, 3)
+                          if elapsed > 0 else 0.0),
+            "cache_hit_rate": (round(progress["cache_hits"] / done, 3)
+                               if done else None),
+        }
+
+    sampler: Optional[SeriesSampler] = None
+    if options.series:
+        series_target = (Path(ledger_file).parent
+                         if ledger_file is not None else Path(out_root))
+        sampler = SeriesSampler(series_target,
+                                interval_s=options.series_interval_s,
+                                provider=_fleet_gauges).start()
 
     try:
         records: Dict[str, Dict[str, Any]] = {}
@@ -199,6 +231,7 @@ def run_batch(specs: Sequence[JobSpec],
                                 },
                             )
                             obs.count("batch.jobs_rejected")
+                            progress["done"] += 1
                             events.emit("job_lint_rejected",
                                         job_id=spec.job_id, errors=n_errors)
                             log.warning(
@@ -232,6 +265,8 @@ def run_batch(specs: Sequence[JobSpec],
                         wall_s=time.perf_counter() - restore_start,
                     )
                     obs.count("batch.cache_hits")
+                    progress["done"] += 1
+                    progress["cache_hits"] += 1
                     events.emit("job_cache_hit", job_id=spec.job_id,
                                 wall_s=round(record["wall_s"], 6))
                     log.info("job %s: cache hit", spec.job_id)
@@ -243,6 +278,7 @@ def run_batch(specs: Sequence[JobSpec],
                     record = records[spec.job_id]
                     record.update(result)
                     record["attempts"] = attempts
+                    progress["done"] += 1
                     events.emit("job_finished", job_id=spec.job_id,
                                 status=record["status"], attempts=attempts,
                                 wall_s=record.get("wall_s"))
@@ -288,6 +324,8 @@ def run_batch(specs: Sequence[JobSpec],
                     wall_s=round(manifest.summary["wall_s"], 6))
         return manifest
     finally:
+        if sampler is not None:
+            sampler.stop()
         if ledger_file is not None:
             events.disable()
 
@@ -355,7 +393,10 @@ def _execute_all(
                     and attempts[spec.job_id] <= options.retries):
                 events.emit("job_retried", job_id=spec.job_id,
                             attempt=attempts[spec.job_id])
-                retry.append(spec)
+                # The next round's spec knows which attempt it is, so
+                # the worker's own ledger events can carry it too.
+                retry.append(replace(spec,
+                                     attempt=attempts[spec.job_id] + 1))
                 continue
             yield spec, result, attempts[spec.job_id]
         queue = retry

@@ -125,6 +125,7 @@ def run_job(spec: Dict[str, Any]) -> Dict[str, Any]:
          "obs": {"trace_id", "parent_span", "pid", "origin_unix",
                  "spans": [...],           # the full worker span tree
                  "health": [...], "counters": {...},
+                 "resources": [...],       # per-stage RSS/GC/FD deltas
                  "profile": {...}},        # only under --profile
          "error": {"type", "message", "traceback"} | None}
     """
@@ -149,7 +150,8 @@ def run_job(spec: Dict[str, Any]) -> Dict[str, Any]:
         events.enable(spec["ledger"])
         events.set_context(job_id=spec["job_id"],
                            trace_id=observer.trace_id)
-        events.emit("job_started", program=spec["program"])
+        events.emit("job_started", program=spec["program"],
+                    attempt=spec.get("attempt", 1))
     try:
         with _Deadline(spec.get("timeout_s")):
             with obs.span("batch.job", job_id=spec["job_id"],
@@ -168,6 +170,7 @@ def run_job(spec: Dict[str, Any]) -> Dict[str, Any]:
         obs.disable(observer)
         if spec.get("ledger"):
             events.emit("job_attempt_finished", status=result["status"],
+                        attempt=spec.get("attempt", 1),
                         wall_s=round(time.perf_counter() - start, 6))
             events.disable()
     result["obs"] = {
@@ -178,6 +181,7 @@ def run_job(spec: Dict[str, Any]) -> Dict[str, Any]:
         "spans": report.spans,
         "health": report.health,
         "counters": report.counters(),
+        "resources": report.resources,
     }
     if report.profile:
         result["obs"]["profile"] = report.profile

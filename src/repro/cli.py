@@ -17,8 +17,11 @@
     python -m repro obs check REPORT.json --against BASELINE.json
     python -m repro obs render REPORT_OR_MANIFEST.json
     python -m repro obs tail LEDGER [--once]
+    python -m repro obs top LEDGER [--once] [--refresh S]
     python -m repro obs export SOURCE.json --format chrome|folded [-o P]
-    python -m repro obs timeline MANIFEST.json
+    python -m repro obs timeline MANIFEST.json [--width COLS]
+    python -m repro obs bench record REPORT.json [--history PATH]
+    python -m repro obs bench trend|check [--history PATH --window N]
 
 ``--strict`` enforces the Table 1/2 restrictions exactly as the 7090
 builds did; ``--ascii`` additionally prints a terminal preview of the
@@ -66,6 +69,14 @@ Perfetto) or folded stacks (flamegraph tooling).  ``--profile`` on
 hotspot tables print to stderr, ride inside ``--report`` files
 (schema ``repro.obs/v1.2``), and a folded-stacks file lands next to
 the report.
+
+Continuous perf observability: per-stage resource deltas (peak RSS, GC
+collections, open FDs) ride in ``repro.obs/v1.3`` reports by default;
+``batch run --series`` samples fleet gauges into ``series.jsonl``;
+``obs top`` renders the live per-worker dashboard from ledger +
+series; and ``obs bench record | trend | check`` keeps the
+longitudinal ``BENCH_history.jsonl`` whose trend gate fails monotonic
+creep that ducks under the per-run ``obs check`` threshold.
 """
 
 from __future__ import annotations
@@ -217,6 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="append lifecycle events to "
                                 "DIR/events.jsonl from every process "
                                 "of the run (follow with 'obs tail')")
+    batch_run.add_argument("--series", action="store_true",
+                           help="sample fleet metrics (RSS, CPU%%, "
+                                "queue depth, decks/sec, cache hit-rate) "
+                                "into series.jsonl next to the ledger "
+                                "(watch with 'obs top')")
     _add_common_options(batch_run)
 
     batch_status = batch_sub.add_parser(
@@ -302,9 +318,65 @@ def build_parser() -> argparse.ArgumentParser:
                          "assembled trace")
     timeline_cmd.add_argument("manifest", type=Path,
                               help="batch manifest (or run report)")
-    timeline_cmd.add_argument("--width", type=int, default=64,
+    timeline_cmd.add_argument("--width", type=int, default=None,
                               metavar="COLS",
-                              help="bar width in columns (default: 64)")
+                              help="bar width in columns (default: fit "
+                                   "the terminal, never under 40)")
+
+    top_cmd = obs_sub.add_parser(
+        "top", help="live per-worker dashboard over a run ledger "
+                    "(and its --series samples)")
+    top_cmd.add_argument("ledger", type=Path,
+                         help="ledger file or its directory")
+    top_cmd.add_argument("--once", action="store_true",
+                         help="draw one frame and exit "
+                              "(for CI and post-mortems)")
+    top_cmd.add_argument("--refresh", type=float, default=1.0,
+                         metavar="SECONDS",
+                         help="seconds between frames (default: 1)")
+
+    bench_cmd = obs_sub.add_parser(
+        "bench", help="append to and gate the longitudinal bench "
+                      "history (BENCH_history.jsonl)")
+    bench_sub = bench_cmd.add_subparsers(dest="bench_command",
+                                         required=True)
+    bench_record = bench_sub.add_parser(
+        "record", help="append one run report to the history")
+    bench_record.add_argument("report", type=Path,
+                              help="saved run report (BENCH_*.json)")
+    bench_record.add_argument("--history", type=Path,
+                              default=Path("BENCH_history.jsonl"),
+                              metavar="PATH",
+                              help="history file (default: "
+                                   "BENCH_history.jsonl)")
+    bench_record.add_argument("--sha", default=None, metavar="SHA",
+                              help="commit sha to stamp (default: "
+                                   "git rev-parse --short HEAD)")
+    bench_record.add_argument("--note", default=None,
+                              help="free-form note stored on the row")
+    bench_trend = bench_sub.add_parser(
+        "trend", help="print the per-stage trend table")
+    bench_check = bench_sub.add_parser(
+        "check", help="exit non-zero when a stage creeps monotonically "
+                      "over the window (slope + noise-floor test)")
+    for sub_cmd in (bench_trend, bench_check):
+        sub_cmd.add_argument("--history", type=Path,
+                             default=Path("BENCH_history.jsonl"),
+                             metavar="PATH",
+                             help="history file (default: "
+                                  "BENCH_history.jsonl)")
+        sub_cmd.add_argument("--window", type=int, default=8,
+                             metavar="N",
+                             help="records the fit looks back over "
+                                  "(default: 8)")
+        sub_cmd.add_argument("--max-drift", default="35%",
+                             metavar="PCT",
+                             help="fitted drift across the window that "
+                                  "counts as creep (default: 35%%)")
+        sub_cmd.add_argument("--min-wall", type=float, default=None,
+                             metavar="SECONDS",
+                             help="ignore stages never reaching this "
+                                  "wall time (default: 0.005)")
     return parser
 
 
@@ -448,6 +520,7 @@ def _run_batch(args: argparse.Namespace) -> int:
         lint=args.lint,
         ledger=args.ledger,
         profile=args.profile,
+        series=args.series,
     )
     specs = discover_jobs(args.decks, args.out, strict=args.strict,
                           timeout_s=args.timeout)
@@ -532,6 +605,16 @@ def _run_obs(args: argparse.Namespace) -> int:
         except KeyboardInterrupt:
             pass
         return 0
+    if args.obs_command == "top":
+        from repro.obs.top import run_top
+
+        try:
+            return run_top(args.ledger, once=args.once,
+                           refresh_s=args.refresh)
+        except KeyboardInterrupt:
+            return 0
+    if args.obs_command == "bench":
+        return _run_obs_bench(args)
     if args.obs_command == "export":
         from repro.obs.export import chrome_trace_json, folded_stacks
 
@@ -597,8 +680,58 @@ def _run_obs(args: argparse.Namespace) -> int:
     print(report.render_tree())
     if report.profile:
         print(report.render_profile())
+    if report.resources:
+        print(report.render_resources())
     if args.health:
         print(report.render_health_table())
+    return 0
+
+
+def _run_obs_bench(args: argparse.Namespace) -> int:
+    """The ``obs bench record | trend | check`` family."""
+    from repro.obs import history
+    from repro.obs.diff import parse_threshold
+    from repro.obs.report import RunReport
+
+    if args.bench_command == "record":
+        row = history.record_from_report(RunReport.load(args.report),
+                                         git_sha=args.sha,
+                                         note=args.note)
+        path = history.append_record(args.history, row)
+        rows, _ = history.load_history(path)
+        print(f"recorded {len(row['stages'])} stage(s) "
+              f"[{row.get('git_sha') or '?'}] -> {path} "
+              f"({len(rows)} record(s))")
+        return 0
+    rows, truncated = history.load_history(args.history)
+    if truncated:
+        print(f"warning: {args.history} has a torn final line "
+              "(ignored)", file=sys.stderr)
+    kwargs = {"window": args.window,
+              "max_drift": parse_threshold(args.max_drift)}
+    if args.min_wall is not None:
+        kwargs["min_wall_s"] = args.min_wall
+    if args.bench_command == "trend":
+        print(history.render_trend(
+            rows, window=kwargs["window"],
+            max_drift=kwargs["max_drift"],
+            min_wall_s=kwargs.get("min_wall_s",
+                                  history.DEFAULT_MIN_WALL_S)))
+        return 0
+    if len(rows) < 3:
+        print(f"ok: only {len(rows)} record(s) in {args.history}; "
+              "a trend needs at least 3")
+        return 0
+    creeping = history.detect_creep(rows, **kwargs)
+    if creeping:
+        print(f"{len(creeping)} stage(s) creeping over the last "
+              f"{min(args.window, len(rows))} record(s) of "
+              f"{args.history}:", file=sys.stderr)
+        for trend in creeping:
+            print(f"  {trend.describe()}", file=sys.stderr)
+        return 1
+    print(f"ok: no creep over the last "
+          f"{min(args.window, len(rows))} record(s) of {args.history}")
     return 0
 
 

@@ -39,15 +39,17 @@ from repro.obs.metrics import (
 )
 from repro.obs.profile import ProfileLog
 from repro.obs.report import SCHEMA, RunReport
+from repro.obs.resources import ResourceLog
 from repro.obs.span import Span, Tracer, new_span_id, new_trace_id
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "HealthLog", "HealthSnapshot", "ProfileLog",
+    "HealthLog", "HealthSnapshot", "ProfileLog", "ResourceLog",
     "RunReport", "SCHEMA", "Span", "Tracer", "Observer",
     "capture", "count", "current", "disable", "enable", "enabled",
     "gauge", "health", "health_enabled", "new_span_id", "new_trace_id",
-    "observe", "profiling", "span", "trace_id",
+    "observe", "profiling", "resource_record", "resources_enabled",
+    "span", "trace_id",
 ]
 
 
@@ -68,14 +70,19 @@ class Observer:
 
     def __init__(self, trace_id: Optional[str] = None,
                  profile: bool = False,
-                 collect_health: bool = True):
+                 collect_health: bool = True,
+                 collect_resources: bool = True):
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
         self.health = HealthLog()
         self.trace_id = trace_id if trace_id else new_trace_id()
         self.profile = profile
         self.collect_health = collect_health
+        #: Per-stage resource deltas (peak RSS, GC, FDs): cheap enough
+        #: to collect by default; ``False`` keeps spans/metrics only.
+        self.collect_resources = collect_resources
         self.profiles = ProfileLog()
+        self.resources = ResourceLog()
 
     def report(self, **meta: Any) -> RunReport:
         """Freeze everything collected so far into a :class:`RunReport`.
@@ -194,6 +201,17 @@ def profiling() -> bool:
 def health_enabled() -> bool:
     """True when the enabled observer collects health snapshots."""
     return bool(_observers) and _observers[-1].collect_health
+
+
+def resources_enabled() -> bool:
+    """True when the enabled observer collects per-stage resources."""
+    return bool(_observers) and _observers[-1].collect_resources
+
+
+def resource_record(stage: str, values: Any) -> None:
+    """File one stage's resource record; no-op while disabled."""
+    if _observers and _observers[-1].collect_resources:
+        _observers[-1].resources.record(stage, values)
 
 
 def health(name: str, snapshot: HealthSnapshot) -> None:

@@ -34,6 +34,7 @@ understanding where a fleet spent its time, not for auditing clocks.
 
 from __future__ import annotations
 
+import shutil
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ObsError
@@ -287,15 +288,23 @@ def render_trace(trace: AssembledTrace) -> str:
     return "\n".join(lines)
 
 
-def render_timeline(trace: AssembledTrace, width: int = 64) -> str:
+def render_timeline(trace: AssembledTrace,
+                    width: Optional[int] = None) -> str:
     """A text Gantt of the trace's jobs (the ``obs timeline`` output).
 
     One bar per direct child of the root (one per job for batch
-    manifests), scaled to the full trace duration.
+    manifests), scaled to the full trace duration.  With ``width=None``
+    the bars fit the terminal (``COLUMNS``/ioctl via
+    :func:`shutil.get_terminal_size`), never narrower than 40 columns;
+    an explicit width is honoured verbatim.
     """
     t0 = trace.start_unix
     total = max(trace.end_unix - t0, 1e-9)
     label_w = max([len(_bar_label(s)) for s in trace.root.children] + [8])
+    if width is None:
+        columns = shutil.get_terminal_size(fallback=(104, 24)).columns
+        # Per row: 2 indent + label + " |" + bar + "| " + "NNNNN.NNms".
+        width = max(40, columns - label_w - 17)
     lines = [
         f"trace {trace.trace_id}: {total * 1000.0:.1f}ms total, "
         f"{len(trace.root.children)} job(s), "

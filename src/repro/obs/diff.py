@@ -45,6 +45,7 @@ HEALTH_DIRECTIONS: Dict[str, int] = {
     "pivot_min": +1,
     "fillin": -1,
     "ledger_trace_pct": -1,
+    "series_pct": -1,
 }
 
 #: Absolute bounds for health keys whose *value* is the contract, not
@@ -52,9 +53,12 @@ HEALTH_DIRECTIONS: Dict[str, int] = {
 #: past the bound fails, under it passes however noisy the relative
 #: move was (a 1% -> 3% jump is a 200% "regression" of pure jitter).
 #: ``ledger_trace_pct`` is the benchmarked observability tax — spans +
-#: run ledger, profile off — bounded at 5% of plain wall time.
+#: run ledger, profile off — bounded at 5% of plain wall time;
+#: ``series_pct`` is the background metrics sampler alone, bounded
+#: at 2%.
 HEALTH_ABS_FLOORS: Dict[str, float] = {
     "ledger_trace_pct": 5.0,
+    "series_pct": 2.0,
 }
 
 #: Values this small (both sides) are noise, not signal — a residual

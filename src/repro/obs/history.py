@@ -1,0 +1,301 @@
+"""Bench history and trend gates: catching creep the per-run gate misses.
+
+``obs check`` compares one candidate run against one baseline, so a
+regression must be large *in a single step* to fail it.  Performance
+rarely dies that way — it dies by a thousand +10% cuts, each ducking
+under the threshold.  This module keeps the longitudinal record that
+makes the slow bleed visible:
+
+* :func:`record_from_report` flattens a ``repro.obs`` run report into
+  one history row (git sha, code version, per-stage wall/cpu/count,
+  peak RSS) and :func:`append_record` appends it to
+  ``BENCH_history.jsonl`` (schema ``repro.obs-bench/v1``, one JSON
+  object per line — same torn-tail read semantics as the run ledger);
+* :func:`detect_creep` fits a least-squares line through each stage's
+  wall time over the last ``window`` rows and flags stages whose fitted
+  drift is large (relative to the fitted base), positive, and well
+  above the fit's own residual noise — so three consecutive +30% steps
+  fail the trend gate even though each individually passes a 50%
+  per-run ``obs check``.
+
+CLI front-ends: ``python -m repro obs bench record | trend | check``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro._version import __version__
+from repro.errors import ObsError
+from repro.obs.diff import aggregate_spans
+from repro.obs.events import parse_events
+from repro.obs.report import RunReport
+
+SCHEMA = "repro.obs-bench/v1"
+
+#: File name used when a history target is given as a directory.
+HISTORY_FILENAME = "BENCH_history.jsonl"
+
+#: Rows the trend fit looks back over by default.
+DEFAULT_WINDOW = 8
+
+#: Fitted drift across the window (relative to the fitted base) above
+#: which a stage is creeping.  Deliberately *below* the per-run gate's
+#: threshold: the whole point is to catch what single steps hide.
+DEFAULT_MAX_DRIFT = 0.35
+
+#: Stages whose wall time never reaches this are timer noise, not signal.
+DEFAULT_MIN_WALL_S = 0.005
+
+#: The drift must exceed this many residual standard deviations, so a
+#: noisy-but-flat series cannot alarm on jitter alone.
+NOISE_SIGMA = 2.0
+
+
+def history_path(path: Union[str, Path]) -> Path:
+    """Resolve a history target: a directory means
+    ``DIR/BENCH_history.jsonl``."""
+    path = Path(path)
+    if path.is_dir() or not path.suffix:
+        return path / HISTORY_FILENAME
+    return path
+
+
+def current_git_sha() -> Optional[str]:
+    """The working tree's short commit sha, or ``None`` outside git."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10.0,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+# ----------------------------------------------------------------------
+# Recording
+# ----------------------------------------------------------------------
+
+def record_from_report(report: RunReport,
+                       git_sha: Optional[str] = None,
+                       note: Optional[str] = None) -> Dict[str, Any]:
+    """One history row from a saved run report.
+
+    Span aggregation matches ``obs diff`` (per-name totals over the
+    forest), so the trend gate and the per-run gate argue about the
+    same numbers.
+    """
+    stages = {
+        name: {
+            "count": agg.count,
+            "wall_s": round(agg.wall_s, 6),
+            "cpu_s": round(agg.cpu_s, 6),
+        }
+        for name, agg in aggregate_spans(report).items()
+    }
+    if not stages:
+        raise ObsError("report has no spans; nothing to record")
+    row: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "recorded_unix": round(time.time(), 3),
+        "git_sha": git_sha if git_sha is not None else current_git_sha(),
+        "code_version": __version__,
+        "experiment": report.meta.get("experiment"),
+        "stages": stages,
+    }
+    peak = report.peak_rss_kb()
+    if peak is not None:
+        row["peak_rss_kb"] = peak
+    overhead = report.health_entries("obs.overhead")
+    if overhead:
+        row["overhead"] = dict(overhead[-1].get("values", {}))
+    if note:
+        row["note"] = note
+    return row
+
+
+def append_record(path: Union[str, Path],
+                  row: Dict[str, Any]) -> Path:
+    """Append one row to the history file, creating it if needed."""
+    path = history_path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(row, separators=(",", ":"), default=str) + "\n"
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(line)
+    return path
+
+
+def load_history(path: Union[str, Path]
+                 ) -> Tuple[List[Dict[str, Any]], bool]:
+    """Read a history file; returns ``(rows, truncated)``.
+
+    A missing file reads as empty (no history yet is a valid state for
+    ``record`` to start from); ledger torn-tail semantics otherwise.
+    Rows carrying a foreign schema raise: a history file is not a place
+    other JSONL streams may be concatenated into.
+    """
+    path = history_path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return [], False
+    rows, truncated = parse_events(text, source=str(path))
+    for i, row in enumerate(rows):
+        if row.get("schema") != SCHEMA:
+            raise ObsError(
+                f"{path}: row {i + 1} has schema "
+                f"{row.get('schema')!r}, expected {SCHEMA!r}"
+            )
+    return rows, truncated
+
+
+# ----------------------------------------------------------------------
+# Trend fitting
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StageTrend:
+    """The fitted trajectory of one stage over the window."""
+
+    stage: str
+    n: int                    # rows the stage appeared in
+    wall_s: Tuple[float, ...]  # oldest -> newest
+    slope_s: float            # fitted seconds per run
+    base_s: float             # fitted value at the window start
+    resid_s: float            # residual standard deviation of the fit
+
+    @property
+    def drift_s(self) -> float:
+        """Fitted wall-time change across the whole window."""
+        return self.slope_s * (self.n - 1)
+
+    @property
+    def drift_rel(self) -> Optional[float]:
+        """Drift as a fraction of the fitted base (None: no base)."""
+        if self.base_s <= 0.0:
+            return None
+        return self.drift_s / self.base_s
+
+    def is_creeping(self, max_drift: float = DEFAULT_MAX_DRIFT,
+                    min_wall_s: float = DEFAULT_MIN_WALL_S,
+                    noise_sigma: float = NOISE_SIGMA) -> bool:
+        """Positive, large and above the fit's own noise floor."""
+        rel = self.drift_rel
+        return (self.n >= 3
+                and max(self.wall_s) >= min_wall_s
+                and self.drift_s > 0.0
+                and rel is not None and rel > max_drift
+                and self.drift_s > noise_sigma * self.resid_s)
+
+    def describe(self) -> str:
+        rel = self.drift_rel
+        pct = f"{100.0 * rel:+.0f}%" if rel is not None else "--"
+        return (f"{self.stage}: {self.wall_s[0] * 1e3:.2f}ms -> "
+                f"{self.wall_s[-1] * 1e3:.2f}ms over {self.n} runs "
+                f"(fitted drift {pct}, "
+                f"{self.slope_s * 1e3:+.3f}ms/run, "
+                f"noise {self.resid_s * 1e3:.3f}ms)")
+
+
+def _fit_line(ys: List[float]) -> Tuple[float, float, float]:
+    """Least squares over ``x = 0..n-1``: ``(slope, intercept, resid)``.
+
+    ``resid`` is the residual standard deviation (0 for n <= 2, where
+    the line is exact).
+    """
+    n = len(ys)
+    if n < 2:
+        return 0.0, (ys[0] if ys else 0.0), 0.0
+    mean_x = (n - 1) / 2.0
+    mean_y = sum(ys) / n
+    sxx = sum((i - mean_x) ** 2 for i in range(n))
+    sxy = sum((i - mean_x) * (y - mean_y) for i, y in enumerate(ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    if n <= 2:
+        return slope, intercept, 0.0
+    sse = sum((y - (intercept + slope * i)) ** 2
+              for i, y in enumerate(ys))
+    return slope, intercept, math.sqrt(sse / (n - 2))
+
+
+def stage_trends(rows: List[Dict[str, Any]],
+                 window: int = DEFAULT_WINDOW) -> List[StageTrend]:
+    """Per-stage fitted trends over the last ``window`` rows.
+
+    Stages are reported in first-appearance order; a stage needs at
+    least two appearances in the window to have a trajectory at all.
+    """
+    if window < 2:
+        raise ObsError(f"window must be >= 2, got {window}")
+    recent = rows[-window:]
+    names: List[str] = []
+    for row in recent:
+        for name in row.get("stages", {}):
+            if name not in names:
+                names.append(name)
+    trends: List[StageTrend] = []
+    for name in names:
+        ys = [float(row["stages"][name]["wall_s"]) for row in recent
+              if name in row.get("stages", {})]
+        if len(ys) < 2:
+            continue
+        slope, intercept, resid = _fit_line(ys)
+        trends.append(StageTrend(
+            stage=name, n=len(ys), wall_s=tuple(ys),
+            slope_s=slope, base_s=max(intercept, 0.0), resid_s=resid,
+        ))
+    return trends
+
+
+def detect_creep(rows: List[Dict[str, Any]],
+                 window: int = DEFAULT_WINDOW,
+                 max_drift: float = DEFAULT_MAX_DRIFT,
+                 min_wall_s: float = DEFAULT_MIN_WALL_S,
+                 noise_sigma: float = NOISE_SIGMA) -> List[StageTrend]:
+    """The stages creeping upward over the window (the ``check`` gate)."""
+    return [trend for trend in stage_trends(rows, window=window)
+            if trend.is_creeping(max_drift=max_drift,
+                                 min_wall_s=min_wall_s,
+                                 noise_sigma=noise_sigma)]
+
+
+def render_trend(rows: List[Dict[str, Any]],
+                 window: int = DEFAULT_WINDOW,
+                 max_drift: float = DEFAULT_MAX_DRIFT,
+                 min_wall_s: float = DEFAULT_MIN_WALL_S) -> str:
+    """The ``obs bench trend`` table: one row per stage."""
+    if not rows:
+        return "bench history: empty (run 'obs bench record' first)"
+    trends = stage_trends(rows, window=window)
+    lines = [
+        f"bench history: {len(rows)} record(s), trend over last "
+        f"{min(window, len(rows))}"
+    ]
+    header = (f"  {'stage':<26s} {'n':>3s} {'first':>9s} {'last':>9s} "
+              f"{'ms/run':>9s} {'drift':>7s}  verdict")
+    lines.append(header)
+    for trend in trends:
+        rel = trend.drift_rel
+        pct = f"{100.0 * rel:+.0f}%" if rel is not None else "--"
+        verdict = ("CREEP" if trend.is_creeping(max_drift=max_drift,
+                                                min_wall_s=min_wall_s)
+                   else "ok")
+        lines.append(
+            f"  {trend.stage:<26s} {trend.n:>3d} "
+            f"{trend.wall_s[0] * 1e3:>7.2f}ms "
+            f"{trend.wall_s[-1] * 1e3:>7.2f}ms "
+            f"{trend.slope_s * 1e3:>+9.3f} {pct:>7s}  {verdict}"
+        )
+    latest = rows[-1]
+    sha = latest.get("git_sha") or "?"
+    lines.append(f"  latest: {sha} (v{latest.get('code_version', '?')})")
+    return "\n".join(lines)

@@ -1,11 +1,12 @@
-"""Machine-readable run reports: spans + metrics + health + profile.
+"""Machine-readable run reports: spans + metrics + health + profile +
+resources.
 
-The same schema (``repro.obs/v1.2``) is written by the CLI's ``--report``
+The same schema (``repro.obs/v1.3``) is written by the CLI's ``--report``
 flag and by the benchmark harness, so the ``BENCH_*.json`` trajectory and
 ad-hoc runs can be diffed with the same tooling (``python -m repro obs
 diff``).  Loading accepts ``repro.obs/v1`` (no ``health`` section),
-``v1.1`` (no ``profile`` section) and ``v1.2``; anything else raises
-:class:`~repro.errors.ObsError`.
+``v1.1`` (no ``profile`` section), ``v1.2`` (no ``resources`` section)
+and ``v1.3``; anything else raises :class:`~repro.errors.ObsError`.
 """
 
 from __future__ import annotations
@@ -16,25 +17,29 @@ from typing import Any, Dict, List, Optional, Set, Union
 
 from repro.errors import ObsError
 
-SCHEMA = "repro.obs/v1.2"
+SCHEMA = "repro.obs/v1.3"
 
 #: Schema versions :meth:`RunReport.load` accepts.
-ACCEPTED_SCHEMAS = ("repro.obs/v1", "repro.obs/v1.1", "repro.obs/v1.2")
+ACCEPTED_SCHEMAS = ("repro.obs/v1", "repro.obs/v1.1", "repro.obs/v1.2",
+                    "repro.obs/v1.3")
 
 
 class RunReport:
     """A frozen observation: metadata, span forest, metrics, health,
-    and (under ``--profile``) per-stage hotspot tables."""
+    per-stage resource records, and (under ``--profile``) per-stage
+    hotspot tables."""
 
     def __init__(self, meta: Dict[str, Any], spans: List[Dict[str, Any]],
                  metrics: Dict[str, Any],
                  health: Optional[List[Dict[str, Any]]] = None,
-                 profile: Optional[Dict[str, List[Dict[str, Any]]]] = None):
+                 profile: Optional[Dict[str, List[Dict[str, Any]]]] = None,
+                 resources: Optional[List[Dict[str, Any]]] = None):
         self.meta = meta
         self.spans = spans
         self.metrics = metrics
         self.health = list(health or [])
         self.profile = dict(profile or {})
+        self.resources = list(resources or [])
 
     # ------------------------------------------------------------------
     # Construction
@@ -48,6 +53,7 @@ class RunReport:
             metrics=observer.metrics.to_dict(),
             health=observer.health.to_list(),
             profile=observer.profiles.to_dict(),
+            resources=observer.resources.to_list(),
         )
 
     @classmethod
@@ -70,7 +76,8 @@ class RunReport:
         return cls(meta=data.get("meta", {}), spans=data.get("spans", []),
                    metrics=data.get("metrics", {}),
                    health=data.get("health", []),
-                   profile=data.get("profile", {}))
+                   profile=data.get("profile", {}),
+                   resources=data.get("resources", []))
 
     @classmethod
     def from_json(cls, text: str) -> "RunReport":
@@ -95,6 +102,7 @@ class RunReport:
             "metrics": self.metrics,
             "health": self.health,
             "profile": self.profile,
+            "resources": self.resources,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -159,6 +167,19 @@ class RunReport:
                 seen.append(name)
         return seen
 
+    def resource_entries(self, stage: Optional[str] = None
+                         ) -> List[Dict[str, Any]]:
+        """Per-stage resource records, optionally filtered by stage."""
+        if stage is None:
+            return list(self.resources)
+        return [e for e in self.resources if e.get("stage") == stage]
+
+    def peak_rss_kb(self) -> Optional[int]:
+        """The run's high-water RSS across all resource records."""
+        peaks = [int(e["values"]["peak_rss_kb"]) for e in self.resources
+                 if "peak_rss_kb" in e.get("values", {})]
+        return max(peaks) if peaks else None
+
     # ------------------------------------------------------------------
     # Rendering (the CLI's --trace output)
     # ------------------------------------------------------------------
@@ -203,6 +224,12 @@ class RunReport:
         from repro.obs.profile import render_profile
 
         return render_profile(self.profile, top_n=top_n)
+
+    def render_resources(self) -> str:
+        """The per-stage resource table (``obs render`` on v1.3 runs)."""
+        from repro.obs.resources import render_resources
+
+        return render_resources(self.resources)
 
     def render_health_table(self) -> str:
         """The numerical-health table (the CLI's ``--health`` output).

@@ -1,0 +1,255 @@
+"""Metrics time-series: a background sampler and its ring-buffer file.
+
+The run ledger (:mod:`repro.obs.events`) records *events* — discrete
+lifecycle moments.  This module records *levels*: a background thread
+samples the process every ``interval_s`` and appends one JSON line to a
+``series.jsonl`` ring buffer, so a running batch exposes its resident
+set, CPU utilisation, cache hit-rate, queue depth and throughput as a
+time-series that ``obs top`` (and any plotting tool) can tail.
+
+Schema ``repro.obs-series/v1``: one JSON object per line::
+
+    {"ts": 1786161332.5, "pid": 4303, "rss_kb": 81408, "cpu_pct": 187.3,
+     "queue_depth": 7, "decks_sec": 1.42, "cache_hit_rate": 0.66}
+
+``rss_kb``/``cpu_pct`` come from the sampler itself (``cpu_pct`` is the
+process-CPU delta over the wall delta since the previous sample — above
+100 means more than one busy core across the pool's fork origin);
+everything else comes from the caller's *provider* callback, so the
+batch runner decides what fleet-level gauges ride along.
+
+**Ring buffer.**  The file is append-only JSONL like the ledger, but
+bounded: once ``max_records`` lines are on disk the writer compacts to
+the newest half (atomic tmp-file + rename), so a day-long soak cannot
+grow the file without bound.  Unlike the ledger there is exactly one
+writer — the sampler thread — so compaction cannot race another
+appender.  Readers get the ledger's torn-tail semantics via
+:func:`read_series`: a torn *final* line is truncation (the sampler was
+mid-write), interior garbage is corruption and raises
+:class:`~repro.errors.ObsError`.
+
+Sampler writes are telemetry, not truth: any ``OSError`` on the way out
+is swallowed, and :meth:`SeriesSampler.stop` always joins the thread.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.obs.events import parse_events
+from repro.obs.resources import current_rss_kb
+
+SCHEMA = "repro.obs-series/v1"
+
+#: File name used when a series target is given as a directory.
+SERIES_FILENAME = "series.jsonl"
+
+#: Default sampling cadence.  Fast enough that a few-second batch still
+#: leaves a usable trace, slow enough to stay far under the 2% budget.
+DEFAULT_INTERVAL_S = 0.25
+
+#: Lines on disk before the writer compacts to the newest half.
+DEFAULT_MAX_RECORDS = 4096
+
+
+def _process_tree_cpu_s() -> float:
+    """CPU seconds of this process *and its reaped children*.
+
+    ``os.times`` folds a pool worker's CPU in once the coordinator waits
+    on it, so a batch's ``cpu_pct`` reflects the fleet — with steps as
+    worker generations retire — rather than the mostly-idle coordinator.
+    """
+    t = os.times()
+    return t.user + t.system + t.children_user + t.children_system
+
+
+def series_path(path: Union[str, Path]) -> Path:
+    """Resolve a series target: a directory means ``DIR/series.jsonl``."""
+    path = Path(path)
+    if path.is_dir() or not path.suffix:
+        return path / SERIES_FILENAME
+    return path
+
+
+class SeriesWriter:
+    """Bounded append-only JSONL: the series file's ring-buffer layer."""
+
+    def __init__(self, path: Union[str, Path],
+                 max_records: int = DEFAULT_MAX_RECORDS):
+        if max_records < 2:
+            raise ValueError(f"max_records must be >= 2, got {max_records}")
+        self.path = series_path(path)
+        self.max_records = max_records
+        self._count: Optional[int] = None  # lines on disk, lazy-counted
+
+    def _disk_count(self) -> int:
+        if self._count is None:
+            try:
+                with open(self.path, "rb") as fh:
+                    self._count = sum(1 for _ in fh)
+            except OSError:
+                self._count = 0
+        return self._count
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one sample, compacting once the ring is full."""
+        line = json.dumps(record, separators=(",", ":"), default=str) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self._disk_count() >= self.max_records:
+            self._compact()
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+        self._count = self._disk_count() + 1
+
+    def _compact(self) -> None:
+        """Keep the newest half of the ring (atomic replace)."""
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines(True)
+        except OSError:
+            self._count = 0
+            return
+        keep = lines[-(self.max_records // 2):]
+        tmp = self.path.with_suffix(".jsonl.tmp")
+        tmp.write_text("".join(keep), encoding="utf-8")
+        os.replace(tmp, self.path)
+        self._count = len(keep)
+
+
+class SeriesSampler:
+    """A daemon thread appending one sample per interval.
+
+    ``provider`` is called once per sample (from the sampler thread) and
+    its dict is merged into the record; it must be cheap and must not
+    raise — a provider exception kills only that sample, not the thread.
+    Use as a context manager, or ``start()``/``stop()`` explicitly::
+
+        with SeriesSampler(out_dir, provider=fleet_gauges):
+            run_the_batch()
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 interval_s: float = DEFAULT_INTERVAL_S,
+                 provider: Optional[Callable[[], Dict[str, Any]]] = None,
+                 max_records: int = DEFAULT_MAX_RECORDS):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self.writer = SeriesWriter(path, max_records=max_records)
+        self.interval_s = interval_s
+        self.provider = provider
+        self.samples_taken = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._last_wall = time.perf_counter()
+        self._last_cpu = _process_tree_cpu_s()
+
+    @property
+    def path(self) -> Path:
+        return self.writer.path
+
+    # ------------------------------------------------------------------
+    def sample_once(self) -> Dict[str, Any]:
+        """Take and append one sample (also usable without the thread)."""
+        now_wall = time.perf_counter()
+        now_cpu = _process_tree_cpu_s()
+        dt = now_wall - self._last_wall
+        cpu_pct = (100.0 * (now_cpu - self._last_cpu) / dt
+                   if dt > 0 else 0.0)
+        self._last_wall, self._last_cpu = now_wall, now_cpu
+        record: Dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "pid": os.getpid(),
+            "rss_kb": current_rss_kb(),
+            "cpu_pct": round(cpu_pct, 2),
+        }
+        if self.provider is not None:
+            try:
+                extra = self.provider()
+            except Exception:
+                extra = None
+            if extra:
+                record.update(extra)
+        try:
+            self.writer.append(record)
+        except OSError:
+            pass
+        self.samples_taken += 1
+        return record
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sample_once()
+
+    # ------------------------------------------------------------------
+    def start(self) -> "SeriesSampler":
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="obs-series-sampler", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self, final_sample: bool = True) -> None:
+        """Stop the thread (always joins); take one closing sample."""
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._stop.set()
+            thread.join(timeout=5.0)
+        if final_sample:
+            self.sample_once()
+
+    def __enter__(self) -> "SeriesSampler":
+        return self.start()
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        self.stop()
+        return False
+
+
+# ----------------------------------------------------------------------
+# Reading
+# ----------------------------------------------------------------------
+
+def read_series(path: Union[str, Path]
+                ) -> Tuple[List[Dict[str, Any]], bool]:
+    """Read a series file; returns ``(samples, truncated)``.
+
+    Missing file reads as empty (a batch without ``--series`` simply has
+    no samples); torn-tail semantics match the ledger's.
+    """
+    path = series_path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return [], False
+    return parse_events(text, source=str(path))
+
+
+def latest_sample(path: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    """The newest complete sample on disk, or ``None``."""
+    samples, _ = read_series(path)
+    return samples[-1] if samples else None
+
+
+def render_sample(record: Dict[str, Any]) -> str:
+    """One human-readable series line."""
+    ts = record.get("ts")
+    if isinstance(ts, (int, float)):
+        clock = time.strftime("%H:%M:%S", time.localtime(ts))
+    else:
+        clock = "--:--:--"
+    parts = [f"{clock}"]
+    if "rss_kb" in record:
+        parts.append(f"rss={record['rss_kb'] / 1024.0:.1f}MB")
+    if "cpu_pct" in record:
+        parts.append(f"cpu={record['cpu_pct']:.0f}%")
+    for key in ("queue_depth", "decks_sec", "cache_hit_rate"):
+        if key in record and record[key] is not None:
+            value = record[key]
+            parts.append(f"{key}={value:.2f}"
+                         if isinstance(value, float) else f"{key}={value}")
+    return " ".join(parts)

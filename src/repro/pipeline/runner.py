@@ -13,8 +13,12 @@ named ``<pipeline>.<stage>`` carrying the stage's declared attributes
 is uniform across programs instead of hand-rolled per driver.  When the
 enabled observer asks for profiling, the stage body additionally runs
 under :class:`cProfile.Profile` and its hotspot table is filed on the
-observer; when a run ledger is enabled (:mod:`repro.obs.events`), each
-stage emits ``stage_open``/``stage_close`` lifecycle events.  Unexpected
+observer; when it collects resources (the default), a cheap
+before/after :mod:`repro.obs.resources` sample brackets the body and
+the delta (peak RSS, GC collections, FDs) rides on the span attrs and
+the report's ``resources`` section; when a run ledger is enabled
+(:mod:`repro.obs.events`), each stage emits
+``stage_open``/``stage_close`` lifecycle events.  Unexpected
 exceptions are wrapped into :class:`~repro.errors.StageError` naming the
 pipeline and stage; :class:`~repro.errors.ReproError` subclasses pass
 through untouched so callers keep catching the domain types they always
@@ -36,7 +40,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro import obs
 from repro.errors import PipelineError, ReproError, StageError
-from repro.obs import events
+from repro.obs import events, resources
 from repro.obs.profile import hotspot_table
 from repro.pipeline.cache import StageCache, chain_key, chain_root
 from repro.pipeline.context import Context
@@ -164,8 +168,14 @@ class Pipeline:
             obs.count("pipeline.stage_hits" if status == "hit"
                       else "pipeline.stage_misses")
         events.emit("stage_open", stage=qualified, cache=status)
+        # Resource telemetry: a before/after pair brackets the stage
+        # body (cache restores included -- unpickling allocates too);
+        # the delta lands on the span attrs and the observer's
+        # ResourceLog, becoming the report's ``resources`` section.
+        res_before = (resources.sample()
+                      if obs.resources_enabled() else None)
         start = perf_counter()
-        with obs.span(qualified, **attrs):
+        with obs.span(qualified, **attrs) as span_handle:
             if cached is not None:
                 outputs = cached
             else:
@@ -206,6 +216,14 @@ class Pipeline:
                     )
                 if key is not None:
                     cache.store(key, outputs)  # type: ignore[union-attr]
+            if res_before is not None:
+                res_record = resources.stage_delta(res_before)
+                obs.resource_record(qualified, res_record)
+                if span_handle is not None:
+                    span_handle.set_attr("peak_rss_kb",
+                                         res_record["peak_rss_kb"])
+                    span_handle.set_attr("rss_delta_kb",
+                                         res_record["rss_delta_kb"])
         record = StageRecord(stage=qualified, cache=status,
                              wall_s=perf_counter() - start, key=key)
         events.emit("stage_close", stage=qualified, cache=status,

@@ -89,6 +89,65 @@ class TestBatchRunCli:
         names = {s["name"] for s in data["spans"]}
         assert "batch.run" in names
 
+    def test_series_flag_samples_next_to_ledger(self, deck_dir,
+                                                tmp_path):
+        from repro.obs.series import read_series
+
+        ledger_dir = tmp_path / "led"
+        code = main(["batch", "run", str(deck_dir / "*.deck"),
+                     "-o", str(tmp_path / "out"), "--jobs", "2",
+                     "--ledger", str(ledger_dir), "--series", "-q"])
+        assert code == 0
+        samples, truncated = read_series(ledger_dir / "series.jsonl")
+        assert not truncated
+        assert samples, "stop() always takes a closing sample"
+        final = samples[-1]
+        assert final["rss_kb"] > 0
+        assert "cpu_pct" in final
+        assert final["queue_depth"] == 0
+        assert final["decks_sec"] > 0
+        assert final["cache_hit_rate"] == 0.0
+
+    def test_series_without_ledger_lands_in_out_root(self, deck_dir,
+                                                     tmp_path):
+        from repro.obs.series import read_series
+
+        out = tmp_path / "out"
+        code = main(["batch", "run", str(deck_dir / "alpha.deck"),
+                     "-o", str(out), "--series", "-q"])
+        assert code == 0
+        samples, _ = read_series(out / "series.jsonl")
+        assert samples
+
+    def test_ledger_events_carry_attempt_numbers(self, deck_dir,
+                                                 tmp_path):
+        from repro.obs.events import read_events
+
+        (deck_dir / "bad.deck").write_text("    1\nTRUNCATED\n")
+        ledger_dir = tmp_path / "led"
+        main(["batch", "run", str(deck_dir / "*.deck"),
+              "-o", str(tmp_path / "out"), "--retries", "2",
+              "--backoff", "0", "--ledger", str(ledger_dir), "-q"])
+        records, truncated = read_events(ledger_dir)
+        assert not truncated
+        run_started = next(r for r in records
+                           if r["event"] == "run_started")
+        assert run_started["retries"] == 2
+        bad_starts = [r["attempt"] for r in records
+                      if r["event"] == "job_started"
+                      and r.get("job_id") == "bad"]
+        assert bad_starts == [1, 2, 3]
+        bad_attempts = [(r["attempt"], r["status"]) for r in records
+                        if r["event"] == "job_attempt_finished"
+                        and r.get("job_id") == "bad"]
+        assert bad_attempts == [(1, "failed"), (2, "failed"),
+                                (3, "failed")]
+        # Healthy jobs ran once, as attempt 1.
+        alpha_starts = [r["attempt"] for r in records
+                        if r["event"] == "job_started"
+                        and r.get("job_id") == "alpha"]
+        assert alpha_starts == [1]
+
 
 class TestBatchStatusCli:
     def test_status_renders_table(self, deck_dir, tmp_path, capsys):

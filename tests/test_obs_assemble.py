@@ -119,6 +119,32 @@ class TestBatchAssembly:
         assert "plate" in timeline and "field" in timeline
         assert "#" in timeline
 
+    def test_timeline_fits_narrow_terminal(self, fleet, monkeypatch):
+        manifest, _ = fleet
+        monkeypatch.setenv("COLUMNS", "70")
+        monkeypatch.setenv("LINES", "24")
+        narrow = render_timeline(assemble_batch_trace(manifest))
+        wide_width = max(len(line) for line in narrow.splitlines())
+        monkeypatch.setenv("COLUMNS", "200")
+        wide = render_timeline(assemble_batch_trace(manifest))
+        assert max(len(line) for line in wide.splitlines()) > wide_width
+        # The floor: bars never collapse below 40 columns however
+        # narrow the terminal claims to be.
+        monkeypatch.setenv("COLUMNS", "20")
+        floored = render_timeline(assemble_batch_trace(manifest))
+        bar_line = next(line for line in floored.splitlines()
+                        if "|" in line)
+        bar = bar_line.split("|")[1]
+        assert len(bar) == 40
+
+    def test_timeline_explicit_width_honoured(self, fleet):
+        manifest, _ = fleet
+        timeline = render_timeline(assemble_batch_trace(manifest),
+                                   width=50)
+        bar_line = next(line for line in timeline.splitlines()
+                        if "|" in line)
+        assert len(bar_line.split("|")[1]) == 50
+
     def test_legacy_manifest_without_trace_context_rejected(self, fleet):
         manifest, _ = fleet
         meta = dict(manifest.meta)

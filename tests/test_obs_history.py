@@ -1,0 +1,191 @@
+"""Bench history rows and the trend gate that catches slow creep."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.diff import diff_reports, find_regressions
+from repro.obs.history import (
+    SCHEMA,
+    append_record,
+    detect_creep,
+    history_path,
+    load_history,
+    record_from_report,
+    render_trend,
+    stage_trends,
+)
+from repro.obs.report import RunReport
+
+
+def _report(wall_s: float, name: str = "idlz.reform") -> RunReport:
+    return RunReport(
+        meta={"experiment": "idlz_stages"},
+        spans=[{"name": name, "wall_s": wall_s, "cpu_s": wall_s / 2,
+                "attrs": {}, "children": []}],
+        metrics={"counters": {}, "gauges": {}},
+    )
+
+
+def _row(wall_s: float, stage: str = "idlz.reform") -> dict:
+    return {"schema": SCHEMA,
+            "stages": {stage: {"count": 1, "wall_s": wall_s,
+                               "cpu_s": wall_s / 2}}}
+
+
+class TestRecord:
+    def test_record_from_report(self):
+        row = record_from_report(_report(0.25), git_sha="abc1234",
+                                 note="seed")
+        assert row["schema"] == SCHEMA
+        assert row["git_sha"] == "abc1234"
+        assert row["note"] == "seed"
+        assert row["experiment"] == "idlz_stages"
+        assert row["stages"]["idlz.reform"]["wall_s"] == 0.25
+        assert row["stages"]["idlz.reform"]["count"] == 1
+
+    def test_spanless_report_rejected(self):
+        empty = RunReport(meta={}, spans=[],
+                          metrics={"counters": {}, "gauges": {}})
+        with pytest.raises(ObsError, match="no spans"):
+            record_from_report(empty)
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = append_record(tmp_path,
+                             record_from_report(_report(0.1), "sha1"))
+        append_record(path, record_from_report(_report(0.2), "sha2"))
+        assert path == tmp_path / "BENCH_history.jsonl"
+        rows, truncated = load_history(path)
+        assert not truncated
+        assert [r["git_sha"] for r in rows] == ["sha1", "sha2"]
+
+    def test_missing_history_reads_empty(self, tmp_path):
+        rows, truncated = load_history(tmp_path / "none.jsonl")
+        assert rows == [] and not truncated
+
+    def test_foreign_schema_rejected(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text(json.dumps({"schema": "repro.obs-events/v1"})
+                        + "\n")
+        with pytest.raises(ObsError, match="schema"):
+            load_history(path)
+
+    def test_history_path_directory_default(self, tmp_path):
+        assert history_path(tmp_path) == tmp_path / "BENCH_history.jsonl"
+
+
+class TestTrendGate:
+    def test_monotonic_creep_caught_where_per_run_gate_misses(self):
+        """The tentpole acceptance case: three runs at 100 -> 130 ->
+        170ms.  Each step is under a 50% per-run ``obs check`` gate,
+        but the trend across the window is +70% and must fail."""
+        walls = [0.100, 0.130, 0.170]
+        # Every adjacent pair passes the per-run 50% gate...
+        for a, b in zip(walls, walls[1:]):
+            problems = find_regressions(
+                diff_reports(_report(a), _report(b)),
+                max_regression=0.50,
+            )
+            assert problems == []
+        # ...but the trend gate fails the window.
+        creeping = detect_creep([_row(w) for w in walls])
+        assert len(creeping) == 1
+        trend = creeping[0]
+        assert trend.stage == "idlz.reform"
+        assert trend.drift_rel > 0.5
+        assert "idlz.reform" in trend.describe()
+
+    def test_flat_noisy_series_passes(self):
+        rows = [_row(w) for w in
+                (0.100, 0.104, 0.097, 0.102, 0.099, 0.103)]
+        assert detect_creep(rows) == []
+
+    def test_improvement_passes(self):
+        rows = [_row(w) for w in (0.170, 0.130, 0.100)]
+        assert detect_creep(rows) == []
+
+    def test_fast_stages_never_gate(self):
+        # 1ms -> 2ms is +100% but under the 5ms noise floor.
+        rows = [_row(w) for w in (0.001, 0.0015, 0.002)]
+        assert detect_creep(rows) == []
+
+    def test_single_spike_under_noise_floor_passes(self):
+        # One outlier in an otherwise flat series: the residual test
+        # keeps the fitted drift from alarming on it.
+        rows = [_row(w) for w in
+                (0.100, 0.101, 0.099, 0.160, 0.100, 0.101)]
+        assert detect_creep(rows) == []
+
+    def test_window_limits_lookback(self):
+        # Ancient creep followed by a long flat plateau: a window that
+        # only sees the plateau stays quiet.
+        rows = [_row(w) for w in (0.05, 0.10, 0.17)]
+        rows += [_row(0.17) for _ in range(8)]
+        assert detect_creep(rows, window=8) == []
+        assert detect_creep(rows, window=len(rows)) != []
+
+    def test_two_rows_have_no_trend(self):
+        assert detect_creep([_row(0.1), _row(0.2)]) == []
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ObsError, match="window"):
+            stage_trends([_row(0.1)], window=1)
+
+    def test_stage_absent_from_some_rows(self):
+        rows = [_row(0.1), _row(0.05, stage="other"), _row(0.13),
+                _row(0.17)]
+        trends = {t.stage: t for t in stage_trends(rows)}
+        assert trends["idlz.reform"].n == 3
+        assert trends["other"].n == 1 if "other" in trends else True
+
+    def test_render_trend(self):
+        rows = [_row(w) for w in (0.100, 0.130, 0.170)]
+        rendered = render_trend(rows)
+        assert "idlz.reform" in rendered
+        assert "CREEP" in rendered
+        assert render_trend([]).startswith("bench history: empty")
+
+
+class TestBenchCli:
+    def test_record_trend_check_flow(self, tmp_path, capsys):
+        from repro.cli import main
+
+        report_path = tmp_path / "r.json"
+        hist = tmp_path / "h.jsonl"
+        for wall in (0.100, 0.130, 0.170):
+            _report(wall).save(report_path)
+            assert main(["obs", "bench", "record", str(report_path),
+                         "--history", str(hist), "--sha", "dead"]) == 0
+        assert main(["obs", "bench", "trend",
+                     "--history", str(hist)]) == 0
+        out = capsys.readouterr().out
+        assert "idlz.reform" in out
+        assert main(["obs", "bench", "check",
+                     "--history", str(hist)]) == 1
+        err = capsys.readouterr().err
+        assert "creeping" in err
+        assert "idlz.reform" in err
+
+    def test_check_passes_short_history(self, tmp_path):
+        from repro.cli import main
+
+        report_path = tmp_path / "r.json"
+        _report(0.1).save(report_path)
+        hist = tmp_path / "h.jsonl"
+        assert main(["obs", "bench", "record", str(report_path),
+                     "--history", str(hist)]) == 0
+        assert main(["obs", "bench", "check",
+                     "--history", str(hist)]) == 0
+
+    def test_checked_in_history_is_loadable(self):
+        """The seeded repository history must always parse."""
+        from pathlib import Path
+
+        rows, truncated = load_history(
+            Path(__file__).parent.parent / "BENCH_history.jsonl")
+        assert rows and not truncated
+        assert all(r["schema"] == SCHEMA for r in rows)
+        assert "stages" in rows[-1]

@@ -137,12 +137,13 @@ class TestProfiledRun:
 
 
 class TestSchemaCompat:
-    def test_current_schema_is_v12(self):
-        assert SCHEMA == "repro.obs/v1.2"
+    def test_current_schema_is_v13(self):
+        assert SCHEMA == "repro.obs/v1.3"
         assert SCHEMA in ACCEPTED_SCHEMAS
 
-    def test_v1_and_v11_reports_still_load(self):
-        for legacy in ("repro.obs/v1", "repro.obs/v1.1"):
+    def test_v1_through_v12_reports_still_load(self):
+        for legacy in ("repro.obs/v1", "repro.obs/v1.1",
+                       "repro.obs/v1.2"):
             report = RunReport.from_dict({
                 "schema": legacy,
                 "meta": {"command": "idlz"},

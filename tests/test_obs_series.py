@@ -1,0 +1,156 @@
+"""The metrics time-series: sampler thread, ring buffer, torn reads."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.series import (
+    SCHEMA,
+    SeriesSampler,
+    SeriesWriter,
+    latest_sample,
+    read_series,
+    render_sample,
+    series_path,
+)
+
+assert SCHEMA == "repro.obs-series/v1"
+
+
+class TestSeriesPath:
+    def test_directory_gets_default_filename(self, tmp_path):
+        assert series_path(tmp_path) == tmp_path / "series.jsonl"
+
+    def test_explicit_file_kept(self, tmp_path):
+        target = tmp_path / "run.jsonl"
+        assert series_path(target) == target
+
+
+class TestSeriesWriter:
+    def test_append_read_round_trip(self, tmp_path):
+        writer = SeriesWriter(tmp_path / "s.jsonl")
+        writer.append({"ts": 1.0, "rss_kb": 100})
+        writer.append({"ts": 2.0, "rss_kb": 200})
+        samples, truncated = read_series(tmp_path / "s.jsonl")
+        assert not truncated
+        assert [s["rss_kb"] for s in samples] == [100, 200]
+
+    def test_ring_compacts_to_newest_half(self, tmp_path):
+        writer = SeriesWriter(tmp_path / "s.jsonl", max_records=10)
+        for i in range(25):
+            writer.append({"i": i})
+        samples, _ = read_series(tmp_path / "s.jsonl")
+        assert len(samples) <= 10
+        # The newest record always survives; the oldest never does.
+        assert samples[-1]["i"] == 24
+        assert samples[0]["i"] > 0
+        assert [s["i"] for s in samples] == sorted(s["i"] for s in samples)
+
+    def test_tiny_ring_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_records"):
+            SeriesWriter(tmp_path / "s.jsonl", max_records=1)
+
+
+class TestTornReads:
+    """The series file shares the ledger's torn-tail semantics."""
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        samples, truncated = read_series(tmp_path / "nope.jsonl")
+        assert samples == []
+        assert not truncated
+
+    def test_torn_final_line_is_truncation(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text(json.dumps({"ts": 1.0}) + "\n" + '{"ts": 2.')
+        samples, truncated = read_series(path)
+        assert truncated
+        assert len(samples) == 1
+
+    def test_interior_garbage_is_corruption(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"ts": 1.0}\nGARBAGE\n{"ts": 2.0}\n')
+        with pytest.raises(ObsError, match="corrupt"):
+            read_series(path)
+
+    def test_latest_sample(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        assert latest_sample(path) is None
+        SeriesWriter(path).append({"ts": 1.0, "rss_kb": 5})
+        assert latest_sample(path)["rss_kb"] == 5
+
+
+class TestSeriesSampler:
+    def test_thread_samples_while_work_runs(self, tmp_path):
+        """The core concurrency property: the sampler thread writes
+        while the 'pipeline' thread (here: the test) computes."""
+        sampler = SeriesSampler(tmp_path, interval_s=0.02,
+                                provider=lambda: {"queue_depth": 7})
+        with sampler:
+            deadline = time.monotonic() + 2.0
+            while (sampler.samples_taken < 3
+                   and time.monotonic() < deadline):
+                sum(i * i for i in range(1000))  # the "work"
+        assert sampler.samples_taken >= 3
+        samples, truncated = read_series(tmp_path)
+        assert not truncated
+        assert len(samples) >= 3
+        for sample in samples:
+            assert sample["queue_depth"] == 7
+            assert sample["rss_kb"] > 0
+            assert "cpu_pct" in sample
+
+    def test_stop_takes_final_sample_and_joins(self, tmp_path):
+        sampler = SeriesSampler(tmp_path, interval_s=30.0)
+        sampler.start()
+        sampler.stop()
+        assert sampler.samples_taken == 1  # closing sample only
+        assert threading.active_count() >= 1
+        samples, _ = read_series(tmp_path)
+        assert len(samples) == 1
+
+    def test_provider_exception_kills_only_that_sample(self, tmp_path):
+        def bad_provider():
+            raise RuntimeError("boom")
+
+        sampler = SeriesSampler(tmp_path, interval_s=30.0,
+                                provider=bad_provider)
+        record = sampler.sample_once()
+        assert "rss_kb" in record  # base fields survive the provider
+        samples, _ = read_series(tmp_path)
+        assert len(samples) == 1
+
+    def test_bad_interval_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="interval_s"):
+            SeriesSampler(tmp_path, interval_s=0.0)
+
+    def test_reader_tolerates_concurrent_writes(self, tmp_path):
+        """A reader polling mid-run sees only complete records."""
+        sampler = SeriesSampler(tmp_path, interval_s=0.005,
+                                max_records=20)
+        seen = []
+        with sampler:
+            deadline = time.monotonic() + 2.0
+            while (sampler.samples_taken < 30
+                   and time.monotonic() < deadline):
+                samples, _ = read_series(tmp_path)
+                seen.append(len(samples))
+                for sample in samples:
+                    assert isinstance(sample, dict)
+                    assert "ts" in sample
+        assert max(seen) > 0
+
+    def test_render_sample(self):
+        line = render_sample({"ts": 1786000000.0, "rss_kb": 2048,
+                              "cpu_pct": 150.0, "queue_depth": 3,
+                              "decks_sec": 1.25,
+                              "cache_hit_rate": None})
+        assert "rss=2.0MB" in line
+        assert "cpu=150%" in line
+        assert "queue_depth=3" in line
+        assert "decks_sec=1.25" in line
+        assert "cache_hit_rate" not in line  # None values are elided
