@@ -11,12 +11,19 @@ observability layer (:mod:`repro.obs`) and stamps the result as
 ``repro.obs/v1.2`` schema the CLI's ``--report`` flag writes — spans,
 metrics *and* the numerical-health snapshots the instrumented stages
 publish, so a bench record also carries mesh-quality and solver-health
-baselines.  Running this module directly regenerates
-``BENCH_idlz_stages.json``, the per-stage record of a paper-scale
-40 x 60 idealization stamped with the measured observability overhead
-(the ``obs.overhead`` snapshot; its ``ledger_trace_pct`` is bounded at
-5% by the gate); CI regenerates it and gates the result with
-``python -m repro obs check`` against the checked-in copy::
+baselines.  Running this module directly regenerates two records:
+
+* ``BENCH_idlz_stages.json`` -- the per-stage record of a paper-scale
+  40 x 60 idealization stamped with the measured observability overhead
+  (the ``obs.overhead`` snapshot; its ``ledger_trace_pct`` is bounded
+  at 5% by the gate);
+* ``BENCH_analyze_stages.json`` -- the densified example plate pushed
+  through the full ``analyze`` pipeline (idealize, assemble, solve,
+  recover, contour), so the perf gates and the ``obs bench`` trend
+  history cover the solver path, not just idealization.
+
+CI regenerates both and gates the results with
+``python -m repro obs check`` against the checked-in copies::
 
     PYTHONPATH=src python benchmarks/common.py
 """
@@ -99,6 +106,30 @@ def idlz_stage_probe(cols: int = 40, rows: int = 60):
     ideal, _ = run_idealization(title=f"BENCH {cols}X{rows}",
                                 subdivisions=[sub], segments=segments)
     return ideal
+
+
+def analyze_stage_probe(densify: int = 4):
+    """The example plate analysis at bench scale: the solver workload.
+
+    Takes the checked-in ``plate`` analyze deck and densifies its
+    lattice ``densify``-fold (the same refinement ``analyze sweep
+    --densify`` applies), then runs the combined number -> isograms
+    pipeline through :func:`repro.analyze.program.run_analyze`.  At the
+    default factor the 9 x 7 lattice becomes 33 x 25 (825 nodes, 1650
+    equations), enough for the assemble/solve/recover spans to dominate
+    the record instead of timer noise.
+    """
+    from repro.analyze.deck import write_analyze_deck
+    from repro.analyze.examples import plate_deck
+    from repro.analyze.program import run_analyze
+    from repro.analyze.sweep import apply_overrides
+    from repro.cards.reader import CardReader
+
+    deck = apply_overrides(plate_deck(), {
+        "load_scale": 1.0, "youngs": None, "densify": densify,
+    })
+    reader = CardReader.from_text(write_analyze_deck(deck).to_text())
+    return run_analyze(reader)
 
 
 def measure_obs_overhead(workload: Callable[[], Any],
@@ -194,6 +225,22 @@ def main() -> None:
         "ledger_trace_pct": overhead["ledger_trace_pct"],
         "series_pct": overhead["series_pct"],
         "written": path,
+    })
+
+    # The solver path, same treatment: the densified example plate
+    # through the full analyze pipeline, stamped as its own record so
+    # the regression gate and the bench history see the FEM stages.
+    run, analyze_report, analyze_path = observed_run(
+        "analyze_stages", analyze_stage_probe, densify=4,
+    )
+    report("bench_analyze_stages", {
+        "analysis": run.analysis,
+        "nodes": run.mesh.n_nodes,
+        "elements": run.mesh.n_elements,
+        "max_displacement": run.result_summary["max_displacement"],
+        "stages": ", ".join(sorted(analyze_report.span_names())),
+        "health": ", ".join(analyze_report.health_names()),
+        "written": analyze_path,
     })
 
 

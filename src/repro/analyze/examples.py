@@ -1,0 +1,124 @@
+"""The checked-in analyze example decks, defined once.
+
+``examples/decks/analyze/`` is generated from this module so the deck
+files can never drift from the card writers: the staleness guard in
+``tests/test_examples.py`` regenerates every deck and compares byte for
+byte.  To change an example, edit the builders here and re-run::
+
+    PYTHONPATH=src python -m repro.analyze.examples
+
+Two structures, both solved as plane stress under a uniform top-edge
+pressure with the bottom edge clamped:
+
+* ``plate`` -- a flat 8 x 6 rectangular plate on a 9 x 7 lattice;
+* ``sheared_plate`` -- the same lattice sheared so the bottom edge
+  climbs from y = 0 to y = 5 (the Figure-style shaped quadrilateral),
+  exercising the type-6 shaping cards inside an analyze run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict
+
+from repro.analyze.deck import (
+    AnalyzeDeck,
+    AnalyzeSpec,
+    LoadCardSpec,
+    MaterialCard,
+    SupportCard,
+    write_analyze_deck,
+)
+from repro.core.idlz.deck import IdlzProblem
+from repro.core.idlz.shaping import ShapingSegment
+from repro.core.idlz.subdivision import Subdivision
+
+#: Where the generated decks live, relative to the repository root.
+EXAMPLES_SUBDIR = Path("examples") / "decks" / "analyze"
+
+_STEEL = MaterialCard(group=1, youngs=30.0e6, poisson=0.3,
+                      thickness=0.25)
+
+_PLANE_STRESS_SPEC = AnalyzeSpec(
+    analysis="plane_stress",
+    materials=(_STEEL,),
+    supports=(SupportCard(axis="y", coord=0.0, dofs="uv"),),
+    loads=(LoadCardSpec(kind="pressure", axis="y", coord=6.0,
+                        values=(1000.0,)),),
+    plots=("effective", "displacement"),
+)
+
+
+def plate_deck() -> AnalyzeDeck:
+    """A flat 8 x 6 plate: clamped at y = 0, pressed down at y = 6."""
+    problem = IdlzProblem(
+        title="ANALYZE EXAMPLE PLATE 8X6",
+        subdivisions=[Subdivision(index=1, kk1=1, ll1=1, kk2=9, ll2=7)],
+        segments=[
+            ShapingSegment(subdivision=1, k1=1, l1=1, k2=9, l2=1,
+                           x1=0.0, y1=0.0, x2=8.0, y2=0.0),
+            ShapingSegment(subdivision=1, k1=1, l1=7, k2=9, l2=7,
+                           x1=0.0, y1=6.0, x2=8.0, y2=6.0),
+        ],
+    )
+    return AnalyzeDeck(problem=problem, spec=_PLANE_STRESS_SPEC)
+
+
+def sheared_plate_deck() -> AnalyzeDeck:
+    """The sheared quadrilateral of ``examples/decks/plate.deck``,
+    promoted to a full analysis.
+
+    The bottom edge is shaped from (0, 0) up to (8, 5) while the top
+    stays level at y = 6, so element rows thin towards the right-hand
+    side.  The bottom (shaped) edge is clamped through an ``X``
+    selector on the left edge instead, because the sheared edge leaves
+    y = 0 at the second column.
+    """
+    problem = IdlzProblem(
+        title="ANALYZE SHEARED PLATE 8X6",
+        subdivisions=[Subdivision(index=1, kk1=1, ll1=1, kk2=9, ll2=7)],
+        segments=[
+            ShapingSegment(subdivision=1, k1=1, l1=1, k2=9, l2=1,
+                           x1=0.0, y1=0.0, x2=8.0, y2=5.0),
+            ShapingSegment(subdivision=1, k1=1, l1=7, k2=9, l2=7,
+                           x1=0.0, y1=6.0, x2=8.0, y2=6.0),
+        ],
+    )
+    spec = AnalyzeSpec(
+        analysis="plane_stress",
+        materials=(_STEEL,),
+        supports=(SupportCard(axis="x", coord=0.0, dofs="uv"),),
+        loads=(LoadCardSpec(kind="pressure", axis="y", coord=6.0,
+                            values=(1000.0,)),),
+        plots=("effective", "displacement"),
+    )
+    return AnalyzeDeck(problem=problem, spec=spec)
+
+
+def example_decks() -> Dict[str, AnalyzeDeck]:
+    """Every example as ``{file stem: deck}`` (deterministic order)."""
+    return {
+        "plate": plate_deck(),
+        "sheared_plate": sheared_plate_deck(),
+    }
+
+
+def deck_text(deck: AnalyzeDeck) -> str:
+    """The canonical card-image text of one example deck."""
+    return write_analyze_deck(deck).to_text()
+
+
+def dump_examples(out_dir: Path) -> Dict[str, Path]:
+    """Write every example deck under ``out_dir`` (created if needed)."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+    for stem, deck in example_decks().items():
+        path = out_dir / f"{stem}.analyze.deck"
+        path.write_text(deck_text(deck))
+        written[stem] = path
+    return written
+
+
+if __name__ == "__main__":
+    for stem, path in dump_examples(EXAMPLES_SUBDIR).items():
+        print(f"{stem:<16s} -> {path}")

@@ -9,9 +9,11 @@ boundary as cheap pickles.
 Deck classification leans on the card layouts themselves: an IDLZ deck
 opens with a type-1 ``(I5)`` card carrying only NSET in columns 1-5,
 while an OSPL deck opens with ``(2I5, 5F10.4)`` -- NE is mandatory, so
-column 6 onward is never blank.  Filename hints (``name.idlz.deck`` /
-``name.ospl.deck``) override the sniff for decks that want to be
-explicit.
+column 6 onward is never blank.  An analyze deck is IDLZ-shaped but
+carries an ``ANALYZE <family>`` sentinel card further down (see
+:func:`repro.analyze.deck.has_analyze_header`).  Filename hints
+(``name.idlz.deck`` / ``name.ospl.deck`` / ``name.analyze.deck``)
+override the sniff for decks that want to be explicit.
 """
 
 from __future__ import annotations
@@ -25,7 +27,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from repro.errors import BatchError
 
 #: Programs the batch engine can run.
-PROGRAMS = ("idlz", "ospl")
+PROGRAMS = ("idlz", "ospl", "analyze")
 
 
 @dataclass(frozen=True)
@@ -34,7 +36,7 @@ class JobSpec:
 
     job_id: str
     deck: str                     # absolute path to the deck file
-    program: str                  # "idlz" | "ospl"
+    program: str                  # "idlz" | "ospl" | "analyze"
     out_dir: str                  # job-private directory for artifacts
     strict: bool = False
     timeout_s: Optional[float] = None
@@ -62,7 +64,7 @@ class JobSpec:
 
 
 def classify_deck_text(text: str) -> str:
-    """Decide whether a deck blob is an IDLZ or an OSPL input."""
+    """Decide whether a deck blob is an IDLZ, OSPL or analyze input."""
     for line in text.splitlines():
         if not line.strip():
             continue
@@ -78,7 +80,13 @@ def classify_deck_text(text: str) -> str:
                 f"cannot classify deck: first card starts {head!r}, "
                 "expected an integer count field"
             ) from None
-        return "idlz" if not line[5:].strip() else "ospl"
+        if line[5:].strip():
+            return "ospl"
+        # IDLZ-shaped; an ANALYZE sentinel card further down promotes
+        # the deck to the combined idealize-solve-contour program.
+        from repro.analyze.deck import has_analyze_header
+
+        return "analyze" if has_analyze_header(text) else "idlz"
     raise BatchError("cannot classify deck: no non-blank cards")
 
 

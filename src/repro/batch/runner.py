@@ -94,6 +94,10 @@ def job_fingerprint(spec: JobSpec) -> str:
     text = Path(spec.deck).read_text()
     if spec.program == "idlz":
         return idlz_fingerprint(text)
+    if spec.program == "analyze":
+        from repro.analyze.deck import deck_fingerprint
+
+        return deck_fingerprint(text)
     return ospl_fingerprint(text)
 
 

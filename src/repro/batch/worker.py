@@ -106,6 +106,18 @@ def _execute(spec: Dict[str, Any]
             {"problems": [run.summary_dict() for run in runs]},
             [d for run in runs for d in run.stage_dicts()],
         )
+    if spec["program"] == "analyze":
+        from repro.analyze.program import run_analyze_files
+
+        idlz_lim = (idlz_limits.STRICT_1970 if spec.get("strict")
+                    else idlz_limits.UNLIMITED)
+        ospl_lim = (ospl_limits.STRICT_1970 if spec.get("strict")
+                    else ospl_limits.UNLIMITED)
+        analyze_run = run_analyze_files(deck, out_dir, limits=idlz_lim,
+                                        ospl_limits=ospl_lim,
+                                        stage_cache=stage_cache)
+        return ({"problems": [analyze_run.summary_dict()]},
+                analyze_run.stage_dicts())
     limits = (ospl_limits.STRICT_1970 if spec.get("strict")
               else ospl_limits.UNLIMITED)
     run = run_ospl_files(deck, out_dir / "plot.svg", limits=limits,

@@ -4,6 +4,11 @@
     python -m repro ospl INPUT.deck -o PLOT.{svg,png,txt} [--strict]
                                                           [--ascii]
                                                           [--cache-dir D]
+    python -m repro analyze INPUT.deck [-o OUT_DIR] [--strict]
+                                       [--cache-dir D]
+    python -m repro analyze sweep INPUT.deck -o DIR [--loads S...]
+                                  [--youngs E...] [--densify N...]
+                                  [--jobs N --cache-dir D --ledger D]
     python -m repro lint DECKS... [-R] [--format text|json] [--strict]
     python -m repro lint --explain CODE
     python -m repro batch run GLOB... -o DIR [--lint] [--jobs N
@@ -26,6 +31,17 @@
 ``--strict`` enforces the Table 1/2 restrictions exactly as the 7090
 builds did; ``--ascii`` additionally prints a terminal preview of the
 OSPL plot.
+
+``analyze`` (see docs/ANALYZE.md) closes the paper's loop: one combined
+deck is idealized by the IDLZ stages, solved by the finite-element
+stages (stiffness assembly, boundary conditions, loads, a banded /
+skyline / sparse solve, stress recovery) and contour-plotted by OSPL's
+isogram generator -- ``repro analyze DECK`` is sugar for ``repro
+analyze run DECK``.  ``analyze sweep`` expands a parameter grid (load
+scales, Young's moduli, mesh densification factors) into one scenario
+deck per grid point and runs them all through the batch engine, so
+each scenario gets a ``repro.analyze/v1`` manifest and the sweep a
+``repro.analyze-sweep/v1`` index.
 
 ``lint`` (see docs/LINT.md) statically analyzes decks without running
 them: every finding carries a stable rule code (``IDZ...``, ``OSP...``,
@@ -160,6 +176,86 @@ def build_parser() -> argparse.ArgumentParser:
                            "pipeline stages are restored, not re-run "
                            "(shares layout with 'batch run')")
     _add_common_options(ospl)
+
+    analyze = sub.add_parser(
+        "analyze", help="idealize, solve and contour one combined deck")
+    analyze_sub = analyze.add_subparsers(dest="analyze_command",
+                                         required=True)
+
+    analyze_run = analyze_sub.add_parser(
+        "run", help="run one analyze deck end to end")
+    analyze_run.add_argument("deck", type=Path,
+                             help="combined IDLZ + ANALYZE deck")
+    analyze_run.add_argument("-o", "--out", type=Path,
+                             default=Path("analyze_out"),
+                             help="output directory "
+                                  "(default: analyze_out)")
+    analyze_run.add_argument("--strict", action="store_true",
+                             help="enforce the Table-1 and Table-2 "
+                                  "1970 restrictions")
+    analyze_run.add_argument("--cache-dir", type=Path, default=None,
+                             metavar="DIR",
+                             help="stage-granular result cache; an "
+                                  "edited load card re-runs only the "
+                                  "solve-onward stages")
+    _add_common_options(analyze_run)
+
+    analyze_sweep = analyze_sub.add_parser(
+        "sweep", help="expand a parameter grid into a batch of "
+                      "scenario runs")
+    analyze_sweep.add_argument("deck", type=Path,
+                               help="base analyze deck")
+    analyze_sweep.add_argument("-o", "--out", type=Path,
+                               default=Path("sweep_out"),
+                               help="sweep root; scenario decks land "
+                                    "under OUT/decks/, products under "
+                                    "OUT/jobs/<scenario>/ "
+                                    "(default: sweep_out)")
+    analyze_sweep.add_argument("--loads", type=float, nargs="+",
+                               default=[1.0], metavar="SCALE",
+                               help="load-scale axis: multiply every "
+                                    "PRESSURE/FORCE/FLUX magnitude "
+                                    "(default: 1.0)")
+    analyze_sweep.add_argument("--youngs", type=float, nargs="+",
+                               default=[], metavar="E",
+                               help="material axis: override Young's "
+                                    "modulus on every MAT card "
+                                    "(default: keep the deck's)")
+    analyze_sweep.add_argument("--densify", type=int, nargs="+",
+                               default=[1], metavar="N",
+                               help="mesh-density axis: split every "
+                                    "lattice interval into N "
+                                    "(default: 1)")
+    analyze_sweep.add_argument("--jobs", type=int, default=1,
+                               metavar="N",
+                               help="worker processes "
+                                    "(default: 1, inline)")
+    analyze_sweep.add_argument("--timeout", type=float, default=None,
+                               metavar="SECONDS",
+                               help="per-scenario wall-clock limit "
+                                    "(default: none)")
+    analyze_sweep.add_argument("--retries", type=int, default=0,
+                               metavar="K",
+                               help="extra attempts per failing "
+                                    "scenario (default: 0)")
+    analyze_sweep.add_argument("--cache-dir", type=Path, default=None,
+                               metavar="DIR",
+                               help="content-addressed cache shared "
+                                    "by all scenarios; runs differing "
+                                    "only in load reuse idealization "
+                                    "and stiffness stages")
+    analyze_sweep.add_argument("--strict", action="store_true",
+                               help="run every scenario under the "
+                                    "1970 restrictions")
+    analyze_sweep.add_argument("--ledger", type=Path, default=None,
+                               metavar="DIR",
+                               help="append lifecycle events to "
+                                    "DIR/events.jsonl (follow with "
+                                    "'obs tail')")
+    analyze_sweep.add_argument("--series", action="store_true",
+                               help="sample fleet metrics into "
+                                    "series.jsonl next to the ledger")
+    _add_common_options(analyze_sweep)
 
     lint = sub.add_parser("lint", help="statically analyze decks "
                                        "without running them")
@@ -465,6 +561,48 @@ def _run_ospl(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_analyze(args: argparse.Namespace) -> int:
+    from repro.analyze.program import run_analyze_files
+
+    limits = (idlz_limits.STRICT_1970 if args.strict
+              else idlz_limits.UNLIMITED)
+    olimits = (ospl_limits.STRICT_1970 if args.strict
+               else ospl_limits.UNLIMITED)
+    run = run_analyze_files(args.deck, args.out, limits=limits,
+                            ospl_limits=olimits,
+                            stage_cache=_stage_cache(args))
+    if not args.quiet:
+        print(run.listing(), end="")
+        print(f"wrote {len(run.plots)} isogram(s) and the manifest "
+              f"under {args.out}/")
+    return 0
+
+
+def _run_analyze_sweep(args: argparse.Namespace) -> int:
+    from repro.analyze.sweep import SweepGrid, run_sweep
+    from repro.batch import BatchOptions
+
+    grid = SweepGrid(load_scales=tuple(args.loads),
+                     youngs=tuple(args.youngs),
+                     densify=tuple(args.densify))
+    options = BatchOptions(
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        strict=args.strict,
+        cache_dir=args.cache_dir,
+        ledger=args.ledger,
+        profile=args.profile,
+        series=args.series,
+    )
+    sweep, batch = run_sweep(args.deck, grid, args.out, options=options)
+    if not args.quiet:
+        print(batch.render_status())
+        print(f"{len(sweep['scenarios'])} scenario(s); sweep manifest "
+              f"written to {args.out / 'sweep_manifest.json'}")
+    return batch.exit_code()
+
+
 def _run_lint(args: argparse.Namespace) -> int:
     import json
 
@@ -756,8 +894,31 @@ def _save_folded(report, report_path: Path, quiet: bool) -> None:
         print(f"folded stacks written to {folded_path}")
 
 
+def _normalize_argv(argv: List[str]) -> List[str]:
+    """``repro analyze DECK`` is sugar for ``repro analyze run DECK``.
+
+    When the command is ``analyze`` and no ``run``/``sweep`` subcommand
+    follows, insert ``run`` right after ``analyze`` so the common case
+    reads like ``idlz``/``ospl``.  A bare ``repro analyze [--help]``
+    is left alone so argparse can print the subcommand help.
+    """
+    positionals = [i for i, arg in enumerate(argv)
+                   if not arg.startswith("-")]
+    if not positionals or argv[positionals[0]] != "analyze":
+        return argv
+    if len(positionals) < 2:
+        return argv
+    following = [argv[i] for i in positionals[1:]]
+    if "run" in following or "sweep" in following:
+        return argv
+    patched = list(argv)
+    patched.insert(positionals[0] + 1, "run")
+    return patched
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    argv = list(sys.argv[1:] if argv is None else argv)
+    args = build_parser().parse_args(_normalize_argv(argv))
     try:
         return _dispatch(args)
     except BrokenPipeError:
@@ -790,6 +951,10 @@ def _dispatch(args: argparse.Namespace) -> int:
     try:
         if args.command == "idlz":
             return _run_idlz(args)
+        if args.command == "analyze":
+            if args.analyze_command == "sweep":
+                return _run_analyze_sweep(args)
+            return _run_analyze(args)
         if args.command == "lint":
             return _run_lint(args)
         if args.command == "batch":

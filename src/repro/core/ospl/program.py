@@ -19,6 +19,7 @@ from repro.cards.reader import CardReader
 from repro.core.ospl.deck import OsplProblem
 from repro.core.ospl.limits import OsplLimits, UNLIMITED
 from repro.core.ospl.plot import ContourPlot
+from repro.errors import PlotterError
 from repro.pipeline.cache import StageCache
 from repro.pipeline.ospl import ospl_pipeline
 from repro.pipeline.runner import StageRecord
@@ -89,16 +90,24 @@ def run_ospl_files(deck_path: Union[str, Path],
                    stage_cache: Optional[StageCache] = None) -> OsplRun:
     """Run OSPL on a deck file and write the frame to ``out_path``.
 
-    The writer is picked from the extension: ``.svg`` (vector),
-    ``.png`` (raster), ``.txt`` (character-cell preview).  Anything
-    else -- including no extension -- writes SVG, the historical
-    default.
+    The writer is picked from the extension (case-insensitively):
+    ``.svg`` (vector), ``.png`` (raster), ``.txt`` (character-cell
+    preview).  No extension writes SVG, the historical default; any
+    other extension raises :class:`PlotterError` rather than silently
+    producing an SVG under a misleading name.
     """
     deck_path = Path(deck_path)
     out_path = Path(out_path)
+    suffix = out_path.suffix
+    if suffix and suffix.lower() not in _WRITERS:
+        known = ", ".join(sorted(_WRITERS))
+        raise PlotterError(
+            f"unknown output extension {suffix!r} for {out_path.name}; "
+            f"use one of {known}, or no extension for SVG"
+        )
     reader = CardReader.from_text(deck_path.read_text())
     run = run_ospl(reader, limits=limits, stage_cache=stage_cache)
-    backend = _WRITERS.get(out_path.suffix.lower(), "svg")
+    backend = _WRITERS.get(suffix.lower(), "svg")
     if backend == "png":
         from repro.plotter.png import save_png
 

@@ -124,3 +124,14 @@ class BatchError(ReproError):
     Per-job *execution* failures never raise this: they are captured into
     the batch manifest so one bad deck cannot sink its siblings.
     """
+
+
+class AnalyzeError(ReproError):
+    """An analyze deck's analysis section cannot be executed (missing
+    materials for a subdivision, a selector that matches no nodes, an
+    unknown plot component or solver).
+
+    Card-level *syntax* problems raise :class:`CardError` like every
+    other deck reader; this class covers the semantic gap between a
+    well-formed section and a solvable model.
+    """

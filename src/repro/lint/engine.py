@@ -1,7 +1,8 @@
 """The analyzer's entry points: lint text, a file, or a tray of files.
 
-``lint_text`` is the whole pipeline for one deck: classify (IDLZ or
-OSPL), parse tolerantly, derive the per-problem analyses, run every
+``lint_text`` is the whole pipeline for one deck: classify (IDLZ,
+OSPL or analyze), parse tolerantly, derive the per-problem analyses,
+run every
 registered checker, and close with the trailing-card scan.  Nothing in
 here executes a deck -- the heaviest work is numbering an assemblage's
 lattice, which is exactly what makes the LIM and FMT rules honest.
@@ -19,8 +20,10 @@ from repro.lint.analysis import ProblemAnalysis
 from repro.lint.context import LintContext
 from repro.lint.diagnostics import FileLintResult
 from repro.lint.model import (
+    AnalyzeDeckModel,
     IdlzDeckModel,
     OsplDeckModel,
+    parse_analyze,
     parse_idlz,
     parse_ospl,
 )
@@ -52,6 +55,18 @@ def lint_text(text: str, path: str = "<deck>",
             for check in checkers_for("idlz"):
                 check(ctx, model, analyses)
             _check_trailing(ctx, model, "IDZ007")
+        elif program == "analyze":
+            analyze_model = parse_analyze(text, path)
+            ctx.diagnostics.extend(analyze_model.parse_diagnostics)
+            analyses = [ProblemAnalysis(p)
+                        for p in analyze_model.idlz.problems]
+            # The embedded IDLZ problem gets the full IDZ/FMT/LIM
+            # treatment before the analysis-section rules run over it.
+            for check in checkers_for("idlz"):
+                check(ctx, analyze_model.idlz, analyses)
+            for check in checkers_for("analyze"):
+                check(ctx, analyze_model, analyses)
+            _check_trailing(ctx, analyze_model, "ANA011")
         elif program == "ospl":
             model = parse_ospl(text, path)
             ctx.diagnostics.extend(model.parse_diagnostics)
@@ -60,7 +75,8 @@ def lint_text(text: str, path: str = "<deck>",
             _check_trailing(ctx, model, "OSP004")
         else:
             raise LintError(
-                f"unknown program {program!r}; expected 'idlz' or 'ospl'"
+                f"unknown program {program!r}; expected 'idlz', "
+                "'ospl' or 'analyze'"
             )
         return _finish(FileLintResult(
             path=path, program=program,
@@ -68,7 +84,8 @@ def lint_text(text: str, path: str = "<deck>",
 
 
 def _check_trailing(ctx: LintContext,
-                    model: Union[IdlzDeckModel, OsplDeckModel],
+                    model: Union[IdlzDeckModel, OsplDeckModel,
+                                 AnalyzeDeckModel],
                     code: str) -> None:
     """Cards past the declared deck that the run would never read."""
     if model.truncated:

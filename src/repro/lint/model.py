@@ -347,6 +347,223 @@ def _parse_idlz_problem(tray: _Tray, problem: RawIdlzProblem,
     return True
 
 
+# ----------------------------------------------------------------------
+# Analyze raw entities
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RawMaterial:
+    """A MAT card, unvalidated."""
+
+    card: CardView
+    group: int
+    youngs: float
+    poisson: float
+    thickness: float
+    density: float
+
+
+@dataclass(frozen=True)
+class RawThermalMaterial:
+    """A TMAT card, unvalidated."""
+
+    card: CardView
+    group: int
+    conductivity: float
+    density: float
+    specific_heat: float
+
+
+@dataclass(frozen=True)
+class RawSupport:
+    """A FIX card; ``axis`` and ``dofs`` are raw field text."""
+
+    card: CardView
+    axis: str
+    coord: float
+    dofs: str
+
+
+@dataclass(frozen=True)
+class RawTemp:
+    """A TEMP card; ``axis`` is raw field text."""
+
+    card: CardView
+    axis: str
+    coord: float
+    value: float
+
+
+@dataclass(frozen=True)
+class RawLoad:
+    """A PRESSURE, FORCE or FLUX card; ``kind`` is the keyword."""
+
+    card: CardView
+    kind: str
+    axis: str
+    coord: float
+    values: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class RawPlot:
+    """A PLOT card; ``name`` is lower-cased field text."""
+
+    card: CardView
+    name: str
+
+
+@dataclass
+class AnalyzeDeckModel:
+    """A whole analyze deck file: the IDLZ prefix model plus the
+    tolerant parse of the ANALYZE ... END section."""
+
+    path: str
+    cards: List[CardView]
+    idlz: IdlzDeckModel
+    header_card: Optional[CardView] = None
+    family: Optional[str] = None      # header keyword, e.g. "PSTRESS"
+    analysis: Optional[str] = None    # mapped family; None when unknown
+    materials: List[RawMaterial] = field(default_factory=list)
+    thermal_materials: List[RawThermalMaterial] = \
+        field(default_factory=list)
+    supports: List[RawSupport] = field(default_factory=list)
+    temps: List[RawTemp] = field(default_factory=list)
+    loads: List[RawLoad] = field(default_factory=list)
+    plots: List[RawPlot] = field(default_factory=list)
+    solver_card: Optional[CardView] = None
+    solver: str = "banded"
+    modes_card: Optional[CardView] = None
+    modes: int = 3
+    end_card: Optional[CardView] = None
+    parse_diagnostics: List[Diagnostic] = field(default_factory=list)
+    truncated: bool = False
+    cards_consumed: int = 0
+
+
+def _take_nonblank(tray: _Tray, expect: str,
+                   where: str) -> Optional[CardView]:
+    """Next card with any content (the analysis section skips blanks)."""
+    while True:
+        card = tray.take(expect, where)
+        if card is None or card.text.strip():
+            return card
+
+
+def parse_analyze(text: str, path: str = "<deck>") -> AnalyzeDeckModel:
+    """Parse a combined deck: the IDLZ prefix, then the analysis cards.
+
+    The IDLZ model's ``cards_consumed`` cursor is where the analysis
+    section starts; parsing continues tolerantly from there.  A missing
+    or unrecognisable header card ends the walk (and consumes the rest
+    of the tray so the trailing-card rule stays quiet -- one ANA001
+    tells the story).
+    """
+    from repro.analyze.deck import ANALYSES, SECTION_FORMATS
+
+    idlz_model = parse_idlz(text, path)
+    diagnostics: List[Diagnostic] = list(idlz_model.parse_diagnostics)
+    tray = _Tray(path, text, diagnostics, family="ANA")
+    tray.pos = idlz_model.cards_consumed
+    model = AnalyzeDeckModel(path=path, cards=tray.cards,
+                             idlz=idlz_model,
+                             parse_diagnostics=diagnostics)
+    if idlz_model.truncated:
+        model.truncated = True
+        model.cards_consumed = tray.pos
+        return model
+    if idlz_model.nset != 1:
+        tray._emit("ANA010", idlz_model.nset_card, "deck",
+                   nset=idlz_model.nset)
+    header = _take_nonblank(tray, "the ANALYZE header card", "analysis")
+    if header is None:
+        model.truncated = True
+        model.cards_consumed = tray.pos
+        return model
+    model.header_card = header
+    keyword = header.text[:8].strip().upper()
+    family = header.text[8:24].strip().upper()
+    if keyword != "ANALYZE":
+        tray._emit("ANA001", header, "analysis",
+                   detail=f"got keyword {keyword!r}")
+        model.cards_consumed = len(tray.cards)
+        return model
+    model.family = family
+    model.analysis = ANALYSES.get(family)
+    if model.analysis is None:
+        tray._emit("ANA001", header, "analysis",
+                   detail=f"unknown analysis {family!r} (known: "
+                          f"{', '.join(sorted(ANALYSES))})")
+        model.cards_consumed = len(tray.cards)
+        return model
+    while True:
+        card = _take_nonblank(tray, "an analysis card (or END)",
+                              "analysis")
+        if card is None:
+            model.truncated = True
+            break
+        keyword = card.text[:8].strip().upper()
+        if keyword == "END":
+            model.end_card = card
+            break
+        fmt = SECTION_FORMATS.get(keyword)
+        if fmt is None or keyword == "ANALYZE":
+            known = ", ".join(sorted(
+                k for k in SECTION_FORMATS if k != "ANALYZE"
+            ))
+            tray._emit("ANA004", card, "analysis", keyword=keyword,
+                       known=known)
+            continue
+        try:
+            values = fmt.read(card.text.ljust(CARD_WIDTH))
+        except FormatError as exc:
+            tray._emit("ANA003", card, "analysis",
+                       expect=f"a {keyword} card", detail=str(exc))
+            continue
+        _collect_analyze_card(model, card, keyword, values)
+    model.cards_consumed = tray.pos
+    return model
+
+
+def _collect_analyze_card(model: AnalyzeDeckModel, card: CardView,
+                          keyword: str, values: List[Any]) -> None:
+    """File one decoded analysis card into the model (defaults applied
+    the same way the runtime reader applies them)."""
+    if keyword == "MAT":
+        _, group, youngs, poisson, thickness, density = values
+        model.materials.append(RawMaterial(
+            card, group, youngs, poisson,
+            thickness if thickness != 0.0 else 1.0, density))
+    elif keyword == "TMAT":
+        _, group, conductivity, density, specific_heat = values
+        model.thermal_materials.append(RawThermalMaterial(
+            card, group, conductivity,
+            density if density != 0.0 else 1.0,
+            specific_heat if specific_heat != 0.0 else 1.0))
+    elif keyword == "FIX":
+        _, axis, coord, dofs = values
+        model.supports.append(RawSupport(card, axis.strip(), coord,
+                                         dofs.strip()))
+    elif keyword == "TEMP":
+        _, axis, coord, value = values
+        model.temps.append(RawTemp(card, axis.strip(), coord, value))
+    elif keyword in ("PRESSURE", "FORCE", "FLUX"):
+        _, axis, coord, *magnitudes = values
+        model.loads.append(RawLoad(card, keyword, axis.strip(), coord,
+                                   tuple(magnitudes)))
+    elif keyword == "PLOT":
+        _, name = values
+        model.plots.append(RawPlot(card, name.strip().lower()))
+    elif keyword == "SOLVER":
+        _, name = values
+        model.solver_card = card
+        model.solver = name.strip().lower()
+    elif keyword == "MODES":
+        _, n = values
+        model.modes_card = card
+        model.modes = n
+
+
 def parse_ospl(text: str, path: str = "<deck>") -> OsplDeckModel:
     """Parse an OSPL deck as far as it stays structurally coherent."""
     diagnostics: List[Diagnostic] = []

@@ -12,6 +12,7 @@ Code families::
     IDZ1xx   IDLZ geometry     (subdivision shapes on the lattice)
     IDZ2xx   IDLZ shaping      (type-6 boundary cards, shapeability)
     OSP0xx   OSPL              (mesh, field and window checks)
+    ANA0xx   analyze section   (materials, BCs, loads, plot requests)
     FMT0xx   FORTRAN FORMATs   (the type-7 punch formats)
     LIM0xx   Table 1/2 limits  (warnings; errors under --strict)
 
@@ -53,7 +54,9 @@ _RULES: Dict[str, Rule] = {}
 
 #: Checker functions by program; each takes a LintContext and emits
 #: diagnostics through it.
-_CHECKERS: Dict[str, List[Callable[..., None]]] = {"idlz": [], "ospl": []}
+_CHECKERS: Dict[str, List[Callable[..., None]]] = {
+    "idlz": [], "ospl": [], "analyze": [],
+}
 
 
 def register_rule(code: str, severity: str, title: str, template: str,
@@ -121,6 +124,7 @@ def _load_rules() -> None:
         return
     _loaded = True
     from repro.lint import (  # noqa: F401  (import registers the rules)
+        rules_analyze,
         rules_format,
         rules_idlz,
         rules_limits,

@@ -1,0 +1,216 @@
+"""End-to-end tests of the analyze pipeline: static, thermal, modal,
+and the stage-granular cache invalidation the subsystem promises."""
+
+import pytest
+
+from repro.analyze.deck import (
+    AnalyzeDeck,
+    AnalyzeSpec,
+    LoadCardSpec,
+    MaterialCard,
+    SupportCard,
+    TempCard,
+    ThermalMaterialCard,
+    write_analyze_deck,
+)
+from repro.analyze.examples import deck_text, plate_deck
+from repro.analyze.program import run_analyze
+from repro.cards.reader import CardReader
+from repro.errors import AnalyzeError, SolverError
+from repro.pipeline import StageCache
+
+#: The analyze pipeline's stage order (record names carry the
+#: pipeline prefix).
+STAGES = tuple(
+    f"analyze.{name}"
+    for name in ("number", "elements", "shape", "reform", "renumber",
+                 "materials", "assemble", "constrain", "loads", "solve",
+                 "recover", "isograms")
+)
+
+
+def run_text(text: str, cache=None):
+    return run_analyze(CardReader.from_text(text), stage_cache=cache)
+
+
+def respec(spec: AnalyzeSpec) -> AnalyzeDeck:
+    return AnalyzeDeck(problem=plate_deck().problem, spec=spec)
+
+
+def cache_status(run):
+    return {r.stage: r.cache for r in run.stages}
+
+
+class TestStatic:
+    def test_plate_solves_end_to_end(self):
+        run = run_text(deck_text(plate_deck()))
+        assert run.analysis == "plane_stress"
+        assert run.mesh.n_nodes == 63
+        assert run.mesh.n_elements == 96
+        assert set(run.fields) == {"effective", "displacement"}
+        assert set(run.plots) == {"effective", "displacement"}
+        assert run.result_summary["max_displacement"] \
+            == pytest.approx(2.0672899741815723e-4)
+        assert run.result_summary["max_effective_stress"] \
+            == pytest.approx(1115.3339329995238)
+        assert [r.stage for r in run.stages] == list(STAGES)
+
+    def test_listing_reports_fields_and_summary(self):
+        run = run_text(deck_text(plate_deck()))
+        listing = run.listing()
+        assert "ANALYZE  ANALYZE EXAMPLE PLATE 8X6" in listing
+        assert "max_displacement" in listing
+        assert "field effective" in listing
+
+    def test_unconstrained_static_raises(self):
+        spec = AnalyzeSpec(
+            analysis="plane_stress",
+            materials=(MaterialCard(group=1, youngs=30.0e6,
+                                    poisson=0.3),),
+            loads=(LoadCardSpec(kind="pressure", axis="y", coord=6.0,
+                                values=(1000.0,)),),
+        )
+        text = deck_text(respec(spec))
+        with pytest.raises(SolverError):
+            run_text(text)
+
+    def test_missing_material_raises(self):
+        text = "\n".join(
+            line for line in deck_text(plate_deck()).splitlines()
+            if not line.startswith("MAT")
+        ) + "\n"
+        with pytest.raises(AnalyzeError, match="MAT"):
+            run_text(text)
+
+
+class TestThermal:
+    """Drives :mod:`repro.fem.thermal` through the analyze stages."""
+
+    def deck(self, with_flux=False):
+        temps = [TempCard(axis="y", coord=0.0, value=100.0)]
+        loads = ()
+        if with_flux:
+            loads = (LoadCardSpec(kind="flux", axis="y", coord=6.0,
+                                  values=(50.0,)),)
+        else:
+            temps.append(TempCard(axis="y", coord=6.0, value=0.0))
+        spec = AnalyzeSpec(
+            analysis="thermal",
+            thermal_materials=(ThermalMaterialCard(
+                group=1, conductivity=45.0),),
+            temps=tuple(temps),
+            loads=loads,
+            plots=("temperature",),
+        )
+        return deck_text(respec(spec))
+
+    def test_fixed_edges_interpolate_between_temperatures(self):
+        run = run_text(self.deck())
+        assert run.analysis == "thermal"
+        temps = run.fields["temperature"].values
+        assert run.result_summary["max_temperature"] \
+            == pytest.approx(100.0)
+        assert run.result_summary["min_temperature"] \
+            == pytest.approx(0.0)
+        # Steady conduction between two fixed edges stays in range.
+        assert min(temps) >= -1e-9 and max(temps) <= 100.0 + 1e-9
+
+    def test_flux_loaded_edge_runs_hot_or_cold(self):
+        run = run_text(self.deck(with_flux=True))
+        temps = run.fields["temperature"].values
+        # One fixed edge plus a constant flux: the free edge departs
+        # from the fixed value, so the field is not constant.
+        assert max(temps) - min(temps) > 1e-6
+
+    def test_pressure_card_rejected_in_thermal(self):
+        bad = self.deck().replace(
+            "TEMP    Y                 6.0000          0.0000",
+            "PRESSUREY                 6.0000       1000.0000")
+        with pytest.raises(AnalyzeError, match="PRESSURE"):
+            run_text(bad)
+
+
+class TestModal:
+    """Drives :mod:`repro.fem.dynamics` through the analyze stages."""
+
+    def deck(self, modes=2, density=0.1):
+        spec = AnalyzeSpec(
+            analysis="modal",
+            materials=(MaterialCard(group=1, youngs=10.0e6, poisson=0.3,
+                                    thickness=0.1, density=density),),
+            supports=(SupportCard(axis="x", coord=0.0, dofs="uv"),),
+            plots=tuple(f"mode{i}" for i in range(1, modes + 1)),
+            modes=modes,
+        )
+        return deck_text(respec(spec))
+
+    def test_cantilever_modes_and_frequencies(self):
+        run = run_text(self.deck())
+        freqs = run.result_summary["frequencies_hz"]
+        assert len(freqs) == 2
+        assert 0.0 < freqs[0] <= freqs[1]
+        assert set(run.fields) == {"mode1", "mode2"}
+        # Mode shapes are magnitudes: non-negative, not identically 0.
+        for name in ("mode1", "mode2"):
+            values = run.fields[name].values
+            assert min(values) >= 0.0
+            assert max(values) > 0.0
+
+    def test_modal_without_density_raises(self):
+        with pytest.raises(AnalyzeError, match="density"):
+            run_text(self.deck(density=0.0))
+
+
+class TestStageCache:
+    def test_warm_rerun_hits_every_stage(self, tmp_path):
+        cache = StageCache(tmp_path / "stages")
+        text = deck_text(plate_deck())
+        cold = run_text(text, cache=cache)
+        warm = run_text(text, cache=cache)
+        assert all(c == "miss" for c in cache_status(cold).values())
+        assert all(c == "hit" for c in cache_status(warm).values())
+        assert warm.result_summary == cold.result_summary
+
+    def test_load_edit_reruns_solve_onward_only(self, tmp_path):
+        cache = StageCache(tmp_path / "stages")
+        text = deck_text(plate_deck())
+        run_text(text, cache=cache)
+        edited = text.replace("1000.0000", "1500.0000")
+        rerun = run_text(edited, cache=cache)
+        status = cache_status(rerun)
+        for stage in STAGES[:8]:
+            assert status[stage] == "hit", stage
+        for stage in STAGES[8:]:
+            assert status[stage] == "miss", stage
+        # 1.5x the pressure -> 1.5x the (linear) displacement.
+        base = run_text(text).result_summary["max_displacement"]
+        assert rerun.result_summary["max_displacement"] \
+            == pytest.approx(1.5 * base)
+
+    def test_plot_edit_reruns_recovery_onward_only(self, tmp_path):
+        cache = StageCache(tmp_path / "stages")
+        text = deck_text(plate_deck())
+        run_text(text, cache=cache)
+        edited = text.replace("PLOT    EFFECTIVE       ",
+                              "PLOT    SHEAR           ")
+        rerun = run_text(edited, cache=cache)
+        status = cache_status(rerun)
+        for stage in STAGES[:10]:
+            assert status[stage] == "hit", stage
+        assert status["analyze.recover"] == "miss"
+        assert status["analyze.isograms"] == "miss"
+        assert set(rerun.fields) == {"shear", "displacement"}
+
+    def test_title_edit_reruns_isograms_only(self, tmp_path):
+        cache = StageCache(tmp_path / "stages")
+        deck = plate_deck()
+        run_text(deck_text(deck), cache=cache)
+        renamed = AnalyzeDeck(
+            problem=deck.problem, spec=deck.spec)
+        renamed.problem.title = "ANALYZE EXAMPLE PLATE 8X6 B"
+        rerun = run_text(
+            write_analyze_deck(renamed).to_text(), cache=cache)
+        status = cache_status(rerun)
+        assert status["analyze.isograms"] == "miss"
+        assert all(status[s] == "hit" for s in STAGES
+                   if s not in ("analyze.number", "analyze.isograms"))

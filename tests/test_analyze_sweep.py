@@ -1,0 +1,135 @@
+"""Tests for the analyze sweep driver (grid expansion + batch run)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analyze.deck import read_analyze_deck
+from repro.analyze.examples import deck_text, plate_deck
+from repro.analyze.sweep import (
+    SweepGrid,
+    apply_overrides,
+    run_sweep,
+    scenario_id,
+)
+from repro.batch.runner import BatchOptions
+from repro.cards.reader import CardReader
+from repro.errors import AnalyzeError
+
+
+@pytest.fixture()
+def deck_file(tmp_path: Path) -> Path:
+    deck = tmp_path / "plate.analyze.deck"
+    deck.write_text(deck_text(plate_deck()))
+    return deck
+
+
+def base_deck():
+    return read_analyze_deck(
+        CardReader.from_text(deck_text(plate_deck())))
+
+
+class TestGrid:
+    def test_scenarios_multiply_axes(self):
+        grid = SweepGrid(load_scales=(1.0, 2.0), youngs=(10.0e6,),
+                         densify=(1, 2))
+        assert len(grid.scenarios()) == 4
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(AnalyzeError):
+            SweepGrid(load_scales=())
+        with pytest.raises(AnalyzeError):
+            SweepGrid(densify=(0,))
+
+    def test_scenario_ids_name_only_deviations(self):
+        assert scenario_id("plate", {"load_scale": 1.0, "youngs": None,
+                                     "densify": 1}) == "plate"
+        assert scenario_id("plate", {"load_scale": 1.5, "youngs": 1e7,
+                                     "densify": 2}) \
+            == "plate__loads1.5__E1e+07__d2"
+
+
+class TestOverrides:
+    def test_load_scale_multiplies_magnitudes(self):
+        deck = apply_overrides(base_deck(), {
+            "load_scale": 2.0, "youngs": None, "densify": 1})
+        assert deck.spec.loads[0].values == (2000.0,)
+
+    def test_youngs_override_replaces_modulus(self):
+        deck = apply_overrides(base_deck(), {
+            "load_scale": 1.0, "youngs": 10.0e6, "densify": 1})
+        assert deck.spec.materials[0].youngs == pytest.approx(10.0e6)
+        # The rest of the MAT card is untouched.
+        assert deck.spec.materials[0].thickness == pytest.approx(0.25)
+
+    def test_densify_refines_lattice_without_moving_geometry(self):
+        deck = apply_overrides(base_deck(), {
+            "load_scale": 1.0, "youngs": None, "densify": 2})
+        sub = deck.problem.subdivisions[0]
+        assert (sub.kk1, sub.ll1, sub.kk2, sub.ll2) == (1, 1, 17, 13)
+        seg = deck.problem.segments[0]
+        assert (seg.k2, seg.l2) == (17, 1)
+        assert (seg.x2, seg.y2) == (8.0, 0.0)
+
+
+class TestRunSweep:
+    def test_sweep_runs_batch_and_indexes_scenarios(self, deck_file,
+                                                    tmp_path):
+        out = tmp_path / "sweep"
+        sweep, batch = run_sweep(
+            deck_file, SweepGrid(load_scales=(1.0, 1.5)), out)
+        assert sweep["schema"] == "repro.analyze-sweep/v1"
+        assert [s["id"] for s in sweep["scenarios"]] \
+            == ["plate", "plate__loads1.5"]
+        assert batch.summary["ok"] == 2
+        for scenario in sweep["scenarios"]:
+            deck = Path(scenario["deck"])
+            assert deck.exists()
+            manifest = json.loads(Path(scenario["manifest"]).read_text())
+            assert manifest["schema"] == "repro.analyze/v1"
+            assert manifest["summary"]["nodes"] == 63
+        batch_manifest = json.loads(
+            (out / "batch_manifest.json").read_text())
+        assert {j["job_id"] for j in batch_manifest["jobs"]} \
+            == {"plate", "plate__loads1.5"}
+
+    def test_scenarios_share_the_stage_cache(self, deck_file, tmp_path):
+        out = tmp_path / "sweep"
+        cache = tmp_path / "cache"
+        options = BatchOptions(cache_dir=str(cache))
+        run_sweep(deck_file, SweepGrid(load_scales=(1.0,)), out,
+                  options=options)
+        # Second sweep adds a scaled scenario: its idealization and
+        # stiffness stages come from the first sweep's cache.
+        sweep, _ = run_sweep(
+            deck_file, SweepGrid(load_scales=(1.0, 1.5)),
+            tmp_path / "sweep2", options=options)
+        scaled = next(s for s in sweep["scenarios"]
+                      if s["id"] == "plate__loads1.5")
+        manifest = json.loads(Path(scaled["manifest"]).read_text())
+        status = {s["stage"]: s["cache"] for s in manifest["stages"]}
+        for stage in ("analyze.number", "analyze.assemble",
+                      "analyze.constrain"):
+            assert status[stage] == "hit", stage
+        for stage in ("analyze.loads", "analyze.solve"):
+            assert status[stage] == "miss", stage
+
+    def test_densified_scenario_solves_finer_mesh(self, deck_file,
+                                                  tmp_path):
+        out = tmp_path / "sweep"
+        sweep, batch = run_sweep(
+            deck_file, SweepGrid(densify=(1, 2)), out)
+        assert batch.summary["ok"] == 2
+        by_id = {s["id"]: s for s in sweep["scenarios"]}
+        fine = json.loads(
+            Path(by_id["plate__d2"]["manifest"]).read_text())
+        coarse = json.loads(
+            Path(by_id["plate"]["manifest"]).read_text())
+        assert coarse["summary"]["nodes"] == 63
+        assert fine["summary"]["nodes"] == 17 * 13
+        # Same structure, finer mesh: displacement converges, so the
+        # two answers agree to a few percent.
+        a = coarse["summary"]["max_displacement"]
+        b = fine["summary"]["max_displacement"]
+        assert abs(a - b) / abs(b) < 0.05

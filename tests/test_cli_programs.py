@@ -13,6 +13,7 @@ from repro.core.idlz.shaping import ShapingSegment
 from repro.core.idlz.subdivision import Subdivision
 from repro.core.ospl.deck import problem_from_analysis, write_ospl_deck
 from repro.core.ospl.program import run_ospl, run_ospl_files
+from repro.errors import PlotterError
 from repro.fem.mesh import Mesh
 from repro.fem.results import NodalField
 
@@ -88,6 +89,33 @@ class TestOsplProgram:
         assert out.exists()
         assert out.read_text().startswith("<svg")
         assert run.plot.interval > 0
+
+    def test_files_layer_extension_is_case_insensitive(self,
+                                                       tmp_path: Path):
+        deck_file = tmp_path / "field.deck"
+        deck_file.write_text(write_ospl_deck(ospl_problem()).to_text())
+        out = tmp_path / "PLOT.SVG"
+        run_ospl_files(deck_file, out)
+        assert out.read_text().startswith("<svg")
+        txt = tmp_path / "PLOT.TXT"
+        run_ospl_files(deck_file, txt)
+        assert "<svg" not in txt.read_text()
+
+    def test_files_layer_no_extension_defaults_to_svg(self,
+                                                      tmp_path: Path):
+        deck_file = tmp_path / "field.deck"
+        deck_file.write_text(write_ospl_deck(ospl_problem()).to_text())
+        out = tmp_path / "plot"
+        run_ospl_files(deck_file, out)
+        assert out.read_text().startswith("<svg")
+
+    def test_files_layer_rejects_unknown_extension(self, tmp_path: Path):
+        deck_file = tmp_path / "field.deck"
+        deck_file.write_text(write_ospl_deck(ospl_problem()).to_text())
+        out = tmp_path / "plot.pdf"
+        with pytest.raises(PlotterError, match=r"\.pdf"):
+            run_ospl_files(deck_file, out)
+        assert not out.exists()
 
 
 class TestCli:

@@ -103,3 +103,26 @@ class TestCorpusLintsClean:
         dirty = {r.path: [d.render() for d in r.diagnostics]
                  for r in results if not r.clean}
         assert not dirty, dirty
+
+
+class TestAnalyzeDecksAreFresh:
+    """Staleness guard: ``examples/decks/analyze/`` is generated from
+    :mod:`repro.analyze.examples`; the checked-in files must match the
+    builders byte for byte.  Regenerate after editing the builders::
+
+        PYTHONPATH=src python -m repro.analyze.examples
+    """
+
+    def test_checked_in_analyze_decks_match_generators(self):
+        from repro.analyze.examples import deck_text, example_decks
+
+        analyze_dir = EXAMPLES_DIR / "decks" / "analyze"
+        generated = {f"{stem}.analyze.deck": deck_text(deck)
+                     for stem, deck in example_decks().items()}
+        on_disk = sorted(p.name for p in analyze_dir.glob("*.deck"))
+        assert on_disk == sorted(generated)
+        for name, text in generated.items():
+            assert (analyze_dir / name).read_text() == text, (
+                f"{name} is stale; regenerate with "
+                "PYTHONPATH=src python -m repro.analyze.examples"
+            )

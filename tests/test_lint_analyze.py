@@ -1,0 +1,123 @@
+"""Tests for the analyze lint rules (ANA0xx)."""
+
+import pytest
+
+from repro.analyze.examples import deck_text, example_decks, plate_deck
+from repro.lint import lint_text
+
+
+def codes(text, program=None):
+    result = lint_text(text, path="t.deck", program=program)
+    return [d.code for d in result.diagnostics]
+
+
+@pytest.fixture()
+def plate() -> str:
+    return deck_text(plate_deck())
+
+
+class TestCleanDecks:
+    @pytest.mark.parametrize("stem", sorted(example_decks()))
+    def test_examples_lint_clean(self, stem):
+        text = deck_text(example_decks()[stem])
+        result = lint_text(text, path=f"{stem}.deck")
+        assert result.program == "analyze"
+        assert result.clean, [d.render() for d in result.diagnostics]
+
+
+class TestStructuralRules:
+    def test_ana001_unknown_family(self, plate):
+        bad = plate.replace("ANALYZE PSTRESS         ",
+                            "ANALYZE BUCKLING        ")
+        assert codes(bad, program="analyze") == ["ANA001"]
+
+    def test_ana002_missing_end(self, plate):
+        trimmed = "\n".join(
+            line for line in plate.splitlines() if line.strip() != "END"
+        ) + "\n"
+        assert "ANA002" in codes(trimmed)
+
+    def test_ana003_unreadable_card(self, plate):
+        bad = plate.replace("MAT            1", "MAT          BAD")
+        got = codes(bad)
+        assert "ANA003" in got
+        # The walk continues; the MAT card is dropped, so coverage
+        # also fails.
+        assert "ANA005" in got
+
+    def test_ana004_unknown_keyword(self, plate):
+        bad = plate.replace("PRESSURE", "PRESURE ")
+        got = codes(bad)
+        assert "ANA004" in got
+        assert "ANA008" in got  # the load card no longer parses
+
+    def test_ana010_multiple_problems(self, plate):
+        bad = plate.replace("    1\n", "    2\n", 1)
+        assert "ANA010" in codes(bad, program="analyze")
+
+    def test_ana011_trailing_cards(self, plate):
+        assert codes(plate + "LEFTOVER CARD\n") == ["ANA011"]
+
+
+class TestSemanticRules:
+    def test_ana005_uncovered_subdivision(self, plate):
+        bad = "\n".join(line for line in plate.splitlines()
+                        if not line.startswith("MAT")) + "\n"
+        assert codes(bad) == ["ANA005"]
+
+    def test_ana006_bad_elastic_constants(self, plate):
+        bad = plate.replace("30000000.0000", "-3000000.0000")
+        assert codes(bad) == ["ANA006"]
+
+    def test_ana006_modal_without_density(self, plate):
+        bad = plate.replace("ANALYZE PSTRESS         ",
+                            "ANALYZE MODAL           ")
+        got = codes(bad)
+        assert "ANA006" in got  # no weight density on the MAT card
+
+    def test_ana007_unconstrained(self, plate):
+        bad = "\n".join(line for line in plate.splitlines()
+                        if not line.startswith("FIX")) + "\n"
+        assert "ANA007" in codes(bad)
+
+    def test_ana008_no_loads_warns(self, plate):
+        bad = "\n".join(line for line in plate.splitlines()
+                        if not line.startswith("PRESSURE")) + "\n"
+        result = lint_text(bad, path="t.deck")
+        assert [d.code for d in result.diagnostics] == ["ANA008"]
+        assert result.diagnostics[0].severity == "warning"
+        assert result.ok  # warnings alone do not reject the deck
+
+    def test_ana009_bad_axis(self, plate):
+        bad = plate.replace("FIX     Y   ", "FIX     Z   ")
+        assert codes(bad) == ["ANA009"]
+
+    def test_ana009_bad_plot(self, plate):
+        bad = plate.replace("PLOT    EFFECTIVE       ",
+                            "PLOT    TEMPERATURE     ")
+        assert codes(bad) == ["ANA009"]
+
+    def test_ana009_bad_solver(self, plate):
+        bad = plate.replace("END", "SOLVER  CHOLESKY\nEND")
+        assert codes(bad) == ["ANA009"]
+
+    def test_ana009_flux_outside_thermal(self, plate):
+        bad = plate.replace("PRESSUREY", "FLUX    Y")
+        got = codes(bad)
+        assert "ANA009" in got
+
+
+class TestEmbeddedIdlzRules:
+    def test_idlz_rules_run_over_the_embedded_problem(self, plate):
+        # Corrupt the type-4 card: corners that do not span a box.
+        bad = plate.replace("    1    1    1    9    7",
+                            "    1    9    7    1    1")
+        got = codes(bad)
+        assert "IDZ101" in got
+
+    def test_explain_covers_ana_codes(self):
+        from repro.lint import explain
+
+        text = explain("ANA005")
+        assert "ANA005" in text
+        assert "subdivision" in text

@@ -11,6 +11,43 @@ from repro.lint import all_rules
 
 #: Every published rule as ``(code, severity, title, template)``.
 EXPECTED = [
+    ('ANA001', 'error',
+     'missing or invalid ANALYZE header',
+     'expected an `ANALYZE <family>` header card after the IDLZ problem: '
+     '{detail}'),
+    ('ANA002', 'error',
+     'analysis section truncated',
+     'the tray ran out after {count} card(s) while reading {expect}'),
+    ('ANA003', 'error',
+     'unreadable analysis card',
+     'unreadable card under {expect}: {detail}'),
+    ('ANA004', 'error',
+     'unknown analysis keyword',
+     'unknown analysis card keyword {keyword} (known: {known})'),
+    ('ANA005', 'error',
+     'subdivision has no material',
+     'subdivision {group} has no {kind} card; the {analysis} analysis cannot '
+     'assemble it'),
+    ('ANA006', 'error',
+     'inadmissible material card',
+     '{kind} card for group {group}: {detail}'),
+    ('ANA007', 'error',
+     'analysis is unconstrained',
+     'no {keyword} cards: the {analysis} analysis has no boundary conditions '
+     'to hold it'),
+    ('ANA008', 'warning',
+     'static analysis carries no loads',
+     'no PRESSURE or FORCE cards: the {analysis} solution is identically '
+     'zero'),
+    ('ANA009', 'error',
+     'inadmissible analysis request',
+     '{keyword} card: {detail}'),
+    ('ANA010', 'error',
+     'analyze deck must hold exactly one problem',
+     'NSET = {nset}: analyze decks take exactly one IDLZ problem'),
+    ('ANA011', 'warning',
+     'trailing cards never read',
+     '{count} trailing card(s) after the END card are never read'),
     ('FMT001', 'error',
      'malformed FORMAT',
      'FORMAT is malformed: {detail}'),
@@ -180,7 +217,7 @@ def test_rule_catalog_matches_snapshot():
 
 def test_every_family_is_represented():
     families = {code[:3] for code, _, _, _ in EXPECTED}
-    assert families == {"IDZ", "OSP", "FMT", "LIM"}
+    assert families == {"ANA", "IDZ", "OSP", "FMT", "LIM"}
 
 
 def test_severities_follow_family_policy():

@@ -63,6 +63,26 @@ def ospl(type1, nodes, elements, extra=()):
                 *nodes, *elements, *extra)
 
 
+def f16(*vals):
+    return "".join(f"{v:16.4f}" for v in vals)
+
+
+def analyze(*section, nset=1, problems=1):
+    """One (or more) square IDLZ problems plus an analysis section."""
+    square_cards = [
+        "SQUARE", i5(0, 0, 0, 1), i5(1, 1, 1, 3, 3), i5(1, 2),
+        i5(1, 1, 3, 1) + f8(0.0, 0.0, 2.0, 0.0, 0.0),
+        i5(1, 3, 3, 3) + f8(0.0, 2.0, 2.0, 2.0, 0.0),
+        "(2F9.5, 51X, I3, 5X, I3)", "(3I5, 62X, I3)",
+    ]
+    return deck(i5(nset), *(square_cards * problems), *section)
+
+
+ANA_HEADER = "ANALYZE PSTRESS"
+ANA_MAT = "MAT     " + "1".rjust(8) + f16(30.0e6, 0.3)
+ANA_FIX = "FIX     Y       " + f16(0.0) + "UV"
+ANA_PRESS = "PRESSUREY       " + f16(2.0, 1000.0)
+
 SQUARE_NODES = [node(0.0, 0.0, 1.0), node(1.0, 0.0, 2.0),
                 node(1.0, 1.0, 3.0), node(0.0, 1.0, 4.0)]
 SQUARE_ELEMENTS = [i5(1, 2, 3), i5(1, 3, 4)]
@@ -76,6 +96,46 @@ MANY_SUBS = deck(
 
 # code -> (program, deck text, lines to show (None = all), note or None)
 EXAMPLES = {
+    "ANA001": ("analyze",
+               analyze("ANALYZE BUCKLING", ANA_MAT, ANA_FIX,
+                       ANA_PRESS, "END"), None,
+               "BUCKLING is not an analysis family"),
+    "ANA002": ("analyze", analyze(ANA_HEADER, ANA_MAT, ANA_FIX),
+               None, "the END card was never punched"),
+    "ANA003": ("analyze",
+               analyze(ANA_HEADER, "MAT          BAD" + f16(30.0e6, 0.3),
+                       ANA_FIX, ANA_PRESS, "END"), None,
+               "letters in the I8 group field"),
+    "ANA004": ("analyze",
+               analyze(ANA_HEADER, ANA_MAT, ANA_FIX, ANA_PRESS,
+                       "LOAD    Y       " + f16(2.0, 1000.0), "END"),
+               None, None),
+    "ANA005": ("analyze",
+               analyze(ANA_HEADER, ANA_FIX, ANA_PRESS, "END"),
+               None, None),
+    "ANA006": ("analyze",
+               analyze(ANA_HEADER,
+                       "MAT     " + "1".rjust(8) + f16(30.0e6, 0.6),
+                       ANA_FIX, ANA_PRESS, "END"), None,
+               "a Poisson ratio of 0.6 is outside (-1, 0.5)"),
+    "ANA007": ("analyze",
+               analyze(ANA_HEADER, ANA_MAT, ANA_PRESS, "END"),
+               None, None),
+    "ANA008": ("analyze",
+               analyze(ANA_HEADER, ANA_MAT, ANA_FIX, "END"),
+               None, None),
+    "ANA009": ("analyze",
+               analyze(ANA_HEADER, ANA_MAT, ANA_FIX, ANA_PRESS,
+                       "PLOT    TEMPERATURE", "END"), None,
+               "temperature is a THERMAL field, not a PSTRESS one"),
+    "ANA010": ("analyze",
+               analyze(ANA_HEADER, ANA_MAT, ANA_FIX, ANA_PRESS, "END",
+                       nset=2, problems=2), 3,
+               "two IDLZ problems ahead of one analysis section "
+               "(cards elided)"),
+    "ANA011": ("analyze",
+               analyze(ANA_HEADER, ANA_MAT, ANA_FIX, ANA_PRESS, "END",
+                       "LEFTOVER CARD"), None, None),
     "IDZ001": ("idlz", "    0\n", None, None),
     "IDZ002": ("idlz", "    1\nTITLE ONLY\n", None, None),
     "IDZ003": ("idlz", deck(i5(1), "BAD FIELD", "   XX    0    0    1"),
@@ -211,6 +271,12 @@ FAMILIES = [
      "The type-6 straight-line and arc segments that pin lattice "
      "points to real coordinates, and whether every subdivision will "
      "find a located pair of opposite sides when it shapes."),
+    ("ANA0", "Analyze rules (ANA0xx)",
+     "The analysis section of a combined ``repro analyze`` deck: the "
+     "ANALYZE header, material and boundary-condition cards, loads and "
+     "plot requests.  The IDLZ problem the section rides on gets the "
+     "full IDZ/FMT/LIM treatment first; these rules cover what comes "
+     "after it.  See [ANALYZE.md](ANALYZE.md) for the card formats."),
     ("FMT0", "FORMAT rules (FMT0xx)",
      "The two variable-FORMAT cards that control the punched output "
      "deck.  Checked only when the option card requests punching "
