@@ -299,7 +299,7 @@ def _next_nonblank(reader: CardReader, expect: str) -> str:
 class _SpecBuilder:
     """Accumulates analysis cards into an :class:`AnalyzeSpec`."""
 
-    def __init__(self, analysis: str):
+    def __init__(self, analysis: str) -> None:
         self.analysis = analysis
         self.materials: List[MaterialCard] = []
         self.thermal_materials: List[ThermalMaterialCard] = []

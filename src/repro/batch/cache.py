@@ -58,18 +58,27 @@ def cache_key(deck_fingerprint: str, program: str,
 
 
 def lint_key(deck_fingerprint: str, program: str, strict: bool,
-             code_version: str = __version__) -> str:
+             code_version: str = __version__,
+             rules: Optional[str] = None) -> str:
     """The content address of one deck's lint verdict (sha-256 hex).
 
     Keyed like :func:`cache_key` -- deck content, program, the options
-    that change diagnostics (``strict`` escalates the LIM rules) and the
-    code version, so new or changed rules invalidate stored verdicts.
+    that change diagnostics (``strict`` escalates the LIM rules), the
+    code version, and the **rule-registry fingerprint** (a hash of
+    every rule's code/severity/title/template).  The fingerprint is
+    what invalidates stale verdicts in dev installs, where rules change
+    without a version bump; ``rules=None`` resolves it from the live
+    registry.
     """
+    if rules is None:
+        from repro.lint.registry import registry_fingerprint
+        rules = registry_fingerprint()
     payload = json.dumps({
         "deck": deck_fingerprint,
         "program": program,
         "strict": strict,
         "code_version": code_version,
+        "rules": rules,
     }, sort_keys=True)
     return hashlib.sha256(payload.encode()).hexdigest()
 

@@ -8,7 +8,7 @@ Schema ``repro.batch/v1``::
                   "cache_dir" | null,
                   "trace_id", "root_span", "started_unix", "pid"},
       "options": {"jobs", "timeout_s", "retries", "backoff_s", "strict",
-                  "lint", "ledger" | null, "profile"},
+                  "lint", "plan", "ledger" | null, "profile"},
       "summary": {"total", "ok", "failed", "rejected", "cache_hits",
                   "cache_misses", "stage_hits", "stage_misses",
                   "attempts", "wall_s"},
@@ -23,12 +23,23 @@ Schema ``repro.batch/v1``::
                          "spans": [...], "health", "counters",
                          "profile"?},
                  "lint": {"ok", "counts", "diagnostics": [...]}|null,
+                 "plan": {"plannable", "n_nodes", "n_elements", "wall_s",
+                          "peak_bytes", "calibrated",
+                          "rank"?, "timeout_s"?, "wall_error"?}
+                         | {"plannable": false, "reason"} | null,
                  "error": {"type","message","traceback"}|null}, ... ]
     }
 
 ``status: "rejected"`` means the ``--lint`` pre-flight found errors and
 the job never reached a worker; its ``lint`` block carries the full
 verdict (also present, with ``ok: true``, on jobs that passed).
+
+``plan`` is the static cost estimate (``repro.plan/v1``, compacted)
+the scheduler priced the job with: ``rank`` is the job's position in
+the longest-expected-first execution order, ``timeout_s`` the
+plan-scaled limit the worker enforced, and ``wall_error`` the
+realized actual/predicted wall ratio -- the field ``plan check``
+gates fleet-wide.  ``null`` when the batch ran with ``--no-plan``.
 
 ``meta.trace_id`` / ``meta.root_span`` are the run's trace context:
 every executed job's ``obs.spans`` fragment carries the same trace id
@@ -212,6 +223,31 @@ class BatchManifest:
                     f"    {stage.get('stage', '?'):<16s}"
                     f" {stage.get('cache', 'off'):<5s}"
                     f" {wall_part}"
+                )
+        plan = record.get("plan")
+        if plan:
+            if plan.get("plannable"):
+                wall_ms = (plan.get("wall_s") or 0.0) * 1e3
+                parts = [
+                    f"{plan.get('n_nodes', '?')} node(s)",
+                    f"{plan.get('n_elements', '?')} element(s)",
+                    f"predicted {wall_ms:.1f}ms",
+                ]
+                if plan.get("timeout_s") is not None:
+                    parts.append(f"timeout {plan['timeout_s']:g}s")
+                if plan.get("rank") is not None:
+                    parts.append(f"rank {plan['rank']}")
+                if not plan.get("calibrated", False):
+                    parts.append("uncalibrated")
+                lines.append(f"  plan        {', '.join(parts)}")
+                if plan.get("wall_error") is not None:
+                    lines.append(
+                        f"  plan error  actual/predicted wall "
+                        f"{plan['wall_error']:.2f}x"
+                    )
+            else:
+                lines.append(
+                    f"  plan        unplannable: {plan.get('reason')}"
                 )
         lint = record.get("lint")
         if lint:

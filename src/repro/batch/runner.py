@@ -53,6 +53,16 @@ log = logging.getLogger("repro.batch")
 #: Ceiling on one inter-round backoff sleep, however many retries deep.
 MAX_BACKOFF_S = 30.0
 
+#: Per-job timeout = ``PLAN_TIMEOUT_FACTOR x predicted wall`` -- wide
+#: enough that the planner's documented 2x error band plus machine
+#: variance never kills a healthy job, tight enough that a hung tiny
+#: job dies in seconds instead of riding out a flat fleet timeout.
+PLAN_TIMEOUT_FACTOR = 40.0
+
+#: Floor on a plan-scaled timeout (predictions run to milliseconds;
+#: process scheduling does not).
+PLAN_TIMEOUT_MIN_S = 1.0
+
 
 @dataclass
 class BatchOptions:
@@ -65,6 +75,11 @@ class BatchOptions:
     strict: bool = False
     cache_dir: Optional[Union[str, Path]] = None
     lint: bool = False
+    #: Price every deck with the static cost planner: stamps ``plan``
+    #: blocks into the manifest, schedules longest-expected-first, and
+    #: scales each job's timeout from its prediction (``timeout_s``
+    #: then acts as a ceiling, not a flat per-job limit).
+    plan: bool = True
     #: Directory (or file) the JSONL run ledger is appended to.
     ledger: Optional[Union[str, Path]] = None
     #: Per-stage cProfile hotspot tables in every worker.
@@ -82,6 +97,7 @@ class BatchOptions:
             "backoff_s": self.backoff_s,
             "strict": self.strict,
             "lint": self.lint,
+            "plan": self.plan,
             "ledger": (str(self.ledger)
                        if self.ledger is not None else None),
             "profile": self.profile,
@@ -112,8 +128,9 @@ def _lint_verdict(cache: Optional[ArtifactCache], spec: JobSpec,
     """The lint verdict for one job, through the cache sidecar.
 
     Verdicts are keyed on deck content + program + strict + code
-    version, so a warm rerun skips the analysis entirely and a rule
-    change invalidates every stored verdict at once.
+    version + the rule-registry fingerprint, so a warm rerun skips the
+    analysis entirely and a rule change -- even one without a version
+    bump -- invalidates every stored verdict at once.
     """
     key = lint_key(fingerprint, spec.program, spec.strict)
     if cache is not None:
@@ -200,6 +217,12 @@ def run_batch(specs: Sequence[JobSpec],
     try:
         records: Dict[str, Dict[str, Any]] = {}
         pending: List[JobSpec] = []
+        plans: Dict[str, Any] = {}
+        calibration = None
+        if options.plan:
+            from repro.plan import load_calibration
+
+            calibration = load_calibration()
         with obs.span("batch.run", jobs=len(specs), workers=options.jobs):
             with obs.span("batch.cache_pass", enabled=cache is not None):
                 for spec in specs:
@@ -210,6 +233,14 @@ def run_batch(specs: Sequence[JobSpec],
                             f"cannot read deck {spec.deck}: {exc}"
                         ) from exc
                     records[spec.job_id] = _base_record(spec, fingerprint)
+                    if options.plan:
+                        from repro.plan import plan_text
+
+                        plan = plan_text(Path(spec.deck).read_text(),
+                                         spec.deck, program=spec.program,
+                                         calibration=calibration)
+                        plans[spec.job_id] = plan
+                        records[spec.job_id]["plan"] = plan.batch_block()
                     events.emit("job_queued", job_id=spec.job_id,
                                 program=spec.program, deck=spec.deck)
                     if options.lint:
@@ -276,12 +307,15 @@ def run_batch(specs: Sequence[JobSpec],
                     log.info("job %s: cache hit", spec.job_id)
             for spec in pending:
                 obs.count("batch.cache_misses" if cache else "batch.uncached")
+            if options.plan:
+                pending = _schedule(pending, plans, records, options)
 
             with obs.span("batch.execute", pending=len(pending)):
                 for spec, result, attempts in _execute_all(pending, options):
                     record = records[spec.job_id]
                     record.update(result)
                     record["attempts"] = attempts
+                    _stamp_wall_error(record)
                     progress["done"] += 1
                     events.emit("job_finished", job_id=spec.job_id,
                                 status=record["status"], attempts=attempts,
@@ -350,8 +384,59 @@ def _base_record(spec: JobSpec, fingerprint: str) -> Dict[str, Any]:
         "stages": [],
         "obs": {},
         "lint": None,
+        "plan": None,
         "error": None,
     }
+
+
+def _schedule(pending: List[JobSpec], plans: Dict[str, Any],
+              records: Dict[str, Dict[str, Any]],
+              options: BatchOptions) -> List[JobSpec]:
+    """Cost-aware scheduling: order and time-limit jobs by their plans.
+
+    Jobs run **longest-expected-first** so the stragglers that dominate
+    the batch's wall clock start immediately instead of queueing behind
+    quick wins; unplannable jobs count as unknown-and-possibly-long and
+    go first.  Each plannable job's flat ``timeout_s`` is replaced by
+    ``PLAN_TIMEOUT_FACTOR x`` its predicted wall (floored at
+    ``PLAN_TIMEOUT_MIN_S``); a configured ``timeout_s`` still caps the
+    scaled value, so the operator's ceiling is never exceeded.
+    """
+    def expected_wall(spec: JobSpec) -> float:
+        plan = plans.get(spec.job_id)
+        if plan is None or not plan.plannable:
+            return float("inf")
+        return plan.wall_s
+
+    ordered = sorted(pending, key=expected_wall, reverse=True)
+    scheduled: List[JobSpec] = []
+    for rank, spec in enumerate(ordered):
+        plan = plans.get(spec.job_id)
+        block = records[spec.job_id].get("plan")
+        timeout = spec.timeout_s
+        if plan is not None and plan.plannable:
+            scaled = max(PLAN_TIMEOUT_MIN_S,
+                         PLAN_TIMEOUT_FACTOR * plan.wall_s)
+            timeout = (min(scaled, spec.timeout_s)
+                       if spec.timeout_s is not None else scaled)
+        if block is not None:
+            block["rank"] = rank
+            block["timeout_s"] = (round(timeout, 3)
+                                  if timeout is not None else None)
+        scheduled.append(replace(spec, timeout_s=timeout))
+    return scheduled
+
+
+def _stamp_wall_error(record: Dict[str, Any]) -> None:
+    """Predicted-vs-actual: actual/predicted wall ratio, once a job ran."""
+    block = record.get("plan")
+    wall = record.get("wall_s")
+    if (block is None or not block.get("plannable")
+            or not isinstance(wall, (int, float))):
+        return
+    predicted = block.get("wall_s") or 0.0
+    if predicted > 0:
+        block["wall_error"] = round(wall / predicted, 4)
 
 
 def _store(cache: ArtifactCache, spec: JobSpec,

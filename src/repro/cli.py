@@ -268,6 +268,13 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--strict", action="store_true",
                       help="escalate the Table 1/2 LIM warnings "
                            "to errors")
+    lint.add_argument("--budget", metavar="SIZE", default=None,
+                      help="arm PLN001: error when the predicted "
+                           "working set exceeds SIZE (e.g. 64MB)")
+    lint.add_argument("--deadline", type=float, metavar="SECONDS",
+                      default=None,
+                      help="arm PLN002: error when the predicted "
+                           "wall time exceeds SECONDS")
     lint.add_argument("--explain", metavar="CODE",
                       help="print the catalog entry for one rule "
                            "code and exit")
@@ -275,6 +282,55 @@ def build_parser() -> argparse.ArgumentParser:
                       help="list every rule (code, severity, title) "
                            "and exit")
     _add_common_options(lint)
+
+    plan = sub.add_parser("plan", help="predict a deck's cost "
+                                       "without running it")
+    plan_sub = plan.add_subparsers(dest="plan_command", required=True)
+
+    plan_run = plan_sub.add_parser(
+        "run", help="estimate node/element counts, memory and wall time")
+    plan_run.add_argument("decks", nargs="+", metavar="DECK",
+                          help="deck files or directories of *.deck files")
+    plan_run.add_argument("-R", "--recursive", action="store_true",
+                          help="recurse into directories")
+    plan_run.add_argument("--format", choices=("text", "json"),
+                          default="text", help="output format")
+    plan_run.add_argument("--budget", metavar="SIZE", default=None,
+                          help="fail when the predicted working set "
+                               "exceeds SIZE (e.g. 64MB)")
+    plan_run.add_argument("--deadline", type=float, metavar="SECONDS",
+                          default=None,
+                          help="fail when the predicted wall time "
+                               "exceeds SECONDS")
+    plan_run.add_argument("--history", type=Path, default=None,
+                          metavar="PATH",
+                          help="benchmark history for calibration "
+                               "(default: BENCH_history.jsonl)")
+    _add_common_options(plan_run)
+
+    plan_check = plan_sub.add_parser(
+        "check", help="run decks instrumented and grade the predictions")
+    plan_check.add_argument("decks", nargs="+", metavar="DECK",
+                           help="deck files or directories of *.deck "
+                                "files")
+    plan_check.add_argument("-R", "--recursive", action="store_true",
+                           help="recurse into directories")
+    plan_check.add_argument("--format", choices=("text", "json"),
+                           default="text", help="output format")
+    plan_check.add_argument("--max-wall-error", type=float, default=None,
+                            metavar="FACTOR",
+                            help="wall-time accuracy band (default: 2.0; "
+                                 "pass iff 1/FACTOR <= pred/actual "
+                                 "<= FACTOR)")
+    plan_check.add_argument("--max-mem-error", type=float, default=None,
+                            metavar="FACTOR",
+                            help="peak-memory accuracy band "
+                                 "(default: 1.5)")
+    plan_check.add_argument("--history", type=Path, default=None,
+                           metavar="PATH",
+                           help="benchmark history for calibration "
+                                "(default: BENCH_history.jsonl)")
+    _add_common_options(plan_check)
 
     batch = sub.add_parser("batch", help="run many decks with caching, "
                                          "retries and a manifest")
@@ -315,6 +371,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="statically analyze each deck first; "
                                 "decks with lint errors are recorded as "
                                 "'rejected' and never reach a worker")
+    batch_run.add_argument("--plan", action=argparse.BooleanOptionalAction,
+                           default=True,
+                           help="price each deck up front: longest-"
+                                "expected-first scheduling and plan-"
+                                "scaled timeouts (default: on)")
     batch_run.add_argument("--manifest", type=Path, default=None,
                            metavar="PATH",
                            help="manifest path (default: "
@@ -618,8 +679,14 @@ def _run_lint(args: argparse.Namespace) -> int:
         return 0
     if not args.decks:
         raise LintError("no decks given (or use --explain CODE / --list)")
+    budget_bytes: Optional[float] = None
+    if args.budget is not None:
+        from repro.plan import parse_size
+        budget_bytes = float(parse_size(args.budget))
     results = lint_paths(args.decks, recursive=args.recursive,
-                         strict=args.strict)
+                         strict=args.strict,
+                         budget_bytes=budget_bytes,
+                         deadline_s=args.deadline)
     n_errors = sum(len(r.errors) for r in results)
     n_warnings = sum(len(r.warnings) for r in results)
     clean = sum(1 for r in results if r.clean)
@@ -627,6 +694,8 @@ def _run_lint(args: argparse.Namespace) -> int:
         print(json.dumps({
             "schema": "repro.lint/v1",
             "strict": args.strict,
+            "budget_bytes": budget_bytes,
+            "deadline_s": args.deadline,
             "summary": {
                 "files": len(results),
                 "clean": clean,
@@ -645,6 +714,86 @@ def _run_lint(args: argparse.Namespace) -> int:
     return 1 if n_errors else 0
 
 
+def _run_plan(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.plan import (
+        format_bytes,
+        load_calibration,
+        parse_size,
+        plan_paths,
+        render_plan_text,
+    )
+
+    budget_bytes = (float(parse_size(args.budget))
+                    if args.budget is not None else None)
+    calibration = load_calibration(args.history) if args.history \
+        else load_calibration()
+    plans = plan_paths(args.decks, recursive=args.recursive,
+                       calibration=calibration)
+    violations = 0
+    for plan in plans:
+        if not plan.plannable:
+            violations += 1
+            continue
+        if budget_bytes is not None and plan.peak_bytes > budget_bytes:
+            violations += 1
+        elif args.deadline is not None and plan.wall_s > args.deadline:
+            violations += 1
+    if args.format == "json":
+        print(json.dumps({
+            "schema": "repro.plan-report/v1",
+            "budget_bytes": budget_bytes,
+            "deadline_s": args.deadline,
+            "violations": violations,
+            "decks": [plan.to_dict() for plan in plans],
+        }, indent=2))
+    else:
+        for plan in plans:
+            print(render_plan_text(plan, verbose=args.verbose > 0))
+            if not plan.plannable:
+                continue
+            if budget_bytes is not None and plan.peak_bytes > budget_bytes:
+                print(f"  OVER BUDGET: predicted "
+                      f"{format_bytes(plan.peak_bytes)} exceeds "
+                      f"{format_bytes(budget_bytes)}")
+            if args.deadline is not None and plan.wall_s > args.deadline:
+                print(f"  OVER DEADLINE: predicted {plan.wall_s:.3f}s "
+                      f"exceeds {args.deadline:g}s")
+        if not args.quiet:
+            plannable = sum(1 for p in plans if p.plannable)
+            print(f"{len(plans)} deck(s): {plannable} plannable, "
+                  f"{violations} violation(s)")
+    return 1 if violations else 0
+
+
+def _run_plan_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.plan import (
+        MEM_BAND,
+        WALL_BAND,
+        check_paths,
+        load_calibration,
+        render_check_text,
+    )
+
+    calibration = load_calibration(args.history) if args.history \
+        else load_calibration()
+    report = check_paths(
+        args.decks, recursive=args.recursive, calibration=calibration,
+        wall_band=(args.max_wall_error if args.max_wall_error is not None
+                   else WALL_BAND),
+        mem_band=(args.max_mem_error if args.max_mem_error is not None
+                  else MEM_BAND),
+    )
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_check_text(report))
+    return 0 if report["ok"] else 1
+
+
 def _run_batch(args: argparse.Namespace) -> int:
     from repro.batch import BatchOptions, discover_jobs, run_batch
 
@@ -656,6 +805,7 @@ def _run_batch(args: argparse.Namespace) -> int:
         strict=args.strict,
         cache_dir=args.cache_dir,
         lint=args.lint,
+        plan=args.plan,
         ledger=args.ledger,
         profile=args.profile,
         series=args.series,
@@ -894,22 +1044,28 @@ def _save_folded(report, report_path: Path, quiet: bool) -> None:
         print(f"folded stacks written to {folded_path}")
 
 
+#: Commands whose bare form is sugar for ``<command> run ...``, mapped
+#: to the subcommand names that suppress the rewrite.
+_RUN_SUGAR = {"analyze": ("run", "sweep"), "plan": ("run", "check")}
+
+
 def _normalize_argv(argv: List[str]) -> List[str]:
     """``repro analyze DECK`` is sugar for ``repro analyze run DECK``.
 
-    When the command is ``analyze`` and no ``run``/``sweep`` subcommand
-    follows, insert ``run`` right after ``analyze`` so the common case
-    reads like ``idlz``/``ospl``.  A bare ``repro analyze [--help]``
-    is left alone so argparse can print the subcommand help.
+    When the command is ``analyze`` (or ``plan``) and no explicit
+    subcommand follows, insert ``run`` right after it so the common
+    case reads like ``idlz``/``ospl``.  A bare ``repro analyze
+    [--help]`` is left alone so argparse can print the subcommand help.
     """
     positionals = [i for i, arg in enumerate(argv)
                    if not arg.startswith("-")]
-    if not positionals or argv[positionals[0]] != "analyze":
+    if not positionals or argv[positionals[0]] not in _RUN_SUGAR:
         return argv
     if len(positionals) < 2:
         return argv
+    subcommands = _RUN_SUGAR[argv[positionals[0]]]
     following = [argv[i] for i in positionals[1:]]
-    if "run" in following or "sweep" in following:
+    if any(name in following for name in subcommands):
         return argv
     patched = list(argv)
     patched.insert(positionals[0] + 1, "run")
@@ -957,6 +1113,10 @@ def _dispatch(args: argparse.Namespace) -> int:
             return _run_analyze(args)
         if args.command == "lint":
             return _run_lint(args)
+        if args.command == "plan":
+            if args.plan_command == "check":
+                return _run_plan_check(args)
+            return _run_plan(args)
         if args.command == "batch":
             return _run_batch(args)
         return _run_ospl(args)
@@ -972,7 +1132,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 command=args.command,
                 deck=str(getattr(args, "deck", "") or
                          " ".join(getattr(args, "decks", []))),
-                strict=bool(args.strict),
+                strict=bool(getattr(args, "strict", False)),
             )
             if args.trace:
                 print(report.render_tree(), file=sys.stderr)

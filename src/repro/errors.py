@@ -126,6 +126,16 @@ class BatchError(ReproError):
     """
 
 
+class PlanError(ReproError):
+    """The cost planner was misused (no decks matched, a malformed size
+    or threshold argument, an accuracy check over nothing).
+
+    Decks whose cost cannot be derived never raise: they yield a plan
+    with ``plannable=False`` and a reason, so one opaque deck cannot
+    hide its siblings' estimates.
+    """
+
+
 class AnalyzeError(ReproError):
     """An analyze deck's analysis section cannot be executed (missing
     materials for a subdivision, a selector that matches no nodes, an

@@ -25,6 +25,9 @@ class LintContext:
     path: str
     strict: bool = False
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Capacity thresholds for the PLN rules; ``None`` disarms them.
+    budget_bytes: Optional[float] = None
+    deadline_s: Optional[float] = None
 
     def emit(self, code: str, card: Optional[CardView] = None,
              where: str = "", **values: Any) -> Diagnostic:

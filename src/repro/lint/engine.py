@@ -35,19 +35,33 @@ DECK_SUFFIX = ".deck"
 
 def lint_text(text: str, path: str = "<deck>",
               program: Optional[str] = None,
-              strict: bool = False) -> FileLintResult:
-    """Statically analyze one deck blob; never raises on deck content."""
+              strict: bool = False,
+              budget_bytes: Optional[float] = None,
+              deadline_s: Optional[float] = None) -> FileLintResult:
+    """Statically analyze one deck blob; never raises on deck content.
+
+    ``budget_bytes`` / ``deadline_s`` arm the PLN capacity family:
+    the deck is priced by :mod:`repro.plan` and predictions beyond a
+    threshold become errors.  Both default to off, leaving the report
+    identical to a planner-free run.
+    """
     with obs.span("lint.deck", path=path):
+        ctx = LintContext(path=path, strict=strict,
+                          budget_bytes=budget_bytes,
+                          deadline_s=deadline_s)
         if program is None:
             try:
                 program = classify_deck_text(text)
             except BatchError as exc:
-                ctx = LintContext(path=path, strict=strict)
                 ctx.emit("IDZ001", None, "deck", detail=str(exc))
+                if budget_bytes is not None or deadline_s is not None:
+                    # An unclassifiable deck is unpriceable too; a
+                    # capacity threshold turns that into PLN003.
+                    ctx.emit("PLN003", None, "plan",
+                             reason=str(exc))
                 return _finish(FileLintResult(
                     path=path, program=None,
                     diagnostics=ctx.diagnostics))
-        ctx = LintContext(path=path, strict=strict)
         if program == "idlz":
             model = parse_idlz(text, path)
             ctx.diagnostics.extend(model.parse_diagnostics)
@@ -55,6 +69,7 @@ def lint_text(text: str, path: str = "<deck>",
             for check in checkers_for("idlz"):
                 check(ctx, model, analyses)
             _check_trailing(ctx, model, "IDZ007")
+            _check_plan(ctx, "idlz", model)
         elif program == "analyze":
             analyze_model = parse_analyze(text, path)
             ctx.diagnostics.extend(analyze_model.parse_diagnostics)
@@ -67,12 +82,14 @@ def lint_text(text: str, path: str = "<deck>",
             for check in checkers_for("analyze"):
                 check(ctx, analyze_model, analyses)
             _check_trailing(ctx, analyze_model, "ANA011")
+            _check_plan(ctx, "analyze", analyze_model)
         elif program == "ospl":
             model = parse_ospl(text, path)
             ctx.diagnostics.extend(model.parse_diagnostics)
             for check in checkers_for("ospl"):
                 check(ctx, model)
             _check_trailing(ctx, model, "OSP004")
+            _check_plan(ctx, "ospl", model)
         else:
             raise LintError(
                 f"unknown program {program!r}; expected 'idlz', "
@@ -81,6 +98,16 @@ def lint_text(text: str, path: str = "<deck>",
         return _finish(FileLintResult(
             path=path, program=program,
             diagnostics=ctx.diagnostics))
+
+
+def _check_plan(ctx: LintContext, program: str,
+                model: Union[IdlzDeckModel, OsplDeckModel,
+                             AnalyzeDeckModel]) -> None:
+    """The threshold-gated PLN family (no-op without thresholds)."""
+    if ctx.budget_bytes is None and ctx.deadline_s is None:
+        return
+    from repro.lint.rules_plan import apply_plan_rules
+    apply_plan_rules(ctx, program, model)
 
 
 def _check_trailing(ctx: LintContext,
@@ -106,15 +133,20 @@ def _finish(result: FileLintResult) -> FileLintResult:
 
 
 def lint_path(path: Union[str, Path],
-              strict: bool = False) -> FileLintResult:
+              strict: bool = False,
+              budget_bytes: Optional[float] = None,
+              deadline_s: Optional[float] = None) -> FileLintResult:
     """Statically analyze one deck file."""
     path = Path(path)
-    return lint_text(path.read_text(), str(path), strict=strict)
+    return lint_text(path.read_text(), str(path), strict=strict,
+                     budget_bytes=budget_bytes, deadline_s=deadline_s)
 
 
 def lint_paths(paths: Sequence[Union[str, Path]],
                recursive: bool = False,
-               strict: bool = False) -> List[FileLintResult]:
+               strict: bool = False,
+               budget_bytes: Optional[float] = None,
+               deadline_s: Optional[float] = None) -> List[FileLintResult]:
     """Analyze files and/or directories of ``*.deck`` files.
 
     Directories contribute their ``*.deck`` entries (recursively with
@@ -138,4 +170,5 @@ def lint_paths(paths: Sequence[Union[str, Path]],
             f"no {DECK_SUFFIX} files matched "
             f"{', '.join(str(p) for p in paths)}"
         )
-    return [lint_path(deck, strict=strict) for deck in decks]
+    return [lint_path(deck, strict=strict, budget_bytes=budget_bytes,
+                      deadline_s=deadline_s) for deck in decks]

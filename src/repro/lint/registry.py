@@ -15,15 +15,20 @@ Code families::
     ANA0xx   analyze section   (materials, BCs, loads, plot requests)
     FMT0xx   FORTRAN FORMATs   (the type-7 punch formats)
     LIM0xx   Table 1/2 limits  (warnings; errors under --strict)
+    PLN0xx   capacity          (cost planner vs --budget/--deadline)
 
 Checker functions live in :mod:`repro.lint.rules_idlz`,
 :mod:`repro.lint.rules_ospl`, :mod:`repro.lint.rules_format` and
 :mod:`repro.lint.rules_limits`; they are registered per program and
-driven by :mod:`repro.lint.engine`.
+driven by :mod:`repro.lint.engine`.  The PLN family
+(:mod:`repro.lint.rules_plan`) is threshold-gated and applied once per
+deck by the engine rather than through the checker tables.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List
 
@@ -114,6 +119,23 @@ def explain(code: str) -> str:
             f"{rule.explain.strip()}\n")
 
 
+def registry_fingerprint() -> str:
+    """A stable hash of every registered rule's observable surface.
+
+    Covers (code, severity, title, template) for the whole registry, so
+    adding, removing or editing any rule -- even without a version
+    bump -- produces a new fingerprint.  The batch engine keys its
+    cached lint verdicts on this, which is what invalidates stale
+    verdicts in dev installs where ``code_version`` never moves.
+    """
+    _load_rules()
+    payload = json.dumps(
+        [[r.code, r.severity, r.title, r.template] for r in all_rules()],
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
 _loaded = False
 
 
@@ -129,4 +151,5 @@ def _load_rules() -> None:
         rules_idlz,
         rules_limits,
         rules_ospl,
+        rules_plan,
     )

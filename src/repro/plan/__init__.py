@@ -1,0 +1,57 @@
+"""Static deck cost analysis: the ``repro.plan/v1`` estimate.
+
+The planner is an abstract interpreter over the lint subsystem's
+tolerant card-tray models: it derives node/element counts, a bandwidth
+bound, and calibrated wall/memory predictions from the deck alone --
+answering the 1970 operator's "how big is this job?" before any
+pipeline stage runs.  The estimate feeds three consumers: the PLN0xx
+capacity lint rules, the batch runner's cost-aware scheduling, and the
+``repro plan`` CLI (with its ``plan check`` accuracy gate).
+"""
+
+from repro.plan.calibrate import Calibration, load_calibration
+from repro.plan.check import (
+    CHECK_SCHEMA,
+    MEM_BAND,
+    WALL_BAND,
+    check_deck,
+    check_paths,
+    render_check_text,
+)
+from repro.plan.estimate import (
+    collect_decks,
+    plan_model,
+    plan_path,
+    plan_paths,
+    plan_text,
+)
+from repro.plan.model import (
+    SCHEMA,
+    DeckPlan,
+    ProblemPlan,
+    format_bytes,
+    parse_size,
+)
+from repro.plan.report import render_plan_text
+
+__all__ = [
+    "CHECK_SCHEMA",
+    "Calibration",
+    "DeckPlan",
+    "MEM_BAND",
+    "ProblemPlan",
+    "SCHEMA",
+    "WALL_BAND",
+    "check_deck",
+    "check_paths",
+    "collect_decks",
+    "format_bytes",
+    "load_calibration",
+    "parse_size",
+    "plan_model",
+    "plan_path",
+    "plan_paths",
+    "plan_text",
+    "render_check_text",
+    "render_plan_text",
+]

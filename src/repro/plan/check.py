@@ -1,0 +1,213 @@
+"""``plan check``: predicted versus instrumented cost, with a CI gate.
+
+For every deck the harness makes two instrumented runs in a scratch
+directory:
+
+1. a **wall run** under an observer -- the actual wall is the sum of
+   the measured span aggregates for exactly the stages the plan
+   priced, so prediction and measurement argue about the same code;
+2. a **memory run** under :mod:`tracemalloc` -- the actual peak is the
+   high-water mark of live allocations, the same working-set
+   definition the plan's ``peak_bytes`` uses.  Memory is measured in a
+   separate run because tracemalloc's allocation hooks inflate wall
+   time several-fold.
+
+Ratios are computed above documented floors (tiny decks are dominated
+by constant overhead the plan prices as per-stage floors, and timer
+noise below a few milliseconds would gate on luck):
+
+* wall floor: 10 ms -- both sides are clamped up to it;
+* memory floor: 512 KiB.
+
+The gate passes when every deck's clamped ratio lies within the error
+band -- 2x for wall, 1.5x for memory, both directions.  These bands are
+the contract ``docs/PLAN.md`` documents and CI enforces.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import tracemalloc
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro import obs
+from repro.errors import PlanError, ReproError
+from repro.obs.diff import aggregate_spans
+from repro.obs.report import RunReport
+from repro.plan.calibrate import Calibration, load_calibration
+from repro.plan.estimate import collect_decks, plan_path
+from repro.plan.model import DeckPlan, format_bytes
+
+#: Accuracy-report schema tag.
+CHECK_SCHEMA = "repro.plan-check/v1"
+
+#: Documented error bands (see module doc and docs/PLAN.md).
+WALL_BAND = 2.0
+MEM_BAND = 1.5
+
+#: Documented clamping floors for the ratios.
+WALL_FLOOR_S = 0.010
+MEM_FLOOR_BYTES = 512 * 1024
+
+
+@dataclass
+class CheckRow:
+    """Predicted-versus-actual for one deck."""
+
+    deck: str
+    program: Optional[str]
+    plannable: bool
+    reason: Optional[str] = None
+    predicted_wall_s: float = 0.0
+    actual_wall_s: float = 0.0
+    wall_ratio: float = 0.0
+    predicted_bytes: int = 0
+    actual_bytes: int = 0
+    mem_ratio: float = 0.0
+    ok: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "deck": self.deck,
+            "program": self.program,
+            "plannable": self.plannable,
+            "ok": self.ok,
+        }
+        if not self.plannable:
+            out["reason"] = self.reason
+            return out
+        out.update({
+            "predicted_wall_s": round(self.predicted_wall_s, 6),
+            "actual_wall_s": round(self.actual_wall_s, 6),
+            "wall_ratio": round(self.wall_ratio, 4),
+            "predicted_bytes": self.predicted_bytes,
+            "actual_bytes": self.actual_bytes,
+            "mem_ratio": round(self.mem_ratio, 4),
+        })
+        return out
+
+
+def _runner(program: Optional[str], deck: Path,
+            out_dir: Path) -> Callable[[], Any]:
+    if program == "idlz":
+        from repro.core.idlz.program import run_idlz_files
+        return lambda: run_idlz_files(deck, out_dir)
+    if program == "ospl":
+        from repro.core.ospl.program import run_ospl_files
+        return lambda: run_ospl_files(deck, out_dir / "field.svg")
+    if program == "analyze":
+        from repro.analyze.program import run_analyze_files
+        return lambda: run_analyze_files(deck, out_dir)
+    raise PlanError(f"cannot instrument program {program!r}")
+
+
+def clamped_ratio(predicted: float, actual: float,
+                  floor: float) -> float:
+    """predicted/actual with both sides clamped up to ``floor``."""
+    return max(predicted, floor) / max(actual, floor)
+
+
+def _within(ratio: float, band: float) -> bool:
+    return 1.0 / band <= ratio <= band
+
+
+def check_deck(deck: Union[str, Path],
+               calibration: Optional[Calibration] = None,
+               plan: Optional[DeckPlan] = None) -> CheckRow:
+    """Measure one deck's actual cost against its plan."""
+    deck = Path(deck)
+    if plan is None:
+        plan = plan_path(deck, calibration=calibration
+                         or load_calibration())
+    if not plan.plannable:
+        return CheckRow(deck=str(deck), program=plan.program,
+                        plannable=False, reason=plan.reason, ok=False)
+    try:
+        with tempfile.TemporaryDirectory(prefix="plan-check-") as tmp:
+            run = _runner(plan.program, deck, Path(tmp))
+            with obs.capture() as observer:
+                run()
+            report = RunReport.from_observer(observer)
+            aggs = aggregate_spans(report)
+            actual_wall = sum(agg.wall_s for name, agg in aggs.items()
+                              if name in plan.stages)
+        with tempfile.TemporaryDirectory(prefix="plan-check-") as tmp:
+            run = _runner(plan.program, deck, Path(tmp))
+            tracemalloc.start()
+            try:
+                run()
+                _, actual_bytes = tracemalloc.get_traced_memory()
+            finally:
+                tracemalloc.stop()
+    except ReproError as exc:
+        return CheckRow(deck=str(deck), program=plan.program,
+                        plannable=False,
+                        reason=f"instrumented run failed: {exc}",
+                        ok=False)
+    wall_ratio = clamped_ratio(plan.wall_s, actual_wall, WALL_FLOOR_S)
+    mem_ratio = clamped_ratio(float(plan.peak_bytes),
+                              float(actual_bytes), MEM_FLOOR_BYTES)
+    return CheckRow(
+        deck=str(deck), program=plan.program, plannable=True,
+        predicted_wall_s=plan.wall_s, actual_wall_s=actual_wall,
+        wall_ratio=wall_ratio,
+        predicted_bytes=int(plan.peak_bytes),
+        actual_bytes=int(actual_bytes),
+        mem_ratio=mem_ratio,
+        ok=_within(wall_ratio, WALL_BAND) and _within(mem_ratio, MEM_BAND),
+    )
+
+
+def check_paths(paths: Sequence[Union[str, Path]],
+                recursive: bool = False,
+                calibration: Optional[Calibration] = None,
+                wall_band: float = WALL_BAND,
+                mem_band: float = MEM_BAND) -> Dict[str, Any]:
+    """The full accuracy report over files/directories of decks."""
+    calibration = calibration or load_calibration()
+    rows: List[CheckRow] = []
+    for deck in collect_decks(paths, recursive=recursive):
+        row = check_deck(deck, calibration=calibration)
+        if row.plannable:
+            row.ok = (_within(row.wall_ratio, wall_band)
+                      and _within(row.mem_ratio, mem_band))
+        rows.append(row)
+    return {
+        "schema": CHECK_SCHEMA,
+        "wall_band": wall_band,
+        "mem_band": mem_band,
+        "wall_floor_s": WALL_FLOOR_S,
+        "mem_floor_bytes": MEM_FLOOR_BYTES,
+        "decks": [row.to_dict() for row in rows],
+        "ok": all(row.ok for row in rows),
+    }
+
+
+def render_check_text(report: Dict[str, Any]) -> str:
+    """The ``obs``-style fixed-width accuracy table."""
+    lines = [
+        f"plan accuracy  (wall band {report['wall_band']:g}x, "
+        f"mem band {report['mem_band']:g}x)",
+        f"{'deck':<44} {'pred':>8} {'act':>8} {'ratio':>6}  "
+        f"{'pred':>8} {'act':>8} {'ratio':>6}  verdict",
+    ]
+    for row in report["decks"]:
+        name = Path(row["deck"]).name
+        if not row.get("plannable", False):
+            lines.append(f"{name:<44} unplannable: {row.get('reason')}")
+            continue
+        lines.append(
+            f"{name:<44} "
+            f"{row['predicted_wall_s'] * 1e3:>7.1f}ms "
+            f"{row['actual_wall_s'] * 1e3:>7.1f}ms "
+            f"{row['wall_ratio']:>5.2f}x  "
+            f"{format_bytes(row['predicted_bytes']):>8} "
+            f"{format_bytes(row['actual_bytes']):>8} "
+            f"{row['mem_ratio']:>5.2f}x  "
+            f"{'ok' if row['ok'] else 'OUT OF BAND'}"
+        )
+    lines.append(f"verdict: {'ok' if report['ok'] else 'FAIL'} "
+                 f"({len(report['decks'])} deck(s))")
+    return "\n".join(lines)

@@ -1,0 +1,440 @@
+"""The abstract interpreter: deck text -> :class:`DeckPlan`.
+
+Everything here is derived from the parsed card tray with pure integer
+arithmetic -- no pipeline stage executes:
+
+* **node count** -- the size of the union of every buildable
+  subdivision's lattice points (type-2/3/4 cards);
+* **element count** -- per consecutive strip pair the zipper emits one
+  triangle per pointer advance, so the pair contributes exactly
+  ``len(lower) + len(upper) - 2`` elements;
+* **bandwidth bound** -- the zipper's advance rule is replayed over the
+  initial (l, k) node numbers, tracking the worst node-index spread of
+  any emitted triangle.  The renumber stage keeps the better of the
+  initial and RCM numberings, so the realized half-bandwidth never
+  exceeds this bound;
+* **shaping growth** -- the type-6 real-coordinate bounding box versus
+  the lattice extent, a bound on how far shaping stretches the frame;
+* **wall/memory** -- the per-stage rate model of
+  :mod:`repro.plan.calibrate` applied to those counts.
+
+Decks whose cost cannot be derived (unbuildable subdivisions, truncated
+trays, empty files) produce ``plannable=False`` plans with a reason --
+the planner never raises on deck content.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.batch.jobs import classify_deck_text
+from repro.errors import BatchError, IdealizationError, PlanError
+from repro.lint.model import (
+    AnalyzeDeckModel,
+    IdlzDeckModel,
+    OsplDeckModel,
+    RawIdlzProblem,
+    parse_analyze,
+    parse_idlz,
+    parse_ospl,
+)
+from repro.plan.calibrate import Calibration, load_calibration
+from repro.plan.model import DeckPlan, ProblemPlan
+
+#: File extension the tray scan collects (same as lint and batch).
+DECK_SUFFIX = ".deck"
+
+# ----------------------------------------------------------------------
+# Memory model constants (bytes).  Tuned against tracemalloc peaks of
+# instrumented runs on the reference container -- see docs/PLAN.md for
+# the measurement protocol and the 1.5x error band they must satisfy.
+# ----------------------------------------------------------------------
+#: Fixed working set per problem: listing buffers, stage context,
+#: format machinery -- the intercept of the two-scale fit.
+PROBLEM_FIXED_BYTES = 150_000
+#: Working-set bytes per node: lattice tuples, grid maps, coordinate
+#: pairs, renumber permutations (pure-python objects dominate).
+NODE_BYTES = 300
+#: Working-set bytes per element: triangle tuples, reform quality
+#: records, adjacency lists.
+ELEM_BYTES = 600
+#: Assembly scratch on top of the banded store (index maps, element
+#: matrices); multiplies the matrix bytes.
+MATRIX_OVERHEAD = 2.0
+#: CSR bytes per stored entry (data + indices + indptr amortized).
+SPARSE_BYTES_PER_ENTRY = 20
+#: Average stored entries per dof row for a triangulated lattice.
+SPARSE_ENTRIES_PER_DOF = 14
+#: OSPL working set per element (contour segments, label candidates).
+OSPL_ELEM_BYTES = 1200
+#: Fixed working set per isogram plot (frame, label layout, fonts).
+PLOT_FIXED_BYTES = 150_000
+#: Per-plot SVG frame construction bytes per element.
+PLOT_ELEM_BYTES = 400
+#: Fixed wall per isogram plot (frame setup, label layout) on top of
+#: the per-element contouring rate.
+PLOT_FIXED_S = 1.3e-2
+
+_IDLZ_STAGES = ("idlz.number", "idlz.elements", "idlz.shape",
+                "idlz.reform", "idlz.renumber")
+_ANALYZE_MESH_STAGES = ("analyze.number", "analyze.elements",
+                        "analyze.shape", "analyze.reform",
+                        "analyze.renumber")
+_ANALYZE_SOLVE_STAGES = ("analyze.materials", "analyze.assemble",
+                         "analyze.constrain", "analyze.loads",
+                         "analyze.solve", "analyze.recover",
+                         "analyze.isograms")
+_OSPL_STAGES = ("ospl.intervals", "ospl.contour", "ospl.labels",
+                "ospl.plot")
+
+
+class _Unplannable(Exception):
+    """Internal: this deck's cost cannot be derived (reason in args)."""
+
+
+# ----------------------------------------------------------------------
+# Geometry: counts and the bandwidth bound
+# ----------------------------------------------------------------------
+
+def _zipper_spread(lower: List[int], upper: List[int],
+                   lower_pos: List[float], upper_pos: List[float]) -> int:
+    """Worst node-index spread of any triangle the zipper would emit.
+
+    Replays :func:`repro.core.idlz.elements.triangulate_strip`'s advance
+    rule over node numbers only -- same balanced march, no triangle
+    objects.
+    """
+    spread = 0
+    i = j = 0
+    while i < len(lower) - 1 or j < len(upper) - 1:
+        can_lower = i < len(lower) - 1
+        can_upper = j < len(upper) - 1
+        if can_lower and can_upper:
+            advance_lower = lower_pos[i + 1] <= upper_pos[j + 1]
+        else:
+            advance_lower = can_lower
+        if advance_lower:
+            tri = (lower[i], lower[i + 1], upper[j])
+            i += 1
+        else:
+            tri = (lower[i], upper[j + 1], upper[j])
+            j += 1
+        spread = max(spread, max(tri) - min(tri))
+    return spread
+
+
+def plan_problem(problem: RawIdlzProblem) -> ProblemPlan:
+    """The static estimate for one IDLZ problem.
+
+    Raises :class:`_Unplannable` (internal) when the problem's cost is
+    not derivable; callers fold that into ``plannable=False``.
+    """
+    built = {}
+    for raw in problem.subdivisions:
+        if raw.index in built:
+            continue  # duplicate definitions: first wins, like the run
+        try:
+            built[raw.index] = raw.build()
+        except IdealizationError as exc:
+            raise _Unplannable(
+                f"problem {problem.number}: subdivision {raw.index}: {exc}"
+            ) from exc
+    if not built:
+        raise _Unplannable(
+            f"problem {problem.number}: no type-4 subdivision cards"
+        )
+    points = set()
+    for sub in built.values():
+        points.update(sub.lattice_points())
+    # The initial numbering: bottom-to-top, left-to-right (grid.py).
+    number = {pt: i
+              for i, pt in enumerate(sorted(points,
+                                            key=lambda p: (p[1], p[0])))}
+    n_elements = 0
+    bandwidth = 0
+    for sub in built.values():
+        strips = sub.strips()
+        if len(strips) < 2:
+            raise _Unplannable(
+                f"problem {problem.number}: subdivision {sub.index} "
+                "has fewer than two strips"
+            )
+        axis = 1 if sub.is_column_oriented else 0
+        for lower, upper in zip(strips[:-1], strips[1:]):
+            if len(lower) == 1 and len(upper) == 1:
+                raise _Unplannable(
+                    f"problem {problem.number}: subdivision {sub.index} "
+                    "pairs two single-node strips"
+                )
+            n_elements += len(lower) + len(upper) - 2
+            bandwidth = max(bandwidth, _zipper_spread(
+                [number[pt] for pt in lower],
+                [number[pt] for pt in upper],
+                [float(pt[axis]) for pt in lower],
+                [float(pt[axis]) for pt in upper],
+            ))
+    return ProblemPlan(
+        index=problem.number,
+        title=problem.title_card.text.strip() if problem.title_card else "",
+        n_nodes=len(points),
+        n_elements=n_elements,
+        node_half_bandwidth=bandwidth,
+        growth=_growth(problem, points),
+    )
+
+
+def _growth(problem: RawIdlzProblem, points: set) -> Optional[Dict[str, object]]:
+    """Shaping growth bound: type-6 bbox versus the lattice extent."""
+    xs: List[float] = []
+    ys: List[float] = []
+    for seg in problem.segments:
+        for value in (seg.x1, seg.x2):
+            if isinstance(value, (int, float)):
+                xs.append(float(value))
+        for value in (seg.y1, seg.y2):
+            if isinstance(value, (int, float)):
+                ys.append(float(value))
+    if not xs or not ys:
+        return None
+    ks = [pt[0] for pt in points]
+    ls = [pt[1] for pt in points]
+    lattice = (float(max(ks) - min(ks)), float(max(ls) - min(ls)))
+    real = (max(xs) - min(xs), max(ys) - min(ys))
+    factors = [real[i] / lattice[i] for i in range(2) if lattice[i] > 0]
+    return {
+        "lattice_extent": list(lattice),
+        "real_extent": [round(v, 6) for v in real],
+        "factor": round(max(factors), 6) if factors else None,
+    }
+
+
+# ----------------------------------------------------------------------
+# Per-program planners
+# ----------------------------------------------------------------------
+
+def _mesh_bytes(p: ProblemPlan) -> int:
+    return (PROBLEM_FIXED_BYTES + NODE_BYTES * p.n_nodes
+            + ELEM_BYTES * p.n_elements)
+
+
+def _plan_idlz(model: IdlzDeckModel, path: str,
+               calibration: Calibration) -> DeckPlan:
+    if model.truncated:
+        return _unplannable(path, "idlz", "deck truncated mid-card-tray")
+    if not model.problems:
+        return _unplannable(path, "idlz", "deck declares no problems")
+    problems = [plan_problem(p) for p in model.problems]
+    stages: Dict[str, float] = {}
+    for stage in _IDLZ_STAGES:
+        unit_kind = "nodes" if stage == "idlz.number" else "elements"
+        stages[stage] = sum(
+            calibration.stage_wall(
+                stage,
+                p.n_nodes if unit_kind == "nodes" else p.n_elements)
+            for p in problems
+        )
+    peak = max(_mesh_bytes(p) for p in problems)
+    return _assemble_plan(path, "idlz", problems, stages, peak,
+                          calibration, used=_IDLZ_STAGES)
+
+
+def _plan_ospl(model: OsplDeckModel, path: str,
+               calibration: Calibration) -> DeckPlan:
+    if model.truncated:
+        return _unplannable(path, "ospl", "deck truncated mid-card-tray")
+    if not isinstance(model.nn, int) or not isinstance(model.ne, int) \
+            or model.nn <= 0 or model.ne <= 0:
+        return _unplannable(
+            path, "ospl",
+            "type-1 card does not declare usable node/element counts")
+    title = model.title_cards[0].text.strip() if model.title_cards else ""
+    problem = ProblemPlan(index=1, title=title,
+                          n_nodes=model.nn, n_elements=model.ne,
+                          node_half_bandwidth=0)
+    stages = {
+        stage: calibration.stage_wall(
+            stage,
+            model.nn if stage == "ospl.intervals" else model.ne)
+        for stage in _OSPL_STAGES
+    }
+    peak = NODE_BYTES * model.nn + OSPL_ELEM_BYTES * model.ne
+    return _assemble_plan(path, "ospl", [problem], stages, peak,
+                          calibration, used=_OSPL_STAGES)
+
+
+def _plan_analyze(model: AnalyzeDeckModel, path: str,
+                  calibration: Calibration) -> DeckPlan:
+    if model.truncated:
+        return _unplannable(path, "analyze",
+                            "deck truncated mid-card-tray")
+    if not model.idlz.problems:
+        return _unplannable(path, "analyze",
+                            "deck declares no IDLZ problem")
+    problems = [plan_problem(p) for p in model.idlz.problems]
+    mesh = problems[0]
+    analysis = model.analysis or "plane_stress"
+    solver = model.solver or "banded"
+    dofs = 1 if analysis == "thermal" else 2
+    ndof = dofs * mesh.n_nodes
+    # One lattice node couples dofs within a node pair, so the matrix
+    # half-bandwidth follows the node bound: dofs*(hb_node + 1) - 1.
+    half_bandwidth = dofs * (mesh.node_half_bandwidth + 1) - 1
+    flops = float(ndof) * half_bandwidth * half_bandwidth
+    n_plots = len(model.plots) or 1
+    if analysis == "modal":
+        # Dense mass + stiffness pair; the eigensolver works in-place.
+        matrix_bytes = 2 * 8 * ndof * ndof
+    elif solver == "sparse":
+        matrix_bytes = (SPARSE_BYTES_PER_ENTRY * SPARSE_ENTRIES_PER_DOF
+                        * ndof)
+    else:  # banded / skyline: the band store bounds the skyline store
+        matrix_bytes = 8 * ndof * (half_bandwidth + 1)
+    stages: Dict[str, float] = {}
+    for stage in _ANALYZE_MESH_STAGES:
+        units = (mesh.n_nodes if stage == "analyze.number"
+                 else mesh.n_elements)
+        stages[stage] = calibration.stage_wall(stage, units)
+    units_by_stage = {
+        "analyze.materials": mesh.n_elements,
+        "analyze.assemble": mesh.n_elements,
+        "analyze.constrain": mesh.n_nodes,
+        "analyze.loads": mesh.n_nodes,
+        "analyze.solve": flops,
+        "analyze.recover": mesh.n_elements * n_plots,
+        "analyze.isograms": mesh.n_elements * n_plots,
+    }
+    for stage in _ANALYZE_SOLVE_STAGES:
+        stages[stage] = calibration.stage_wall(stage, units_by_stage[stage])
+    stages["analyze.isograms"] += n_plots * PLOT_FIXED_S
+    peak = int(_mesh_bytes(mesh)
+               + MATRIX_OVERHEAD * matrix_bytes
+               + n_plots * (PLOT_FIXED_BYTES
+                            + PLOT_ELEM_BYTES * mesh.n_elements))
+    used = _ANALYZE_MESH_STAGES + _ANALYZE_SOLVE_STAGES
+    plan = _assemble_plan(path, "analyze", problems, stages, peak,
+                          calibration, used=used)
+    plan.solve = {
+        "analysis": analysis,
+        "solver": solver,
+        "dofs_per_node": dofs,
+        "n_dof": ndof,
+        "matrix_half_bandwidth": half_bandwidth,
+        "flops": int(flops),
+        "matrix_bytes": int(matrix_bytes),
+        "n_plots": n_plots,
+    }
+    return plan
+
+
+def _assemble_plan(path: str, program: str,
+                   problems: List[ProblemPlan],
+                   stages: Dict[str, float], peak_bytes: float,
+                   calibration: Calibration,
+                   used: Sequence[str]) -> DeckPlan:
+    return DeckPlan(
+        path=path, program=program, plannable=True,
+        problems=problems, stages=stages,
+        wall_s=sum(stages.values()),
+        peak_bytes=int(peak_bytes),
+        baseline_rss_kb=calibration.base_rss_kb,
+        calibrated=any(calibration.is_calibrated(s) for s in used),
+        calibration=calibration.describe(),
+    )
+
+
+def _unplannable(path: str, program: Optional[str],
+                 reason: str) -> DeckPlan:
+    return DeckPlan(path=path, program=program, plannable=False,
+                    reason=reason)
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+def plan_model(model: Union[IdlzDeckModel, OsplDeckModel,
+                            AnalyzeDeckModel],
+               program: str, path: str = "<deck>",
+               calibration: Optional[Calibration] = None) -> DeckPlan:
+    """Plan an already-parsed deck model (the lint engine's entry)."""
+    calibration = calibration or load_calibration()
+    try:
+        if program == "idlz":
+            assert isinstance(model, IdlzDeckModel)
+            return _plan_idlz(model, path, calibration)
+        if program == "ospl":
+            assert isinstance(model, OsplDeckModel)
+            return _plan_ospl(model, path, calibration)
+        if program == "analyze":
+            assert isinstance(model, AnalyzeDeckModel)
+            return _plan_analyze(model, path, calibration)
+    except _Unplannable as exc:
+        return _unplannable(path, program, str(exc))
+    raise PlanError(f"unknown program {program!r}; expected "
+                    "'idlz', 'ospl' or 'analyze'")
+
+
+def plan_text(text: str, path: str = "<deck>",
+              program: Optional[str] = None,
+              calibration: Optional[Calibration] = None) -> DeckPlan:
+    """Statically estimate one deck blob; never raises on content."""
+    if program is None:
+        try:
+            program = classify_deck_text(text)
+        except BatchError as exc:
+            return _unplannable(path, None, str(exc))
+    if program == "idlz":
+        model: Union[IdlzDeckModel, OsplDeckModel, AnalyzeDeckModel] \
+            = parse_idlz(text, path)
+    elif program == "ospl":
+        model = parse_ospl(text, path)
+    elif program == "analyze":
+        model = parse_analyze(text, path)
+    else:
+        raise PlanError(f"unknown program {program!r}; expected "
+                        "'idlz', 'ospl' or 'analyze'")
+    return plan_model(model, program, path, calibration)
+
+
+def plan_path(path: Union[str, Path],
+              calibration: Optional[Calibration] = None) -> DeckPlan:
+    """Statically estimate one deck file."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except UnicodeDecodeError as exc:
+        return _unplannable(str(path), None, f"not a text deck: {exc}")
+    return plan_text(text, str(path), calibration=calibration)
+
+
+def collect_decks(paths: Sequence[Union[str, Path]],
+                  recursive: bool = False) -> List[Path]:
+    """Expand files/directories into a sorted ``*.deck`` work list."""
+    decks: List[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            pattern = f"**/*{DECK_SUFFIX}" if recursive \
+                else f"*{DECK_SUFFIX}"
+            decks.extend(sorted(entry.glob(pattern)))
+        elif entry.exists():
+            decks.append(entry)
+        else:
+            raise PlanError(f"no such deck: {entry}")
+    if not decks:
+        raise PlanError(
+            f"no {DECK_SUFFIX} files matched "
+            f"{', '.join(str(p) for p in paths)}"
+        )
+    return decks
+
+
+def plan_paths(paths: Sequence[Union[str, Path]],
+               recursive: bool = False,
+               calibration: Optional[Calibration] = None
+               ) -> List[DeckPlan]:
+    """Plan files and/or directories of ``*.deck`` files."""
+    calibration = calibration or load_calibration()
+    return [plan_path(deck, calibration=calibration)
+            for deck in collect_decks(paths, recursive=recursive)]

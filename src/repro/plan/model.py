@@ -1,0 +1,165 @@
+"""The ``repro.plan/v1`` estimate: what a deck will cost before it runs.
+
+A :class:`DeckPlan` is a static prediction derived from the parsed card
+tray alone -- no pipeline stage executes.  Node and element counts come
+from the type-2/3 lattice cards, the bandwidth bound from the initial
+numbering scheme, and the wall/memory predictions from the calibration
+model in :mod:`repro.plan.calibrate`.  Decks whose cost cannot be
+derived (unbuildable subdivisions, truncated trays, empty files) yield
+a plan with ``plannable=False`` and a human-readable ``reason`` --
+never an exception.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+
+#: Manifest/JSON schema tag for one deck plan.
+SCHEMA = "repro.plan/v1"
+
+
+@dataclass
+class ProblemPlan:
+    """The static cost estimate for one IDLZ problem."""
+
+    index: int
+    title: str
+    n_nodes: int
+    n_elements: int
+    #: Bound on ``max |i - j|`` over any element's node pair under the
+    #: initial (l, k) numbering.  The renumber stage never accepts a
+    #: worse numbering, so the realized bandwidth is <= this.
+    node_half_bandwidth: int
+    #: Shaping growth: lattice extent vs the type-6 real-coordinate
+    #: bounding box (``None`` when the problem has no shaping cards).
+    growth: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "index": self.index,
+            "title": self.title,
+            "n_nodes": self.n_nodes,
+            "n_elements": self.n_elements,
+            "node_half_bandwidth": self.node_half_bandwidth,
+        }
+        if self.growth is not None:
+            out["growth"] = self.growth
+        return out
+
+
+@dataclass
+class DeckPlan:
+    """The full ``repro.plan/v1`` estimate for one deck."""
+
+    path: str
+    program: Optional[str]
+    plannable: bool
+    reason: Optional[str] = None
+    problems: List[ProblemPlan] = field(default_factory=list)
+    #: Solve-stage model for combined (analyze) decks.
+    solve: Optional[Dict[str, Any]] = None
+    #: Predicted wall seconds per pipeline stage (span names).
+    stages: Dict[str, float] = field(default_factory=dict)
+    #: Predicted total wall seconds (sum of ``stages``).
+    wall_s: float = 0.0
+    #: Predicted peak working-set bytes (tracemalloc semantics: live
+    #: allocations above the interpreter baseline; see docs/PLAN.md).
+    peak_bytes: int = 0
+    #: Interpreter baseline RSS (kb) for capacity planning; the
+    #: working-set prediction above sits on top of this.
+    baseline_rss_kb: float = 0.0
+    #: True when at least one stage rate came from BENCH history rows
+    #: rather than the documented fallback constants.
+    calibrated: bool = False
+    calibration: Optional[Dict[str, Any]] = None
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(p.n_nodes for p in self.problems)
+
+    @property
+    def n_elements(self) -> int:
+        return sum(p.n_elements for p in self.problems)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "schema": SCHEMA,
+            "deck": self.path,
+            "program": self.program,
+            "plannable": self.plannable,
+        }
+        if not self.plannable:
+            out["reason"] = self.reason
+            return out
+        out.update({
+            "problems": [p.to_dict() for p in self.problems],
+            "totals": {
+                "n_nodes": self.n_nodes,
+                "n_elements": self.n_elements,
+            },
+            "stages": {k: round(v, 6) for k, v in self.stages.items()},
+            "wall_s": round(self.wall_s, 6),
+            "peak_bytes": int(self.peak_bytes),
+            "baseline_rss_kb": round(self.baseline_rss_kb, 1),
+            "calibrated": self.calibrated,
+        })
+        if self.solve is not None:
+            out["solve"] = self.solve
+        if self.calibration is not None:
+            out["calibration"] = self.calibration
+        return out
+
+    def batch_block(self) -> Dict[str, Any]:
+        """The compact form stamped into ``repro.batch/v1`` records."""
+        if not self.plannable:
+            return {"plannable": False, "reason": self.reason}
+        return {
+            "plannable": True,
+            "n_nodes": self.n_nodes,
+            "n_elements": self.n_elements,
+            "wall_s": round(self.wall_s, 6),
+            "peak_bytes": int(self.peak_bytes),
+            "calibrated": self.calibrated,
+        }
+
+
+_SIZE_UNITS = {
+    "": 1, "B": 1,
+    "KB": 1024, "K": 1024, "KIB": 1024,
+    "MB": 1024 ** 2, "M": 1024 ** 2, "MIB": 1024 ** 2,
+    "GB": 1024 ** 3, "G": 1024 ** 3, "GIB": 1024 ** 3,
+}
+
+
+def parse_size(text: str) -> int:
+    """``"64MB"`` / ``"1.5G"`` / ``"4096"`` -> bytes (binary units)."""
+    match = re.fullmatch(r"\s*([0-9]*\.?[0-9]+)\s*([A-Za-z]*)\s*",
+                         text or "")
+    if not match:
+        raise ReproError(f"cannot parse size {text!r}; "
+                         "expected e.g. 512KB, 64MB, 1.5GB")
+    value, unit = match.groups()
+    try:
+        scale = _SIZE_UNITS[unit.upper()]
+    except KeyError:
+        raise ReproError(
+            f"unknown size unit {unit!r} in {text!r}; "
+            "use B, KB, MB or GB"
+        ) from None
+    return int(float(value) * scale)
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable binary size (``7.3MB``)."""
+    value = float(n)
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(value) < 1024.0 or unit == "GB":
+            if unit == "B":
+                return f"{int(value)}B"
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.1f}GB"

@@ -1,0 +1,51 @@
+"""Human-readable rendering of deck plans (the ``plan`` CLI text mode)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+from repro.plan.model import DeckPlan, format_bytes
+
+
+def render_plan_text(plan: DeckPlan, verbose: bool = False) -> str:
+    """One deck plan as a compact report block."""
+    name = Path(plan.path).name
+    if not plan.plannable:
+        return (f"{name}: unplannable ({plan.program or 'unknown'})\n"
+                f"  reason: {plan.reason}")
+    lines: List[str] = [
+        f"{name}: {plan.program}, "
+        f"{plan.n_nodes} node(s), {plan.n_elements} element(s)"
+    ]
+    for problem in plan.problems:
+        growth = ""
+        if problem.growth and problem.growth.get("factor") is not None:
+            growth = f", shaping growth {problem.growth['factor']:g}x"
+        lines.append(
+            f"  problem {problem.index}: {problem.n_nodes} node(s), "
+            f"{problem.n_elements} element(s), bandwidth bound "
+            f"{problem.node_half_bandwidth}{growth}"
+        )
+    if plan.solve is not None:
+        solve = plan.solve
+        lines.append(
+            f"  solve: {solve['analysis']} via {solve['solver']}, "
+            f"{solve['n_dof']} dof, half-bandwidth "
+            f"{solve['matrix_half_bandwidth']}, "
+            f"~{solve['flops'] / 1e6:.2f} MFLOP, "
+            f"matrix {format_bytes(solve['matrix_bytes'])}"
+        )
+    tag = "calibrated" if plan.calibrated else "uncalibrated fallback"
+    lines.append(
+        f"  predicted: {plan.wall_s * 1e3:.1f} ms wall, "
+        f"{format_bytes(plan.peak_bytes)} working set "
+        f"(+{plan.baseline_rss_kb / 1024:.0f} MB interpreter baseline) "
+        f"[{tag}]"
+    )
+    if verbose and plan.stages:
+        width = max(len(s) for s in plan.stages)
+        for stage, wall in sorted(plan.stages.items(),
+                                  key=lambda kv: -kv[1]):
+            lines.append(f"    {stage:<{width}}  {wall * 1e3:8.2f} ms")
+    return "\n".join(lines)

@@ -138,6 +138,22 @@ class TestLintVerdictSidecar:
         assert lint_key("fp", "ospl", False) != base
         assert lint_key("fp", "idlz", True) != base
         assert lint_key("fp", "idlz", False, code_version="0.0.0") != base
+        assert lint_key("fp", "idlz", False, rules="deadbeef") != base
+
+    def test_lint_key_defaults_to_the_live_registry_fingerprint(self):
+        from repro.lint.registry import registry_fingerprint
+
+        fp = registry_fingerprint()
+        assert lint_key("fp", "idlz", False) == \
+            lint_key("fp", "idlz", False, rules=fp)
+
+    def test_registry_fingerprint_is_stable_and_rule_sensitive(self):
+        from repro.lint.registry import registry_fingerprint
+
+        fp = registry_fingerprint()
+        assert fp == registry_fingerprint()
+        assert len(fp) == 16
+        int(fp, 16)  # hex digest prefix
 
     def test_store_and_lookup_roundtrip(self, tmp_path):
         cache = ArtifactCache(tmp_path / "cache")

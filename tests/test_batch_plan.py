@@ -1,0 +1,155 @@
+"""Tests for cost-aware batch scheduling (plan blocks in the manifest)."""
+
+import pytest
+
+from repro.batch.jobs import JobSpec
+from repro.batch.runner import (
+    PLAN_TIMEOUT_FACTOR,
+    PLAN_TIMEOUT_MIN_S,
+    BatchOptions,
+    run_batch,
+)
+from tests.test_batch_runner import idlz_deck_text
+
+
+@pytest.fixture
+def deck_dir(tmp_path):
+    decks = tmp_path / "decks"
+    decks.mkdir()
+    (decks / "small.deck").write_text(idlz_deck_text("SMALL", cols=4))
+    (decks / "large.deck").write_text(idlz_deck_text("LARGE", cols=14))
+    (decks / "broken.deck").write_text("    1\nTRUNCATED\n")
+    return decks
+
+
+def spec_for(deck_dir, tmp_path, name, **overrides):
+    defaults = dict(
+        job_id=name,
+        deck=str(deck_dir / f"{name}.deck"),
+        program="idlz",
+        out_dir=str(tmp_path / "out" / name),
+    )
+    defaults.update(overrides)
+    return JobSpec(**defaults)
+
+
+class TestPlanBlocks:
+    def test_every_record_carries_a_plan_block(self, deck_dir, tmp_path):
+        manifest = run_batch(
+            [spec_for(deck_dir, tmp_path, "small")],
+            BatchOptions(), out_root=tmp_path,
+        )
+        (record,) = manifest.jobs
+        block = record["plan"]
+        assert block["plannable"] is True
+        assert block["n_nodes"] == 16
+        assert block["n_elements"] == 18
+        assert block["wall_s"] > 0
+
+    def test_no_plan_leaves_the_block_null(self, deck_dir, tmp_path):
+        manifest = run_batch(
+            [spec_for(deck_dir, tmp_path, "small")],
+            BatchOptions(plan=False), out_root=tmp_path,
+        )
+        (record,) = manifest.jobs
+        assert record["plan"] is None
+        assert manifest.options["plan"] is False
+
+    def test_options_record_the_plan_flag(self, deck_dir, tmp_path):
+        manifest = run_batch(
+            [spec_for(deck_dir, tmp_path, "small")],
+            BatchOptions(), out_root=tmp_path,
+        )
+        assert manifest.options["plan"] is True
+
+
+class TestScheduling:
+    def test_longest_expected_first(self, deck_dir, tmp_path):
+        manifest = run_batch(
+            [spec_for(deck_dir, tmp_path, "small"),
+             spec_for(deck_dir, tmp_path, "large")],
+            BatchOptions(), out_root=tmp_path,
+        )
+        ranks = {r["job_id"]: r["plan"]["rank"] for r in manifest.jobs}
+        assert ranks["large"] < ranks["small"]
+
+    def test_unplannable_jobs_go_first(self, deck_dir, tmp_path):
+        manifest = run_batch(
+            [spec_for(deck_dir, tmp_path, "small"),
+             spec_for(deck_dir, tmp_path, "broken")],
+            BatchOptions(), out_root=tmp_path,
+        )
+        by_id = {r["job_id"]: r for r in manifest.jobs}
+        broken = by_id["broken"]["plan"]
+        assert broken["plannable"] is False
+        assert broken["reason"]
+        assert by_id["small"]["plan"]["rank"] > 0
+
+    def test_timeout_is_plan_scaled_with_a_floor(self, deck_dir,
+                                                 tmp_path):
+        manifest = run_batch(
+            [spec_for(deck_dir, tmp_path, "small")],
+            BatchOptions(), out_root=tmp_path,
+        )
+        (record,) = manifest.jobs
+        block = record["plan"]
+        expected = max(PLAN_TIMEOUT_MIN_S,
+                       PLAN_TIMEOUT_FACTOR * block["wall_s"])
+        assert block["timeout_s"] == pytest.approx(expected, abs=1e-3)
+
+    def test_operator_timeout_still_caps_the_scaled_value(
+            self, deck_dir, tmp_path):
+        manifest = run_batch(
+            [spec_for(deck_dir, tmp_path, "small", timeout_s=0.5)],
+            BatchOptions(timeout_s=0.5), out_root=tmp_path,
+        )
+        (record,) = manifest.jobs
+        assert record["plan"]["timeout_s"] <= 0.5
+
+    def test_unplannable_job_keeps_the_flat_timeout(self, deck_dir,
+                                                    tmp_path):
+        manifest = run_batch(
+            [spec_for(deck_dir, tmp_path, "broken", timeout_s=7.0)],
+            BatchOptions(timeout_s=7.0), out_root=tmp_path,
+        )
+        (record,) = manifest.jobs
+        assert record["plan"]["plannable"] is False
+        assert record["plan"].get("timeout_s") == 7.0
+
+
+class TestWallError:
+    def test_completed_jobs_record_the_prediction_error(self, deck_dir,
+                                                        tmp_path):
+        manifest = run_batch(
+            [spec_for(deck_dir, tmp_path, "small")],
+            BatchOptions(), out_root=tmp_path,
+        )
+        (record,) = manifest.jobs
+        assert record["status"] == "ok"
+        error = record["plan"]["wall_error"]
+        assert error == pytest.approx(
+            record["wall_s"] / record["plan"]["wall_s"], rel=1e-2)
+
+    def test_unplannable_jobs_carry_no_error(self, deck_dir, tmp_path):
+        manifest = run_batch(
+            [spec_for(deck_dir, tmp_path, "broken")],
+            BatchOptions(), out_root=tmp_path,
+        )
+        (record,) = manifest.jobs
+        assert "wall_error" not in record["plan"]
+
+
+class TestExplain:
+    def test_explain_renders_the_plan_section(self, deck_dir, tmp_path):
+        manifest = run_batch(
+            [spec_for(deck_dir, tmp_path, "small"),
+             spec_for(deck_dir, tmp_path, "broken")],
+            BatchOptions(), out_root=tmp_path,
+        )
+        ok_text = manifest.render_explain("small")
+        assert "plan" in ok_text
+        assert "16 node(s), 18 element(s)" in ok_text
+        assert "rank" in ok_text
+        assert "plan error" in ok_text
+        bad_text = manifest.render_explain("broken")
+        assert "unplannable" in bad_text

@@ -206,6 +206,15 @@ EXPECTED = [
     ('OSP012', 'warning',
      'duplicate node coordinates',
      'node {index} duplicates the coordinates of node {other} ({x}, {y})'),
+    ('PLN001', 'error',
+     'predicted memory exceeds the budget',
+     'predicted working set {predicted} exceeds --budget {budget}'),
+    ('PLN002', 'error',
+     'predicted wall time exceeds the deadline',
+     'predicted wall time {predicted} exceeds --deadline {deadline}'),
+    ('PLN003', 'error',
+     'deck cost cannot be estimated',
+     'cannot estimate cost: {reason}'),
 ]
 
 
@@ -217,7 +226,7 @@ def test_rule_catalog_matches_snapshot():
 
 def test_every_family_is_represented():
     families = {code[:3] for code, _, _, _ in EXPECTED}
-    assert families == {"ANA", "IDZ", "OSP", "FMT", "LIM"}
+    assert families == {"ANA", "IDZ", "OSP", "FMT", "LIM", "PLN"}
 
 
 def test_severities_follow_family_policy():

@@ -1,0 +1,94 @@
+"""Tests for the threshold-gated PLN capacity rule family."""
+
+from repro.lint import explain, lint_text
+from tests.test_batch_runner import OSPL_DECK, idlz_deck_text
+
+ANALYZE_DECK = "examples/decks/analyze/plate.analyze.deck"
+
+
+def codes(result):
+    return [d.code for d in result.diagnostics]
+
+
+class TestThresholdGate:
+    def test_no_thresholds_means_no_pln_diagnostics(self):
+        result = lint_text(idlz_deck_text())
+        assert not any(c.startswith("PLN") for c in codes(result))
+
+    def test_generous_thresholds_stay_silent(self):
+        result = lint_text(idlz_deck_text(),
+                           budget_bytes=float(1 << 30),
+                           deadline_s=3600.0)
+        assert not any(c.startswith("PLN") for c in codes(result))
+        assert result.clean
+
+
+class TestBudget:
+    def test_tiny_budget_fires_pln001(self):
+        result = lint_text(idlz_deck_text(), budget_bytes=1.0)
+        assert "PLN001" in codes(result)
+        assert not result.ok
+
+    def test_budget_message_carries_both_sizes(self):
+        result = lint_text(idlz_deck_text(), budget_bytes=1024.0)
+        (diag,) = [d for d in result.diagnostics if d.code == "PLN001"]
+        assert "1.0KB" in diag.message
+        assert diag.where == "plan"
+
+
+class TestDeadline:
+    def test_tiny_deadline_fires_pln002(self):
+        result = lint_text(idlz_deck_text(), deadline_s=1e-9)
+        assert "PLN002" in codes(result)
+
+    def test_analyze_deck_is_priced_as_analyze(self):
+        # The analyze deck's wall includes the solve/isogram stages;
+        # a deadline between the IDLZ-only cost and the full cost must
+        # still trip, proving the top-level model is what gets priced.
+        text = open(ANALYZE_DECK).read()
+        idlz_only = lint_text(idlz_deck_text(), deadline_s=None)
+        assert idlz_only.clean
+        result = lint_text(text, path=ANALYZE_DECK, deadline_s=0.020)
+        assert "PLN002" in codes(result)
+
+
+class TestUnpriceable:
+    def test_threshold_on_unbuildable_deck_fires_pln003(self):
+        deck = (
+            "    1\n"
+            "BAD PROBLEM\n"
+            "    0    0    0    1\n"
+            "    1    1    1   10    1\n"
+            "    1    0\n"
+            "\n\n"
+        )
+        result = lint_text(deck, budget_bytes=float(1 << 20))
+        assert "PLN003" in codes(result)
+
+    def test_empty_deck_with_budget_reports_idz001_and_pln003(self):
+        result = lint_text("", budget_bytes=float(1 << 20))
+        assert codes(result) == ["IDZ001", "PLN003"]
+
+    def test_empty_deck_without_thresholds_keeps_old_report(self):
+        result = lint_text("")
+        assert codes(result) == ["IDZ001"]
+
+    def test_whitespace_and_crlf_decks_never_raise(self):
+        lint_text("  \n\t\n", budget_bytes=1.0)
+        crlf = idlz_deck_text().replace("\n", "\r\n")
+        result = lint_text(crlf, deadline_s=3600.0)
+        assert not any(c.startswith("PLN") for c in codes(result))
+
+
+class TestOspl:
+    def test_ospl_decks_are_priced_too(self):
+        result = lint_text(OSPL_DECK, budget_bytes=1.0)
+        assert "PLN001" in codes(result)
+
+
+class TestCatalog:
+    def test_every_pln_rule_explains_itself(self):
+        for code in ("PLN001", "PLN002", "PLN003"):
+            text = explain(code)
+            assert code in text
+            assert "plan" in text.lower()

@@ -1,0 +1,63 @@
+"""CI gate: every published lint rule is documented and tested.
+
+A rule code is a contract (scripts grep for it, stored verdicts embed
+it), so a code that exists in the registry but appears nowhere in
+docs/LINT.md is undocumented surface, and one asserted by no test can
+silently stop firing.  This script fails the build on either.  The
+snapshot test (tests/test_lint_snapshot.py) lists every code, so the
+test half of the gate is structurally satisfiable from day one -- the
+point is that deleting a code from the snapshot without deleting the
+rule (or vice versa) cannot slip through.
+
+    PYTHONPATH=src python tools/check_rule_coverage.py
+"""
+
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.lint import all_rules  # noqa: E402
+
+ROOT = Path(__file__).parent.parent
+CODE_RE = re.compile(r"\b([A-Z]{3}\d{3})\b")
+
+
+def codes_in(path: Path) -> set:
+    return set(CODE_RE.findall(path.read_text()))
+
+
+def main() -> int:
+    published = {rule.code for rule in all_rules()}
+
+    documented = codes_in(ROOT / "docs" / "LINT.md")
+    tested = set()
+    for test_file in sorted((ROOT / "tests").glob("*.py")):
+        tested |= codes_in(test_file)
+
+    failures = []
+    for code in sorted(published - documented):
+        failures.append(f"{code}: published but absent from docs/LINT.md "
+                        "(run tools/gen_lint_docs.py)")
+    for code in sorted(published - tested):
+        failures.append(f"{code}: published but asserted by no test "
+                        "under tests/")
+    # The reverse direction: a code that docs or tests mention but the
+    # registry no longer publishes is a stale reference.
+    for code in sorted(documented - published):
+        failures.append(f"{code}: documented in docs/LINT.md but not "
+                        "published by the registry")
+
+    if failures:
+        print("rule coverage gate FAILED:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"rule coverage ok: {len(published)} rule(s) documented "
+          "and tested")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

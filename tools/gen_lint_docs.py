@@ -257,6 +257,21 @@ EXAMPLES = {
         i5(5, 3) + f10(2.0, 0.0, 1.0, 0.0, 0.0),
         SQUARE_NODES + [node(0.0, 0.0, 9.0)],
         SQUARE_ELEMENTS + [i5(1, 2, 5)]), None, None),
+    "PLN001": ("idlz", square(), None,
+               "linted with ``--budget 100KB``"),
+    "PLN002": ("idlz", square(), None,
+               "linted with ``--deadline 0.000001``"),
+    "PLN003": ("idlz", one_sub(i5(1, 3, 3, 1, 1)), None,
+               "linted with ``--budget 64MB``; the subdivision does "
+               "not build, so there is nothing to price"),
+}
+
+#: The PLN rules are threshold-gated; these kwargs arm them when the
+#: worked example is linted for real.
+THRESHOLDS = {
+    "PLN001": {"budget_bytes": 100.0 * 1024},
+    "PLN002": {"deadline_s": 1e-6},
+    "PLN003": {"budget_bytes": 64.0 * 1024 * 1024},
 }
 
 FAMILIES = [
@@ -290,11 +305,18 @@ FAMILIES = [
     ("OSP0", "OSPL rules (OSP0xx)",
      "The contour-plot deck: window, node table, element table and "
      "the field values."),
+    ("PLN0", "Planner capacity rules (PLN0xx)",
+     "Cost predictions from the static planner ([PLAN.md](PLAN.md)) "
+     "checked against operator thresholds.  Threshold-gated: nothing "
+     "in this family fires unless the lint invocation supplies "
+     "``--budget`` and/or ``--deadline``, so default runs are "
+     "byte-identical to a planner-free analyzer."),
 ]
 
 
 def render_example(code, program, text, show, note):
-    result = lint_text(text, "example.deck", program=program)
+    result = lint_text(text, "example.deck", program=program,
+                       **THRESHOLDS.get(code, {}))
     matches = [d for d in result.diagnostics if d.code == code]
     assert matches, (code, [d.code for d in result.diagnostics])
     lines = text.rstrip("\n").split("\n")
