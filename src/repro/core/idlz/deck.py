@@ -22,14 +22,14 @@ produces.  F8.4 fields honour FORTRAN implied-decimal input.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.cards.card import deck_fingerprint as _deck_fingerprint
 from repro.cards.fortran_format import FortranFormat
 from repro.cards.reader import CardReader
 from repro.cards.writer import CardWriter
-from repro.core.idlz.limits import IdlzLimits, STRICT_1970, UNLIMITED
+from repro.core.idlz.limits import IdlzLimits, UNLIMITED
 from repro.core.idlz.output import (
     DEFAULT_ELEMENT_FORMAT,
     DEFAULT_NODAL_FORMAT,

@@ -10,6 +10,13 @@ In *strict* mode the library enforces them exactly (the 7090's core was
 finite); by default they are reported but not enforced, so modern callers
 can mesh beyond 1970 capacity.  The Table-2 benchmark runs in strict mode
 at the limits.
+
+The 40x60 grid cap is **not** a capacity limit of this reproduction:
+the array-native kernels number and triangulate 1000x1000-class
+lattices (see ``benchmarks/common.py`` and ``docs/PERFORMANCE.md``).
+Exceeding Table 2 surfaces as a LIM0xx lint *warning* (``repro lint``),
+escalated to an error -- and to the runtime :class:`LimitError` via
+:data:`STRICT_1970` -- only under ``--strict``.
 """
 
 from __future__ import annotations

@@ -9,7 +9,7 @@ here; numbers on cards and plots are 1-based, as FORTRAN's were.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 

@@ -15,7 +15,10 @@ The stage bodies live in :mod:`repro.pipeline.idlz` (one
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.fem.quality import MeshQuality
 
 from repro.core.idlz.grid import LatticeGrid
 from repro.core.idlz.limits import IdlzLimits, UNLIMITED
@@ -81,7 +84,7 @@ class Idealization:
             "renumbered": self.renumbered,
         }
 
-    def quality(self):
+    def quality(self) -> "MeshQuality":
         """Mesh quality aggregate (see :mod:`repro.fem.quality`)."""
         from repro.fem.quality import mesh_quality
 

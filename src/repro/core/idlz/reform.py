@@ -12,23 +12,35 @@ criterion -- the ANGMIN test of the source listing).  Swaps never cross a
 material boundary: the two triangles must carry the same group tag, so a
 bimetallic juncture keeps its interface exactly where the subdivisions put
 it.
+
+Each sweep is evaluated **array-first**: node positions never move during
+reformation, and the ``handled``-edge discipline guarantees that every
+candidate edge the sequential sweep actually evaluates still sees its
+pass-start geometry (any edge adjacent to an already-swapped pair is in
+``handled`` and skipped).  The convexity tests, opposite-vertex lookups
+and min-angle comparisons for *all* interior edges are therefore computed
+in one batch of numpy kernels, after which a cheap ordered replay applies
+the accepted swaps under the same first-encounter edge order and
+``handled`` bookkeeping as the original per-edge loop.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
 from repro.errors import MeshError
 from repro.fem.mesh import Mesh
-from repro.geometry.polygon import convex_quad, triangle_min_angle
-from repro.geometry.primitives import Point
 
 #: A swap must improve the pair's minimum angle by at least this much
 #: (radians) to be adopted, preventing flip cycles on symmetric meshes.
 _IMPROVEMENT_TOL = 1e-12
+
+#: Strict-convexity cross-product tolerance (matches
+#: :func:`repro.geometry.polygon.convex_quad`).
+_CONVEX_TOL = 1e-12
 
 
 def reform_elements(mesh: Mesh, max_passes: int = 20) -> int:
@@ -47,85 +59,164 @@ def reform_elements(mesh: Mesh, max_passes: int = 20) -> int:
     return total
 
 
-def _reform_pass(mesh: Mesh) -> int:
-    """One sweep over all interior edges; returns the number of swaps."""
-    swaps = 0
-    edge_map = _edge_to_elements(mesh)
-    handled = set()
-    for edge, elems in list(edge_map.items()):
-        if len(elems) != 2 or edge in handled:
-            continue
-        e1, e2 = elems
-        if mesh.element_groups[e1] != mesh.element_groups[e2]:
-            continue  # never swap across a material interface
-        swap = _try_swap(mesh, e1, e2, edge)
-        if swap is not None:
-            tri1, tri2 = swap
-            mesh.elements[e1] = tri1
-            mesh.elements[e2] = tri2
-            swaps += 1
-            # The local edge map is stale around these elements; mark the
-            # quad's edges handled and let the next pass revisit them.
-            for tri in (tri1, tri2):
-                for a, b in ((tri[0], tri[1]), (tri[1], tri[2]),
-                             (tri[2], tri[0])):
-                    handled.add((min(a, b), max(a, b)))
-    return swaps
+def _tri_min_angles(pa: np.ndarray, pb: np.ndarray, pc: np.ndarray
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row smallest interior angle of triangles (a, b, c).
+
+    Mirrors :func:`repro.geometry.polygon.triangle_angles`: side lengths,
+    two law-of-cosines angles clamped into [-1, 1], the third by angle
+    sum clamped at zero.  Returns (min_angle, valid); rows with a
+    coincident vertex pair are invalid (the scalar code raises there).
+    """
+    la = np.hypot(pc[:, 0] - pb[:, 0], pc[:, 1] - pb[:, 1])
+    lb = np.hypot(pa[:, 0] - pc[:, 0], pa[:, 1] - pc[:, 1])
+    lc = np.hypot(pb[:, 0] - pa[:, 0], pb[:, 1] - pa[:, 1])
+    valid = (la != 0.0) & (lb != 0.0) & (lc != 0.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cos_a = (lb * lb + lc * lc - la * la) / (2.0 * lb * lc)
+        cos_b = (lc * lc + la * la - lb * lb) / (2.0 * lc * la)
+        alpha = np.arccos(np.clip(cos_a, -1.0, 1.0))
+        beta = np.arccos(np.clip(cos_b, -1.0, 1.0))
+    gamma = np.maximum(math.pi - alpha - beta, 0.0)
+    return np.minimum(np.minimum(alpha, beta), gamma), valid
 
 
-def _edge_to_elements(mesh: Mesh) -> Dict[Tuple[int, int], List[int]]:
-    edge_map: Dict[Tuple[int, int], List[int]] = {}
-    for e, tri in enumerate(mesh.elements):
-        for a, b in ((tri[0], tri[1]), (tri[1], tri[2]), (tri[2], tri[0])):
-            key = (int(min(a, b)), int(max(a, b)))
-            edge_map.setdefault(key, []).append(e)
-    return edge_map
+def _convex_quads(pa: np.ndarray, pb: np.ndarray, pc: np.ndarray,
+                  pd: np.ndarray) -> np.ndarray:
+    """Strict convexity of quads (a, b, c, d), row-wise.
+
+    Mirrors :func:`repro.geometry.polygon.convex_quad`: every corner's
+    cross product must exceed the tolerance in magnitude and all four
+    must share a sign.
+    """
+    quad = np.stack((pa, pb, pc, pd), axis=1)
+    nxt = np.roll(quad, -1, axis=1)
+    nxt2 = np.roll(quad, -2, axis=1)
+    cross = (
+        (nxt[:, :, 0] - quad[:, :, 0]) * (nxt2[:, :, 1] - nxt[:, :, 1])
+        - (nxt[:, :, 1] - quad[:, :, 1]) * (nxt2[:, :, 0] - nxt[:, :, 0])
+    )
+    big = np.abs(cross) > _CONVEX_TOL
+    same = (np.all(cross > 0.0, axis=1)) | (np.all(cross < 0.0, axis=1))
+    return np.all(big, axis=1) & same
 
 
-def _try_swap(mesh: Mesh, e1: int, e2: int, edge: Tuple[int, int]
-              ) -> Optional[Tuple[List[int], List[int]]]:
-    """The swapped connectivity if it improves quality, else ``None``."""
-    a, b = edge
-    c = _opposite_vertex(mesh.elements[e1], a, b)
-    d = _opposite_vertex(mesh.elements[e2], a, b)
-    if c is None or d is None or c == d:
-        return None
-    pa, pb = mesh.node_point(a), mesh.node_point(b)
-    pc, pd = mesh.node_point(c), mesh.node_point(d)
+def _pass_candidates(mesh: Mesh) -> Tuple[np.ndarray, ...]:
+    """Every interior edge's swap evaluation, batched.
+
+    Returns ``(a, b, e1, e2, tri1, tri2, accept)`` arrays over the
+    unique interior edges in first-encounter order: the edge's node
+    pair, its two elements (in encounter order -- that order decides
+    which element receives which new triangle), the replacement
+    connectivity, and whether the swap passes every test of the scalar
+    ``_try_swap``.
+    """
+    elements = mesh.elements
+    n_nodes = mesh.n_nodes
+    v0 = elements[:, 0]
+    v1 = elements[:, 1]
+    v2 = elements[:, 2]
+    edge_a = np.stack((v0, v1, v2), axis=1).ravel()
+    edge_b = np.stack((v1, v2, v0), axis=1).ravel()
+    lo = np.minimum(edge_a, edge_b).astype(np.int64)
+    hi = np.maximum(edge_a, edge_b).astype(np.int64)
+    keys = lo * n_nodes + hi
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    is_start = np.empty(len(sorted_keys), dtype=bool)
+    if len(sorted_keys):
+        is_start[0] = True
+        is_start[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    starts = np.nonzero(is_start)[0]
+    counts = np.diff(np.append(starts, len(sorted_keys)))
+    pair_start = starts[counts == 2]
+    first = order[pair_start]
+    second = order[pair_start + 1]
+    # Dict-iteration order of the scalar sweep: each edge in order of its
+    # first appearance in the element/edge-slot scan.
+    replay = np.argsort(first, kind="stable")
+    first = first[replay]
+    second = second[replay]
+    e1 = first // 3
+    e2 = second // 3
+    a = lo[first]
+    b = hi[first]
+    ok = np.asarray(mesh.element_groups)[e1] == \
+        np.asarray(mesh.element_groups)[e2]
+    # Opposite vertices: exactly one vertex of each triangle off the edge.
+    t1 = elements[e1]
+    t2 = elements[e2]
+    m1 = (t1 != a[:, None]) & (t1 != b[:, None])
+    m2 = (t2 != a[:, None]) & (t2 != b[:, None])
+    ok &= (m1.sum(axis=1) == 1) & (m2.sum(axis=1) == 1)
+    c = np.where(m1, t1, 0).sum(axis=1)
+    d = np.where(m2, t2, 0).sum(axis=1)
+    ok &= c != d
+    # Rows already rejected above may carry out-of-range vertex sums;
+    # clamp so the batched position gathers stay in bounds (their
+    # geometry is never used -- ``ok`` is False there).
+    c = np.where(m1.sum(axis=1) == 1, c, 0)
+    d = np.where(m2.sum(axis=1) == 1, d, 0)
+    nodes = mesh.nodes
+    pa = nodes[a]
+    pb = nodes[b]
+    pc = nodes[c]
+    pd = nodes[d]
     # The quad in cyclic order is a-c-b-d (c and d on opposite sides of
     # edge ab); the swap replaces diagonal ab with cd.
-    if not convex_quad(pa, pc, pb, pd):
-        return None
-    try:
-        current = min(
-            triangle_min_angle(pa, pb, pc),
-            triangle_min_angle(pa, pb, pd),
-        )
-        proposed = min(
-            triangle_min_angle(pc, pd, pa),
-            triangle_min_angle(pc, pd, pb),
-        )
-    except Exception:
-        return None  # degenerate candidate; leave the mesh alone
-    if proposed <= current + _IMPROVEMENT_TOL:
-        return None
-    tri1 = _oriented([c, d, a], mesh)
-    tri2 = _oriented([c, d, b], mesh)
-    return tri1, tri2
+    ok &= _convex_quads(pa, pc, pb, pd)
+    ang1, valid1 = _tri_min_angles(pa, pb, pc)
+    ang2, valid2 = _tri_min_angles(pa, pb, pd)
+    ang3, valid3 = _tri_min_angles(pc, pd, pa)
+    ang4, valid4 = _tri_min_angles(pc, pd, pb)
+    ok &= valid1 & valid2 & valid3 & valid4
+    current = np.minimum(ang1, ang2)
+    proposed = np.minimum(ang3, ang4)
+    with np.errstate(invalid="ignore"):
+        ok &= proposed > current + _IMPROVEMENT_TOL
+    # CCW orientation of the two replacement triangles (c, d, a) and
+    # (c, d, b): flip the last two vertices on negative doubled area.
+    area1 = (pd[:, 0] - pc[:, 0]) * (pa[:, 1] - pc[:, 1]) \
+        - (pa[:, 0] - pc[:, 0]) * (pd[:, 1] - pc[:, 1])
+    area2 = (pd[:, 0] - pc[:, 0]) * (pb[:, 1] - pc[:, 1]) \
+        - (pb[:, 0] - pc[:, 0]) * (pd[:, 1] - pc[:, 1])
+    tri1 = np.stack((
+        c, np.where(area1 < 0.0, a, d), np.where(area1 < 0.0, d, a),
+    ), axis=1)
+    tri2 = np.stack((
+        c, np.where(area2 < 0.0, b, d), np.where(area2 < 0.0, d, b),
+    ), axis=1)
+    return a, b, e1, e2, tri1, tri2, ok
 
 
-def _opposite_vertex(tri: np.ndarray, a: int, b: int) -> Optional[int]:
-    others = [int(v) for v in tri if v != a and v != b]
-    return others[0] if len(others) == 1 else None
-
-
-def _oriented(tri: List[int], mesh: Mesh) -> List[int]:
-    """The triangle with CCW vertex order."""
-    p0, p1, p2 = (mesh.node_point(v) for v in tri)
-    area2 = (p1.x - p0.x) * (p2.y - p0.y) - (p2.x - p0.x) * (p1.y - p0.y)
-    if area2 < 0:
-        return [tri[0], tri[2], tri[1]]
-    return tri
+def _reform_pass(mesh: Mesh) -> int:
+    """One sweep over all interior edges; returns the number of swaps."""
+    if mesh.n_elements == 0:
+        return 0
+    a, b, e1, e2, tri1, tri2, ok = _pass_candidates(mesh)
+    sel = np.nonzero(ok)[0]
+    if not len(sel):
+        return 0
+    swaps = 0
+    handled = set()
+    rows = zip(
+        a[sel].tolist(), b[sel].tolist(),
+        e1[sel].tolist(), e2[sel].tolist(),
+        tri1[sel].tolist(), tri2[sel].tolist(),
+    )
+    for ea, eb, i1, i2, t1, t2 in rows:
+        if (ea, eb) in handled:
+            continue
+        mesh.elements[i1] = t1
+        mesh.elements[i2] = t2
+        swaps += 1
+        # The local edge map is stale around these elements; mark the
+        # quad's edges handled and let the next pass revisit them.
+        for tri in (t1, t2):
+            for x, y in ((tri[0], tri[1]), (tri[1], tri[2]),
+                         (tri[2], tri[0])):
+                handled.add((x, y) if x < y else (y, x))
+    return swaps
 
 
 def quality_report(mesh: Mesh) -> Dict[str, float]:

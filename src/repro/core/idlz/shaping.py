@@ -20,14 +20,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.idlz.grid import LatticeGrid
 from repro.core.idlz.subdivision import LatticePoint, Subdivision
 from repro.errors import ShapingError
-from repro.geometry.arc import arc_through
+from repro.geometry.arc import Arc, arc_through
 from repro.geometry.interpolate import place_along_path
 from repro.geometry.primitives import Point, Segment
 
@@ -54,7 +54,7 @@ class ShapingSegment:
     def lattice_ends(self) -> Tuple[LatticePoint, LatticePoint]:
         return ((self.k1, self.l1), (self.k2, self.l2))
 
-    def path(self):
+    def path(self) -> Union[Segment, Arc]:
         """The real-space Segment or Arc this card describes."""
         start = Point(self.x1, self.y1)
         end = Point(self.x2, self.y2)
@@ -69,7 +69,7 @@ class Shaper:
     def __init__(self, grid: LatticeGrid):
         self.grid = grid
         # Start from the raw lattice: the "initial representation".
-        self.positions = np.array(grid.lattice_coordinates(), dtype=float)
+        self.positions = grid.lattice_coordinates_array()
         self.located = np.zeros(grid.n_nodes, dtype=bool)
 
     # ------------------------------------------------------------------
@@ -118,9 +118,8 @@ class Shaper:
     # Subdivision interpolation
     # ------------------------------------------------------------------
     def side_fully_located(self, sub: Subdivision, side: str) -> bool:
-        return all(
-            self.located[self.grid.node(*pt)] for pt in sub.side_path(side)
-        )
+        nodes = self.grid.node_array(np.array(sub.side_path(side)))
+        return bool(self.located[nodes].all())
 
     def shape_subdivision(self, sub: Subdivision,
                           prefer_pair: Optional[str] = None) -> None:
@@ -141,27 +140,23 @@ class Shaper:
             else ("bottom", "top")
         )
         pair_is_parallel = pair == parallel
-        for pt in sub.lattice_points():
-            node = self.grid.node(*pt)
-            if self.located[node]:
-                continue
-            s, t = _logical_coordinates(sub, pt)
+        pts = sub.lattice_points_array()
+        nodes = self.grid.node_array(pts)
+        todo = ~self.located[nodes]
+        if np.any(todo):
+            s, t = _logical_coordinates_array(sub, pts[todo])
             if pair_is_parallel:
-                pa = interp_a.at(s)
-                pb = interp_b.at(s)
-                frac = t
+                param, frac = s, t
             else:
-                pa = interp_a.at(t)
-                pb = interp_b.at(t)
-                frac = s
-            self.positions[node] = (
-                pa[0] + frac * (pb[0] - pa[0]),
-                pa[1] + frac * (pb[1] - pa[1]),
-            )
+                param, frac = t, s
+            pax, pay = interp_a.at_array(param)
+            pbx, pby = interp_b.at_array(param)
+            fill = nodes[todo]
+            self.positions[fill, 0] = pax + frac * (pbx - pax)
+            self.positions[fill, 1] = pay + frac * (pby - pay)
         # Everything in the subdivision is now located, so later
         # subdivisions may lean on the shared sides.
-        for pt in sub.lattice_points():
-            self.located[self.grid.node(*pt)] = True
+        self.located[nodes] = True
 
     def _select_pair(self, sub: Subdivision,
                      prefer_pair: Optional[str]) -> Tuple[str, str]:
@@ -239,6 +234,18 @@ class _SideInterpolant:
             float(np.interp(param, self._params, self._y)),
         )
 
+    def at_array(self, params: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`at`: x and y arrays for an array of params."""
+        if self._constant is not None:
+            return (
+                np.full(len(params), self._constant[0]),
+                np.full(len(params), self._constant[1]),
+            )
+        return (
+            np.interp(params, self._params, self._x),
+            np.interp(params, self._params, self._y),
+        )
+
 
 # ----------------------------------------------------------------------
 # Logical (s, t) coordinates
@@ -263,6 +270,33 @@ def _logical_coordinates(sub: Subdivision, pt: LatticePoint
     else:
         k0, k1 = sub.kk1, sub.kk2
     s = 0.5 if k1 == k0 else (k - k0) / float(k1 - k0)
+    t = (l - sub.ll1) / float(sub.ll2 - sub.ll1)
+    return s, t
+
+
+def _logical_coordinates_array(sub: Subdivision, pts: np.ndarray
+                               ) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`_logical_coordinates` over an (n, 2) point array.
+
+    Same formulas element for element -- integer differences divided as
+    floats -- so each (s, t) is bitwise what the scalar version returns.
+    """
+    k = pts[:, 0]
+    l = pts[:, 1]
+    fixed, lo, hi = sub.strip_bounds()
+    if sub.is_column_oriented:
+        l0 = lo[k - sub.kk1]
+        l1 = hi[k - sub.kk1]
+        span = (l1 - l0).astype(float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            s = np.where(span == 0.0, 0.5, (l - l0) / span)
+        t = (k - sub.kk1) / float(sub.kk2 - sub.kk1)
+        return s, t
+    k0 = lo[l - sub.ll1]
+    k1 = hi[l - sub.ll1]
+    span = (k1 - k0).astype(float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        s = np.where(span == 0.0, 0.5, (k - k0) / span)
     t = (l - sub.ll1) / float(sub.ll2 - sub.ll1)
     return s, t
 

@@ -26,7 +26,9 @@ shaping) is phrased in terms of those.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
+
+import numpy as np
 
 from repro.errors import IdealizationError
 
@@ -49,7 +51,7 @@ class Subdivision:
     ntaprw: int = 0
     ntapcm: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kk2 <= self.kk1 or self.ll2 <= self.ll1:
             raise IdealizationError(
                 f"subdivision {self.index}: corners ({self.kk1},{self.ll1})"
@@ -154,6 +156,50 @@ class Subdivision:
             inset = -q * (k - self.kk1)     # long side on the left
         return (self.ll1 + inset, self.ll2 - inset)
 
+    def strip_bounds(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-strip ``(fixed, lo, hi)`` arrays: the strip's fixed lattice
+        coordinate and its inclusive along-strip range.
+
+        Row-oriented subdivisions yield ``(l, k_start, k_end)`` per row;
+        column-oriented ones ``(k, l_start, l_end)`` per column.  This is
+        the array form of :meth:`row_span`/:meth:`column_span` over every
+        strip at once -- the generator the vectorized kernels build on.
+        """
+        if self.is_column_oriented:
+            ks = np.arange(self.kk1, self.kk2 + 1)
+            q = self.ntapcm
+            if q > 0:
+                inset = q * (self.kk2 - ks)       # long side on the right
+            else:
+                inset = -q * (ks - self.kk1)      # long side on the left
+            return ks, self.ll1 + inset, self.ll2 - inset
+        ls = np.arange(self.ll1, self.ll2 + 1)
+        p = self.ntaprw
+        if p > 0:
+            inset = p * (self.ll2 - ls)           # long side on top
+        elif p < 0:
+            inset = -p * (ls - self.ll1)          # long side on the bottom
+        else:
+            inset = np.zeros_like(ls)
+        return ls, self.kk1 + inset, self.kk2 - inset
+
+    def lattice_points_array(self) -> np.ndarray:
+        """``(n, 2)`` int array of ``(k, l)`` points in strip order.
+
+        Same points, same order as :meth:`lattice_points`, generated
+        without a Python-level loop over the points.
+        """
+        fixed, lo, hi = self.strip_bounds()
+        counts = hi - lo + 1
+        total = int(counts.sum())
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        strip = np.repeat(np.arange(len(counts)), counts)
+        along = lo[strip] + (np.arange(total) - starts[strip])
+        across = fixed[strip]
+        if self.is_column_oriented:
+            return np.column_stack((across, along))
+        return np.column_stack((along, across))
+
     def strips(self) -> List[List[LatticePoint]]:
         """The node strips between which elements are built.
 
@@ -178,7 +224,7 @@ class Subdivision:
 
     def lattice_points(self) -> List[LatticePoint]:
         """Every lattice point of the subdivision (no duplicates)."""
-        return [pt for strip in self.strips() for pt in strip]
+        return list(map(tuple, self.lattice_points_array().tolist()))
 
     def contains(self, k: int, l: int) -> bool:
         if not (self.kk1 <= k <= self.kk2 and self.ll1 <= l <= self.ll2):
@@ -206,24 +252,26 @@ class Subdivision:
             raise IdealizationError(
                 f"unknown side {side!r}; expected one of {SIDES}"
             )
-        strips = self.strips()
+        fixed, lo, hi = self.strip_bounds()
         if self.is_column_oriented:
-            # strips[c] is column kk1+c, bottom to top.
+            # Strip c is column kk1+c, bottom to top.
             if side == "left":
-                return list(strips[0])
+                k = self.kk1
+                return [(k, l) for l in range(int(lo[0]), int(hi[0]) + 1)]
             if side == "right":
-                return list(strips[-1])
-            if side == "bottom":
-                return [strip[0] for strip in strips]
-            return [strip[-1] for strip in strips]
-        # Row-oriented: strips[r] is row ll1+r, left to right.
+                k = self.kk2
+                return [(k, l) for l in range(int(lo[-1]), int(hi[-1]) + 1)]
+            ends = lo if side == "bottom" else hi
+            return list(zip(fixed.tolist(), ends.tolist()))
+        # Row-oriented: strip r is row ll1+r, left to right.
         if side == "bottom":
-            return list(strips[0])
+            l = self.ll1
+            return [(k, l) for k in range(int(lo[0]), int(hi[0]) + 1)]
         if side == "top":
-            return list(strips[-1])
-        if side == "left":
-            return [strip[0] for strip in strips]
-        return [strip[-1] for strip in strips]
+            l = self.ll2
+            return [(k, l) for k in range(int(lo[-1]), int(hi[-1]) + 1)]
+        ends = lo if side == "left" else hi
+        return list(zip(ends.tolist(), fixed.tolist()))
 
     def opposite(self, side: str) -> str:
         return {"bottom": "top", "top": "bottom",

@@ -21,7 +21,7 @@ input (e.g. an over-located subdivision).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.core.idlz.deck import IdlzProblem
 from repro.core.idlz.limits import IdlzLimits, UNLIMITED

@@ -11,13 +11,12 @@ assert the boundary is closed).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ContourError
 from repro.fem.mesh import Mesh
-from repro.geometry.primitives import Point, Segment
+from repro.geometry.primitives import Segment
 
 
 def boundary_edge_list(mesh: Mesh) -> List[Tuple[int, int]]:

@@ -23,7 +23,11 @@ from repro import obs
 from repro.errors import ContourError
 from repro.fem.mesh import Mesh
 from repro.fem.results import NodalField
-from repro.core.ospl.intervals import choose_interval, contour_levels
+from repro.core.ospl.intervals import (
+    choose_interval,
+    classify_levels,
+    contour_levels,
+)
 from repro.geometry.clip import clip_segment
 from repro.geometry.primitives import BoundingBox, Point, Segment
 
@@ -100,29 +104,85 @@ class ContourSet:
         self._extract()
 
     def _extract(self) -> None:
-        values = self.field.values
-        for e in range(self.mesh.n_elements):
-            tri = self.mesh.elements[e]
-            pts = [self.mesh.node_point(int(n)) for n in tri]
-            vals = [float(values[int(n)]) for n in tri]
-            lo, hi = min(vals), max(vals)
-            for level in self.levels:
-                if level < lo or level > hi:
-                    continue
-                crossings = triangle_crossings(pts, vals, level)
-                if len(crossings) != 2:
-                    continue  # level touches only a vertex, or misses
-                if (abs(crossings[0].x - crossings[1].x) < 1e-14
-                        and abs(crossings[0].y - crossings[1].y) < 1e-14):
-                    continue  # level pinches to a point at a vertex
-                start, end = (
-                    _globalise(c, tri) for c in crossings
+        """Batched extraction: one numpy sweep per contour level.
+
+        Element-by-element this is exactly :func:`triangle_crossings`
+        under the scalar driver loop -- same half-open ``value >= level``
+        corner classification, same edge scan order (so the same
+        start/end pairing), same pinch filter, same ascending element
+        order within each level's list.
+        """
+        if self.mesh.n_elements == 0 or not self.levels:
+            return
+        values = np.asarray(self.field.values, dtype=float)
+        tri = self.mesh.elements
+        corner_vals = values[tri]
+        corner_pts = self.mesh.nodes[tri]
+        first, stop = classify_levels(
+            corner_vals.min(axis=1), corner_vals.max(axis=1), self.levels
+        )
+        edge_a = np.array([0, 1, 2])
+        edge_b = np.array([1, 2, 0])
+        for li, level in enumerate(self.levels):
+            idx = np.nonzero((first <= li) & (li < stop))[0]
+            if not len(idx):
+                continue
+            v = corner_vals[idx]
+            above = v >= level
+            crossing = above[:, edge_a] != above[:, edge_b]
+            two = crossing.sum(axis=1) == 2
+            idx = idx[two]
+            if not len(idx):
+                continue  # level touches only a vertex, or misses
+            v = v[two]
+            crossing = crossing[two]
+            rows = np.arange(len(idx))
+            # The two crossing edges in scan order (0,1), (1,2), (2,0):
+            # first and last set bit of each row's crossing mask.
+            e_first = np.argmax(crossing, axis=1)
+            e_second = 2 - np.argmax(crossing[:, ::-1], axis=1)
+            p = corner_pts[idx]
+
+            def endpoint(edge: np.ndarray) -> Tuple[np.ndarray, ...]:
+                a = edge_a[edge]
+                b = edge_b[edge]
+                va = v[rows, a]
+                vb = v[rows, b]
+                t = (level - va) / (vb - va)
+                ax, ay = p[rows, a, 0], p[rows, a, 1]
+                bx, by = p[rows, b, 0], p[rows, b, 1]
+                return ax + t * (bx - ax), ay + t * (by - ay), a, b
+
+            x1, y1, a1, b1 = endpoint(e_first)
+            x2, y2, a2, b2 = endpoint(e_second)
+            keep = ~((np.abs(x1 - x2) < 1e-14)
+                     & (np.abs(y1 - y2) < 1e-14))  # pinched to a vertex
+            if not keep.any():
+                continue
+            t_rows = tri[idx]
+            g1a = t_rows[rows, a1]
+            g1b = t_rows[rows, b1]
+            g2a = t_rows[rows, a2]
+            g2b = t_rows[rows, b2]
+            out = self.segments_by_level[level]
+            for (e, sx, sy, sa, sb, ex, ey, ea, eb) in zip(
+                idx[keep].tolist(),
+                x1[keep].tolist(), y1[keep].tolist(),
+                np.minimum(g1a, g1b)[keep].tolist(),
+                np.maximum(g1a, g1b)[keep].tolist(),
+                x2[keep].tolist(), y2[keep].tolist(),
+                np.minimum(g2a, g2b)[keep].tolist(),
+                np.maximum(g2a, g2b)[keep].tolist(),
+            ):
+                seg = ContourSegment(
+                    level=level,
+                    start=ContourPoint(Point(sx, sy), (sa, sb)),
+                    end=ContourPoint(Point(ex, ey), (ea, eb)),
+                    element=e,
                 )
-                seg = ContourSegment(level=level, start=start, end=end,
-                                     element=e)
                 clipped = self._clip(seg)
                 if clipped is not None:
-                    self.segments_by_level[level].append(clipped)
+                    out.append(clipped)
 
     def _clip(self, seg: ContourSegment) -> Optional[ContourSegment]:
         if self.window is None:

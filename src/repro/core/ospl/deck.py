@@ -14,7 +14,7 @@ interval; the XMX/XMN/YMX/YMN window supports the zoom feature.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional
 
 import numpy as np
 

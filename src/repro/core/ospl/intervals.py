@@ -20,7 +20,9 @@ EXPERIMENTS.md.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import ContourError
 
@@ -82,6 +84,25 @@ def choose_interval(vmin: float, vmax: float,
                 best_err = err
     assert best is not None
     return best
+
+
+def classify_levels(lo: np.ndarray, hi: np.ndarray,
+                    levels: Sequence[float]
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    """Which contour levels pass through each value range, batched.
+
+    For per-element corner-value ranges ``[lo, hi]`` and ascending
+    ``levels``, returns ``(first, stop)`` index arrays such that element
+    ``e`` is crossed by exactly ``levels[first[e]:stop[e]]`` -- the
+    half-open form of the scalar test ``lo <= level <= hi``.  This is
+    OSPL's per-element interval classification ("the number and size of
+    the contours passing through the element are determined") as two
+    binary searches instead of an elements x levels sweep.
+    """
+    arr = np.asarray(levels, dtype=float)
+    first = np.searchsorted(arr, lo, side="left")
+    stop = np.searchsorted(arr, hi, side="right")
+    return first, stop
 
 
 def contour_levels(vmin: float, vmax: float, interval: float,

@@ -15,11 +15,10 @@ suppressed -- except that zero contours always win.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.core.ospl.boundary import BoundaryIndex
 from repro.core.ospl.contour import ContourSet
-from repro.fem.mesh import Mesh
 from repro.plotter.device import CoordinateMap
 from repro.plotter.text import boxes_overlap, text_box
 

@@ -3,7 +3,11 @@
     Total number of elements allowed .............. 1000
     Total number of points data may be given ....... 800
 
-Strict mode enforces them exactly; the default is unlimited.
+Strict mode enforces them exactly; the default is unlimited.  As with
+IDLZ's Table 2, the counts are no capacity bound of this reproduction
+-- the batched contour kernel extracts isograms from million-element
+meshes (docs/PERFORMANCE.md) -- so exceeding Table 1 surfaces as a
+LIM006/LIM007 lint warning, an error only under ``--strict``.
 """
 
 from __future__ import annotations

@@ -17,8 +17,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.errors import MeshError
-from repro.geometry.polygon import triangle_area, triangle_min_angle
+from repro.errors import GeometryError, MeshError
 from repro.geometry.primitives import BoundingBox, Point
 
 #: OSPL boundary-flag values.
@@ -112,12 +111,9 @@ class Mesh:
 
     def orient_ccw(self) -> int:
         """Flip clockwise elements in place; returns how many were flipped."""
-        areas = self.element_areas()
-        flipped = 0
-        for e in np.nonzero(areas < 0)[0]:
-            self.elements[e, [1, 2]] = self.elements[e, [2, 1]]
-            flipped += 1
-        return flipped
+        flip = self.element_areas() < 0
+        self.elements[flip] = self.elements[flip][:, [0, 2, 1]]
+        return int(flip.sum())
 
     def validate(self, min_area: float = 0.0) -> None:
         """Raise :class:`MeshError` on degenerate or inverted elements."""
@@ -133,41 +129,68 @@ class Mesh:
         """Smallest interior angle over the mesh (radians)."""
         if self.n_elements == 0:
             raise MeshError("mesh has no elements")
-        return min(
-            triangle_min_angle(*self.element_points(e))
-            for e in range(self.n_elements)
-        )
+        return float(self.min_angles_per_element().min())
 
     def min_angles_per_element(self) -> np.ndarray:
-        return np.array([
-            triangle_min_angle(*self.element_points(e))
-            for e in range(self.n_elements)
-        ])
+        """Smallest interior angle (radians) of every element at once.
+
+        The law-of-cosines arithmetic of
+        :func:`repro.geometry.polygon.triangle_angles`, batched; a
+        degenerate element (coincident vertices) raises exactly as the
+        per-triangle function does.
+        """
+        if self.n_elements == 0:
+            return np.zeros(0)
+        p = self.nodes[self.elements]
+        la = np.hypot(p[:, 2, 0] - p[:, 1, 0], p[:, 2, 1] - p[:, 1, 1])
+        lb = np.hypot(p[:, 0, 0] - p[:, 2, 0], p[:, 0, 1] - p[:, 2, 1])
+        lc = np.hypot(p[:, 1, 0] - p[:, 0, 0], p[:, 1, 1] - p[:, 0, 1])
+        if not ((la != 0.0) & (lb != 0.0) & (lc != 0.0)).all():
+            raise GeometryError("triangle has coincident vertices")
+        alpha = np.arccos(np.clip(
+            (lb * lb + lc * lc - la * la) / (2.0 * lb * lc), -1.0, 1.0))
+        beta = np.arccos(np.clip(
+            (lc * lc + la * la - lb * lb) / (2.0 * lc * la), -1.0, 1.0))
+        gamma = np.maximum(np.pi - alpha - beta, 0.0)
+        return np.minimum(np.minimum(alpha, beta), gamma)
 
     # ------------------------------------------------------------------
     # Topology
     # ------------------------------------------------------------------
+    def _edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Directed edges in element order plus per-edge share counts.
+
+        Returns ``(edge_a, edge_b, n_sharing)`` over the ``3e`` directed
+        element edges in flat (element, slot) order; ``n_sharing`` is how
+        many elements contain each edge's undirected key.
+        """
+        e = self.elements
+        edge_a = np.stack((e[:, 0], e[:, 1], e[:, 2]), axis=1).ravel()
+        edge_b = np.stack((e[:, 1], e[:, 2], e[:, 0]), axis=1).ravel()
+        keys = (
+            np.minimum(edge_a, edge_b).astype(np.int64) * self.n_nodes
+            + np.maximum(edge_a, edge_b)
+        )
+        _, inverse, counts = np.unique(
+            keys, return_inverse=True, return_counts=True
+        )
+        return edge_a, edge_b, counts[inverse]
+
     def edge_counts(self) -> Dict[Tuple[int, int], int]:
         """How many elements share each (sorted) edge."""
-        counts: Dict[Tuple[int, int], int] = {}
-        for tri in self.elements:
-            for a, b in ((tri[0], tri[1]), (tri[1], tri[2]), (tri[2], tri[0])):
-                key = (int(a), int(b)) if a < b else (int(b), int(a))
-                counts[key] = counts.get(key, 0) + 1
-        return counts
+        edge_a, edge_b, n_sharing = self._edge_arrays()
+        lo = np.minimum(edge_a, edge_b)
+        hi = np.maximum(edge_a, edge_b)
+        return {
+            (a, b): n
+            for a, b, n in zip(lo.tolist(), hi.tolist(), n_sharing.tolist())
+        }
 
     def boundary_edges(self) -> List[Tuple[int, int]]:
         """Edges belonging to exactly one element, in element order."""
-        counts = self.edge_counts()
-        edges: List[Tuple[int, int]] = []
-        seen: Set[Tuple[int, int]] = set()
-        for tri in self.elements:
-            for a, b in ((tri[0], tri[1]), (tri[1], tri[2]), (tri[2], tri[0])):
-                key = (int(a), int(b)) if a < b else (int(b), int(a))
-                if counts[key] == 1 and key not in seen:
-                    seen.add(key)
-                    edges.append((int(a), int(b)))
-        return edges
+        edge_a, edge_b, n_sharing = self._edge_arrays()
+        sel = n_sharing == 1
+        return list(zip(edge_a[sel].tolist(), edge_b[sel].tolist()))
 
     def node_elements(self) -> List[List[int]]:
         """For each node, the list of elements containing it."""
@@ -190,13 +213,17 @@ class Mesh:
     def compute_boundary_flags(self) -> np.ndarray:
         """Derive the OSPL flags (0/1/2) from the connectivity."""
         flags = np.zeros(self.n_nodes, dtype=int)
-        boundary_nodes: Set[int] = set()
-        for a, b in self.boundary_edges():
-            boundary_nodes.add(a)
-            boundary_nodes.add(b)
-        incident = self.node_elements()
-        for n in boundary_nodes:
-            flags[n] = BOUNDARY_LONE if len(incident[n]) == 1 else BOUNDARY_SHARED
+        edge_a, edge_b, n_sharing = self._edge_arrays()
+        sel = n_sharing == 1
+        on_boundary = np.zeros(self.n_nodes, dtype=bool)
+        on_boundary[edge_a[sel]] = True
+        on_boundary[edge_b[sel]] = True
+        incidence = np.bincount(
+            self.elements.ravel(), minlength=self.n_nodes
+        )
+        flags[on_boundary] = np.where(
+            incidence[on_boundary] == 1, BOUNDARY_LONE, BOUNDARY_SHARED
+        )
         self.boundary_flags = flags
         return flags
 

@@ -29,16 +29,23 @@ register_rule(
     "horizontal coordinate {value} of subdivision {index} exceeds the "
     "Table-2 maximum of {maximum}",
     """Table 2: "Maximum horizontal integer coordinate ... 40".  The
-NUMBER array was dimensioned (41, 61); a larger KK2 indexes off its
-row.""")
+original NUMBER array was dimensioned (41, 61), so a larger KK2
+indexed off its row on the 7090.  This reproduction numbers the
+lattice with dynamically-sized arrays (grids beyond 1000x1000 are
+benchmarked -- see docs/PERFORMANCE.md), so the warning records
+1970-portability only; ``--strict`` escalates it for decks that must
+run on the original.""")
 
 register_rule(
     "LIM003", "warning", "vertical coordinate beyond the grid",
     "vertical coordinate {value} of subdivision {index} exceeds the "
     "Table-2 maximum of {maximum}",
     """Table 2: "Maximum vertical integer coordinate ... 60".  The
-NUMBER array was dimensioned (41, 61); a larger LL2 indexes off its
-column.""")
+original NUMBER array was dimensioned (41, 61), so a larger LL2
+indexed off its column on the 7090.  As with LIM002, this
+reproduction has no fixed grid array: the warning records
+1970-portability only, and ``--strict`` escalates it for decks that
+must run on the original.""")
 
 register_rule(
     "LIM004", "warning", "too many nodes",

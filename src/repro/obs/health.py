@@ -98,33 +98,54 @@ def mesh_health(mesh: Any, needle_aspect: float = NEEDLE_ASPECT,
     """
     import numpy as np
 
-    from repro.errors import MeshError
-    from repro.fem.quality import aspect_ratio
-
-    aspects: List[float] = []
-    min_angles: List[float] = []
-    degenerate = 0
-    for e in range(mesh.n_elements):
-        pts = mesh.element_points(e)
-        try:
-            aspects.append(aspect_ratio(*pts))
-        except MeshError:
-            degenerate += 1
-            continue
-        min_angles.append(_triangle_min_angle_deg(*pts))
-    aspects.sort()
-    needles = degenerate + sum(1 for a in aspects if a > needle_aspect)
+    # Batched forms of repro.fem.quality.aspect_ratio and
+    # _triangle_min_angle_deg below: zero-area elements are the
+    # degenerate ones aspect_ratio raises on; zero-length sides are the
+    # degenerate corners the angle helper reports as 0 degrees.
+    p = np.asarray(mesh.nodes)[np.asarray(mesh.elements)]
+    if len(p) == 0:
+        values = {
+            "n_elements": 0, "degenerate_count": 0, "needle_count": 0,
+        }
+        values.update(extra)
+        return HealthSnapshot(kind="mesh", values=values)
+    l1 = np.hypot(p[:, 2, 0] - p[:, 1, 0], p[:, 2, 1] - p[:, 1, 1])
+    l2 = np.hypot(p[:, 0, 0] - p[:, 2, 0], p[:, 0, 1] - p[:, 2, 1])
+    l3 = np.hypot(p[:, 1, 0] - p[:, 0, 0], p[:, 1, 1] - p[:, 0, 1])
+    area = 0.5 * np.abs(
+        (p[:, 1, 0] - p[:, 0, 0]) * (p[:, 2, 1] - p[:, 0, 1])
+        - (p[:, 2, 0] - p[:, 0, 0]) * (p[:, 1, 1] - p[:, 0, 1])
+    )
+    good = area != 0.0
+    degenerate = int((~good).sum())
+    s = 0.5 * (l1 + l2 + l3)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inradius = area / s
+        aspects = (
+            np.maximum(np.maximum(l1, l2), l3)
+            / (2.0 * math.sqrt(3.0) * inradius)
+        )[good]
+        sides_ok = good & (l1 != 0.0) & (l2 != 0.0) & (l3 != 0.0)
+        cos_a = (l2 * l2 + l3 * l3 - l1 * l1) / (2.0 * l2 * l3)
+        cos_b = (l3 * l3 + l1 * l1 - l2 * l2) / (2.0 * l3 * l1)
+    alpha = np.arccos(np.clip(cos_a, -1.0, 1.0))
+    beta = np.arccos(np.clip(cos_b, -1.0, 1.0))
+    gamma = np.maximum(math.pi - alpha - beta, 0.0)
+    min_angles = np.degrees(np.minimum(np.minimum(alpha, beta), gamma))
+    min_angles = np.where(sides_ok, min_angles, 0.0)[good]
+    needles = degenerate + int((aspects > needle_aspect).sum())
     values: Dict[str, Any] = {
         "n_elements": int(mesh.n_elements),
         "degenerate_count": degenerate,
         "needle_count": needles,
     }
-    if aspects:
+    if len(aspects):
+        aspects = np.sort(aspects)
         values.update({
-            "min_angle_deg": round(min(min_angles), 6),
+            "min_angle_deg": round(float(min_angles.min()), 6),
             "mean_min_angle_deg": round(float(np.mean(min_angles)), 6),
-            "worst_aspect": round(aspects[-1], 6),
-            "p95_aspect": round(percentile(aspects, 0.95), 6),
+            "worst_aspect": round(float(aspects[-1]), 6),
+            "p95_aspect": round(float(percentile(aspects, 0.95)), 6),
         })
     values.update(extra)
     return HealthSnapshot(kind="mesh", values=values)

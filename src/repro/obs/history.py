@@ -171,6 +171,7 @@ class StageTrend:
     slope_s: float            # fitted seconds per run
     base_s: float             # fitted value at the window start
     resid_s: float            # residual standard deviation of the fit
+    experiment: Optional[str] = None  # history rows the fit came from
 
     @property
     def drift_s(self) -> float:
@@ -198,7 +199,9 @@ class StageTrend:
     def describe(self) -> str:
         rel = self.drift_rel
         pct = f"{100.0 * rel:+.0f}%" if rel is not None else "--"
-        return (f"{self.stage}: {self.wall_s[0] * 1e3:.2f}ms -> "
+        label = (f"{self.experiment}/{self.stage}"
+                 if self.experiment else self.stage)
+        return (f"{label}: {self.wall_s[0] * 1e3:.2f}ms -> "
                 f"{self.wall_s[-1] * 1e3:.2f}ms over {self.n} runs "
                 f"(fitted drift {pct}, "
                 f"{self.slope_s * 1e3:+.3f}ms/run, "
@@ -231,28 +234,45 @@ def stage_trends(rows: List[Dict[str, Any]],
                  window: int = DEFAULT_WINDOW) -> List[StageTrend]:
     """Per-stage fitted trends over the last ``window`` rows.
 
-    Stages are reported in first-appearance order; a stage needs at
-    least two appearances in the window to have a trajectory at all.
+    Rows are partitioned by their ``experiment`` first and the window
+    applies per experiment: the history interleaves workloads of very
+    different scale (the 40x60 paper probe and the million-node
+    ``idlz_large`` probe both record an ``idlz.reform`` wall), and a
+    line fitted through an alternating small/large series would
+    measure the recording order, not the code.  Within one
+    experiment's series, stages are reported in first-appearance
+    order; a stage needs at least two appearances in its window to
+    have a trajectory at all.
     """
     if window < 2:
         raise ObsError(f"window must be >= 2, got {window}")
-    recent = rows[-window:]
-    names: List[str] = []
-    for row in recent:
-        for name in row.get("stages", {}):
-            if name not in names:
-                names.append(name)
+    experiments: List[Optional[str]] = []
+    by_experiment: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    for row in rows:
+        experiment = row.get("experiment")
+        if experiment not in by_experiment:
+            experiments.append(experiment)
+            by_experiment[experiment] = []
+        by_experiment[experiment].append(row)
     trends: List[StageTrend] = []
-    for name in names:
-        ys = [float(row["stages"][name]["wall_s"]) for row in recent
-              if name in row.get("stages", {})]
-        if len(ys) < 2:
-            continue
-        slope, intercept, resid = _fit_line(ys)
-        trends.append(StageTrend(
-            stage=name, n=len(ys), wall_s=tuple(ys),
-            slope_s=slope, base_s=max(intercept, 0.0), resid_s=resid,
-        ))
+    for experiment in experiments:
+        recent = by_experiment[experiment][-window:]
+        names: List[str] = []
+        for row in recent:
+            for name in row.get("stages", {}):
+                if name not in names:
+                    names.append(name)
+        for name in names:
+            ys = [float(row["stages"][name]["wall_s"]) for row in recent
+                  if name in row.get("stages", {})]
+            if len(ys) < 2:
+                continue
+            slope, intercept, resid = _fit_line(ys)
+            trends.append(StageTrend(
+                stage=name, n=len(ys), wall_s=tuple(ys),
+                slope_s=slope, base_s=max(intercept, 0.0), resid_s=resid,
+                experiment=experiment,
+            ))
     return trends
 
 
@@ -278,12 +298,19 @@ def render_trend(rows: List[Dict[str, Any]],
     trends = stage_trends(rows, window=window)
     lines = [
         f"bench history: {len(rows)} record(s), trend over last "
-        f"{min(window, len(rows))}"
+        f"{min(window, len(rows))} per experiment"
     ]
     header = (f"  {'stage':<26s} {'n':>3s} {'first':>9s} {'last':>9s} "
               f"{'ms/run':>9s} {'drift':>7s}  verdict")
     lines.append(header)
+    current: Optional[str] = None
+    first_group = True
     for trend in trends:
+        if trend.experiment != current or first_group:
+            current = trend.experiment
+            first_group = False
+            if current is not None:
+                lines.append(f"  [{current}]")
         rel = trend.drift_rel
         pct = f"{100.0 * rel:+.0f}%" if rel is not None else "--"
         verdict = ("CREEP" if trend.is_creeping(max_drift=max_drift,

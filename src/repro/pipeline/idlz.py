@@ -96,7 +96,7 @@ def elements_stage(ctx: Context) -> Dict[str, Any]:
     triangles, groups = create_elements(grid)
     limits.check_counts(grid.n_nodes, len(triangles))
     lattice_mesh = Mesh(
-        nodes=np.array(grid.lattice_coordinates(), dtype=float),
+        nodes=grid.lattice_coordinates_array(),
         elements=np.array(triangles, dtype=int),
         element_groups=np.array(groups, dtype=int),
     )

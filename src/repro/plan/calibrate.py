@@ -5,7 +5,7 @@ unit is the stage's natural cost driver (nodes, elements, banded-solve
 FLOPs, or element-x-plot products).  Rates come from the checked-in
 ``BENCH_history.jsonl`` rows: each row records the aggregate stage wall
 of a **reference workload** of known size, so ``rate = wall / units``
-of that workload.  The two recorded experiments are:
+of that workload.  The three recorded experiments are:
 
 ``idlz_stages``
     :func:`benchmarks.common.idlz_stage_probe` -- one 41x61
@@ -16,6 +16,11 @@ of that workload.  The two recorded experiments are:
     plate deck: a 33x25 lattice, 825 nodes, 1536 elements, 1650
     equations, half-bandwidth bound 69 (so the banded solve is
     ``1650 * 69**2 ~= 7.86e6`` FLOPs), two plot fields.
+
+``idlz_large``
+    :func:`benchmarks.common.idlz_large_probe` -- the 1001x1001
+    lattice: 1 002 001 nodes, 2 000 000 elements, idealized (NONUMB)
+    and contoured.
 
 Rates are medians over the newest ``window`` rows per stage, matching
 ``obs trend``'s window semantics.  Stages with no history rows (and
@@ -67,34 +72,43 @@ REFERENCE_UNITS: Dict[str, Dict[str, float]] = {
     "idlz_stages": {"nodes": 2501.0, "elements": 4800.0},
     "analyze_stages": {"nodes": 825.0, "elements": 1536.0,
                        "flops": 7_855_650.0, "element_plots": 3072.0},
+    # benchmarks.common.idlz_large_probe -- the 1001x1001 lattice
+    # (1 002 001 nodes, 2 000 000 elements) through idealization and
+    # contour extraction.  Its rows keep the medians honest at the
+    # million-node scale, where the batched kernels run memory-bound
+    # rather than loop-bound.
+    "idlz_large": {"nodes": 1_002_001.0, "elements": 2_000_000.0},
 }
 
 #: Uncalibrated fallback rates (seconds per unit), measured once on the
 #: reference container; the documented safety net when history is
 #: absent.  OSPL rates derive from the isogram sub-spans of the
 #: analyze reference run (OSPL has no bench experiment of its own yet).
+#: Restamped after the array-native kernel rewrite (vectorized
+#: numbering, zipper, shaping, reform and contour extraction) -- see
+#: docs/PERFORMANCE.md for the before/after table.
 FALLBACK_RATES: Dict[str, float] = {
-    "idlz.number": 7.1e-07,
-    "idlz.elements": 1.71e-05,
-    "idlz.shape": 7.3e-06,
-    "idlz.reform": 9.1e-05,
-    "idlz.renumber": 2.1e-05,
-    "analyze.number": 5.4e-07,
-    "analyze.elements": 8.7e-06,
-    "analyze.shape": 3.9e-06,
-    "analyze.reform": 4.1e-05,
-    "analyze.renumber": 1.1e-05,
-    "analyze.materials": 3.0e-08,
-    "analyze.assemble": 3.1e-05,
-    "analyze.constrain": 2.7e-07,
-    "analyze.loads": 9.2e-06,
+    "idlz.number": 2.3e-07,
+    "idlz.elements": 3.0e-07,
+    "idlz.shape": 2.7e-07,
+    "idlz.reform": 1.7e-06,
+    "idlz.renumber": 3.4e-06,
+    "analyze.number": 3.4e-07,
+    "analyze.elements": 3.7e-07,
+    "analyze.shape": 6.3e-07,
+    "analyze.reform": 1.9e-06,
+    "analyze.renumber": 3.6e-06,
+    "analyze.materials": 2.6e-08,
+    "analyze.assemble": 2.9e-05,
+    "analyze.constrain": 1.9e-07,
+    "analyze.loads": 4.6e-06,
     "analyze.solve": 1.6e-08,
-    "analyze.recover": 9.1e-06,
-    "analyze.isograms": 2.6e-05,
-    "ospl.intervals": 1.6e-07,
-    "ospl.contour": 1.1e-05,
-    "ospl.labels": 6.1e-06,
-    "ospl.plot": 8.4e-06,
+    "analyze.recover": 9.0e-06,
+    "analyze.isograms": 1.2e-05,
+    "ospl.intervals": 2.6e-07,
+    "ospl.contour": 7.2e-06,
+    "ospl.labels": 5.7e-06,
+    "ospl.plot": 1.0e-05,
 }
 
 #: Per-stage fixed overhead (span bookkeeping, argument plumbing); added

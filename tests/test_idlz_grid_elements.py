@@ -125,7 +125,7 @@ class TestCreateElements:
         tris, groups = create_elements(grid)
         assert len(tris) == len(groups) == 8
         assert set(groups) == {0, 1}
-        assert groups[:4] == [0] * 4
+        assert list(groups[:4]) == [0] * 4
 
     def test_no_duplicate_elements_across_subdivisions(self):
         subs = [

@@ -1,0 +1,266 @@
+"""Randomized cross-checks: vectorized kernels vs the scalar references.
+
+The golden corpus pins the batched kernels to fixed decks; these tests
+pin them to *randomized* assemblages, shaping cards and fields.  Every
+assertion is exact equality -- the numpy rewrites are bit-identical
+reimplementations of the per-node/per-element loops kept alive in
+``tests/scalar_reference.py``, not approximations of them.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.idlz.elements import create_elements, triangulate_strip
+from repro.core.idlz.grid import LatticeGrid
+from repro.core.idlz.reform import reform_elements
+from repro.core.idlz.shaping import Shaper, ShapingSegment
+from repro.core.idlz.subdivision import Subdivision
+from repro.core.ospl.contour import ContourSet
+from repro.core.ospl.intervals import classify_levels, contour_levels
+from repro.fem.mesh import Mesh
+from repro.fem.results import NodalField
+
+from tests.scalar_reference import (
+    scalar_create_elements,
+    scalar_extract_contours,
+    scalar_number_lattice,
+    scalar_reform,
+    scalar_shape,
+    scalar_zipper,
+)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+@st.composite
+def chain_assemblages(draw):
+    """A horizontal chain of rectangles shaped to a random quad strip.
+
+    Bottom and top boundary heights vary per breakpoint, so shaping
+    produces skewed quads and the reform sweep has real work to do.
+    """
+    n_subs = draw(st.integers(1, 3))
+    widths = [draw(st.integers(1, 3)) for _ in range(n_subs)]
+    rows = draw(st.integers(1, 4))
+    ks = [1]
+    for w in widths:
+        ks.append(ks[-1] + w)
+    total = ks[-1] - 1
+    span = draw(st.floats(2.0, 15.0))
+    xs = [span * (k - 1) / total for k in ks]
+    y_bot = [draw(st.floats(-1.0, 1.0)) for _ in ks]
+    y_top = [draw(st.floats(3.0, 6.0)) for _ in ks]
+    subdivisions = []
+    segments = []
+    for i in range(n_subs):
+        subdivisions.append(Subdivision(
+            index=i + 1, kk1=ks[i], ll1=1, kk2=ks[i + 1], ll2=1 + rows,
+        ))
+        segments.append(ShapingSegment(
+            i + 1, ks[i], 1, ks[i + 1], 1,
+            xs[i], y_bot[i], xs[i + 1], y_bot[i + 1],
+        ))
+        segments.append(ShapingSegment(
+            i + 1, ks[i], 1 + rows, ks[i + 1], 1 + rows,
+            xs[i], y_top[i], xs[i + 1], y_top[i + 1],
+        ))
+    return subdivisions, segments
+
+
+@st.composite
+def tapered_assemblages(draw):
+    """A single tapered subdivision: trapezoid or triangle, either
+    orientation, shaped by its two parallel (possibly degenerate)
+    sides."""
+    taper = draw(st.sampled_from([1, -1]))
+    across = draw(st.integers(2, 4))       # strips
+    long_side = draw(st.integers(2 * (across - 1) + 1,
+                                 2 * (across - 1) + 5))
+    column = draw(st.booleans())
+    width = draw(st.floats(2.0, 10.0))
+    height = draw(st.floats(2.0, 10.0))
+    if column:
+        sub = Subdivision(index=1, kk1=1, ll1=1,
+                          kk2=across, ll2=long_side, ntapcm=taper)
+        (l0a, l1a) = sub.column_span(sub.kk1)
+        (l0b, l1b) = sub.column_span(sub.kk2)
+        segments = [
+            ShapingSegment(1, sub.kk1, l0a, sub.kk1, l1a,
+                           0.0, float(l0a - 1) * height / long_side,
+                           0.0, float(l1a - 1) * height / long_side),
+            ShapingSegment(1, sub.kk2, l0b, sub.kk2, l1b,
+                           width, float(l0b - 1) * height / long_side,
+                           width, float(l1b - 1) * height / long_side),
+        ]
+    else:
+        sub = Subdivision(index=1, kk1=1, ll1=1,
+                          kk2=long_side, ll2=across, ntaprw=taper)
+        (k0a, k1a) = sub.row_span(sub.ll1)
+        (k0b, k1b) = sub.row_span(sub.ll2)
+        segments = [
+            ShapingSegment(1, k0a, sub.ll1, k1a, sub.ll1,
+                           float(k0a - 1) * width / long_side, 0.0,
+                           float(k1a - 1) * width / long_side, 0.0),
+            ShapingSegment(1, k0b, sub.ll2, k1b, sub.ll2,
+                           float(k0b - 1) * width / long_side, height,
+                           float(k1b - 1) * width / long_side, height),
+        ]
+    return [sub], segments
+
+
+def any_assemblage():
+    return st.one_of(chain_assemblages(), tapered_assemblages())
+
+
+def _shape_vectorized(grid, subdivisions, segments):
+    """The production shaping pass, as the stage driver runs it."""
+    shaper = Shaper(grid)
+    by_sub = {}
+    for seg in segments:
+        by_sub.setdefault(seg.subdivision, []).append(seg)
+    for sub in subdivisions:
+        for seg in by_sub.get(sub.index, []):
+            shaper.apply_segment(seg)
+        shaper.shape_subdivision(sub)
+    return shaper.positions
+
+
+def _build_mesh(subdivisions, segments):
+    grid = LatticeGrid(subdivisions)
+    positions = _shape_vectorized(grid, subdivisions, segments)
+    triangles, groups = create_elements(grid)
+    return Mesh(nodes=positions.copy(),
+                elements=np.array(triangles, dtype=int),
+                element_groups=np.array(groups, dtype=int))
+
+
+# ----------------------------------------------------------------------
+# Numbering and element creation
+# ----------------------------------------------------------------------
+
+class TestNumberingCrossCheck:
+    @given(any_assemblage())
+    @settings(max_examples=60, deadline=None)
+    def test_node_numbering_matches_scalar_union(self, assemblage):
+        subdivisions, _ = assemblage
+        grid = LatticeGrid(subdivisions)
+        assert grid.point_of == scalar_number_lattice(subdivisions)
+
+
+class TestZipperCrossCheck:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_strip_zipper_matches_scalar_march(self, data):
+        n_low = data.draw(st.integers(1, 8))
+        n_up = data.draw(st.integers(1 if n_low > 1 else 2, 8))
+        lower_pos = sorted(
+            data.draw(st.lists(st.floats(0.0, 10.0), min_size=n_low,
+                               max_size=n_low))
+        )
+        upper_pos = sorted(
+            data.draw(st.lists(st.floats(0.0, 10.0), min_size=n_up,
+                               max_size=n_up))
+        )
+        lower_ids = list(range(n_low))
+        upper_ids = list(range(n_low, n_low + n_up))
+        assert triangulate_strip(
+            lower_ids, lower_pos, upper_ids, upper_pos
+        ) == scalar_zipper(lower_ids, lower_pos, upper_ids, upper_pos)
+
+    @given(any_assemblage())
+    @settings(max_examples=60, deadline=None)
+    def test_elements_match_scalar_zipper(self, assemblage):
+        subdivisions, _ = assemblage
+        grid = LatticeGrid(subdivisions)
+        triangles, groups = create_elements(grid)
+        ref_triangles, ref_groups = scalar_create_elements(grid)
+        assert list(map(tuple, triangles.tolist())) == ref_triangles
+        assert groups.tolist() == ref_groups
+
+
+# ----------------------------------------------------------------------
+# Shaping
+# ----------------------------------------------------------------------
+
+class TestShapingCrossCheck:
+    @given(any_assemblage())
+    @settings(max_examples=60, deadline=None)
+    def test_positions_bitwise_equal_scalar_interpolation(
+        self, assemblage
+    ):
+        subdivisions, segments = assemblage
+        grid = LatticeGrid(subdivisions)
+        vec = _shape_vectorized(grid, subdivisions, segments)
+        ref = scalar_shape(grid, subdivisions, segments)
+        assert np.array_equal(vec, ref)
+
+
+# ----------------------------------------------------------------------
+# Reformation
+# ----------------------------------------------------------------------
+
+class TestReformCrossCheck:
+    @given(chain_assemblages())
+    @settings(max_examples=40, deadline=None)
+    def test_swaps_and_connectivity_match_scalar_sweep(self, assemblage):
+        subdivisions, segments = assemblage
+        mesh_vec = _build_mesh(subdivisions, segments)
+        mesh_ref = Mesh(nodes=mesh_vec.nodes.copy(),
+                        elements=mesh_vec.elements.copy(),
+                        element_groups=mesh_vec.element_groups.copy())
+        swaps_vec = reform_elements(mesh_vec)
+        swaps_ref = scalar_reform(mesh_ref)
+        assert swaps_vec == swaps_ref
+        assert np.array_equal(mesh_vec.elements, mesh_ref.elements)
+
+
+# ----------------------------------------------------------------------
+# Contour extraction
+# ----------------------------------------------------------------------
+
+class TestContourCrossCheck:
+    @given(chain_assemblages(), st.floats(0.5, 3.0),
+           st.floats(-2.0, 2.0), st.floats(-2.0, 2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_segments_bitwise_equal_scalar_extraction(
+        self, assemblage, interval, gx, gy
+    ):
+        subdivisions, segments = assemblage
+        mesh = _build_mesh(subdivisions, segments)
+        reform_elements(mesh)
+        values = gx * mesh.nodes[:, 0] + gy * mesh.nodes[:, 1]
+        levels = contour_levels(float(values.min()), float(values.max()),
+                                interval)
+        field = NodalField(name="crosscheck", values=values)
+        contours = ContourSet(mesh, field, interval, levels)
+        ref = scalar_extract_contours(mesh, values, levels)
+        for level in levels:
+            got = [
+                (seg.element,
+                 seg.start.x, seg.start.y, *seg.start.edge,
+                 seg.end.x, seg.end.y, *seg.end.edge)
+                for seg in contours.segments_by_level[level]
+            ]
+            assert got == [tuple(row) for row in ref[level]]
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_classify_levels_matches_inclusive_range_test(self, data):
+        levels = sorted(set(data.draw(
+            st.lists(st.floats(-5.0, 5.0), min_size=1, max_size=8)
+        )))
+        n = data.draw(st.integers(1, 20))
+        lo = np.array(data.draw(st.lists(
+            st.floats(-6.0, 6.0), min_size=n, max_size=n)))
+        hi = lo + np.array(data.draw(st.lists(
+            st.floats(0.0, 4.0), min_size=n, max_size=n)))
+        first, stop = classify_levels(lo, hi, levels)
+        for i in range(n):
+            member = [li for li, level in enumerate(levels)
+                      if lo[i] <= level <= hi[i]]
+            expect = set(member)
+            got = set(range(int(first[i]), int(stop[i])))
+            assert got == expect

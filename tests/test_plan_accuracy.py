@@ -65,3 +65,55 @@ def test_check_paths_verdict_over_the_examples(calibration):
     assert {row["deck"].split("/")[-1] for row in report["decks"]} == {
         "plate.deck", "field.deck",
     }
+
+
+class TestLargeGridCalibration:
+    """The restamped rates must stay honest at the million-node scale.
+
+    ``batch`` kills a job at 40x its predicted wall, so the property
+    that matters after the array-native speedup is two-sided: the
+    checked-in large-grid record (``BENCH_idlz_large.json``) must land
+    within a generous factor of the calibrated prediction -- neither so
+    underpredicted that the timeout misfires nor so overpredicted that
+    the scheduler stops packing jobs.
+    """
+
+    #: Per-stage slack: the same span name covers the 40x60 and the
+    #: million-node workloads, whose per-unit rates differ by several x
+    #: (cache-resident loops vs memory-bound streaming), and the pooled
+    #: median sits between them.
+    STAGE_BAND = 8.0
+    TOTAL_BAND = 5.0
+
+    def test_large_record_within_stage_bands(self, calibration):
+        from repro.obs.diff import aggregate_spans
+        from repro.obs.report import RunReport
+        from repro.plan.calibrate import REFERENCE_UNITS, STAGE_UNITS
+
+        report = RunReport.load("BENCH_idlz_large.json")
+        reference = REFERENCE_UNITS["idlz_large"]
+        predicted_total = 0.0
+        actual_total = 0.0
+        for stage, agg in aggregate_spans(report).items():
+            unit = STAGE_UNITS.get(stage)
+            if unit is None or unit not in reference:
+                continue
+            if agg.wall_s < 0.1:
+                continue  # timer noise carries no scheduling signal
+            predicted = calibration.stage_wall(stage, reference[unit])
+            predicted_total += predicted
+            actual_total += agg.wall_s
+            ratio = predicted / agg.wall_s
+            assert 1.0 / self.STAGE_BAND <= ratio <= self.STAGE_BAND, (
+                f"{stage}: predicted {predicted:.2f}s vs recorded "
+                f"{agg.wall_s:.2f}s (ratio {ratio:.2f}x) escapes the "
+                f"{self.STAGE_BAND:g}x band"
+            )
+        assert actual_total > 1.0, "large record lost its heavy stages"
+        ratio = predicted_total / actual_total
+        assert 1.0 / self.TOTAL_BAND <= ratio <= self.TOTAL_BAND, (
+            f"total predicted {predicted_total:.2f}s vs recorded "
+            f"{actual_total:.2f}s (ratio {ratio:.2f}x)"
+        )
+        # The batch timeout (40x predicted) must clear the real wall.
+        assert predicted_total * 40.0 > actual_total
